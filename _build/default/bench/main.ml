@@ -1,0 +1,188 @@
+(* The benchmark harness: regenerates every experiment table (E1-E12, one
+   per figure/theorem of the paper — see DESIGN.md) and then times the core
+   operations with Bechamel. *)
+
+module Q = Bits.Rational
+module H = Tasks.Harness
+
+let run_tables () =
+  let ppf = Format.std_formatter in
+  Format.fprintf ppf
+    "==================================================================@\n\
+     Bounded-size registers: experiment suite@\n\
+     (paper: Delporte, Fauconnier, Fraigniaud, Rajsbaum, Travers, PODC'24)@\n\
+     ==================================================================@\n@\n";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf
+        "------------------------------------------------------------------@\n\
+         %s  %s@\n\
+         reproduces: %s@\n\
+         ------------------------------------------------------------------@\n"
+        e.Experiments.Registry.id e.Experiments.Registry.slug
+        e.Experiments.Registry.paper;
+      e.Experiments.Registry.run ppf;
+      Format.pp_print_flush ppf ())
+    Experiments.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per timing-sensitive table.          *)
+
+open Bechamel
+open Toolkit
+
+let run_alg1 ~k () =
+  let algorithm = Core.Alg1_one_bit.algorithm ~k in
+  ignore
+    (H.run_once algorithm ~inputs:[| 0; 1 |]
+       ~schedule:(`Random (Bits.Rng.make 1, []))
+       ())
+
+let run_fast ~rounds () =
+  let algorithm = Core.Fast_agreement.algorithm ~delta:2 ~rounds in
+  ignore
+    (H.run_once algorithm ~inputs:[| 0; 1 |]
+       ~schedule:(`Random (Bits.Rng.make 1, []))
+       ())
+
+let run_baseline ~rounds () =
+  let algorithm = Core.Baseline_unbounded.algorithm ~n:2 ~rounds in
+  ignore
+    (H.run_once algorithm ~inputs:[| 0; 1 |]
+       ~schedule:(`Random (Bits.Rng.make 1, []))
+       ())
+
+let run_bg_round () =
+  let n = 3 in
+  ignore
+    (Iterated.Ic.run_random ~n ~budget:Bits.Width.Unbounded
+       ~measure:Bits.Width.unbounded
+       ~programs:(fun pid ->
+         Iterated.Bg_snapshot.simulate ~n
+           (Iterated.Proto.Round (pid, fun v -> Iterated.Proto.Decide v)))
+       ~rng:(Bits.Rng.make 3) ())
+
+let one_bit_table =
+  lazy
+    (Iterated.One_bit_sim.build_table ~n:2 ~rounds:2
+       ~inputs:[ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]
+       ~equal_input:Int.equal)
+
+let run_one_bit_sim () =
+  let table = Lazy.force one_bit_table in
+  ignore
+    (Iterated.Iis.run_random ~n:2 ~budget:(Bits.Width.Bounded 1)
+       ~measure:(Bits.Width.uint ~max:1)
+       ~programs:(fun pid ->
+         Iterated.One_bit_sim.protocol ~table ~me:pid ~input:pid
+           ~decide:(fun v -> v))
+       ~rng:(Bits.Rng.make 5) ())
+
+let run_alt_bit_transfer () =
+  (* Push a 128-byte message through one alternating-bit link. *)
+  let sender = Msgpass.Alt_bit.sender ~chunk:1 in
+  let receiver = Msgpass.Alt_bit.receiver () in
+  Msgpass.Alt_bit.send_string sender (String.make 128 'x');
+  let data = ref (Msgpass.Alt_bit.initial_field ~chunk:1) in
+  let ack = ref 0 in
+  let received = ref 0 in
+  while !received = 0 do
+    (match Msgpass.Alt_bit.sender_poll sender ~ack_seen:!ack with
+    | Some f -> data := f
+    | None -> ());
+    (match Msgpass.Alt_bit.receiver_poll receiver ~data_seen:!data with
+    | [] -> ()
+    | l -> received := List.length l);
+    ack := Msgpass.Alt_bit.receiver_ack receiver
+  done
+
+let run_abd_ops () =
+  (* One ABD write + read over the complete 5-process network. *)
+  let n = 5 and t = 2 in
+  let open Sched.Program.Infix in
+  let program =
+    let* () = Sched.Program.write 42 in
+    let* v = Sched.Program.read 0 in
+    Sched.Program.return v
+  in
+  let interps =
+    Array.init n (fun me ->
+        Msgpass.Interp.create ~n ~t ~me ~init:0
+          ~program:(if me = 0 then program else Sched.Program.return (-1)))
+  in
+  let net =
+    Msgpass.Net.create ~n ~nodes:(fun pid -> Msgpass.Interp.node interps.(pid))
+  in
+  Msgpass.Net.run_random ~rng:(Bits.Rng.make 9) net
+
+let run_bmz_plan () =
+  match Tasks.Bmz.plan (Tasks.Gallery.eps_grid ~k:4) with
+  | Ok _ -> ()
+  | Error e -> failwith e
+
+let run_labelling_value () =
+  (* Closed-form pruned-path position at R = 20 (3^20-scale complex). *)
+  let label =
+    {
+      Core.Labelling.me = 0;
+      obs =
+        List.init 20 (fun i -> if i mod 3 = 2 then None else Some (i mod 2));
+    }
+  in
+  ignore (Core.Ring_sim.value ~delta:2 ~rounds:20 label)
+
+let benchmarks =
+  Test.make_grouped ~name:"bounded-registers"
+    [
+      Test.make ~name:"alg1-eps-agreement(k=256)"
+        (Staged.stage (run_alg1 ~k:256));
+      Test.make ~name:"fast-agreement(R=16,6-bit)"
+        (Staged.stage (run_fast ~rounds:16));
+      Test.make ~name:"baseline-unbounded(R=16)"
+        (Staged.stage (run_baseline ~rounds:16));
+      Test.make ~name:"bg-snapshot-round(n=3)" (Staged.stage run_bg_round);
+      Test.make ~name:"one-bit-sim(n=2,2-rounds)"
+        (Staged.stage run_one_bit_sim);
+      Test.make ~name:"alt-bit-128-bytes" (Staged.stage run_alt_bit_transfer);
+      Test.make ~name:"abd-write+read(n=5)" (Staged.stage run_abd_ops);
+      Test.make ~name:"bmz-plan(eps-grid-k=4)" (Staged.stage run_bmz_plan);
+      Test.make ~name:"pruned-path-value(R=20)"
+        (Staged.stage run_labelling_value);
+    ]
+
+let run_benchmarks () =
+  Format.printf
+    "------------------------------------------------------------------@\n\
+     Bechamel timings (monotonic clock, OLS estimate per call)@\n\
+     ------------------------------------------------------------------@\n";
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] benchmarks in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> est
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.sort (fun (a, _) (b, _) -> compare a b) !rows
+  |> List.iter (fun (name, ns) ->
+         if ns >= 1e6 then
+           Format.printf "  %-45s %10.2f ms/call@\n" name (ns /. 1e6)
+         else if ns >= 1e3 then
+           Format.printf "  %-45s %10.2f us/call@\n" name (ns /. 1e3)
+         else Format.printf "  %-45s %10.0f ns/call@\n" name ns);
+  Format.printf "@\n"
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  run_tables ();
+  run_benchmarks ();
+  Format.printf "total experiment-suite time: %.1f s@\n"
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,249 @@
+(* Command-line entry point: run any experiment of the reproduction suite. *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  let run () =
+    List.iter
+      (fun e ->
+        Format.printf "%-4s %-28s %s@." e.Experiments.Registry.id
+          e.Experiments.Registry.slug e.Experiments.Registry.paper)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run experiments by id or slug ('all' runs every one)." in
+  let keys =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT")
+  in
+  let run keys =
+    let selected =
+      if List.exists (fun k -> String.lowercase_ascii k = "all") keys then
+        Ok Experiments.Registry.all
+      else
+        let rec resolve acc = function
+          | [] -> Ok (List.rev acc)
+          | k :: rest -> (
+              match Experiments.Registry.find k with
+              | Some e -> resolve (e :: acc) rest
+              | None -> Error k)
+        in
+        resolve [] keys
+    in
+    match selected with
+    | Error k ->
+        Format.eprintf "unknown experiment %S (try 'boundedreg list')@." k;
+        exit 1
+    | Ok experiments ->
+        List.iter
+          (fun e ->
+            Format.printf "=== %s  %s ===@.reproduces: %s@.@."
+              e.Experiments.Registry.id e.Experiments.Registry.slug
+              e.Experiments.Registry.paper;
+            e.Experiments.Registry.run Format.std_formatter;
+            Format.print_flush ())
+          experiments
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ keys)
+
+(* ----- demo subcommands ----- *)
+
+module Q = Bits.Rational
+module H = Tasks.Harness
+
+let seed_arg =
+  Cmdliner.Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED")
+
+let alg1_cmd =
+  let doc = "Run Algorithm 1 (2-process eps-agreement, 1-bit registers)." in
+  let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~docv:"K") in
+  let inputs_arg =
+    Arg.(value & opt (pair int int) (0, 1) & info [ "inputs" ] ~docv:"X0,X1")
+  in
+  let trace_arg = Arg.(value & flag & info [ "trace" ]) in
+  let run k (x0, x1) seed trace =
+    let algorithm = Core.Alg1_one_bit.algorithm ~k in
+    let state =
+      Sched.Scheduler.start ~record_trace:trace
+        ~memory:(algorithm.H.memory ())
+        ~programs:(fun pid ->
+          algorithm.H.program ~pid ~input:(if pid = 0 then x0 else x1))
+        ()
+    in
+    Sched.Scheduler.run_random (Bits.Rng.make seed) state;
+    if trace then
+      Format.printf "%a@."
+        (Sched.Trace.pp Format.pp_print_int)
+        (Sched.Scheduler.trace state);
+    Format.printf "eps = 1/%d@." (Core.Alg1_one_bit.denominator ~k);
+    Array.iteri
+      (fun pid d ->
+        match d with
+        | Some v ->
+            Format.printf "process %d: decides %a after %d steps@." pid Q.pp v
+              (Sched.Scheduler.steps_of state pid)
+        | None -> Format.printf "process %d: no decision@." pid)
+      (Sched.Scheduler.decisions state)
+  in
+  Cmd.v (Cmd.info "alg1" ~doc)
+    Term.(const run $ k_arg $ inputs_arg $ seed_arg $ trace_arg)
+
+let fast_cmd =
+  let doc = "Run the Theorem 8.1 fast agreement (6-bit registers)." in
+  let rounds_arg = Arg.(value & opt int 10 & info [ "rounds" ] ~docv:"R") in
+  let inputs_arg =
+    Arg.(value & opt (pair int int) (0, 1) & info [ "inputs" ] ~docv:"X0,X1")
+  in
+  let run rounds (x0, x1) seed =
+    let algorithm = Core.Fast_agreement.algorithm ~delta:2 ~rounds in
+    let state =
+      H.run_once algorithm ~inputs:[| x0; x1 |]
+        ~schedule:(`Random (Bits.Rng.make seed, []))
+        ()
+    in
+    Format.printf "eps = 1/%d (>= 2^-%d), registers: %d bits@."
+      (Core.Fast_agreement.denominator ~delta:2 ~rounds)
+      rounds
+      (Core.Ring_sim.register_bits ~delta:2);
+    Array.iteri
+      (fun pid d ->
+        match d with
+        | Some v ->
+            Format.printf "process %d: decides %a after %d steps@." pid Q.pp v
+              (Sched.Scheduler.steps_of state pid)
+        | None -> Format.printf "process %d: no decision@." pid)
+      (Sched.Scheduler.decisions state)
+  in
+  Cmd.v (Cmd.info "fast" ~doc)
+    Term.(const run $ rounds_arg $ inputs_arg $ seed_arg)
+
+let pipeline_cmd =
+  let doc =
+    "Run the Theorem 1.3 pipeline (eps-agreement over 3(t+1)-bit registers)."
+  in
+  let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N") in
+  let t_arg = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T") in
+  let rounds_arg = Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"R") in
+  let run n t rounds seed =
+    if 2 * t >= n then begin
+      Format.eprintf "need t < n/2@.";
+      exit 1
+    end;
+    let value =
+      Msgpass.Wire.(list_codec (pair_codec int_codec rational_codec))
+    in
+    let algorithm =
+      Msgpass.Pipeline.algorithm ~n ~t ~value ~input:Msgpass.Wire.int_codec
+        ~init:[]
+        ~source:(fun ~pid ~input ->
+          Core.Baseline_unbounded.protocol ~n ~rounds ~me:pid ~input)
+        ~name:"cli-pipeline" ()
+    in
+    let rng = Bits.Rng.make seed in
+    let inputs = Array.init n (fun _ -> Bits.Rng.int rng 2) in
+    Format.printf "inputs: %s; registers: %d bits (= 3(t+1))@."
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int inputs)))
+      (Msgpass.Pipeline.register_bits ~t ~chunk:1);
+    let state =
+      H.run_once algorithm ~inputs
+        ~schedule:(`Random (rng, []))
+        ~max_steps:400_000_000 ()
+    in
+    Array.iteri
+      (fun pid d ->
+        match d with
+        | Some v ->
+            Format.printf "process %d: decides %a after %d steps@." pid Q.pp v
+              (Sched.Scheduler.steps_of state pid)
+        | None -> Format.printf "process %d: no decision@." pid)
+      (Sched.Scheduler.decisions state)
+  in
+  Cmd.v (Cmd.info "pipeline" ~doc)
+    Term.(const run $ n_arg $ t_arg $ rounds_arg $ seed_arg)
+
+let search_cmd =
+  let doc = "Exhaustive consensus-protocol search (Lemma 2.1)." in
+  let rounds_arg = Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"R") in
+  let run rounds =
+    let s = Core.Consensus_search.search ~rounds in
+    Format.printf "%d candidates, %d survive 1-resilient consensus checking@."
+      s.Core.Consensus_search.total
+      (List.length s.Core.Consensus_search.survivors)
+  in
+  Cmd.v (Cmd.info "search" ~doc) Term.(const run $ rounds_arg)
+
+let labelling_cmd =
+  let doc = "Enumerate the labelling protocol's labels and values." in
+  let rounds_arg = Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R") in
+  let run rounds =
+    let labels = ref [] in
+    Iterated.Iis.enumerate ~n:2 ~budget:(Bits.Width.Bounded 1)
+      ~measure:(Bits.Width.uint ~max:1)
+      ~programs:(fun pid -> Core.Labelling.protocol ~rounds ~me:pid)
+      ~max_rounds:rounds
+      (fun o ->
+        Array.iter
+          (function
+            | Some l ->
+                if not (List.exists (Core.Labelling.equal l) !labels) then
+                  labels := l :: !labels
+            | None -> ())
+          o.Iterated.Iis.decisions);
+    let sorted =
+      List.sort
+        (fun a b ->
+          Q.compare (Core.Labelling.value a) (Core.Labelling.value b))
+        !labels
+    in
+    List.iter
+      (fun l ->
+        Format.printf "%-20s  f = %a@."
+          (Format.asprintf "%a" Core.Labelling.pp l)
+          Q.pp (Core.Labelling.value l))
+      sorted;
+    Format.printf "%d labels (3^%d + 1)@." (List.length sorted) rounds
+  in
+  Cmd.v (Cmd.info "labelling" ~doc) Term.(const run $ rounds_arg)
+
+let dot_cmd =
+  let doc =
+    "Emit a Graphviz rendering (task output graph or protocol complex)."
+  in
+  let what_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum
+                       [ ("labelling", `Labelling); ("pruned", `Pruned);
+                         ("renaming3", `Renaming); ("eps-grid", `Eps_grid);
+                         ("hull", `Hull) ]))
+          None
+      & info [] ~docv:"WHAT")
+  in
+  let rounds_arg = Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R") in
+  let run what rounds =
+    let dot =
+      match what with
+      | `Labelling -> Experiments.Viz.labelling_path ~rounds
+      | `Pruned -> Experiments.Viz.pruned_path ~delta:2 ~rounds
+      | `Renaming -> Experiments.Viz.bmz_graph Tasks.Gallery.renaming3
+      | `Eps_grid -> Experiments.Viz.bmz_graph (Tasks.Gallery.eps_grid ~k:3)
+      | `Hull -> Experiments.Viz.bmz_graph Tasks.Gallery.hull_agreement
+    in
+    print_string dot
+  in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ what_arg $ rounds_arg)
+
+let () =
+  let doc =
+    "Executable reproduction of 'The Computational Power of Distributed \
+     Shared-Memory Models with Bounded-Size Registers' (PODC 2024)"
+  in
+  let info = Cmd.info "boundedreg" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; alg1_cmd; fast_cmd; pipeline_cmd; search_cmd;
+            labelling_cmd; dot_cmd ]))

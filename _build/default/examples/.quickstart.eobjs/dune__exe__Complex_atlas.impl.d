@@ -1,0 +1,1 @@
+examples/complex_atlas.ml: Bits Core Experiments Printf Sched String Tasks Unix

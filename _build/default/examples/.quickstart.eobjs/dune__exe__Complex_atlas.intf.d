@@ -1,0 +1,1 @@
+examples/complex_atlas.mli:

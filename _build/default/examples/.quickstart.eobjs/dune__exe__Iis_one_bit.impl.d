@@ -1,0 +1,1 @@
+examples/iis_one_bit.ml: Array Bits Format Int Iterated List Printf

@@ -1,0 +1,1 @@
+examples/iis_one_bit.mli:

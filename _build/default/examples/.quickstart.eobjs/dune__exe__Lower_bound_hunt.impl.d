@@ -1,0 +1,1 @@
+examples/lower_bound_hunt.ml: Bits Core Format List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bits Core Format List Printf Sched Tasks

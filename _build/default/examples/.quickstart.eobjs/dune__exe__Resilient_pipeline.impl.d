@@ -1,0 +1,1 @@
+examples/resilient_pipeline.ml: Array Bits Core Format List Msgpass Printf Sched String Tasks

@@ -1,0 +1,1 @@
+examples/resilient_pipeline.mli:

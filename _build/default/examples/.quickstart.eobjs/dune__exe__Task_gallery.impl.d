@@ -1,0 +1,1 @@
+examples/task_gallery.ml: Array Core Format List Tasks

@@ -1,0 +1,50 @@
+(* An atlas of the paper's combinatorial objects, plus the adversary that
+   realizes Algorithm 1's worst case.
+
+   Writes Graphviz files under ./atlas/ (render with `dot -Tsvg`):
+     - labelling-r3.dot   the chromatic path of Lemma 8.1 (28 labels)
+     - pruned-d2-r4.dot   the Delta-pruned complex of Algorithm 6
+     - renaming3.dot      the output graph of the renaming task
+     - hull.dot           the output graph of ternary hull-agreement
+
+   Run with: dune exec examples/complex_atlas.exe *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" path (String.length contents)
+
+let () =
+  (try Unix.mkdir "atlas" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  write_file "atlas/labelling-r3.dot"
+    (Experiments.Viz.labelling_path ~rounds:3);
+  write_file "atlas/pruned-d2-r4.dot"
+    (Experiments.Viz.pruned_path ~delta:2 ~rounds:4);
+  write_file "atlas/renaming3.dot"
+    (Experiments.Viz.bmz_graph Tasks.Gallery.renaming3);
+  write_file "atlas/hull.dot"
+    (Experiments.Viz.bmz_graph Tasks.Gallery.hull_agreement);
+
+  (* The lockstep adversary vs a fair random schedule on Algorithm 1: the
+     worst case is a strategy, not an accident. *)
+  let k = 12 in
+  let algorithm = Core.Alg1_one_bit.algorithm ~k in
+  let fresh () =
+    Sched.Scheduler.start
+      ~memory:(algorithm.Tasks.Harness.memory ())
+      ~programs:(fun pid -> algorithm.Tasks.Harness.program ~pid ~input:pid)
+      ()
+  in
+  let lockstep = fresh () in
+  Sched.Adversary.run Sched.Adversary.lockstep lockstep;
+  let random = fresh () in
+  Sched.Scheduler.run_random (Bits.Rng.make 5) random;
+  Printf.printf
+    "\nAlgorithm 1 (k = %d, bound 2k+3 = %d steps):\n\
+    \  lockstep adversary: %d steps per process\n\
+    \  fair random schedule: %d steps (desynchronizes early)\n"
+    k
+    ((2 * k) + 3)
+    (Sched.Scheduler.steps_of lockstep 0)
+    (max (Sched.Scheduler.steps_of random 0) (Sched.Scheduler.steps_of random 1))

@@ -1,0 +1,53 @@
+(* Theorem 1.1: the pigeonhole adversary at work.
+
+   Two processes running any bounded-register protocol leave one of at most
+   2^(2s) register words behind; a third process waking up afterwards must
+   decide from that word alone. This example enumerates all executions of
+   Algorithm 1, buckets them by final register word, and shows the widest
+   bucket: whatever the third process decides, it is 3/2 eps away from a
+   value it must match (the theorem's floor is eps).
+
+   Run with: dune exec examples/lower_bound_hunt.exe *)
+
+module Q = Bits.Rational
+module LB = Core.Lower_bound
+
+let show proto =
+  let a = LB.analyse proto in
+  Format.printf "--- %s (%d-bit registers) ---@\n" proto.LB.name proto.LB.bits;
+  Format.printf "  executions with inputs (0,1): %d@\n" a.LB.executions;
+  Format.printf "  distinct final register words: %d (<= 2^%d = %d)@\n"
+    a.LB.distinct_words (2 * proto.LB.bits)
+    (1 lsl (2 * proto.LB.bits));
+  List.iteri
+    (fun i (bucket : _ LB.bucket) ->
+      if i < 3 then begin
+        let w0, w1 = bucket.LB.word in
+        Format.printf "  word (%a, %a): spread %a from decision pairs "
+          proto.LB.pp_value w0 proto.LB.pp_value w1 Q.pp bucket.LB.spread;
+        List.iteri
+          (fun j (a, b) ->
+            if j < 4 then Format.printf "(%a,%a) " Q.pp a Q.pp b)
+          bucket.LB.outputs;
+        Format.printf "@\n"
+      end)
+    a.LB.buckets;
+  Format.printf "  unavoidable third-process error: %a@\n@\n" Q.pp
+    (LB.third_process_error a)
+
+let () =
+  Format.printf
+    "Pigeonhole adversary (Section 4): bucketing executions by register \
+     word@\n@\n";
+  List.iter (fun k -> show (LB.alg1_protocol ~k)) [ 2; 3; 4 ];
+  List.iter
+    (fun bits -> show (LB.quantized_protocol ~bits ~rounds:3))
+    [ 2; 3; 4 ];
+  Format.printf
+    "Theorem 1.1 thresholds (n = 3, t = 2): eps below which no protocol \
+     can work:@\n";
+  List.iter
+    (fun bits ->
+      Format.printf "  s = %d bits: eps < %a@\n" bits Q.pp
+        (LB.epsilon_threshold ~bits ~n:3 ~t:2))
+    [ 1; 2; 3; 4 ]

@@ -1,0 +1,1 @@
+lib/bits/rational.ml: Format List Stdlib

@@ -1,0 +1,1 @@
+lib/bits/rational.mli: Format

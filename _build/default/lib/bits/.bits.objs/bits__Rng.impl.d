@@ -1,0 +1,1 @@
+lib/bits/rng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/bits/rng.mli:

@@ -1,0 +1,1 @@
+lib/bits/width.ml: Array Format List Printf

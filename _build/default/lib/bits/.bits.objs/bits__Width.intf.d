@@ -1,0 +1,1 @@
+lib/bits/width.mli: Format

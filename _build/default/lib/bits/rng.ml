@@ -1,0 +1,38 @@
+type t = { mutable state : int64 }
+
+let make seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* splitmix64: fast, well-distributed, and trivially reproducible. *)
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let split t = { state = next t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 1) land max_int in
+  v mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t =
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 11) land max_int in
+  float_of_int v /. float_of_int (1 lsl 53)
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,1 @@
+lib/core/alg1_one_bit.mli: Bits Sched Tasks

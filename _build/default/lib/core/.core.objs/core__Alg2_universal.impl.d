@@ -1,0 +1,1 @@
+lib/core/alg2_universal.ml: Alg1_one_bit Array Bits Printf Sched Tasks

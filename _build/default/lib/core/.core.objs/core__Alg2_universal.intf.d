@@ -1,0 +1,1 @@
+lib/core/alg2_universal.mli: Bits Sched Tasks

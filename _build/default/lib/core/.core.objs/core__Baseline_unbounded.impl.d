@@ -1,0 +1,1 @@
+lib/core/baseline_unbounded.ml: Array Bits List Printf Sched Tasks

@@ -1,0 +1,1 @@
+lib/core/baseline_unbounded.mli: Bits Sched Tasks

@@ -1,0 +1,1 @@
+lib/core/consensus_search.ml: Array Bits List Sched Seq Tasks

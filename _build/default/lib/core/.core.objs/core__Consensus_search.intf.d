@@ -1,0 +1,1 @@
+lib/core/consensus_search.mli: Sched Seq Tasks

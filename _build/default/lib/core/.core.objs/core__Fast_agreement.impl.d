@@ -1,0 +1,1 @@
+lib/core/fast_agreement.ml: Bits Printf Ring_sim Sched Tasks

@@ -1,0 +1,1 @@
+lib/core/fast_agreement.mli: Bits Ring_sim Sched Tasks

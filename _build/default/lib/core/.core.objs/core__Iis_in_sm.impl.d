@@ -1,0 +1,1 @@
+lib/core/iis_in_sm.ml: Array Bits Iterated List Sched Tasks

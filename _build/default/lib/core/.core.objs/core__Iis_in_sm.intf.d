@@ -1,0 +1,1 @@
+lib/core/iis_in_sm.mli: Iterated Sched Tasks

@@ -1,0 +1,1 @@
+lib/core/labelling.ml: Array Bits Format Int Iterated List Option

@@ -1,0 +1,1 @@
+lib/core/labelling.mli: Bits Format Iterated

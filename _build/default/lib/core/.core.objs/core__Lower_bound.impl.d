@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Alg1_one_bit Array Bits Format Int List Printf Sched

@@ -1,0 +1,1 @@
+lib/core/ring_sim.ml: Bits Hashtbl Labelling List Sched

@@ -1,0 +1,1 @@
+lib/core/ring_sim.mli: Bits Labelling Sched

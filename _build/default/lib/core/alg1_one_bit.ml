@@ -1,0 +1,72 @@
+module P = Sched.Program
+module Q = Bits.Rational
+open P.Infix
+
+type ('v, 'i) env = {
+  publish_input : int -> ('v, 'i, unit) P.t;
+  write_bit : int -> ('v, 'i, unit) P.t;
+  read_bit : int -> ('v, 'i, int) P.t;
+  read_input : int -> ('v, 'i, int option) P.t;
+}
+
+let denominator ~k = (2 * k) + 1
+
+let protocol ~env ~k ~me ~input =
+  if k < 1 then invalid_arg "Alg1_one_bit.protocol: k must be >= 1";
+  if me <> 0 && me <> 1 then invalid_arg "Alg1_one_bit.protocol: me in {0,1}";
+  if input <> 0 && input <> 1 then
+    invalid_arg "Alg1_one_bit.protocol: input in {0,1}";
+  let other = 1 - me in
+  let den = denominator ~k in
+  (* The for-loop of lines 3-7. Continuing to iteration r+1 requires having
+     read [r mod 2], so on normal completion the line-11 test
+     [new = k mod 2] is equivalent to "no break happened". Returns the exit
+     iteration r and whether the loop broke at line 7. *)
+  let rec sync_loop r prec =
+    let* () = env.write_bit (r mod 2) in
+    let* fresh = env.read_bit other in
+    if fresh <> prec then
+      if r = k then P.return (r, false) else sync_loop (r + 1) fresh
+    else P.return (r, true)
+  in
+  let* () = env.publish_input input in
+  let* r, broke = sync_loop 1 0 in
+  let* x_me_opt = env.read_input me in
+  let* x_other_opt = env.read_input other in
+  let x_me =
+    match x_me_opt with
+    | Some x -> x
+    | None -> assert false (* own input register was written first *)
+  in
+  match x_other_opt with
+  | None -> P.return (Q.of_int x_me)
+  | Some x_other when x_other = x_me -> P.return (Q.of_int x_me)
+  | Some x_other ->
+      if not broke then
+        (* Line 14: finished all k iterations in sync. *)
+        let who = if r mod 2 = 0 then x_me else x_other in
+        P.return (Q.make (who + k) den)
+      else
+        (* Line 17: desynchronized at iteration r. *)
+        let who = if r mod 2 = 0 then x_other else x_me in
+        if who = 0 then P.return (Q.make (r - 1) den)
+        else P.return (Q.sub Q.one (Q.make (r - 1) den))
+
+let env_standalone =
+  {
+    publish_input = (fun x -> P.write_input x);
+    write_bit = (fun b -> P.write b);
+    read_bit = (fun j -> P.read j);
+    read_input = (fun j -> P.read_input j);
+  }
+
+let algorithm ~k =
+  {
+    Tasks.Harness.name = Printf.sprintf "alg1-one-bit(k=%d)" k;
+    memory =
+      (fun () ->
+        Sched.Memory.create ~n:2 ~budget:(Bits.Width.Bounded 1)
+          ~measure:(Bits.Width.uint ~max:1) ~init:0);
+    program =
+      (fun ~pid ~input -> protocol ~env:env_standalone ~k ~me:pid ~input);
+  }

@@ -1,0 +1,45 @@
+(** Algorithm 1 of the paper: wait-free binary epsilon-agreement for two
+    processes with 1-bit coordination registers.
+
+    Each process alternately writes 0 and 1 in its register (at most [k]
+    times) and reads the other's register, stopping as soon as it reads the
+    same value twice — i.e. as soon as the two processes desynchronize. The
+    exit iteration determines a decision on the grid [m/(2k+1)], and
+    Lemma 5.5 guarantees the two decisions are at most [1/(2k+1)] apart.
+
+    The protocol is written against an abstract {!env} describing where its
+    one communication bit and its binary input live, so that it can run
+
+    - standalone, with genuine 1-bit registers and the model's write-once
+      input registers ({!algorithm}), proving the first half of Theorem 1.2;
+    - embedded in Algorithm 2's 3-bit registers, where the bit and the
+      epsilon-input share a register ({!Alg2_universal}). *)
+
+type ('v, 'i) env = {
+  publish_input : int -> ('v, 'i, unit) Sched.Program.t;
+      (** one step publishing this process's epsilon-input (0 or 1) *)
+  write_bit : int -> ('v, 'i, unit) Sched.Program.t;
+      (** one step writing this process's communication bit *)
+  read_bit : int -> ('v, 'i, int) Sched.Program.t;
+      (** one step reading process [j]'s communication bit *)
+  read_input : int -> ('v, 'i, int option) Sched.Program.t;
+      (** one step reading process [j]'s epsilon-input, [None] if unwritten *)
+}
+
+val protocol :
+  env:('v, 'i) env -> k:int -> me:int -> input:int ->
+  ('v, 'i, Bits.Rational.t) Sched.Program.t
+(** The code of Algorithm 1 for process [me] in {0, 1} with input in {0, 1}.
+    Decisions are exact rationals with denominator [2k+1]. At most [2k + 3]
+    steps. @raise Invalid_argument unless [k >= 1]. *)
+
+val env_standalone : (int, int) env
+(** Bits in the coordination register, epsilon-inputs in the input
+    registers. *)
+
+val algorithm : k:int -> (int, int, Bits.Rational.t) Tasks.Harness.algorithm
+(** Standalone instance on a fresh 2-process memory with a 1-bit budget;
+    solves the task [Tasks.Eps_agreement.task ~n:2 ~k:(2 * k + 1)]. *)
+
+val denominator : k:int -> int
+(** [2k + 1], the output grid of [algorithm ~k]. *)

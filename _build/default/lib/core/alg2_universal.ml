@@ -1,0 +1,77 @@
+module P = Sched.Program
+module Q = Bits.Rational
+module Bmz = Tasks.Bmz
+open P.Infix
+
+type register = { eps_input : int option; bit : int }
+
+(* eps_input ranges over three values (absent, 0, 1): 2 bits; plus the
+   alternating bit. *)
+let measure { eps_input; bit } =
+  Bits.Width.enum ~cardinal:3 eps_input + Bits.Width.uint ~max:1 bit
+
+let initial = { eps_input = None; bit = 0 }
+
+(* Algorithm 1 running inside the 3-bit registers: the epsilon-input and the
+   alternating bit share the register; [my_eps] is fixed before the embedded
+   protocol starts, so every write can restate it. *)
+let embedded_env ~my_eps =
+  {
+    Alg1_one_bit.publish_input =
+      (fun x -> P.write { eps_input = Some x; bit = 0 });
+    write_bit = (fun b -> P.write { eps_input = Some my_eps; bit = b });
+    read_bit = (fun j -> P.map (fun r -> r.bit) (P.read j));
+    read_input = (fun j -> P.map (fun r -> r.eps_input) (P.read j));
+  }
+
+let component (y0, y1) j = if j = 0 then y0 else y1
+
+let protocol ~plan ~me ~input =
+  let other = 1 - me in
+  let length = plan.Bmz.length in
+  (* plan.length is odd and >= 3, so Algorithm 1 with k = (L-1)/2 decides on
+     the grid m/L. *)
+  let k = (length - 1) / 2 in
+  let full_of x_other =
+    if me = 0 then (input, x_other) else (x_other, input)
+  in
+  let* () = P.write_input input in
+  let* first_look = P.read_input other in
+  let my_eps = match first_look with None -> 1 | Some _ -> 0 in
+  let* d =
+    Alg1_one_bit.protocol ~env:(embedded_env ~my_eps) ~k ~me ~input:my_eps
+  in
+  if Q.equal d Q.zero then
+    (* Saw the full input before agreeing (Lemma 5.6: d = 0 implies
+       my_eps = 0, so [first_look] succeeded). *)
+    match first_look with
+    | None -> assert false
+    | Some x_other ->
+        P.return (component (plan.Bmz.delta_full (full_of x_other)) me)
+  else if Q.equal d Q.one then
+    (* Never saw the other's input: decide my component of
+       delta(X^other). *)
+    P.return (component (plan.Bmz.delta_partial ~missing:other input) me)
+  else
+    (* Mixed epsilon-inputs: the other process wrote its task input before
+       its epsilon-agreement decision, so this read cannot return None. *)
+    let* second_look = P.read_input other in
+    match second_look with
+    | None -> assert false
+    | Some x_other ->
+        let full = full_of x_other in
+        let missing = if my_eps = 1 then other else me in
+        let path = plan.Bmz.path full ~missing in
+        let index = Q.num d * (length / Q.den d) in
+        P.return (component path.(index) me)
+
+let algorithm ~plan =
+  {
+    Tasks.Harness.name =
+      Printf.sprintf "alg2-universal(%s)" plan.Bmz.task.Bmz.name;
+    memory =
+      (fun () ->
+        Sched.Memory.create ~n:2 ~budget:(Bits.Width.Bounded 3) ~measure
+          ~init:initial);
+    program = (fun ~pid ~input -> protocol ~plan ~me:pid ~input);
+  }

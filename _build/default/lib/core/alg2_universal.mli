@@ -1,0 +1,29 @@
+(** Algorithm 2 of the paper: solving {e any} wait-free solvable two-process
+    task with 3-bit coordination registers (Theorem 1.2).
+
+    Given a {!Tasks.Bmz.plan} (the delta map and the path family of the
+    Biran–Moran–Zaks characterization, Lemma 5.7), the two processes publish
+    their task inputs in the write-once input registers, run Algorithm 1 to
+    epsilon-agree (with epsilon [1/L], [L] the common path length) on a
+    position along [path(delta(X), delta(X^i))], and decide their component
+    of the selected configuration.
+
+    Each process's coordination register packs Algorithm 1's epsilon-input
+    (bottom, 0 or 1 — 2 bits) and its alternating bit (1 bit): 3 bits
+    total, matching the paper's bound. Task inputs of arbitrary size travel
+    through the input registers only. *)
+
+type register = { eps_input : int option; bit : int }
+(** The 3-bit register layout. *)
+
+val measure : register Bits.Width.measure
+val initial : register
+
+val protocol :
+  plan:('i, 'o) Tasks.Bmz.plan -> me:int -> input:'i ->
+  (register, 'i, 'o) Sched.Program.t
+
+val algorithm :
+  plan:('i, 'o) Tasks.Bmz.plan -> (register, 'i, 'o) Tasks.Harness.algorithm
+(** Fresh 2-process memory with a 3-bit budget; solves
+    [Tasks.Bmz.to_task plan.task]. *)

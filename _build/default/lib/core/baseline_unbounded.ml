@@ -1,0 +1,47 @@
+module P = Sched.Program
+module Q = Bits.Rational
+open P.Infix
+
+type history = (int * Q.t) list
+
+let denominator ~rounds = 1 lsl rounds
+
+let history_equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (r, v) (r', v') -> r = r' && Q.equal v v') a b
+
+let round_values ~round snap =
+  Array.to_list snap
+  |> List.filter_map (fun history ->
+         List.assoc_opt round history)
+
+let midpoint values =
+  match values with
+  | [] -> assert false (* always contains the caller's own estimate *)
+  | v :: vs ->
+      let lo = List.fold_left Q.min v vs and hi = List.fold_left Q.max v vs in
+      Q.mul Q.half (Q.add lo hi)
+
+let protocol ~n ~rounds ~me ~input =
+  if rounds < 0 then invalid_arg "Baseline_unbounded.protocol: rounds >= 0";
+  ignore me;
+  let rec run r history estimate =
+    if r > rounds then P.return estimate
+    else
+      let history = (r - 1, estimate) :: history in
+      let* () = P.write history in
+      let* snap = Sched.Snapshots.double_collect ~n ~equal:history_equal in
+      let seen = round_values ~round:(r - 1) snap in
+      run (r + 1) history (midpoint seen)
+  in
+  run 1 [] (Q.of_int input)
+
+let algorithm ~n ~rounds =
+  {
+    Tasks.Harness.name = Printf.sprintf "baseline-unbounded(R=%d)" rounds;
+    memory =
+      (fun () ->
+        Sched.Memory.create ~n ~budget:Bits.Width.Unbounded
+          ~measure:Bits.Width.unbounded ~init:[]);
+    program = (fun ~pid ~input -> protocol ~n ~rounds ~me:pid ~input);
+  }

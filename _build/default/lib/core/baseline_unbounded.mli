@@ -1,0 +1,31 @@
+(** Wait-free n-process epsilon-agreement with unbounded registers
+    (Lemma 2.2) — the full-information-style baseline every bounded-register
+    result is measured against.
+
+    Each register holds the process's whole history (one value per round).
+    Round [r]: publish the round-[r-1] estimate, take a double-collect
+    snapshot, and move to the midpoint of the round-[r-1] estimates seen.
+    Because snapshots are linearizable and histories only grow, the round-[r]
+    estimate sets are nested, so the diameter halves every round: after
+    [rounds] rounds all estimates are within [1 / 2^rounds].
+
+    Step complexity is [O(rounds)] per process modulo snapshot retries —
+    exponentially faster than Algorithm 1 for the same epsilon, which is the
+    gap Theorem 8.1 closes for constant-size registers. *)
+
+type history = (int * Bits.Rational.t) list
+(** Newest first; entry [(r, v)] is the estimate after round [r]. *)
+
+val protocol :
+  n:int -> rounds:int -> me:int -> input:int ->
+  (history, int, Bits.Rational.t) Sched.Program.t
+(** Decisions lie on the grid [m / 2^rounds].
+    @raise Invalid_argument unless [rounds >= 0]. *)
+
+val algorithm :
+  n:int -> rounds:int -> (history, int, Bits.Rational.t) Tasks.Harness.algorithm
+(** Unbounded-budget memory; solves
+    [Tasks.Eps_agreement.task ~n ~k:(denominator ~rounds)]. *)
+
+val denominator : rounds:int -> int
+(** [2^rounds]. *)

@@ -1,0 +1,31 @@
+module P = Sched.Program
+module Q = Bits.Rational
+open P.Infix
+
+let denominator ~delta ~rounds = Ring_sim.executions_count ~delta ~rounds
+
+let protocol ~delta ~rounds ~me ~input =
+  let other = 1 - me in
+  let* () = P.write_input input in
+  let* label = Ring_sim.protocol ~delta ~rounds ~me in
+  let* x_other = P.read_input other in
+  match x_other with
+  | None -> P.return (Q.of_int input)
+  | Some x when x = input -> P.return (Q.of_int input)
+  | Some x ->
+      let f = Ring_sim.value ~delta ~rounds label in
+      let x0 = if me = 0 then input else x in
+      if x0 = 0 then P.return f else P.return (Q.sub Q.one f)
+
+let algorithm ~delta ~rounds =
+  {
+    Tasks.Harness.name =
+      Printf.sprintf "fast-agreement(delta=%d,R=%d)" delta rounds;
+    memory =
+      (fun () ->
+        Sched.Memory.create ~n:2
+          ~budget:(Bits.Width.Bounded (Ring_sim.register_bits ~delta))
+          ~measure:(Ring_sim.measure ~delta)
+          ~init:(Ring_sim.initial ~delta));
+    program = (fun ~pid ~input -> protocol ~delta ~rounds ~me:pid ~input);
+  }

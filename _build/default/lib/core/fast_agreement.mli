@@ -1,0 +1,25 @@
+(** Theorem 8.1: wait-free two-process epsilon-agreement in [O(log 1/eps)]
+    steps with constant-size registers (6 bits for [delta = 2]).
+
+    The processes publish their inputs in the input registers, run the
+    Algorithm 6 simulation of the labelling protocol ({!Ring_sim}), convert
+    their exit labels to positions on the pruned path, and orient the result
+    by process 0's input. [rounds] simulated rounds cost [O(rounds)] steps
+    and give epsilon [1 / executions_count] — at most [2^-rounds] — so for a
+    target epsilon the step complexity is [O(log 1/eps)], exponentially
+    faster than Algorithm 1's [O(1/eps)] at the price of 6-bit instead of
+    1-bit registers. *)
+
+val protocol :
+  delta:int -> rounds:int -> me:int -> input:int ->
+  (Ring_sim.register, int, Bits.Rational.t) Sched.Program.t
+
+val algorithm :
+  delta:int -> rounds:int ->
+  (Ring_sim.register, int, Bits.Rational.t) Tasks.Harness.algorithm
+(** Solves [Tasks.Eps_agreement.task ~n:2 ~k:(denominator ~delta ~rounds)]
+    on a memory with budget [Ring_sim.register_bits ~delta]. *)
+
+val denominator : delta:int -> rounds:int -> int
+(** The output grid and agreement grain: [Ring_sim.executions_count], which
+    is at least [2^rounds]. *)

@@ -1,0 +1,72 @@
+module P = Sched.Program
+module Proto = Iterated.Proto
+open P.Infix
+
+type 'v cell = { iteration : int; value : 'v; placed : bool }
+type 'v history = 'v cell list
+
+let cell_at ~iteration history =
+  List.find_opt (fun c -> c.iteration = iteration) history
+
+let program ~n proto =
+  (* [mine] is this process's own history, threaded through the recursion
+     so the program stays pure between steps. *)
+  let rec simulate base mine proto =
+    match proto with
+    | Proto.Decide a -> P.return a
+    | Proto.Round (x, k) -> bg_round base mine x k
+  and bg_round base mine x k =
+    (* One IS round = n BG iterations, global indices base+1 .. base+n. *)
+    let rec iterate rho mine =
+      let iteration = base + rho in
+      let mine = { iteration; value = x; placed = false } :: mine in
+      let* () = P.write mine in
+      let* registers = P.collect n in
+      let cells =
+        Array.map (fun history -> cell_at ~iteration history) registers
+      in
+      let fresh =
+        Array.to_list cells
+        |> List.concat_map (function
+             | Some c when not c.placed -> [ c ]
+             | Some _ | None -> [])
+      in
+      if List.length fresh = n + 1 - rho then begin
+        let snapshot =
+          Array.map
+            (function
+              | Some c when not c.placed -> Some c.value
+              | Some _ | None -> None)
+            cells
+        in
+        pad (rho + 1) mine snapshot
+      end
+      else if rho = n then
+        (* The BG invariant (at most n+1-rho processes without a snapshot
+           at iteration rho) makes the threshold-1 test succeed here. *)
+        assert false
+      else iterate (rho + 1) mine
+    and pad rho mine snapshot =
+      (* Keep writing (flagged) through the remaining iterations so slower
+         processes can still count this process as placed. *)
+      if rho > n then simulate (base + n) mine (k snapshot)
+      else
+        let iteration = base + rho in
+        let mine = { iteration; value = x; placed = true } :: mine in
+        let* () = P.write mine in
+        let* _ = P.collect n in
+        pad (rho + 1) mine snapshot
+    in
+    iterate 1 mine
+  in
+  simulate 0 [] proto
+
+let algorithm ~n ~name ~source =
+  {
+    Tasks.Harness.name;
+    memory =
+      (fun () ->
+        Sched.Memory.create ~n ~budget:Bits.Width.Unbounded
+          ~measure:Bits.Width.unbounded ~init:[]);
+    program = (fun ~pid ~input -> program ~n (source ~pid ~input));
+  }

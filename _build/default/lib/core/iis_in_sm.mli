@@ -1,0 +1,33 @@
+(** Lemma 2.4, executable: the iterated immediate snapshot model embeds in
+    the plain wait-free shared-memory model (with unbounded registers).
+
+    Each register holds the process's full history of iterated-collect
+    cells; one IIS round of the source protocol becomes [n] write/collect
+    iterations of the Borowsky–Gafni construction (Algorithm 5), and one
+    collect is [n] plain reads. A cell is tagged with its global iteration
+    index, so reading a register at any time recovers exactly what the
+    iterated model's fresh memory [M_rho] would have shown — the embedding
+    direction of the equivalence the asynchronous computability theorem
+    leans on (the other direction is trivial: IIS programs are restricted
+    shared-memory programs).
+
+    Cost: [n (n + 1)] shared-memory steps per simulated IIS round. *)
+
+type 'v cell = { iteration : int; value : 'v; placed : bool }
+(** One BG write: the global IC iteration index, the IIS round's value, and
+    the "already holds a snapshot" flag. *)
+
+type 'v history = 'v cell list
+(** Newest first. *)
+
+val program :
+  n:int -> ('v, 'a) Iterated.Proto.t -> ('v history, 'i, 'a) Sched.Program.t
+(** Run the IIS program in plain shared memory (registers must be
+    unbounded: histories grow). *)
+
+val algorithm :
+  n:int ->
+  name:string ->
+  source:(pid:int -> input:'i -> ('v, 'a) Iterated.Proto.t) ->
+  ('v history, 'i, 'a) Tasks.Harness.algorithm
+(** Harness packaging on an unbounded-budget memory. *)

@@ -1,0 +1,89 @@
+module Q = Bits.Rational
+module Proto = Iterated.Proto
+
+type label = { me : int; obs : int option list }
+
+let rounds_of label = List.length label.obs
+
+let equal a b =
+  a.me = b.me
+  && rounds_of a = rounds_of b
+  && List.for_all2 (Option.equal Int.equal) a.obs b.obs
+
+let pp ppf { me; obs } =
+  let pp_o ppf = function
+    | None -> Format.pp_print_char ppf '_'
+    | Some b -> Format.pp_print_int ppf b
+  in
+  Format.fprintf ppf "p%d:%a" me
+    (Format.pp_print_list ~pp_sep:(fun _ () -> ()) pp_o)
+    obs
+
+let bit ~solo_parity = solo_parity
+
+let protocol ~rounds ~me =
+  let other = 1 - me in
+  let rec go r obs_rev solo_parity =
+    if r > rounds then Proto.Decide { me; obs = List.rev obs_rev }
+    else
+      Proto.Round
+        ( bit ~solo_parity,
+          fun view ->
+            let o = view.(other) in
+            let solo_parity =
+              match o with None -> 1 - solo_parity | Some _ -> solo_parity
+            in
+            go (r + 1) (o :: obs_rev) solo_parity )
+  in
+  go 1 [] 0
+
+type outcome = Me_solo | Other_solo | Both
+
+let reconstruct label =
+  (* Pair each observation with the next observed bit; the other process was
+     solo in an observed round iff its parity changed by the next
+     observation (the gap in between is all me-solo, where its parity cannot
+     move). The final observed round has no successor: ambiguous, and
+     irrelevant to [value]. *)
+  let obs = Array.of_list label.obs in
+  let r = Array.length obs in
+  let next_observed = Array.make r None in
+  let () =
+    let upcoming = ref None in
+    for t = r - 1 downto 0 do
+      next_observed.(t) <- !upcoming;
+      match obs.(t) with Some b -> upcoming := Some b | None -> ()
+    done
+  in
+  List.init r (fun t ->
+      match obs.(t) with
+      | None -> Me_solo
+      | Some b -> (
+          match next_observed.(t) with
+          | Some b' when b' <> b -> Other_solo
+          | Some _ | None -> Both))
+
+(* Reflected-ternary walk down the subdivision: each round refines the
+   current edge into three; the middle child flips the traversal
+   orientation, and which end the p0-solo child occupies depends on it. *)
+let value label =
+  let p0_solo, p1_solo =
+    if label.me = 0 then (Me_solo, Other_solo) else (Other_solo, Me_solo)
+  in
+  let step (edge, orient) outcome =
+    let digit =
+      if outcome = p0_solo then if orient then 0 else 2
+      else if outcome = p1_solo then if orient then 2 else 0
+      else 1
+    in
+    ((3 * edge) + digit, if digit = 1 then not orient else orient)
+  in
+  let edge, orient = List.fold_left step (0, true) (reconstruct label) in
+  let position =
+    if (label.me = 0) = orient then edge else edge + 1
+  in
+  let den =
+    let rec pow acc i = if i = 0 then acc else pow (3 * acc) (i - 1) in
+    pow 1 (rounds_of label)
+  in
+  Q.make position den

@@ -1,0 +1,90 @@
+(** The Section 4 impossibility (Theorem 1.1 / Proposition 4.1), made
+    executable.
+
+    The proof: in a t-resilient system with [t > n/2] and registers of [s]
+    bits, run two processes to completion with inputs 0 and 1. Their final
+    register word takes at most [2^(2s)] values, yet solving epsilon-agreement
+    forces executions whose output pairs realize [1/(2 epsilon)] mutually
+    exclusive sets [O_l = {l e, (l+1) e}]. By pigeonhole two conflicting
+    executions leave {e identical} register words; a third process that wakes
+    up after they finish cannot distinguish them, so whatever it decides is
+    more than epsilon from some output it must match.
+
+    This module runs that adversary against concrete two-process protocols:
+    it enumerates {e all} their executions with inputs (0, 1), buckets the
+    final states by register word, and reports the widest output spread
+    within a single bucket — the error the third process cannot avoid.
+    Theorem 1.1 predicts this spread cannot be pushed below
+    [1 / 2^(2s + 1)] no matter the protocol; the experiment shows it for a
+    family of protocols of increasing register width. *)
+
+module Q := Bits.Rational
+
+type 'v two_protocol = {
+  name : string;
+  bits : int;  (** register budget the protocol respects *)
+  memory : unit -> ('v, int) Sched.Memory.t;  (** fresh 2-process memory *)
+  program : me:int -> input:int -> ('v, int, Q.t) Sched.Program.t;
+  equal_value : 'v -> 'v -> bool;
+  pp_value : Format.formatter -> 'v -> unit;
+}
+
+val epsilon_threshold : bits:int -> n:int -> t:int -> Q.t
+(** [1/k] for [k = 2 (2^bits)^(n-t+1) + 1] — the paper's setting of the
+    agreement grain below which the pigeonhole argument bites. *)
+
+type 'v bucket = {
+  word : 'v * 'v;  (** final contents of (R_0, R_1) *)
+  outputs : (Q.t * Q.t) list;  (** decision pairs of executions ending here *)
+  spread : Q.t;  (** widest gap among all decisions in the bucket *)
+}
+
+type 'v analysis = {
+  executions : int;
+  buckets : 'v bucket list;  (** sorted by decreasing spread *)
+  max_spread : Q.t;
+  distinct_words : int;
+}
+
+val analyse : 'v two_protocol -> 'v analysis
+(** Exhaustive over all interleavings of the two processes with inputs
+    (0, 1); both processes run to decision. *)
+
+val third_process_error : 'v analysis -> Q.t
+(** [max_spread / 2]: the best-possible worst-case distance between the
+    third process's decision and some decision it must be within epsilon of.
+    An epsilon below this value is therefore unachievable by {e this}
+    protocol extended to three processes. *)
+
+val coverage : 'v analysis -> Q.t list
+(** All decision values observed, sorted ascending — Claim 4.1's output sets
+    [O_l] must all be realized by a correct protocol, and for Algorithm 1
+    they are. *)
+
+type 'v witness = {
+  word : 'v * 'v;  (** the register word both executions leave behind *)
+  low_schedule : int list;  (** replayable schedule of the low execution *)
+  low_outputs : Q.t * Q.t;
+  high_schedule : int list;  (** replayable schedule of the high execution *)
+  high_outputs : Q.t * Q.t;
+  best_third_decision : Q.t;  (** the midpoint — optimal for the third process *)
+  forced_error : Q.t;  (** its distance to the farthest output it must match *)
+}
+
+val witness : 'v two_protocol -> 'v witness
+(** The theorem made concrete: two complete executions of the protocol
+    (replayable with {!Sched.Scheduler.run_schedule}) that end with the same
+    register word but outputs [forced_error * 2] apart. Whatever a third
+    process decides after reading that word, it is at least [forced_error]
+    from a decision it must be within epsilon of; the protocol's extension
+    to three processes fails whenever [forced_error > epsilon]. *)
+
+val quantized_protocol : bits:int -> rounds:int -> int two_protocol
+(** A natural candidate family: the midpoint baseline with estimates
+    quantized to [2^bits] levels before writing — the best an algorithm can
+    publish through an s-bit register. As [bits] grows the unavoidable
+    third-process error shrinks like [2^-bits], but for fixed [bits] no
+    number of rounds pushes it to zero: the Theorem 1.1 phenomenon. *)
+
+val alg1_protocol : k:int -> int two_protocol
+(** Algorithm 1 as a [two_protocol] (1-bit registers). *)

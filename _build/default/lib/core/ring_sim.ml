@@ -1,0 +1,198 @@
+module P = Sched.Program
+module Q = Bits.Rational
+open P.Infix
+
+type register = { pos : int; hist : int list }
+
+let register_bits ~delta = Bits.Width.bits_for (2 * delta) + (delta + 1)
+
+let measure ~delta { pos; hist } =
+  if List.length hist <> delta + 1 then
+    invalid_arg "Ring_sim.measure: history length";
+  Bits.Width.uint ~max:(2 * delta) pos
+  + List.fold_left (fun acc b -> acc + Bits.Width.uint ~max:1 b) 0 hist
+
+let initial ~delta = { pos = 0; hist = List.init (delta + 1) (fun _ -> 0) }
+
+let rec take k = function
+  | [] -> []
+  | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+
+let protocol ~delta ~rounds ~me =
+  if delta < 2 then invalid_arg "Ring_sim.protocol: delta >= 2";
+  if rounds < 1 then invalid_arg "Ring_sim.protocol: rounds >= 1";
+  let other = 1 - me in
+  let ring = (2 * delta) + 1 in
+  let rec loop r obs_rev solo_parity estr xprec solos hist =
+    if r > rounds then P.return { Labelling.me; obs = List.rev obs_rev }
+    else
+      let x = r mod ring in
+      let hist = Labelling.bit ~solo_parity :: take delta hist in
+      let* () = P.write { pos = x; hist } in
+      let* seen = P.read other in
+      (* Ring distance travelled since the last read bounds the other's
+         writes exactly: it cannot lap (Lemma 8.4). *)
+      let estr = estr + ((seen.pos - xprec + ring) mod ring) in
+      let xprec = seen.pos in
+      if r <= estr then
+        (* The other reached simulated round r; its bit for round r sits
+           [estr - r] entries deep in its history (Corollary 8.2 bounds this
+           by delta). *)
+        let o = List.nth seen.hist (estr - r) in
+        loop (r + 1) (Some o :: obs_rev) solo_parity estr xprec 0 hist
+      else
+        let obs_rev = None :: obs_rev in
+        let solo_parity = 1 - solo_parity in
+        let solos = solos + 1 in
+        if solos = delta then
+          P.return { Labelling.me; obs = List.rev obs_rev }
+        else loop (r + 1) obs_rev solo_parity estr xprec solos hist
+  in
+  loop 1 [] 0 0 0 0 (List.init (delta + 1) (fun _ -> 0))
+
+(* ------------------------------------------------------------------ *)
+(* The pruned complex: maximal simulated executions as leaves of a
+   ternary tree over round outcomes, in reflected-ternary order.       *)
+
+(* [completions ~delta ~rounds] memoizes T(a, c, r): the number of maximal
+   executions extending a prefix of r rounds where process 0's (resp. 1's)
+   trailing solo run is a (resp. c) and both processes are still active. *)
+let completions ~delta ~rounds =
+  let table = Hashtbl.create 97 in
+  let rec t (a, c, r) =
+    if r = rounds then 1
+    else
+      match Hashtbl.find_opt table (a, c, r) with
+      | Some v -> v
+      | None ->
+          let child run =
+            (* One more solo round for the process whose run is [run]:
+               reaching delta (or the horizon) forces the rest. *)
+            if run + 1 = delta || r + 1 = rounds then 1 else -1
+          in
+          let v_a =
+            match child a with -1 -> t (a + 1, 0, r + 1) | v -> v
+          in
+          let v_b = if r + 1 = rounds then 1 else t (0, 0, r + 1) in
+          let v_c =
+            match child c with -1 -> t (0, c + 1, r + 1) | v -> v
+          in
+          let v = v_a + v_b + v_c in
+          Hashtbl.add table (a, c, r) v;
+          v
+  in
+  t
+
+let executions_count ~delta ~rounds = (completions ~delta ~rounds) (0, 0, 0)
+
+type digit = A | B | C  (** A: process 0 solo; C: process 1 solo *)
+
+(* The candidate maximal execution(s) a label is an endpoint of. *)
+let candidates ~delta ~rounds label =
+  let me = label.Labelling.me in
+  let my_solo = if me = 0 then A else C in
+  let other_solo = if me = 0 then C else A in
+  let to_digits () =
+    List.map
+      (function
+        | Labelling.Me_solo -> my_solo
+        | Labelling.Other_solo -> other_solo
+        | Labelling.Both -> B)
+      (Labelling.reconstruct label)
+    |> List.mapi (fun i d -> (i, d))
+  in
+  let base = to_digits () in
+  let r_me = List.length base in
+  let last_observed =
+    List.fold_left
+      (fun acc (i, d) -> if d <> my_solo then Some i else acc)
+      None base
+  in
+  let with_resolution resolved =
+    List.map
+      (fun (i, d) ->
+        if Some i = last_observed && resolved then other_solo else d)
+      base
+  in
+  (* Extend a resolved prefix to the maximal execution: if the other process
+     is still active at my exit, it runs solo until its delta cutoff or the
+     horizon. *)
+  let extend prefix =
+    let other_trailing =
+      let rec count acc = function
+        | d :: rest when d = other_solo -> count (acc + 1) rest
+        | _ -> acc
+      in
+      count 0 (List.rev prefix)
+    in
+    let other_exited_inside =
+      (* A solo run of delta inside the prefix means the other quit there. *)
+      let rec scan run = function
+        | [] -> false
+        | d :: rest ->
+            let run = if d = other_solo then run + 1 else 0 in
+            run >= delta || scan run rest
+      in
+      scan 0 prefix
+    in
+    if other_exited_inside then prefix
+    else
+      let extra = min (delta - other_trailing) (rounds - r_me) in
+      prefix @ List.init extra (fun _ -> other_solo)
+  in
+  match last_observed with
+  | None -> [ extend (with_resolution false) ]
+  | Some _ ->
+      [ extend (with_resolution false); extend (with_resolution true) ]
+
+(* Number of maximal executions strictly left (in reflected-ternary order)
+   of the given maximal execution word. *)
+let leaves_left ~delta ~rounds word =
+  let t = completions ~delta ~rounds in
+  let count_child (a, c, r) d =
+    (* leaves in the subtree reached by digit d from an all-active state *)
+    match d with
+    | A -> if a + 1 = delta || r + 1 = rounds then 1 else t (a + 1, 0, r + 1)
+    | B -> if r + 1 = rounds then 1 else t (0, 0, r + 1)
+    | C -> if c + 1 = delta || r + 1 = rounds then 1 else t (0, c + 1, r + 1)
+  in
+  let rec walk acc (a, c, r) orient exited0 exited1 = function
+    | [] -> acc
+    | d :: rest ->
+        if exited0 || exited1 then
+          (* forced region: a single child, nothing to its left *)
+          walk acc (a, c, r + 1) orient exited0 exited1 rest
+        else
+          let order = if orient then [ A; B; C ] else [ C; B; A ] in
+          let rec add acc = function
+            | [] -> assert false
+            | d' :: _ when d' = d -> acc
+            | d' :: rest' -> add (acc + count_child (a, c, r) d') rest'
+          in
+          let acc = add acc order in
+          let a', c' =
+            match d with A -> (a + 1, 0) | B -> (0, 0) | C -> (0, c + 1)
+          in
+          let exited0 = (d = A && a' = delta) || r + 1 = rounds in
+          let exited1 = (d = C && c' = delta) || r + 1 = rounds in
+          let orient = if d = B then not orient else orient in
+          walk acc (a', c', r + 1) orient exited0 exited1 rest
+  in
+  walk 0 (0, 0, 0) true false false word
+
+let value ~delta ~rounds label =
+  let total = executions_count ~delta ~rounds in
+  let position =
+    match candidates ~delta ~rounds label with
+    | [ only ] ->
+        (* All-solo labels are the two ends of the pruned path. *)
+        if label.Labelling.me = 0 then 0 else leaves_left ~delta ~rounds only + 1
+    | [ w1; w2 ] ->
+        let n1 = leaves_left ~delta ~rounds w1
+        and n2 = leaves_left ~delta ~rounds w2 in
+        (* The two incident executions are adjacent leaves; the vertex sits
+           between them. *)
+        max n1 n2
+    | _ -> assert false
+  in
+  Q.make position total

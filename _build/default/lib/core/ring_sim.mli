@@ -1,0 +1,49 @@
+(** Algorithm 6: simulating executions of the 1-bit labelling protocol with
+    two {e constant-size} registers (Section 8.2), and the value map on the
+    pruned protocol complex that turns its labels into fast epsilon-agreement
+    (Theorem 8.1).
+
+    {b Simulation.} Each register carries a position on a ring of size
+    [2 Delta + 1] (standing in for the unbounded round number) and the last
+    [Delta + 1] bits written by the labelling protocol. A process estimates
+    the other's round from ring movement — correct because a process that
+    simulates [Delta] consecutive solo rounds {e quits}, so nobody can lap
+    the ring unnoticed (Lemmas 8.3–8.5). Register size:
+    [ceil(log2(2 Delta + 1)) + (Delta + 1)] bits — 6 bits for [Delta = 2].
+
+    {b Pruned complex.} The simulation realizes exactly the IS executions in
+    which no process is solo more than [Delta] rounds in a row (with forced
+    solo tails once a process quits). These maximal executions are the
+    leaves of a ternary tree; in reflected-ternary order they form a path of
+    [executions_count] edges, which is [Omega(2^rounds)] for [Delta >= 2]
+    (Lemma 8.7). [value] computes a label's position along {e that} path in
+    closed form by counting leaves to its left — co-final labels always land
+    exactly [1 / executions_count] apart, which is what lets
+    {!Fast_agreement} reach epsilon in [O(log 1/epsilon)] steps. *)
+
+type register = { pos : int; hist : int list }
+(** Ring position and the last [Delta + 1] labelling bits, newest first. *)
+
+val register_bits : delta:int -> int
+val measure : delta:int -> register Bits.Width.measure
+val initial : delta:int -> register
+
+val protocol :
+  delta:int -> rounds:int -> me:int ->
+  (register, 'i, Labelling.label) Sched.Program.t
+(** Run the simulation for process [me] (two processes); returns the label
+    of the simulated execution at this process's exit — after [rounds]
+    simulated rounds, or earlier after [Delta] consecutive solo rounds.
+    [2 rounds] shared-memory steps at most.
+    @raise Invalid_argument unless [delta >= 2] and [rounds >= 1]. *)
+
+val executions_count : delta:int -> rounds:int -> int
+(** Number of maximal simulated executions (leaves of the pruned tree);
+    at least [2^rounds] (Lemma 8.7). *)
+
+val value : delta:int -> rounds:int -> Labelling.label -> Bits.Rational.t
+(** Position of the label's vertex along the pruned path, in [0, 1]:
+    [k / executions_count] where [k] leaves lie strictly to its left. The
+    two labels of any simulated execution differ by exactly
+    [1 / executions_count]; the all-solo labels of processes 0 and 1 get 0
+    and 1. *)

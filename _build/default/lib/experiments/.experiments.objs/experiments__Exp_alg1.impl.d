@@ -1,0 +1,1 @@
+lib/experiments/exp_alg1.ml: Array Bits Core Format List Printf Sched Table Tasks

@@ -1,0 +1,1 @@
+lib/experiments/exp_consensus.ml: Core Format List Table

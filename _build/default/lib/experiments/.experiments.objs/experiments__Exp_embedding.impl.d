@@ -1,0 +1,1 @@
+lib/experiments/exp_embedding.ml: Core Format Iterated List Printf Table Tasks

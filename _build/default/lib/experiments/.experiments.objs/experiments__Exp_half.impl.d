@@ -1,0 +1,1 @@
+lib/experiments/exp_half.ml: Array Format List Msgpass Printf Table

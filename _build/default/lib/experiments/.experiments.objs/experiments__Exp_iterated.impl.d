@@ -1,0 +1,1 @@
+lib/experiments/exp_iterated.ml: Array Bits Format Int Iterated List Printf String Table

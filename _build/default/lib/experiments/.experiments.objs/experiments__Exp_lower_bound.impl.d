@@ -1,0 +1,1 @@
+lib/experiments/exp_lower_bound.ml: Bits Core Format List Printf String Table

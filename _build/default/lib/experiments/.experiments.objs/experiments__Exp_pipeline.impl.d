@@ -1,0 +1,1 @@
+lib/experiments/exp_pipeline.ml: Bits Core Format List Msgpass Printf Table Tasks

@@ -1,0 +1,1 @@
+lib/experiments/exp_section8.ml: Array Bits Core Format Iterated List Printf Sched Table Tasks

@@ -1,0 +1,1 @@
+lib/experiments/exp_summary.ml: Array Bits Core Format Int Iterated List Msgpass Table Tasks

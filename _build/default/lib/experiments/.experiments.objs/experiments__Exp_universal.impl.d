@@ -1,0 +1,1 @@
+lib/experiments/exp_universal.ml: Core Format String Table Tasks

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_alg1 Exp_consensus Exp_embedding Exp_half Exp_iterated Exp_lower_bound Exp_pipeline Exp_section8 Exp_summary Exp_universal Format List String

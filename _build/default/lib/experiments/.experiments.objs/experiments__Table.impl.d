@@ -1,0 +1,1 @@
+lib/experiments/table.ml: Bits Format List String

@@ -1,0 +1,1 @@
+lib/experiments/viz.ml: Array Bits Buffer Core Format Iterated List Printf Sched Tasks

@@ -1,0 +1,1 @@
+lib/experiments/viz.mli: Tasks

@@ -1,0 +1,85 @@
+(* E2 — Figure 2 and Lemmas 5.1-5.5: Algorithm 1's executions. *)
+
+module Q = Bits.Rational
+module H = Tasks.Harness
+module Scheduler = Sched.Scheduler
+
+let decision_pairs ~k =
+  let algorithm = Core.Alg1_one_bit.algorithm ~k in
+  let pairs = ref [] in
+  let executions = ref 0 in
+  Sched.Explore.interleavings
+    ~init:(fun () ->
+      Scheduler.start
+        ~memory:(algorithm.H.memory ())
+        ~programs:(fun pid -> algorithm.H.program ~pid ~input:pid)
+        ())
+    (fun st ->
+      incr executions;
+      match ((Scheduler.decisions st).(0), (Scheduler.decisions st).(1)) with
+      | Some a, Some b ->
+          if
+            not
+              (List.exists
+                 (fun (x, y) -> Q.equal x a && Q.equal y b)
+                 !pairs)
+          then pairs := (a, b) :: !pairs
+      | _ -> ());
+  (!executions, List.rev !pairs)
+
+let run ppf =
+  Format.fprintf ppf
+    "Algorithm 1: 2-process eps-agreement with 1-bit registers.@\n\
+     All interleavings with inputs (0, 1); eps = 1/(2k+1). Lemma 5.5 bounds@\n\
+     every decision pair's gap by eps; Prop 5.1 bounds steps by 2k+3.@\n@\n";
+  let rows =
+    List.map
+      (fun k ->
+        let den = Core.Alg1_one_bit.denominator ~k in
+        let task = Tasks.Eps_agreement.task ~n:2 ~k:den in
+        let algorithm = Core.Alg1_one_bit.algorithm ~k in
+        let executions, pairs = decision_pairs ~k in
+        let spread =
+          List.fold_left
+            (fun acc (a, b) -> Q.max acc (Q.abs (Q.sub a b)))
+            Q.zero pairs
+        in
+        let verdict, steps, bits =
+          match H.check_exhaustive ~task ~algorithm ~max_crashes:1 () with
+          | H.Pass s -> (true, s.H.max_process_steps, s.H.max_bits)
+          | H.Fail _ -> (false, 0, 0)
+        in
+        [
+          string_of_int k;
+          Table.cell_q (Q.make 1 den);
+          string_of_int executions;
+          string_of_int (List.length pairs);
+          Table.cell_q spread;
+          Printf.sprintf "%d (<= %d)" steps ((2 * k) + 3);
+          string_of_int bits;
+          Table.cell_bool verdict;
+        ])
+      [ 1; 2; 3; 4 ]
+  in
+  Table.print ppf ~title:"E2  Algorithm 1 over all schedules (+1 crash)"
+    ~headers:
+      [
+        "k"; "eps"; "execs(0,1)"; "pairs"; "max gap"; "steps"; "bits";
+        "pass";
+      ]
+    rows;
+  (* The k = 4 decision-pair chain, Figure 2's data. *)
+  let _, pairs = decision_pairs ~k:4 in
+  let sorted =
+    List.sort
+      (fun (a, b) (c, d) ->
+        match Q.compare (Q.add a b) (Q.add c d) with
+        | 0 -> Q.compare a c
+        | cmp -> cmp)
+      pairs
+  in
+  Format.fprintf ppf "Decision pairs at k = 4 (the chromatic path of Fig. 2):@\n  ";
+  List.iter
+    (fun (a, b) -> Format.fprintf ppf "(%a,%a) " Q.pp a Q.pp b)
+    sorted;
+  Format.fprintf ppf "@\n@\n"

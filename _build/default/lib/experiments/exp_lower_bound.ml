@@ -1,0 +1,86 @@
+(* E3 — Theorem 1.1 / Proposition 4.1: the pigeonhole adversary. *)
+
+module Q = Bits.Rational
+module LB = Core.Lower_bound
+
+let run ppf =
+  Format.fprintf ppf
+    "With s-bit registers, two processes leave one of at most 2^(2s) register@\n\
+     words; a third process waking up after they finish decides from that@\n\
+     word alone. Bucketing all executions (inputs (0,1)) by final word, some@\n\
+     bucket's decisions span > 2 eps once 1/eps > 2^(2s+1): the third process@\n\
+     cannot be within eps of everything it must match.@\n@\n";
+  let protocol_row proto eps =
+    let a = LB.analyse proto in
+    let ratio = Q.div a.LB.max_spread eps in
+    [
+      proto.LB.name;
+      string_of_int proto.LB.bits;
+      Printf.sprintf "%d/%d" a.LB.distinct_words (1 lsl (2 * proto.LB.bits));
+      string_of_int a.LB.executions;
+      Table.cell_q a.LB.max_spread;
+      Table.cell_q ratio;
+      Table.cell_bool Q.(ratio > Q.of_int 2);
+    ]
+  in
+  let alg1_rows =
+    List.map
+      (fun k -> protocol_row (LB.alg1_protocol ~k) (Q.make 1 ((2 * k) + 1)))
+      [ 2; 3; 4; 5 ]
+  in
+  Table.print ppf
+    ~title:
+      "E3a  Algorithm 1 extended to a third process: bucket spread vs its \
+       own eps"
+    ~headers:
+      [ "protocol"; "bits"; "words/2^2s"; "execs"; "bucket spread";
+        "spread/eps"; "> 2eps" ]
+    alg1_rows;
+  let quant_rows =
+    List.map
+      (fun bits ->
+        let proto = LB.quantized_protocol ~bits ~rounds:3 in
+        (* no target eps of its own: report spread against the quantization
+           grain 1/(2^bits - 2) *)
+        protocol_row proto (Q.make 1 (max 1 ((1 lsl bits) - 2))))
+      [ 2; 3; 4; 5 ]
+  in
+  Table.print ppf
+    ~title:"E3b  Quantized-midpoint family: more bits, narrower buckets"
+    ~headers:
+      [ "protocol"; "bits"; "words/2^2s"; "execs"; "bucket spread";
+        "spread/grain"; "> 2grain" ]
+    quant_rows;
+  let w = LB.witness (LB.alg1_protocol ~k:3) in
+  Format.fprintf ppf
+    "E3w  A concrete witness (alg1, k = 3, eps = 1/7): two complete@\n\
+     executions leaving register word (%a, %a):@\n\
+    \  low : outputs (%s, %s)  schedule %s@\n\
+    \  high: outputs (%s, %s)  schedule %s@\n\
+    \  best third-process decision %s is %s from the far output@\n\
+     (> eps, so the extension to three processes fails).@\n@\n"
+    Format.pp_print_int (fst w.LB.word) Format.pp_print_int (snd w.LB.word)
+    (Q.to_string (fst w.LB.low_outputs))
+    (Q.to_string (snd w.LB.low_outputs))
+    (String.concat "" (List.map string_of_int w.LB.low_schedule))
+    (Q.to_string (fst w.LB.high_outputs))
+    (Q.to_string (snd w.LB.high_outputs))
+    (String.concat "" (List.map string_of_int w.LB.high_schedule))
+    (Q.to_string w.LB.best_third_decision)
+    (Q.to_string w.LB.forced_error);
+  let thresholds =
+    List.map
+      (fun bits ->
+        [
+          string_of_int bits;
+          Table.cell_q (LB.epsilon_threshold ~bits ~n:3 ~t:2);
+          Table.cell_q (LB.epsilon_threshold ~bits ~n:5 ~t:3);
+        ])
+      [ 1; 2; 3; 4; 6; 8 ]
+  in
+  Table.print ppf
+    ~title:
+      "E3c  Proposition 4.1 thresholds: eps below which s-bit registers \
+       cannot solve eps-agreement"
+    ~headers:[ "s (bits)"; "n=3, t=2"; "n=5, t=3" ]
+    thresholds

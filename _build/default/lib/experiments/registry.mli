@@ -1,0 +1,15 @@
+(** The experiment registry: every figure and theorem of the paper mapped to
+    a runnable report (the per-experiment index of DESIGN.md). *)
+
+type t = {
+  id : string;  (** e.g. "E2" *)
+  slug : string;  (** e.g. "fig2-alg1-executions" *)
+  paper : string;  (** the figure/theorem reproduced *)
+  run : Format.formatter -> unit;
+}
+
+val all : t list
+(** In id order. *)
+
+val find : string -> t option
+(** Lookup by id or slug, case-insensitive. *)

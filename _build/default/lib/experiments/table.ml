@@ -1,0 +1,28 @@
+let print ppf ~title ~headers rows =
+  let all = headers :: rows in
+  let columns = List.length headers in
+  let width c =
+    List.fold_left
+      (fun acc r ->
+        max acc (String.length (try List.nth r c with Failure _ -> "")))
+      0 all
+  in
+  let widths = List.init columns width in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let print_row r =
+    Format.fprintf ppf "  %s@\n"
+      (String.concat "  " (List.mapi (fun c s -> pad s (List.nth widths c)) r))
+  in
+  Format.fprintf ppf "%s@\n" title;
+  print_row headers;
+  Format.fprintf ppf "  %s@\n"
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter print_row rows;
+  Format.fprintf ppf "@\n"
+
+let cell_q q =
+  let f = Bits.Rational.to_float q in
+  if Bits.Rational.den q = 1 then Bits.Rational.to_string q
+  else Format.asprintf "%s (~%.4g)" (Bits.Rational.to_string q) f
+
+let cell_bool b = if b then "yes" else "NO"

@@ -1,0 +1,12 @@
+(** Plain-text tables for the experiment reports. *)
+
+val print :
+  Format.formatter -> title:string -> headers:string list ->
+  string list list -> unit
+(** Aligned columns, a rule under the header, a blank line after. *)
+
+val cell_q : Bits.Rational.t -> string
+(** Rational rendered with a float approximation, e.g. "1/9 (~0.1111)". *)
+
+val cell_bool : bool -> string
+(** "yes" / "NO". *)

@@ -1,0 +1,104 @@
+module Q = Bits.Rational
+module L = Core.Labelling
+
+let buffer_dot f =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph {\n  rankdir=LR;\n  node [shape=box];\n";
+  f buf;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let bmz_graph (t : _ Tasks.Bmz.two_task) =
+  let configs =
+    List.mapi (fun idx c -> (idx, c)) t.Tasks.Bmz.outputs
+  in
+  let label (a, b) =
+    Format.asprintf "(%a, %a)" t.Tasks.Bmz.pp_output a t.Tasks.Bmz.pp_output b
+  in
+  buffer_dot (fun buf ->
+      List.iter
+        (fun (idx, c) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d [label=\"%s\"];\n" idx (label c)))
+        configs;
+      List.iter
+        (fun (i, ci) ->
+          List.iter
+            (fun (j, cj) ->
+              if i < j && Tasks.Bmz.adjacent t ci cj then
+                Buffer.add_string buf (Printf.sprintf "  n%d -- n%d;\n" i j))
+            configs)
+        configs)
+
+(* Shared skeleton: collect (label pairs per execution), then emit vertices
+   annotated with their values and one edge per distinct execution. *)
+let path_dot ~value pairs =
+  let labels = ref [] in
+  let add l = if not (List.exists (L.equal l) !labels) then labels := l :: !labels in
+  List.iter
+    (fun (l0, l1) ->
+      add l0;
+      add l1)
+    pairs;
+  let sorted =
+    List.sort (fun a b -> Q.compare (value a) (value b)) !labels
+  in
+  let id l =
+    let rec index i = function
+      | [] -> assert false
+      | x :: rest -> if L.equal x l then i else index (i + 1) rest
+    in
+    index 0 sorted
+  in
+  buffer_dot (fun buf ->
+      List.iter
+        (fun l ->
+          Buffer.add_string buf
+            (Printf.sprintf "  v%d [label=\"%s\\nf=%s\"%s];\n" (id l)
+               (Format.asprintf "%a" L.pp l)
+               (Q.to_string (value l))
+               (if l.L.me = 0 then " style=filled fillcolor=lightgrey"
+                else "")))
+        sorted;
+      let seen = ref [] in
+      List.iter
+        (fun (l0, l1) ->
+          let e = (min (id l0) (id l1), max (id l0) (id l1)) in
+          if not (List.mem e !seen) then begin
+            seen := e :: !seen;
+            Buffer.add_string buf
+              (Printf.sprintf "  v%d -- v%d;\n" (fst e) (snd e))
+          end)
+        pairs)
+
+let labelling_path ~rounds =
+  let pairs = ref [] in
+  Iterated.Iis.enumerate ~n:2 ~budget:(Bits.Width.Bounded 1)
+    ~measure:(Bits.Width.uint ~max:1)
+    ~programs:(fun pid -> L.protocol ~rounds ~me:pid)
+    ~max_rounds:rounds
+    (fun o ->
+      match (o.Iterated.Iis.decisions.(0), o.Iterated.Iis.decisions.(1)) with
+      | Some l0, Some l1 -> pairs := (l0, l1) :: !pairs
+      | _ -> ());
+  path_dot ~value:L.value !pairs
+
+let pruned_path ~delta ~rounds =
+  let pairs = ref [] in
+  let init () =
+    Sched.Scheduler.start
+      ~memory:
+        (Sched.Memory.create ~n:2
+           ~budget:(Bits.Width.Bounded (Core.Ring_sim.register_bits ~delta))
+           ~measure:(Core.Ring_sim.measure ~delta)
+           ~init:(Core.Ring_sim.initial ~delta))
+      ~programs:(fun pid -> Core.Ring_sim.protocol ~delta ~rounds ~me:pid)
+      ()
+  in
+  Sched.Explore.interleavings ~max_steps:1_000_000 ~init (fun st ->
+      match
+        ((Sched.Scheduler.decisions st).(0), (Sched.Scheduler.decisions st).(1))
+      with
+      | Some l0, Some l1 -> pairs := (l0, l1) :: !pairs
+      | _ -> ());
+  path_dot ~value:(Core.Ring_sim.value ~delta ~rounds) !pairs

@@ -1,0 +1,17 @@
+(** Graphviz (DOT) renderings of the paper's combinatorial objects — the
+    output graphs of Lemma 5.7 and the chromatic-path protocol complexes of
+    Sections 3.2 and 8. Feed the output to [dot -Tsvg]. *)
+
+val bmz_graph : ('i, 'o) Tasks.Bmz.two_task -> string
+(** The output graph G(O): vertices are output configurations, edges join
+    configurations differing in one component. *)
+
+val labelling_path : rounds:int -> string
+(** The 1-bit labelling protocol's complex after [rounds] rounds: the
+    chromatic path of 3^r + 1 labels, each annotated with its value f;
+    edges are the 3^r executions. Keep [rounds <= 5]. *)
+
+val pruned_path : delta:int -> rounds:int -> string
+(** The Algorithm 6 pruned complex: the labels reachable with the [delta]
+    cutoff and their pruned-path values (vertices found by exhausting the
+    simulation's schedules — keep [rounds <= 5]). *)

@@ -1,0 +1,1 @@
+lib/iterated/agreement.ml: Array Bits Full_info List Proto

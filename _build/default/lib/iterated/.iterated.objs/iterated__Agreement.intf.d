@@ -1,0 +1,1 @@
+lib/iterated/agreement.mli: Bits Full_info Proto

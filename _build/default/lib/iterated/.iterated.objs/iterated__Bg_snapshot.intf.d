@@ -1,0 +1,1 @@
+lib/iterated/bg_snapshot.mli: Bits Proto

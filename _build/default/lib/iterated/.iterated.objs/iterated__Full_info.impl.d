@@ -1,0 +1,1 @@
+lib/iterated/full_info.ml: Array Bits Format List Proto Views

@@ -1,0 +1,1 @@
+lib/iterated/full_info.mli: Bits Format Proto Views

@@ -1,0 +1,1 @@
+lib/iterated/ic.ml: Array Bits List Printf Proto Views

@@ -1,0 +1,1 @@
+lib/iterated/ic.mli: Bits Proto Views

@@ -1,0 +1,1 @@
+lib/iterated/iis.ml: Array Bits List Printf Proto Views

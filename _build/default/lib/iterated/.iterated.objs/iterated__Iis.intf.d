@@ -1,0 +1,1 @@
+lib/iterated/iis.mli: Bits Proto Views

@@ -1,0 +1,1 @@
+lib/iterated/one_bit_sim.ml: Array Full_info Ic List Proto

@@ -1,0 +1,1 @@
+lib/iterated/one_bit_sim.mli: Full_info Proto

@@ -1,0 +1,1 @@
+lib/iterated/proto.mli: Views

@@ -1,0 +1,1 @@
+lib/iterated/views.ml: Array Format Hashtbl List

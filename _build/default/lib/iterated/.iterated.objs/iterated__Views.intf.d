@@ -1,0 +1,1 @@
+lib/iterated/views.mli: Format

@@ -1,0 +1,38 @@
+let measure measure_v (v, flag) = measure_v v + Bits.Width.bit flag
+
+let rec simulate ~n prog =
+  match prog with
+  | Proto.Decide a -> Proto.Decide a
+  | Proto.Round (x, k) ->
+      (* Once the snapshot is obtained, keep writing (flagged) so every
+         process advances through the same n memories. *)
+      let rec pad rho snapshot =
+        if rho > n then simulate ~n (k snapshot)
+        else Proto.Round ((x, true), fun _ -> pad (rho + 1) snapshot)
+      in
+      let rec iterate rho =
+        Proto.Round
+          ( (x, false),
+            fun view ->
+              let fresh =
+                List.filter_map
+                  (fun j ->
+                    match view.(j) with
+                    | Some (xj, false) -> Some (j, xj)
+                    | Some (_, true) | None -> None)
+                  (List.init n (fun j -> j))
+              in
+              if List.length fresh = n + 1 - rho then begin
+                let snapshot = Array.make n None in
+                List.iter (fun (j, xj) -> snapshot.(j) <- Some xj) fresh;
+                pad (rho + 1) snapshot
+              end
+              else if rho = n then
+                (* The invariant "at most n+1-rho processes lack a snapshot
+                   at iteration rho" makes the threshold 1 test succeed at
+                   rho = n: the collect always contains the caller's own
+                   flagless entry. *)
+                assert false
+              else iterate (rho + 1) )
+      in
+      iterate 1

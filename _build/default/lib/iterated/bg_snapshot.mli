@@ -1,0 +1,21 @@
+(** Algorithm 5: the Borowsky–Gafni immediate-snapshot construction, adapted
+    to the iterated collect model (Proposition 7.2).
+
+    One IS round is simulated by [n] IC iterations. In each iteration every
+    process writes its round input together with a flag saying whether it
+    already holds a snapshot; a process whose collect shows exactly
+    [n + 1 - rho] flagless entries at iteration [rho] adopts them as its
+    snapshot. The snapshots obtained are nested, contain their owners, and
+    satisfy immediacy — the IS properties — so a whole IIS protocol can be
+    transported into IC by expanding every round. *)
+
+val simulate : n:int -> ('v, 'a) Proto.t -> ('v * bool, 'a) Proto.t
+(** [simulate ~n prog] runs the IIS program [prog] in the IC model: each of
+    its rounds becomes [n] IC rounds of Algorithm 5. A process that obtains
+    its snapshot early keeps writing (flagged) through the remaining
+    iterations so that all processes stay aligned on memory indices. *)
+
+val measure :
+  'v Bits.Width.measure -> ('v * bool) Bits.Width.measure
+(** Width of the simulation's register contents: payload plus the flag
+    bit. *)

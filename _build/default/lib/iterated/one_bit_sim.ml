@@ -1,0 +1,104 @@
+type 'i configuration = 'i Full_info.view array
+
+type 'i table = {
+  n : int;
+  rounds : int;
+  per_round : 'i configuration array array;  (** index r holds C^r *)
+  equal_input : 'i -> 'i -> bool;
+}
+
+let extend ~n ~matrices configs =
+  List.concat_map
+    (fun (c : _ configuration) ->
+      List.map
+        (fun sees ->
+          Array.init n (fun i ->
+              Full_info.Observed
+                {
+                  pid = i;
+                  seen =
+                    Array.init n (fun j ->
+                        if sees.(i).(j) then Some c.(j) else None);
+                }))
+        matrices)
+    configs
+
+let build_table ~n ~rounds ~inputs ~equal_input =
+  let matrices = Ic.all_matrices ~n ~participants:(List.init n (fun i -> i)) in
+  let c0 =
+    List.map
+      (fun input ->
+        Array.init n (fun i ->
+            Full_info.Input { pid = i; value = input.(i) }))
+      inputs
+  in
+  let rec levels acc current r =
+    if r > rounds then List.rev acc
+    else
+      let next = extend ~n ~matrices current in
+      levels (next :: acc) next (r + 1)
+  in
+  let per_round =
+    List.map Array.of_list (levels [ c0 ] c0 1) |> Array.of_list
+  in
+  { n; rounds; per_round; equal_input }
+
+let reachable t ~round =
+  if round < 0 || round >= Array.length t.per_round then
+    invalid_arg "One_bit_sim.reachable: round out of range";
+  Array.to_list t.per_round.(round)
+
+let total_iterations t =
+  let sum = ref 0 in
+  for r = 0 to t.rounds - 1 do
+    sum := !sum + Array.length t.per_round.(r)
+  done;
+  !sum
+
+let is_reachable t ~round partial =
+  let eq = Full_info.equal t.equal_input in
+  if round < 0 || round >= Array.length t.per_round then
+    invalid_arg "One_bit_sim.is_reachable: round out of range";
+  Array.exists
+    (fun c ->
+      Array.for_all (fun ok -> ok)
+        (Array.mapi
+           (fun i entry ->
+             match entry with None -> true | Some v -> eq v c.(i))
+           partial))
+    t.per_round.(round)
+
+let protocol ~table ~me ~input ~decide =
+  let n = table.n in
+  let eq = Full_info.equal table.equal_input in
+  let rec round r current_view =
+    if r > table.rounds then Proto.Decide (decide current_view)
+    else
+      let configs = table.per_round.(r - 1) in
+      (* [acc] maps pids to the round-(r-1) view each was observed holding;
+         threaded functionally so exploration forks stay independent. *)
+      let rec iterations idx acc =
+        if idx = Array.length configs then
+          let seen = Array.init n (fun j -> List.assoc_opt j acc) in
+          round (r + 1) (Full_info.Observed { pid = me; seen })
+        else
+          let c = configs.(idx) in
+          let bit = if eq c.(me) current_view then 1 else 0 in
+          Proto.Round
+            ( bit,
+              fun snap ->
+                let acc =
+                  List.fold_left
+                    (fun acc j ->
+                      match snap.(j) with
+                      | Some 1 when not (List.mem_assoc j acc) ->
+                          (j, c.(j)) :: acc
+                      | Some _ | None -> acc)
+                    acc
+                    (List.init n (fun j -> j))
+                in
+                iterations (idx + 1) acc )
+      in
+      iterations 0 []
+  in
+  round 1 (Full_info.Input { pid = me; value = input })

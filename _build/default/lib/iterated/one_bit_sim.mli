@@ -1,0 +1,50 @@
+(** Algorithm 4: simulating a full-information iterated-collect protocol in
+    the IIS model with {e 1-bit} registers (Proposition 7.1, the heart of
+    Theorem 1.4).
+
+    The trick: both parties can precompute the finite, round-ordered list
+    [C = C^0, C^1, ..., C^k] of all reachable IC configurations (the task has
+    finitely many inputs). Simulating IC round [r] then takes [|C^(r-1)|]
+    IIS iterations, one per candidate configuration [c]: a process writes
+    bit 1 exactly in the iteration whose configuration's own entry equals its
+    current simulated view, and whoever it observes writing 1 in iteration
+    [rho] must hold view [c_rho[j]] — so views travel through memory indices,
+    not register contents. *)
+
+type 'i configuration = 'i Full_info.view array
+
+type 'i table
+(** The precomputed configuration lists for a given process count, round
+    count, and input set. *)
+
+val build_table :
+  n:int ->
+  rounds:int ->
+  inputs:'i array list ->
+  equal_input:('i -> 'i -> bool) ->
+  'i table
+(** [C^0] is the given list of input configurations; [C^(r+1)] extends every
+    configuration of [C^r] by every realizable sees matrix. Sizes grow as
+    [|C^0| * 25^r] already for three processes — keep [rounds] small. *)
+
+val reachable : 'i table -> round:int -> 'i configuration list
+(** [C^round]. @raise Invalid_argument when [round] exceeds the table. *)
+
+val total_iterations : 'i table -> int
+(** IIS rounds the simulation takes: [|C^0| + ... + |C^(k-1)|]. *)
+
+val is_reachable :
+  'i table -> round:int -> 'i Full_info.view option array -> bool
+(** Membership in [C^round] modulo view equality, for possibly partial
+    configurations: [None] entries (crashed or unobserved processes) match
+    anything. *)
+
+val protocol :
+  table:'i table ->
+  me:int ->
+  input:'i ->
+  decide:('i Full_info.view -> 'a) ->
+  (int, 'a) Proto.t
+(** The 1-bit IIS program of process [me]: writes only 0 or 1, runs
+    [total_iterations table] IIS rounds, and decides [decide view] on the
+    simulated final full-information view. *)

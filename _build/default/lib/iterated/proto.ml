@@ -1,0 +1,3 @@
+type ('v, 'a) t =
+  | Decide of 'a
+  | Round of 'v * ('v Views.vector -> ('v, 'a) t)

@@ -1,0 +1,7 @@
+(** The shared program shape of the iterated models: decide, or write one
+    value into the current round's memory and continue on the view obtained
+    back (an immediate snapshot in {!Iis}, a collect in {!Ic}). *)
+
+type ('v, 'a) t =
+  | Decide of 'a
+  | Round of 'v * ('v Views.vector -> ('v, 'a) t)

@@ -1,0 +1,1 @@
+lib/msgpass/abd.mli:

@@ -1,0 +1,1 @@
+lib/msgpass/alt_bit.mli: Bits

@@ -1,0 +1,1 @@
+lib/msgpass/codec.ml: Bytes Char List Option String

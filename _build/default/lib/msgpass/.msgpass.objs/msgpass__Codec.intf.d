@@ -1,0 +1,1 @@
+lib/msgpass/codec.mli:

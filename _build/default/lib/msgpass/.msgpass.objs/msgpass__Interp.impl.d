@@ -1,0 +1,1 @@
+lib/msgpass/interp.ml: Abd Net Sched

@@ -1,0 +1,1 @@
+lib/msgpass/interp.mli: Abd Net Sched

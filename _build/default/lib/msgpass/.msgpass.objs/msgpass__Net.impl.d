@@ -1,0 +1,1 @@
+lib/msgpass/net.ml: Array Bits List Queue

@@ -1,0 +1,1 @@
+lib/msgpass/net.mli: Bits

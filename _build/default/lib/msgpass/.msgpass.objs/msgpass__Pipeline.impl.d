@@ -1,0 +1,1 @@
+lib/msgpass/pipeline.ml: Alt_bit Array Bits Interp List Router Sched Tasks Topology Wire

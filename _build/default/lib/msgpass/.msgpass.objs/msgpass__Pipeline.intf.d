@@ -1,0 +1,1 @@
+lib/msgpass/pipeline.mli: Alt_bit Bits Sched Tasks Wire

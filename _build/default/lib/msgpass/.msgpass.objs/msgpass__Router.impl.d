@@ -1,0 +1,1 @@
+lib/msgpass/router.ml: Hashtbl List Topology

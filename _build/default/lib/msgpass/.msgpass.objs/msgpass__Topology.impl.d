@@ -1,0 +1,1 @@
+lib/msgpass/topology.ml: Array List

@@ -1,0 +1,1 @@
+lib/msgpass/wire.ml: Abd Bits Buffer Interp List Router String

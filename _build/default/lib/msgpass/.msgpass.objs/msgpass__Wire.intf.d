@@ -1,0 +1,1 @@
+lib/msgpass/wire.mli: Abd Bits Interp Router

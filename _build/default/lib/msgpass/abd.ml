@@ -1,0 +1,125 @@
+type 'v msg =
+  | Write_req of { reg : int; ts : int; value : 'v; op : int }
+  | Write_ack of { reg : int; op : int }
+  | Read_req of { reg : int; op : int }
+  | Read_reply of { reg : int; ts : int; value : 'v; op : int }
+
+type 'v completion = Wrote | Read_value of 'v
+
+type 'v phase =
+  | Idle
+  | Writing of { op : int; acks : int }
+  | Collecting of { op : int; reg : int; replies : (int * 'v) list }
+  | Writing_back of { op : int; value : 'v; acks : int }
+
+type 'v t = {
+  n : int;
+  quorum : int;
+  me : int;
+  copies : (int * 'v) array;  (** per emulated register: (timestamp, value) *)
+  my_ts : int array;  (** per owned register: last timestamp issued *)
+  mutable next_op : int;
+  mutable phase : 'v phase;
+  mutable done_ : 'v completion option;
+}
+
+let create ~n ~t ~me ?quorum ~registers ~init () =
+  (match quorum with
+  | Some _ -> ()
+  | None ->
+      if t < 0 || 2 * t >= n then invalid_arg "Abd.create: need 0 <= t < n/2");
+  if registers < n then invalid_arg "Abd.create: registers >= n";
+  {
+    n;
+    quorum = Option.value quorum ~default:(n - t);
+    me;
+    copies = Array.init registers (fun reg -> (0, init reg));
+    my_ts = Array.make registers 0;
+    next_op = 0;
+    phase = Idle;
+    done_ = None;
+  }
+
+let everyone t = List.init t.n (fun j -> j)
+
+let fresh_op t =
+  (match t.phase with
+  | Idle -> ()
+  | Writing _ | Collecting _ | Writing_back _ ->
+      invalid_arg "Abd: operation already outstanding");
+  t.next_op <- t.next_op + 1;
+  t.next_op
+
+let begin_write t ~reg value =
+  let op = fresh_op t in
+  t.my_ts.(reg) <- t.my_ts.(reg) + 1;
+  t.phase <- Writing { op; acks = 0 };
+  let m = Write_req { reg; ts = t.my_ts.(reg); value; op } in
+  List.map (fun j -> (j, m)) (everyone t)
+
+let begin_read t ~reg =
+  let op = fresh_op t in
+  t.phase <- Collecting { op; reg; replies = [] };
+  let m = Read_req { reg; op } in
+  List.map (fun j -> (j, m)) (everyone t)
+
+let update_copy t ~reg ~ts ~value =
+  let cur_ts, _ = t.copies.(reg) in
+  if ts > cur_ts then t.copies.(reg) <- (ts, value)
+
+let write_ack_received t op =
+  match t.phase with
+  | Writing w when w.op = op ->
+      let acks = w.acks + 1 in
+      if acks >= t.quorum then begin
+        t.phase <- Idle;
+        t.done_ <- Some Wrote
+      end
+      else t.phase <- Writing { w with acks }
+  | Writing_back w when w.op = op ->
+      let acks = w.acks + 1 in
+      if acks >= t.quorum then begin
+        t.phase <- Idle;
+        t.done_ <- Some (Read_value w.value)
+      end
+      else t.phase <- Writing_back { w with acks }
+  | Idle | Writing _ | Collecting _ | Writing_back _ -> ()
+
+let handle t ~from msg =
+  match msg with
+  | Write_req { reg; ts; value; op } ->
+      update_copy t ~reg ~ts ~value;
+      [ (from, Write_ack { reg; op }) ]
+  | Read_req { reg; op } ->
+      let ts, value = t.copies.(reg) in
+      [ (from, Read_reply { reg; ts; value; op }) ]
+  | Write_ack { op; _ } ->
+      write_ack_received t op;
+      []
+  | Read_reply { reg; ts; value; op } -> (
+      match t.phase with
+      | Collecting c when c.op = op && c.reg = reg ->
+          let replies = (ts, value) :: c.replies in
+          if List.length replies >= t.quorum then begin
+            let best_ts, best =
+              List.fold_left
+                (fun (bts, bv) (ts', v') ->
+                  if ts' > bts then (ts', v') else (bts, bv))
+                (List.hd replies) (List.tl replies)
+            in
+            (* Write back before returning: atomicity. *)
+            t.phase <- Writing_back { op = c.op; value = best; acks = 0 };
+            update_copy t ~reg ~ts:best_ts ~value:best;
+            let m = Write_req { reg; ts = best_ts; value = best; op = c.op } in
+            List.map (fun j -> (j, m)) (everyone t)
+          end
+          else begin
+            t.phase <- Collecting { c with replies };
+            []
+          end
+      | Idle | Writing _ | Collecting _ | Writing_back _ -> [])
+
+let take_completion t =
+  let r = t.done_ in
+  t.done_ <- None;
+  r

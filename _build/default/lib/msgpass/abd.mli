@@ -1,0 +1,55 @@
+(** The Attiya–Bar-Noy–Dolev emulation of SWMR atomic registers over
+    message passing with a crash minority (Section 6, step 1).
+
+    One instance per process emulates the array of [n] SWMR registers. A
+    write stamps the value with the writer's local timestamp and waits for
+    [n - t] acknowledgements; a read collects [n - t] replies, adopts the
+    highest timestamp, and {e writes back} before returning (the write-back
+    is what makes reads atomic rather than merely regular). With [t < n/2],
+    any two quorums intersect, so a read sees every completed write.
+
+    The state machine is transport-agnostic: [begin_*] and [handle] return
+    the messages to send, and the embedding (a {!Net} node, or the
+    alternating-bit compilation in {!Pipeline}) moves them. One outstanding
+    operation per process — the compiled algorithms are sequential. *)
+
+type 'v msg =
+  | Write_req of { reg : int; ts : int; value : 'v; op : int }
+  | Write_ack of { reg : int; op : int }
+  | Read_req of { reg : int; op : int }
+  | Read_reply of { reg : int; ts : int; value : 'v; op : int }
+
+type 'v completion =
+  | Wrote
+  | Read_value of 'v
+
+type 'v t
+
+val create :
+  n:int -> t:int -> me:int -> ?quorum:int -> registers:int ->
+  init:(int -> 'v) -> unit -> 'v t
+(** Emulate [registers] cells (at least [n]: the model's coordination
+    registers; the {!Pipeline} adds [n] more for the input registers), each
+    starting at [init reg].
+
+    [quorum] defaults to [n - t], the sound choice: with [t < n/2] any two
+    quorums intersect. Overriding it exists only for the t = n/2 frontier
+    experiment (E13), which demonstrates the stale reads that disjoint
+    quorums allow — don't.
+    @raise Invalid_argument unless [0 <= t < n/2]. *)
+
+val begin_write : 'v t -> reg:int -> 'v -> (int * 'v msg) list
+(** Start writing register [reg] (callers only write registers they own —
+    ABD itself also issues write-backs to foreign registers during reads);
+    returns the broadcast.
+    @raise Invalid_argument if an operation is already outstanding. *)
+
+val begin_read : 'v t -> reg:int -> (int * 'v msg) list
+
+val handle : 'v t -> from:int -> 'v msg -> (int * 'v msg) list
+(** Process an incoming message, producing replies (and, inside a read, the
+    write-back broadcast). *)
+
+val take_completion : 'v t -> 'v completion option
+(** The result of the outstanding operation once its quorum is in; clears
+    the operation. *)

@@ -1,0 +1,67 @@
+type field = { payload : bool list; tag : int }
+
+let initial_field ~chunk =
+  { payload = List.init (min chunk 1) (fun _ -> false); tag = 1 }
+
+let field_bits ~chunk =
+  if chunk < 1 then invalid_arg "Alt_bit.field_bits: chunk >= 1";
+  if chunk = 1 then 2 else Bits.Width.bits_for chunk + chunk + 1
+
+(* The measure charges the full chunk width regardless of how many payload
+   bits a partial chunk carries: registers are fixed-size. *)
+let measure_field ~chunk { payload; tag } =
+  let used = List.length payload in
+  if used < 1 || used > chunk then
+    invalid_arg "Alt_bit.measure_field: payload size";
+  ignore tag;
+  field_bits ~chunk
+
+type sender = {
+  chunk : int;
+  queue : bool Queue.t;
+  mutable tag : int;  (** tag of the next chunk to publish *)
+  mutable published : bool;  (** current tag on the wire, unacknowledged *)
+}
+
+let sender ~chunk =
+  if chunk < 1 then invalid_arg "Alt_bit.sender: chunk >= 1";
+  { chunk; queue = Queue.create (); tag = 0; published = false }
+
+let send_string s msg =
+  List.iter (fun b -> Queue.add b s.queue) (Codec.encode msg)
+
+let sender_poll s ~ack_seen =
+  if s.published then begin
+    (* The receiver flipped its bit: the published chunk was accepted. *)
+    if ack_seen = 1 - s.tag then begin
+      s.published <- false;
+      s.tag <- 1 - s.tag
+    end;
+    None
+  end
+  else if (not (Queue.is_empty s.queue)) && ack_seen = s.tag then begin
+    let payload = ref [] in
+    let count = ref 0 in
+    while !count < s.chunk && not (Queue.is_empty s.queue) do
+      payload := Queue.pop s.queue :: !payload;
+      incr count
+    done;
+    s.published <- true;
+    Some { payload = List.rev !payload; tag = s.tag }
+  end
+  else None
+
+let sender_idle s = Queue.is_empty s.queue && not s.published
+
+type receiver = { mutable expect : int; decoder : Codec.decoder }
+
+let receiver () = { expect = 0; decoder = Codec.decoder () }
+
+let receiver_poll r ~data_seen:{ payload; tag } =
+  if tag = r.expect then begin
+    r.expect <- 1 - r.expect;
+    List.filter_map (Codec.decode r.decoder) payload
+  end
+  else []
+
+let receiver_ack r = r.expect

@@ -1,0 +1,48 @@
+(** The alternating-bit protocol over single-writer register fields
+    (Section 6, step 3): a reliable FIFO bit channel built from one data
+    field written by the sender and one acknowledgement bit written by the
+    receiver.
+
+    The sender publishes a datum tagged with its alternating bit only when
+    the receiver's acknowledgement equals the tag; the receiver accepts a
+    datum exactly when its tag equals its own acknowledgement bit, then
+    flips it. The initial data field carries tag 1 while both sides expect
+    tag 0, so nothing is accepted before the first real send.
+
+    [chunk] generalizes the paper's one-bit payload to up to [chunk] bits
+    per handshake — an ablation of register width against step count. With
+    [chunk = 1] the data field is the paper's 2 bits (payload + tag) and a
+    whole process register costs [3 (t+1)] bits. *)
+
+type field = { payload : bool list; tag : int }
+(** What the sender publishes: between 1 and [chunk] framed bits. *)
+
+val initial_field : chunk:int -> field
+(** Tag-1 idle value; never accepted. *)
+
+val field_bits : chunk:int -> int
+(** Register width of one data field: 2 for [chunk = 1], otherwise
+    [bits_for chunk + chunk + 1] (an explicit length is needed once chunks
+    can be partial). *)
+
+val measure_field : chunk:int -> field Bits.Width.measure
+
+type sender
+
+val sender : chunk:int -> sender
+val send_string : sender -> string -> unit
+(** Queue a message ({!Codec.frame}d). *)
+
+val sender_poll : sender -> ack_seen:int -> field option
+(** New data field to publish, if the acknowledgement allows it. *)
+
+val sender_idle : sender -> bool
+
+type receiver
+
+val receiver : unit -> receiver
+
+val receiver_poll : receiver -> data_seen:field -> string list
+(** Accept at most one chunk; a chunk can complete several framed messages. *)
+
+val receiver_ack : receiver -> int

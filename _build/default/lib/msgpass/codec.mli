@@ -1,0 +1,36 @@
+(** Bit-level encoding for the alternating-bit layer.
+
+    Everything that crosses the 3(t+1)-bit registers of the Theorem 1.3
+    construction is a stream of single bits; messages are serialized to
+    strings, strings to bits, and framed with the paper's stuffing: a 0
+    separator after every payload bit, a 1 terminator at the end, so the
+    receiver can find message boundaries in a raw bit stream. *)
+
+val bits_of_string : string -> bool list
+(** 8 bits per byte, most significant first. *)
+
+val string_of_bits : bool list -> string
+(** @raise Invalid_argument unless the length is a multiple of 8. *)
+
+val frame : bool list -> bool list
+(** The paper's stuffed encoding [m'], with the continuation flag placed
+    {e before} each payload bit (0 = payload bit follows, 1 = end of frame),
+    which keeps empty payloads unambiguous. [frame []] is [[true]]. *)
+
+type deframer
+(** Incremental parser of a framed bit stream. *)
+
+val deframer : unit -> deframer
+val feed : deframer -> bool -> bool list option
+(** Feed one received bit; returns a complete payload when the terminator
+    arrives. *)
+
+val encode : string -> bool list
+(** [frame (bits_of_string s)]. *)
+
+type decoder
+
+val decoder : unit -> decoder
+val decode : decoder -> bool -> string option
+(** Incremental [feed] + [string_of_bits]: complete messages as they
+    arrive. *)

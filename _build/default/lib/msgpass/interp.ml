@@ -1,0 +1,86 @@
+module P = Sched.Program
+
+type ('v, 'i) cell = Coord of 'v | Input of 'i option
+
+type ('v, 'i, 'a) t = {
+  n : int;
+  me : int;
+  abd : ('v, 'i) cell Abd.t;
+  mutable program : ('v, 'i, 'a) P.t;
+  mutable decided : 'a option;
+  mutable steps : int;
+}
+
+(* Begin the ABD operation for the program's next shared-memory step;
+   returns its broadcast ([] when the program just decided). *)
+let rec launch t =
+  match t.program with
+  | P.Return a ->
+      t.decided <- Some a;
+      []
+  | P.Output (a, k) ->
+      if t.decided = None then t.decided <- Some a;
+      t.program <- k ();
+      launch t
+  | P.Write (v, _) -> Abd.begin_write t.abd ~reg:t.me (Coord v)
+  | P.Read (j, _) -> Abd.begin_read t.abd ~reg:j
+  | P.Write_input (x, _) ->
+      Abd.begin_write t.abd ~reg:(t.n + t.me) (Input (Some x))
+  | P.Read_input (j, _) -> Abd.begin_read t.abd ~reg:(t.n + j)
+
+let create ~n ~t ~me ~init ~program =
+  let init_cell reg = if reg < n then Coord init else Input None in
+  let interp =
+    {
+      n;
+      me;
+      abd = Abd.create ~n ~t ~me ~registers:(2 * n) ~init:init_cell ();
+      program;
+      decided = None;
+      steps = 0;
+    }
+  in
+  (interp, launch interp)
+
+let advance t completion =
+  let continue program =
+    t.steps <- t.steps + 1;
+    t.program <- program;
+    launch t
+  in
+  match (t.program, completion) with
+  | P.Write (_, k), Abd.Wrote -> continue (k ())
+  | P.Write_input (_, k), Abd.Wrote -> continue (k ())
+  | P.Read (_, k), Abd.Read_value (Coord v) -> continue (k v)
+  | P.Read_input (_, k), Abd.Read_value (Input x) -> continue (k x)
+  | P.Return _, _
+  | P.Output _, _
+  | P.Write (_, _), _
+  | P.Read (_, _), _
+  | P.Write_input (_, _), _
+  | P.Read_input (_, _), _ ->
+      assert false (* completions match the op that launched them *)
+
+(* A decided process keeps serving quorum requests — stopping would count
+   against the crash budget of everyone else's liveness. *)
+let handle t ~from msg =
+  let sends = Abd.handle t.abd ~from msg in
+  match Abd.take_completion t.abd with
+  | None -> sends
+  | Some completion -> sends @ advance t completion
+
+let decision t = t.decided
+let steps t = t.steps
+
+let node (t, initial) =
+  let first = ref (Some initial) in
+  {
+    Net.on_start =
+      (fun () ->
+        match !first with
+        | Some sends ->
+            first := None;
+            sends
+        | None -> []);
+    on_message = (fun ~from msg -> handle t ~from msg);
+  }

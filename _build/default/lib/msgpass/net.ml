@@ -1,0 +1,73 @@
+type 'm node = {
+  on_start : unit -> (int * 'm) list;
+  on_message : from:int -> 'm -> (int * 'm) list;
+}
+
+type 'm t = {
+  size : int;
+  nodes : 'm node array;
+  channels : 'm Queue.t array array;  (** [channels.(src).(dst)] *)
+  alive : bool array;
+  mutable delivered : int;
+}
+
+let enqueue t ~src sends =
+  if t.alive.(src) then
+    List.iter
+      (fun (dst, m) ->
+        if dst < 0 || dst >= t.size then
+          invalid_arg "Net: destination out of range";
+        Queue.add m t.channels.(src).(dst))
+      sends
+
+let create ~n ~nodes =
+  let t =
+    {
+      size = n;
+      nodes = Array.init n nodes;
+      channels = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
+      alive = Array.make n true;
+      delivered = 0;
+    }
+  in
+  for pid = 0 to n - 1 do
+    enqueue t ~src:pid (t.nodes.(pid).on_start ())
+  done;
+  t
+
+let n t = t.size
+
+let deliverable t =
+  let acc = ref [] in
+  for src = t.size - 1 downto 0 do
+    for dst = t.size - 1 downto 0 do
+      if t.alive.(dst) && not (Queue.is_empty t.channels.(src).(dst)) then
+        acc := (src, dst) :: !acc
+    done
+  done;
+  !acc
+
+let deliver_random rng t =
+  match deliverable t with
+  | [] -> false
+  | channels ->
+      let src, dst = Bits.Rng.pick rng channels in
+      let m = Queue.pop t.channels.(src).(dst) in
+      t.delivered <- t.delivered + 1;
+      enqueue t ~src:dst (t.nodes.(dst).on_message ~from:src m);
+      true
+
+let crash t pid = t.alive.(pid) <- false
+
+let crashed t =
+  List.init t.size (fun i -> i) |> List.filter (fun i -> not t.alive.(i))
+
+let quiescent t = deliverable t = []
+let deliveries t = t.delivered
+
+let run_random ~rng ?(max_events = 1_000_000) ?(until = fun () -> false) t =
+  let rec loop budget =
+    if budget > 0 && (not (until ())) && deliver_random rng t then
+      loop (budget - 1)
+  in
+  loop max_events

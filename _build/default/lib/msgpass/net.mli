@@ -1,0 +1,39 @@
+(** Asynchronous reliable-FIFO message passing with crash failures — the
+    model of the Attiya–Bar-Noy–Dolev simulation (Section 6, step 1).
+
+    Channels never lose or reorder messages; delivery delay is unbounded
+    (the scheduler picks any non-empty channel). A crashed process neither
+    processes nor sends. Nodes are mutable callbacks, so this substrate has
+    no exhaustive mode — correctness here is checked with seeded random
+    schedules. *)
+
+type 'm node = {
+  on_start : unit -> (int * 'm) list;
+      (** messages to send when the process first runs *)
+  on_message : from:int -> 'm -> (int * 'm) list;
+}
+
+type 'm t
+
+val create : n:int -> nodes:(int -> 'm node) -> 'm t
+(** [on_start] callbacks run immediately, in pid order. Processes may send
+    to themselves. *)
+
+val n : 'm t -> int
+
+val deliver_random : Bits.Rng.t -> 'm t -> bool
+(** Deliver one message from a uniformly chosen non-empty channel with a
+    live destination; [false] when nothing is deliverable. *)
+
+val crash : 'm t -> int -> unit
+val crashed : 'm t -> int list
+
+val quiescent : 'm t -> bool
+(** No deliverable messages remain. *)
+
+val deliveries : 'm t -> int
+
+val run_random :
+  rng:Bits.Rng.t -> ?max_events:int -> ?until:(unit -> bool) -> 'm t -> unit
+(** Deliver until quiescent, [until ()] holds, or [max_events] (default
+    1_000_000) deliveries happened. *)

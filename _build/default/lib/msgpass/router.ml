@@ -1,0 +1,30 @@
+type 'm envelope = { origin : int; seq : int; dest : int; body : 'm }
+
+type 'm t = {
+  topology : Topology.t;
+  me : int;
+  seen : (int * int, unit) Hashtbl.t;
+  mutable next_seq : int;
+}
+
+let create ~topology ~me = { topology; me; seen = Hashtbl.create 97; next_seq = 0 }
+
+let broadcast t envelope =
+  List.map (fun s -> (s, envelope)) (Topology.successors t.topology t.me)
+
+let send t ~dest body =
+  if dest = t.me then ([ body ], [])
+  else begin
+    t.next_seq <- t.next_seq + 1;
+    let envelope = { origin = t.me; seq = t.next_seq; dest; body } in
+    Hashtbl.replace t.seen (envelope.origin, envelope.seq) ();
+    ([], broadcast t envelope)
+  end
+
+let receive t envelope =
+  if Hashtbl.mem t.seen (envelope.origin, envelope.seq) then ([], [])
+  else begin
+    Hashtbl.replace t.seen (envelope.origin, envelope.seq) ();
+    if envelope.dest = t.me then ([ envelope ], [])
+    else ([], broadcast t envelope)
+  end

@@ -1,0 +1,24 @@
+(** Flooding over a sparse topology (Section 6, step 2): simulating the
+    complete network on the t-augmented ring.
+
+    Every message is wrapped in an envelope stamped [(origin, seq)] and sent
+    to all successors; nodes forward unseen envelopes onward and deliver the
+    ones addressed to them. With at most [t] crashes the ring stays strongly
+    connected, so every envelope between correct processes eventually
+    arrives; duplicates are dropped by their stamp. *)
+
+type 'm envelope = { origin : int; seq : int; dest : int; body : 'm }
+
+type 'm t
+
+val create : topology:Topology.t -> me:int -> 'm t
+
+val send : 'm t -> dest:int -> 'm -> 'm list * (int * 'm envelope) list
+(** [send t ~dest m] is [(local, out)]: [local] is [[m]] when [dest] is the
+    sender itself (delivered without touching the network), [out] the
+    envelope copies for each successor. *)
+
+val receive : 'm t -> 'm envelope -> 'm envelope list * (int * 'm envelope) list
+(** Deliveries for this node (whole envelopes, so the consumer can see the
+    origin) plus forwarding copies; both empty for already-seen
+    envelopes. *)

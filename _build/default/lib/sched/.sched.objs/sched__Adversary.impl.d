@@ -1,0 +1,1 @@
+lib/sched/adversary.ml: List Printf Scheduler

@@ -1,0 +1,1 @@
+lib/sched/explore.ml: List Scheduler

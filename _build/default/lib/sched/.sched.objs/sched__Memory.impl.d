@@ -1,0 +1,1 @@
+lib/sched/memory.ml: Array Bits

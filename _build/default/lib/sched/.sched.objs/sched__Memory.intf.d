@@ -1,0 +1,1 @@
+lib/sched/memory.mli: Bits

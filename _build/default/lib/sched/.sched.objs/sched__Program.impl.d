@@ -1,0 +1,1 @@
+lib/sched/program.ml: Array List

@@ -1,0 +1,1 @@
+lib/sched/program.mli:

@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Array Bits List Memory Printf Program Trace

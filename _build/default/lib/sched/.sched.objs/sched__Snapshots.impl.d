@@ -1,0 +1,1 @@
+lib/sched/snapshots.ml: Array Program

@@ -1,0 +1,1 @@
+lib/sched/trace.ml: Format List

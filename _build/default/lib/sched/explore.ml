@@ -1,0 +1,59 @@
+let interleavings ?(max_steps = 10_000) ?(on_truncated = fun _ -> ()) ~init
+    visit =
+  let rec go state depth =
+    match Scheduler.running state with
+    | [] -> visit state
+    | procs ->
+        if depth >= max_steps then on_truncated state
+        else
+          List.iter
+            (fun pid ->
+              let fork = Scheduler.copy state in
+              Scheduler.step fork pid;
+              go fork (depth + 1))
+            procs
+  in
+  go (init ()) 0
+
+let interleavings_with_crashes ?(max_steps = 10_000)
+    ?(on_truncated = fun _ -> ()) ~max_crashes ~init visit =
+  let rec go state depth crashes =
+    match Scheduler.running state with
+    | [] -> visit state
+    | procs ->
+        if depth >= max_steps then on_truncated state
+        else begin
+          List.iter
+            (fun pid ->
+              let fork = Scheduler.copy state in
+              Scheduler.step fork pid;
+              go fork (depth + 1) crashes)
+            procs;
+          if crashes < max_crashes then
+            List.iter
+              (fun pid ->
+                let fork = Scheduler.copy state in
+                Scheduler.crash fork pid;
+                go fork depth (crashes + 1))
+              procs
+        end
+  in
+  go (init ()) 0 0
+
+exception Found
+
+let find ?max_steps ~init pred =
+  let result = ref None in
+  (try
+     interleavings ?max_steps ~init (fun state ->
+         if pred state then begin
+           result := Some state;
+           raise Found
+         end)
+   with Found -> ());
+  !result
+
+let count ?max_steps ~init () =
+  let k = ref 0 in
+  interleavings ?max_steps ~init (fun _ -> incr k);
+  !k

@@ -1,0 +1,44 @@
+(** Exhaustive enumeration of schedules — the model-checking side of the
+    simulator.
+
+    Impossibility arguments in the paper quantify over {e all} executions;
+    for small systems (2–3 processes, short protocols) we can visit all of
+    them. The number of interleavings of two L-step programs is
+    [C(2L, L) ~ 4^L], so callers are expected to keep protocols short here
+    and use {!Scheduler.run_random} for anything bigger. *)
+
+val interleavings :
+  ?max_steps:int ->
+  ?on_truncated:(('v, 'i, 'a) Scheduler.state -> unit) ->
+  init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
+  (('v, 'i, 'a) Scheduler.state -> unit) ->
+  unit
+(** Depth-first enumeration of every maximal interleaving of the running
+    processes (no crashes): the visitor is called once per execution in which
+    every process ran to decision. Runs exceeding [max_steps] (default
+    10_000) total steps are abandoned after calling [on_truncated] (default:
+    nothing) — a guard against non-wait-free protocols. *)
+
+val interleavings_with_crashes :
+  ?max_steps:int ->
+  ?on_truncated:(('v, 'i, 'a) Scheduler.state -> unit) ->
+  max_crashes:int ->
+  init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
+  (('v, 'i, 'a) Scheduler.state -> unit) ->
+  unit
+(** Like {!interleavings} but additionally branches, before every step, on
+    crashing any running process, as long as fewer than [max_crashes] have
+    crashed. Visits each maximal execution (all processes decided or
+    crashed). Exponentially larger than {!interleavings}; keep it tiny. *)
+
+val find :
+  ?max_steps:int ->
+  init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
+  (('v, 'i, 'a) Scheduler.state -> bool) ->
+  ('v, 'i, 'a) Scheduler.state option
+(** First complete crash-free execution satisfying the predicate, or [None]
+    if none exists. *)
+
+val count : ?max_steps:int -> init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
+  unit -> int
+(** Number of complete crash-free interleavings. *)

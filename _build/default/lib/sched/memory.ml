@@ -1,0 +1,53 @@
+type ('v, 'i) t = {
+  n : int;
+  budget : Bits.Width.budget;
+  measure : 'v Bits.Width.measure;
+  regs : 'v array;
+  inputs : 'i option array;
+  mutable reads : int;
+  mutable writes : int;
+  mutable max_bits : int;
+}
+
+let create ~n ~budget ~measure ~init =
+  Bits.Width.check budget (measure init);
+  {
+    n;
+    budget;
+    measure;
+    regs = Array.make n init;
+    inputs = Array.make n None;
+    reads = 0;
+    writes = 0;
+    max_bits = 0;
+  }
+
+let n t = t.n
+let budget t = t.budget
+
+let write t ~pid v =
+  let bits = t.measure v in
+  Bits.Width.check t.budget bits;
+  if bits > t.max_bits then t.max_bits <- bits;
+  t.regs.(pid) <- v;
+  t.writes <- t.writes + 1
+
+let read t j =
+  t.reads <- t.reads + 1;
+  t.regs.(j)
+
+let write_input t ~pid v =
+  (match t.inputs.(pid) with
+  | Some _ -> invalid_arg "Memory.write_input: input register is write-once"
+  | None -> ());
+  t.inputs.(pid) <- Some v
+
+let read_input t j = t.inputs.(j)
+let contents t = Array.copy t.regs
+
+let copy t =
+  { t with regs = Array.copy t.regs; inputs = Array.copy t.inputs }
+
+let reads_performed t = t.reads
+let writes_performed t = t.writes
+let max_bits_written t = t.max_bits

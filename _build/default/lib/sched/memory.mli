@@ -1,0 +1,46 @@
+(** The shared memory: [n] SWMR coordination registers R_0..R_{n-1} under a
+    bit budget, plus [n] write-once input registers I_0..I_{n-1}.
+
+    Every write to a coordination register is measured by the memory's
+    {!Bits.Width.measure} and checked against its {!Bits.Width.budget}; the
+    memory also records the largest width ever written, so experiments can
+    report the bits an algorithm {e actually} used, not just the budget it
+    declared. Input registers are outside the budget (the paper's model:
+    they carry inputs only and cannot be used for coordination) — writing one
+    twice raises. *)
+
+type ('v, 'i) t
+
+val create :
+  n:int -> budget:Bits.Width.budget -> measure:'v Bits.Width.measure ->
+  init:'v -> ('v, 'i) t
+(** Fresh memory with every coordination register holding [init] (the paper
+    assumes a known initial value, e.g. 0) and every input register empty.
+    [init] is itself width-checked. *)
+
+val n : ('v, 'i) t -> int
+val budget : ('v, 'i) t -> Bits.Width.budget
+
+val write : ('v, 'i) t -> pid:int -> 'v -> unit
+(** @raise Bits.Width.Overflow when the value exceeds the budget. *)
+
+val read : ('v, 'i) t -> int -> 'v
+
+val write_input : ('v, 'i) t -> pid:int -> 'i -> unit
+(** @raise Invalid_argument on a second write to the same input register. *)
+
+val read_input : ('v, 'i) t -> int -> 'i option
+
+val contents : ('v, 'i) t -> 'v array
+(** Copy of the coordination registers — the "binary word formed by
+    concatenating the register contents" of the Section 4 pigeonhole
+    argument, compared structurally. *)
+
+val copy : ('v, 'i) t -> ('v, 'i) t
+(** Deep copy; used by the exhaustive scheduler to branch. *)
+
+val reads_performed : ('v, 'i) t -> int
+val writes_performed : ('v, 'i) t -> int
+
+val max_bits_written : ('v, 'i) t -> int
+(** Largest measured width over all writes so far (0 if none). *)

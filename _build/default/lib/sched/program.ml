@@ -1,0 +1,48 @@
+type ('v, 'i, 'a) t =
+  | Return of 'a
+  | Write of 'v * (unit -> ('v, 'i, 'a) t)
+  | Read of int * ('v -> ('v, 'i, 'a) t)
+  | Write_input of 'i * (unit -> ('v, 'i, 'a) t)
+  | Read_input of int * ('i option -> ('v, 'i, 'a) t)
+  | Output of 'a * (unit -> ('v, 'i, 'a) t)
+
+let return x = Return x
+
+let rec bind m f =
+  match m with
+  | Return x -> f x
+  | Write (v, k) -> Write (v, fun () -> bind (k ()) f)
+  | Read (j, k) -> Read (j, fun v -> bind (k v) f)
+  | Write_input (i, k) -> Write_input (i, fun () -> bind (k ()) f)
+  | Read_input (j, k) -> Read_input (j, fun v -> bind (k v) f)
+  | Output (_, _) ->
+      invalid_arg "Program.bind: cannot bind past an Output decision"
+
+let map f m = bind m (fun x -> Return (f x))
+let write v = Write (v, fun () -> Return ())
+let read j = Read (j, fun v -> Return v)
+let write_input i = Write_input (i, fun () -> Return ())
+let read_input j = Read_input (j, fun v -> Return v)
+let output a rest = Output (a, fun () -> rest)
+
+module Infix = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+end
+
+open Infix
+
+let collect n =
+  let rec loop j acc =
+    if j = n then Return (Array.of_list (List.rev acc))
+    else
+      let* v = read j in
+      loop (j + 1) (v :: acc)
+  in
+  loop 0 []
+
+let rec iter_list f = function
+  | [] -> Return ()
+  | x :: xs ->
+      let* () = f x in
+      iter_list f xs

@@ -1,0 +1,49 @@
+(** Protocols as resumable step machines.
+
+    A protocol for one process is a value of type [('v, 'i, 'a) t]: a free
+    monad over the four atomic shared-memory operations of the paper's model
+    — write the process's own SWMR register, read any register, write the
+    process's write-once input register, read any input register. ['v] is the
+    coordination-register value type, ['i] the input-register type, ['a] the
+    decision type.
+
+    Because the program is a value suspended between atomic steps, a
+    scheduler can interleave processes arbitrarily, replay a schedule
+    bit-for-bit, stop a process forever (a crash), or exhaustively enumerate
+    interleavings. Protocol code must be pure between steps (all state in the
+    continuation), which the combinators below make natural. *)
+
+type ('v, 'i, 'a) t =
+  | Return of 'a  (** decide and halt *)
+  | Write of 'v * (unit -> ('v, 'i, 'a) t)  (** write own register R_i *)
+  | Read of int * ('v -> ('v, 'i, 'a) t)  (** read register R_j *)
+  | Write_input of 'i * (unit -> ('v, 'i, 'a) t)
+      (** write own input register I_i (write-once) *)
+  | Read_input of int * ('i option -> ('v, 'i, 'a) t)
+      (** read input register I_j; [None] when not yet written *)
+  | Output of 'a * (unit -> ('v, 'i, 'a) t)
+      (** announce the decision but keep running — used by simulations whose
+          processes must keep serving others after deciding (deciding and
+          halting are distinct events in the model); costs no memory step *)
+
+val return : 'a -> ('v, 'i, 'a) t
+val bind : ('v, 'i, 'a) t -> ('a -> ('v, 'i, 'b) t) -> ('v, 'i, 'b) t
+val map : ('a -> 'b) -> ('v, 'i, 'a) t -> ('v, 'i, 'b) t
+
+val write : 'v -> ('v, 'i, unit) t
+val read : int -> ('v, 'i, 'v) t
+val write_input : 'i -> ('v, 'i, unit) t
+val read_input : int -> ('v, 'i, 'i option) t
+val output : 'a -> ('v, 'i, 'a) t -> ('v, 'i, 'a) t
+(** [output a rest] announces [a] and continues as [rest]. *)
+
+val collect : int -> ('v, 'i, 'v array) t
+(** [collect n] reads registers [0..n-1] one by one in index order (a
+    non-atomic collect, [n] steps). *)
+
+val iter_list : ('a -> ('v, 'i, unit) t) -> 'a list -> ('v, 'i, unit) t
+
+module Infix : sig
+  val ( let* ) : ('v, 'i, 'a) t -> ('a -> ('v, 'i, 'b) t) -> ('v, 'i, 'b) t
+  val ( let+ ) : ('v, 'i, 'a) t -> ('a -> 'b) -> ('v, 'i, 'b) t
+end

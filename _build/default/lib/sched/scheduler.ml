@@ -1,0 +1,199 @@
+type 'a status = Running | Decided of 'a | Crashed
+
+type ('v, 'i, 'a) state = {
+  mem : ('v, 'i) Memory.t;
+  progs : ('v, 'i, 'a) Program.t array;
+  status : 'a status array;
+  outputs : 'a option array;
+  step_counts : int array;
+  mutable total_steps : int;
+  mutable events : 'v Trace.event list;
+  record_trace : bool;
+}
+
+let record t pid op =
+  if t.record_trace then t.events <- { Trace.pid; op } :: t.events
+
+(* [Return] and [Output] heads need no memory step: deciding is local. *)
+let rec settle t pid =
+  match t.progs.(pid) with
+  | Program.Return v ->
+      t.status.(pid) <- Decided v;
+      if t.outputs.(pid) = None then t.outputs.(pid) <- Some v;
+      record t pid Trace.Decide
+  | Program.Output (v, k) ->
+      if t.outputs.(pid) = None then begin
+        t.outputs.(pid) <- Some v;
+        record t pid Trace.Decide
+      end;
+      t.progs.(pid) <- k ();
+      settle t pid
+  | Program.Write _ | Program.Read _ | Program.Write_input _
+  | Program.Read_input _ ->
+      ()
+
+let start ?(record_trace = false) ~memory ~programs () =
+  let n = Memory.n memory in
+  let t =
+    {
+      mem = memory;
+      progs = Array.init n programs;
+      status = Array.make n Running;
+      outputs = Array.make n None;
+      step_counts = Array.make n 0;
+      total_steps = 0;
+      events = [];
+      record_trace;
+    }
+  in
+  for pid = 0 to n - 1 do
+    settle t pid
+  done;
+  t
+
+let memory t = t.mem
+let n t = Memory.n t.mem
+
+let step t pid =
+  (match t.status.(pid) with
+  | Running -> ()
+  | Decided _ | Crashed ->
+      invalid_arg (Printf.sprintf "Scheduler.step: process %d halted" pid));
+  (match t.progs.(pid) with
+  | Program.Return _ | Program.Output _ -> assert false (* settled away *)
+  | Program.Write (v, k) ->
+      Memory.write t.mem ~pid v;
+      record t pid (Trace.Write v);
+      t.progs.(pid) <- k ()
+  | Program.Read (j, k) ->
+      let v = Memory.read t.mem j in
+      record t pid (Trace.Read (j, v));
+      t.progs.(pid) <- k v
+  | Program.Write_input (v, k) ->
+      Memory.write_input t.mem ~pid v;
+      record t pid Trace.Write_input;
+      t.progs.(pid) <- k ()
+  | Program.Read_input (j, k) ->
+      let v = Memory.read_input t.mem j in
+      record t pid (Trace.Read_input j);
+      t.progs.(pid) <- k v);
+  t.step_counts.(pid) <- t.step_counts.(pid) + 1;
+  t.total_steps <- t.total_steps + 1;
+  settle t pid
+
+let crash t pid =
+  (match t.status.(pid) with
+  | Running -> ()
+  | Decided _ | Crashed ->
+      invalid_arg (Printf.sprintf "Scheduler.crash: process %d halted" pid));
+  t.status.(pid) <- Crashed;
+  record t pid Trace.Crash
+
+let is_running t pid =
+  match t.status.(pid) with Running -> true | Decided _ | Crashed -> false
+
+let status t pid = t.status.(pid)
+
+let running t =
+  let acc = ref [] in
+  for pid = n t - 1 downto 0 do
+    match t.status.(pid) with
+    | Running -> acc := pid :: !acc
+    | Decided _ | Crashed -> ()
+  done;
+  !acc
+
+let all_halted t = running t = []
+
+let decisions t = Array.copy t.outputs
+
+let decided_values t =
+  Array.to_list t.outputs |> List.filter_map (fun o -> o)
+
+(* Every non-crashed process has announced a decision (via [Return] or
+   [Output]). *)
+let all_output t =
+  let ok = ref true in
+  for pid = 0 to n t - 1 do
+    match t.status.(pid) with
+    | Crashed -> ()
+    | Running | Decided _ -> if t.outputs.(pid) = None then ok := false
+  done;
+  !ok
+
+let crashed t =
+  let acc = ref [] in
+  for pid = n t - 1 downto 0 do
+    match t.status.(pid) with
+    | Crashed -> acc := pid :: !acc
+    | Running | Decided _ -> ()
+  done;
+  !acc
+
+let steps_taken t = t.total_steps
+let steps_of t pid = t.step_counts.(pid)
+let trace t = List.rev t.events
+
+let copy t =
+  {
+    t with
+    mem = Memory.copy t.mem;
+    progs = Array.copy t.progs;
+    status = Array.copy t.status;
+    outputs = Array.copy t.outputs;
+    step_counts = Array.copy t.step_counts;
+  }
+
+let run_schedule t pids =
+  List.iter
+    (fun pid ->
+      match t.status.(pid) with
+      | Running -> step t pid
+      | Decided _ | Crashed -> ())
+    pids
+
+let run_round_robin ?(max_steps = 1_000_000) t =
+  let budget = ref max_steps in
+  let rec loop () =
+    match running t with
+    | [] -> ()
+    | procs ->
+        List.iter
+          (fun pid ->
+            if !budget > 0 && is_running t pid then begin
+              step t pid;
+              decr budget
+            end)
+          procs;
+        if !budget > 0 then loop ()
+  in
+  loop ()
+
+let run_random ?(max_steps = 1_000_000) ?(crashes = []) ?(until_outputs = false)
+    rng t =
+  let crash_after = Array.make (n t) max_int in
+  List.iter (fun (pid, after) -> crash_after.(pid) <- after) crashes;
+  let maybe_crash pid =
+    is_running t pid && t.step_counts.(pid) >= crash_after.(pid)
+  in
+  let budget = ref max_steps in
+  let rec loop () =
+    List.iter (fun pid -> if maybe_crash pid then crash t pid) (running t);
+    if not (until_outputs && all_output t) then
+      match running t with
+      | [] -> ()
+      | procs ->
+          if !budget > 0 then begin
+            step t (Bits.Rng.pick rng procs);
+            decr budget;
+            loop ()
+          end
+  in
+  loop ()
+
+let run_solo ?(max_steps = 1_000_000) t pid =
+  let budget = ref max_steps in
+  while is_running t pid && !budget > 0 do
+    step t pid;
+    decr budget
+  done

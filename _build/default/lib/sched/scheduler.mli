@@ -1,0 +1,92 @@
+(** Executing [n] protocol programs against a shared memory, one atomic step
+    at a time.
+
+    A {!state} holds the memory, each process's suspended program, and each
+    process's status. The primitive is {!step}: perform the next atomic
+    operation of one chosen process. Everything else — round-robin runs,
+    seeded random fair schedules, crash injection, replay — is built from it.
+    Exhaustive interleaving enumeration lives in {!module:Explore}. *)
+
+type 'a status =
+  | Running
+  | Decided of 'a
+  | Crashed
+
+type ('v, 'i, 'a) state
+
+val start :
+  ?record_trace:bool ->
+  memory:('v, 'i) Memory.t ->
+  programs:(int -> ('v, 'i, 'a) Program.t) ->
+  unit ->
+  ('v, 'i, 'a) state
+(** One program per process id [0..n-1] where [n = Memory.n memory]. A
+    program that decides without taking any memory step is immediately
+    [Decided]. Traces are off by default (they cost allocation per step). *)
+
+val memory : ('v, 'i, 'a) state -> ('v, 'i) Memory.t
+val n : ('v, 'i, 'a) state -> int
+
+val step : ('v, 'i, 'a) state -> int -> unit
+(** Execute one atomic operation of process [pid].
+    @raise Invalid_argument if the process is not [Running]. *)
+
+val crash : ('v, 'i, 'a) state -> int -> unit
+(** Process takes no further steps, ever.
+    @raise Invalid_argument if the process is not [Running]. *)
+
+val status : ('v, 'i, 'a) state -> int -> 'a status
+val running : ('v, 'i, 'a) state -> int list
+(** Running process ids, ascending. *)
+
+val all_halted : ('v, 'i, 'a) state -> bool
+
+val all_output : ('v, 'i, 'a) state -> bool
+(** Every non-crashed process has announced a decision — through [Return] or
+    the decide-and-continue [Output]. *)
+
+val decisions : ('v, 'i, 'a) state -> 'a option array
+(** Announced decisions ([Return] or [Output]); [None] for processes that
+    have not decided (crashed or still working). *)
+
+val decided_values : ('v, 'i, 'a) state -> 'a list
+val crashed : ('v, 'i, 'a) state -> int list
+val steps_taken : ('v, 'i, 'a) state -> int
+val steps_of : ('v, 'i, 'a) state -> int -> int
+val trace : ('v, 'i, 'a) state -> 'v Trace.event list
+(** Oldest first; empty unless [record_trace] was set. *)
+
+val copy : ('v, 'i, 'a) state -> ('v, 'i, 'a) state
+(** Independent copy (memory deep-copied). Programs must be pure between
+    steps — all per-process state in the continuation — for the copy to be a
+    true fork; every protocol in this repository is. *)
+
+(** {1 Drivers} *)
+
+val run_schedule : ('v, 'i, 'a) state -> int list -> unit
+(** Step the given pids in order. Entries for processes that have already
+    halted are skipped, so a schedule can be written without tracking exact
+    program lengths. *)
+
+val run_round_robin : ?max_steps:int -> ('v, 'i, 'a) state -> unit
+(** Cycle over running processes in id order until all halt or [max_steps]
+    (default 1_000_000) memory steps have been taken. *)
+
+val run_random :
+  ?max_steps:int ->
+  ?crashes:(int * int) list ->
+  ?until_outputs:bool ->
+  Bits.Rng.t ->
+  ('v, 'i, 'a) state ->
+  unit
+(** Fair random schedule: each step picks uniformly among running processes.
+    [crashes] is a list of [(pid, after_steps)]: the process crashes once it
+    has taken [after_steps] steps (0 = crashes before taking any step).
+    [until_outputs] (default false) stops as soon as {!all_output} holds —
+    the termination condition for never-halting simulation protocols that
+    decide via [Output]. Random schedules are fair with probability 1, so
+    with [max_steps] large enough every wait-free protocol run completes. *)
+
+val run_solo : ?max_steps:int -> ('v, 'i, 'a) state -> int -> unit
+(** Run only process [pid] until it halts: the paper's solo execution, all
+    other processes crashed at the start. *)

@@ -1,0 +1,14 @@
+open Program.Infix
+
+let arrays_equal equal a b =
+  let rec loop i = i = Array.length a || (equal a.(i) b.(i) && loop (i + 1)) in
+  Array.length a = Array.length b && loop 0
+
+let double_collect ~n ~equal =
+  let rec scan previous =
+    let* current = Program.collect n in
+    if arrays_equal equal previous current then Program.return current
+    else scan current
+  in
+  let* first = Program.collect n in
+  scan first

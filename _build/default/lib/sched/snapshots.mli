@@ -1,0 +1,18 @@
+(** Snapshots built from read/write registers (Lemma 2.3 in spirit).
+
+    [double_collect ~n ~equal] repeatedly collects all [n] registers until
+    two successive collects agree, and returns that collect. A clean double
+    collect is a linearizable snapshot (its value was instantaneously present
+    in memory between the two collects).
+
+    Termination caveat: a double collect is wait-free only when the protocols
+    sharing the memory perform finitely many writes in total (true for every
+    one-shot protocol in this repository); under infinitely many writes a
+    scanner can starve, which is exactly why Afek et al. needed embedded
+    scans. The experiments count steps, so the simple bounded-write variant
+    is the honest choice. *)
+
+val double_collect :
+  n:int -> equal:('v -> 'v -> bool) -> ('v, 'i, 'v array) Program.t
+(** At least [2 n] read steps; at most [2 n (W + 1)] where [W] is the number
+    of writes concurrent with the scan. *)

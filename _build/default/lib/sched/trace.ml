@@ -1,0 +1,30 @@
+type 'v op =
+  | Write of 'v
+  | Read of int * 'v
+  | Write_input
+  | Read_input of int
+  | Crash
+  | Decide
+
+type 'v event = { pid : int; op : 'v op }
+
+let pp_event pp_v ppf { pid; op } =
+  match op with
+  | Write v -> Format.fprintf ppf "p%d: write %a" pid pp_v v
+  | Read (j, v) -> Format.fprintf ppf "p%d: read R%d -> %a" pid j pp_v v
+  | Write_input -> Format.fprintf ppf "p%d: write input" pid
+  | Read_input j -> Format.fprintf ppf "p%d: read I%d" pid j
+  | Crash -> Format.fprintf ppf "p%d: crash" pid
+  | Decide -> Format.fprintf ppf "p%d: decide" pid
+
+let pp pp_v ppf events =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline (pp_event pp_v) ppf
+    events
+
+let schedule_of events =
+  List.filter_map
+    (fun { pid; op } ->
+      match op with
+      | Write _ | Read _ | Write_input | Read_input _ -> Some pid
+      | Crash | Decide -> None)
+    events

@@ -1,0 +1,23 @@
+(** Step-level execution traces. *)
+
+type 'v op =
+  | Write of 'v  (** wrote own coordination register *)
+  | Read of int * 'v  (** read register [j], obtaining the value *)
+  | Write_input
+  | Read_input of int
+  | Crash
+  | Decide
+
+type 'v event = { pid : int; op : 'v op }
+
+val pp_event :
+  (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v event -> unit
+
+val pp :
+  (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v event list -> unit
+(** One event per line, oldest first. *)
+
+val schedule_of : 'v event list -> int list
+(** The sequence of process ids of the memory steps in the trace (crash and
+    decide events excluded) — feeding it back to
+    {!Scheduler.run_schedule} replays the execution. *)

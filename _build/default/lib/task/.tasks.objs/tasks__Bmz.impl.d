@@ -1,0 +1,1 @@
+lib/task/bmz.ml: Array Format List Option Queue Task

@@ -1,0 +1,1 @@
+lib/task/bmz.mli: Format Task

@@ -1,0 +1,1 @@
+lib/task/consensus.ml: Array Format Int List Task

@@ -1,0 +1,1 @@
+lib/task/consensus.mli: Format Task

@@ -1,0 +1,1 @@
+lib/task/eps_agreement.ml: Array Bits Format Int List Printf Task

@@ -1,0 +1,1 @@
+lib/task/eps_agreement.mli: Bits Task

@@ -1,0 +1,1 @@
+lib/task/gallery.ml: Bits Bmz Format Int List Printf

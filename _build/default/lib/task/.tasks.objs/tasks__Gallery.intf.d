@@ -1,0 +1,1 @@
+lib/task/gallery.mli: Bits Bmz

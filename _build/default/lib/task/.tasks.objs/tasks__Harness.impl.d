@@ -1,0 +1,1 @@
+lib/task/harness.ml: Array Bits Format List Option Printf Sched String Task

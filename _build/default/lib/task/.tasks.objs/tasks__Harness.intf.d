@@ -1,0 +1,1 @@
+lib/task/harness.mli: Bits Format Sched Task

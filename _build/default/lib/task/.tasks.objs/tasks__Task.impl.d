@@ -1,0 +1,1 @@
+lib/task/task.ml: Array Format List Option

@@ -1,0 +1,1 @@
+lib/task/task.mli: Format

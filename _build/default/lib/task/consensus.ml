@@ -1,0 +1,25 @@
+let task ~n ~values ~equal ~pp =
+  let legal ~inputs ~outputs =
+    let decided =
+      Array.to_list outputs |> List.filter_map (fun o -> o)
+    in
+    let validity d = Array.exists (fun x -> equal x d) inputs in
+    let agreement =
+      match decided with
+      | [] -> true
+      | d :: rest -> List.for_all (equal d) rest
+    in
+    agreement && List.for_all validity decided
+  in
+  {
+    Task.name = "consensus";
+    arity = n;
+    input_domain = values;
+    legal_inputs = (fun _ -> true);
+    legal;
+    pp_input = pp;
+    pp_output = pp;
+  }
+
+let binary ~n =
+  task ~n ~values:[ 0; 1 ] ~equal:Int.equal ~pp:Format.pp_print_int

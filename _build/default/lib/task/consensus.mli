@@ -1,0 +1,11 @@
+(** The consensus task (Section 2): every correct process decides the input
+    of some process, and all decisions are identical. Unsolvable already in
+    the 1-resilient model (Lemma 2.1) — present here as the target of the
+    Section 4 reduction and of the model-checking experiment E11. *)
+
+val task :
+  n:int -> values:'a list -> equal:('a -> 'a -> bool) ->
+  pp:(Format.formatter -> 'a -> unit) -> ('a, 'a) Task.t
+
+val binary : n:int -> (int, int) Task.t
+(** Consensus over inputs {0, 1}. *)

@@ -1,0 +1,33 @@
+module Q = Bits.Rational
+
+let epsilon ~k = Q.make 1 k
+
+let on_grid ~k v =
+  (* v = num/den in lowest terms is an m/k iff den divides k and v in
+     [0,1]. *)
+  Q.(v >= zero) && Q.(v <= one) && k mod Q.den v = 0
+
+let task ~n ~k =
+  if k < 1 then invalid_arg "Eps_agreement.task: k must be >= 1";
+  let eps = epsilon ~k in
+  let legal ~inputs ~outputs =
+    let decided = Array.to_list outputs |> List.filter_map (fun o -> o) in
+    let all_inputs_are x = Array.for_all (Int.equal x) inputs in
+    let validity =
+      if all_inputs_are 0 then List.for_all (Q.equal Q.zero) decided
+      else if all_inputs_are 1 then List.for_all (Q.equal Q.one) decided
+      else true
+    in
+    validity
+    && List.for_all (on_grid ~k) decided
+    && Q.(Q.spread decided <= eps)
+  in
+  {
+    Task.name = Printf.sprintf "eps-agreement(1/%d)" k;
+    arity = n;
+    input_domain = [ 0; 1 ];
+    legal_inputs = (fun _ -> true);
+    legal;
+    pp_input = Format.pp_print_int;
+    pp_output = Q.pp;
+  }

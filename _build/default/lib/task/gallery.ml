@@ -1,0 +1,120 @@
+module Q = Bits.Rational
+
+let binary_inputs = [ 0; 1 ]
+
+let eps_grid ~k =
+  let grid = List.init (k + 1) (fun m -> Q.make m k) in
+  let outputs =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if Q.(abs (sub a b) <= Q.make 1 k) then Some (a, b) else None)
+          grid)
+      grid
+  in
+  let delta (x0, x1) (a, b) =
+    if x0 = x1 then Q.equal a (Q.of_int x0) && Q.equal b (Q.of_int x0)
+    else true
+  in
+  {
+    Bmz.name = Printf.sprintf "eps-grid(1/%d)" k;
+    inputs = binary_inputs;
+    legal_input = (fun _ -> true);
+    outputs;
+    delta;
+    equal_input = Int.equal;
+    equal_output = Q.equal;
+    pp_input = Format.pp_print_int;
+    pp_output = Q.pp;
+  }
+
+let int_task name outputs delta =
+  {
+    Bmz.name;
+    inputs = binary_inputs;
+    legal_input = (fun _ -> true);
+    outputs;
+    delta;
+    equal_input = Int.equal;
+    equal_output = Int.equal;
+    pp_input = Format.pp_print_int;
+    pp_output = Format.pp_print_int;
+  }
+
+let renaming3 =
+  let names = [ 0; 1; 2 ] in
+  let outputs =
+    List.concat_map
+      (fun a ->
+        List.filter_map (fun b -> if a <> b then Some (a, b) else None) names)
+      names
+  in
+  int_task "renaming3" outputs (fun _ (a, b) -> a <> b)
+
+let always_zero = int_task "always-zero" [ (0, 0) ] (fun _ (a, b) -> a = 0 && b = 0)
+
+let ternary_task name outputs delta =
+  {
+    Bmz.name;
+    inputs = [ 0; 1; 2 ];
+    legal_input = (fun _ -> true);
+    outputs;
+    delta;
+    equal_input = Int.equal;
+    equal_output = Int.equal;
+    pp_input = Format.pp_print_int;
+    pp_output = Format.pp_print_int;
+  }
+
+let hull_agreement =
+  let values = [ 0; 1; 2 ] in
+  let outputs =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b -> if abs (a - b) <= 1 then Some (a, b) else None)
+          values)
+      values
+  in
+  let delta (x0, x1) (a, b) =
+    let lo = min x0 x1 and hi = max x0 x1 in
+    a >= lo && a <= hi && b >= lo && b <= hi && abs (a - b) <= 1
+  in
+  ternary_task "hull-agreement" outputs delta
+
+let weak_consensus =
+  let outputs = [ (0, 0); (0, 1); (1, 0); (1, 1) ] in
+  let delta (x0, x1) (a, b) = if x0 = x1 then a = x0 && b = x0 else true in
+  int_task "weak-consensus" outputs delta
+
+let exact_max =
+  let outputs = List.map (fun v -> (v, v)) [ 0; 1; 2 ] in
+  let delta (x0, x1) (a, b) =
+    let m = max x0 x1 in
+    a = m && b = m
+  in
+  ternary_task "exact-max" outputs delta
+
+let binary_consensus =
+  let outputs = [ (0, 0); (1, 1) ] in
+  let delta (x0, x1) (a, b) = a = b && (a = x0 || a = x1) in
+  int_task "binary-consensus" outputs delta
+
+let or_task =
+  let outputs = [ (0, 0); (1, 1) ] in
+  let delta (x0, x1) (a, b) =
+    let v = if x0 = 1 || x1 = 1 then 1 else 0 in
+    a = v && b = v
+  in
+  int_task "or" outputs delta
+
+
+let noisy_grid =
+  (* eps-grid k=1 over ints, plus an isolated junk configuration. *)
+  let outputs = [ (0, 0); (0, 1); (1, 0); (1, 1); (9, 9) ] in
+  let delta (x0, x1) (a, b) =
+    if x0 = x1 then a = x0 && b = x0
+    else (a, b) = (9, 9) || (abs (a - b) <= 1 && a <= 1 && b <= 1)
+  in
+  int_task "noisy-grid" outputs delta

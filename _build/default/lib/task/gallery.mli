@@ -1,0 +1,49 @@
+(** A gallery of two-process tasks in Biran–Moran–Zaks form.
+
+    The solvable ones exercise Algorithm 2 and the {!Bmz} plan construction;
+    the unsolvable ones witness that {!Bmz.plan} correctly rejects tasks
+    whose output graphs are disconnected or uncoverable (the necessary
+    direction of Lemma 5.7). *)
+
+val eps_grid : k:int -> (int, Bits.Rational.t) Bmz.two_task
+(** Discretized binary epsilon-agreement: outputs are pairs [(a, b)] on the
+    grid [m/k] with [|a - b| <= 1/k]; equal inputs force that input.
+    Solvable for every [k >= 1]. *)
+
+val renaming3 : (int, int) Bmz.two_task
+(** Renaming into the name space {0, 1, 2}: processes output distinct names,
+    inputs (in {0, 1}) unconstrained. Solvable. *)
+
+val always_zero : (int, int) Bmz.two_task
+(** Trivial calibration task: both processes must output 0. Solvable with a
+    single output configuration. *)
+
+val hull_agreement : (int, int) Bmz.two_task
+(** Ternary inputs {0, 1, 2}; outputs are integers within the input hull and
+    at most 1 apart — an integer-grid approximate agreement. Solvable, and
+    exercises Algorithm 2 with a non-binary input domain. *)
+
+val weak_consensus : (int, int) Bmz.two_task
+(** Agree on the common input when inputs coincide; anything in {0, 1}
+    otherwise. Solvable — the relaxation that separates consensus's validity
+    from its agreement. *)
+
+val binary_consensus : (int, int) Bmz.two_task
+(** Two-process binary consensus. {e Not} 1-resilient solvable (Lemma 2.1):
+    the output graph restricted to mixed inputs is disconnected. *)
+
+val exact_max : (int, int) Bmz.two_task
+(** Both processes must output max(x0, x1) over ternary inputs. {e Not}
+    solvable: a solo process cannot commit (covering fails), the ternary
+    cousin of {!or_task}. *)
+
+val noisy_grid : (int, int) Bmz.two_task
+(** The integer-grid agreement of eps-grid (k = 1) with a spurious isolated
+    output configuration (9, 9) that Delta also allows on mixed inputs.
+    With O' = O the output graph is disconnected, so {!Bmz.plan} rejects
+    it; {!Bmz.plan_searching} finds the witness subset without the junk
+    configuration — the existential in Lemma 5.7 at work. *)
+
+val or_task : (int, int) Bmz.two_task
+(** Both processes must output the OR of the two inputs. {e Not} solvable:
+    covering fails — a process running solo cannot commit to either value. *)

@@ -1,0 +1,153 @@
+module Scheduler = Sched.Scheduler
+
+type ('v, 'i, 'o) algorithm = {
+  name : string;
+  memory : unit -> ('v, 'i) Sched.Memory.t;
+  program : pid:int -> input:'i -> ('v, 'i, 'o) Sched.Program.t;
+}
+
+type 'i violation = {
+  inputs : 'i array;
+  crashes : (int * int) list;
+  seed : int option;
+  reason : string;
+}
+
+let pp_violation pp_i ppf { inputs; crashes; seed; reason } =
+  Format.fprintf ppf "@[<v>violation: %s@ inputs: %a@ crashes: %a@ seed: %a@]"
+    reason
+    (Task.pp_config pp_i)
+    (Array.map Option.some inputs)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (pid, after) -> Format.fprintf ppf "p%d@%d" pid after))
+    crashes
+    (Format.pp_print_option Format.pp_print_int)
+    seed
+
+type stats = { runs : int; max_process_steps : int; max_bits : int }
+
+type 'i report = Pass of stats | Fail of 'i violation
+
+let pp_report pp_i ppf = function
+  | Pass { runs; max_process_steps; max_bits } ->
+      Format.fprintf ppf
+        "pass: %d runs, <=%d steps/process, <=%d bits/register" runs
+        max_process_steps max_bits
+  | Fail v -> pp_violation pp_i ppf v
+
+let start algorithm ~inputs =
+  Scheduler.start ~memory:(algorithm.memory ())
+    ~programs:(fun pid -> algorithm.program ~pid ~input:inputs.(pid))
+    ()
+
+let run_once algorithm ~inputs ~schedule ?(max_steps = 100_000) () =
+  let state = start algorithm ~inputs in
+  (match schedule with
+  | `Random (rng, crashes) ->
+      Scheduler.run_random ~max_steps ~crashes ~until_outputs:true rng state
+  | `List pids ->
+      Scheduler.run_schedule state pids;
+      Scheduler.run_round_robin ~max_steps state);
+  state
+
+(* Check one finished (or abandoned) execution; crashed processes contribute
+   [None] outputs, surviving ones must have announced a decision (halting is
+   not required: simulations may decide via [Output] and keep serving). *)
+let judge task ~inputs ~crashes ~seed state =
+  if not (Scheduler.all_output state) then
+    Some
+      {
+        inputs;
+        crashes;
+        seed;
+        reason =
+          Printf.sprintf
+            "process(es) %s did not decide within the step budget"
+            (String.concat ","
+               (List.map string_of_int (Scheduler.running state)));
+      }
+  else
+    let outputs = Scheduler.decisions state in
+    match Task.check task ~inputs ~outputs with
+    | Ok () -> None
+    | Error reason -> Some { inputs; crashes; seed; reason }
+
+let observe stats state =
+  let per_proc = ref 0 in
+  for pid = 0 to Scheduler.n state - 1 do
+    per_proc := max !per_proc (Scheduler.steps_of state pid)
+  done;
+  {
+    runs = stats.runs + 1;
+    max_process_steps = max stats.max_process_steps !per_proc;
+    max_bits =
+      max stats.max_bits
+        (Sched.Memory.max_bits_written (Scheduler.memory state));
+  }
+
+let initial_stats = { runs = 0; max_process_steps = 0; max_bits = 0 }
+
+let random_crash_pattern rng ~n ~resilience =
+  let how_many = Bits.Rng.int rng (resilience + 1) in
+  let pids = Array.init n (fun i -> i) in
+  Bits.Rng.shuffle rng pids;
+  List.init how_many (fun i -> (pids.(i), Bits.Rng.int rng 30))
+
+let check_random ~task ~algorithm ?resilience ?(max_steps = 100_000) ~runs
+    ~seed () =
+  let n = task.Task.arity in
+  let resilience = Option.value resilience ~default:(n - 1) in
+  let configurations = Array.of_list (Task.input_configurations task) in
+  if Array.length configurations = 0 then
+    invalid_arg "Harness.check_random: task admits no input configuration";
+  let rec loop run stats =
+    if run >= runs then Pass stats
+    else
+      let run_seed = seed + run in
+      let rng = Bits.Rng.make run_seed in
+      let inputs =
+        configurations.(Bits.Rng.int rng (Array.length configurations))
+      in
+      let crashes = random_crash_pattern rng ~n ~resilience in
+      let state =
+        run_once algorithm ~inputs ~schedule:(`Random (rng, crashes))
+          ~max_steps ()
+      in
+      match judge task ~inputs ~crashes ~seed:(Some run_seed) state with
+      | Some v -> Fail v
+      | None -> loop (run + 1) (observe stats state)
+  in
+  loop 0 initial_stats
+
+exception Stop
+
+let check_exhaustive ~task ~algorithm ?(max_crashes = 0) ?(max_steps = 10_000)
+    () =
+  let stats = ref initial_stats in
+  let failure = ref None in
+  (try
+     List.iter
+       (fun inputs ->
+         let init () = start algorithm ~inputs in
+         let stop reason =
+           failure := Some { inputs; crashes = []; seed = None; reason };
+           raise Stop
+         in
+         let visit state =
+           (match judge task ~inputs ~crashes:[] ~seed:None state with
+           | Some v -> stop v.reason
+           | None -> ());
+           stats := observe !stats state
+         in
+         let on_truncated _ =
+           stop "interleaving exceeded the step budget (non-termination?)"
+         in
+         if max_crashes = 0 then
+           Sched.Explore.interleavings ~max_steps ~on_truncated ~init visit
+         else
+           Sched.Explore.interleavings_with_crashes ~max_steps ~on_truncated
+             ~max_crashes ~init visit)
+       (Task.input_configurations task)
+   with Stop -> ());
+  match !failure with Some v -> Fail v | None -> Pass !stats

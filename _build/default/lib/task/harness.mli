@@ -1,0 +1,73 @@
+(** Running an algorithm against a task specification over many schedules and
+    crash patterns, and checking every outcome against Delta.
+
+    This is the workhorse behind most experiments: positive theorems are
+    demonstrated by surviving the harness (exhaustive schedules where
+    feasible, seeded random fair schedules with crash injection otherwise);
+    the Section 4 impossibility is demonstrated by the harness {e finding}
+    violations for protocols the theorem rules out. *)
+
+type ('v, 'i, 'o) algorithm = {
+  name : string;
+  memory : unit -> ('v, 'i) Sched.Memory.t;
+  program : pid:int -> input:'i -> ('v, 'i, 'o) Sched.Program.t;
+}
+(** [memory] builds a fresh shared memory (fixing n and the register budget);
+    [program] is the per-process protocol, given the process's private
+    input. *)
+
+type 'i violation = {
+  inputs : 'i array;
+  crashes : (int * int) list;  (** (pid, crashed after this many steps) *)
+  seed : int option;  (** random-run seed, when applicable *)
+  reason : string;
+}
+
+val pp_violation :
+  (Format.formatter -> 'i -> unit) -> Format.formatter -> 'i violation -> unit
+
+type stats = {
+  runs : int;
+  max_process_steps : int;  (** worst per-process step count observed *)
+  max_bits : int;  (** widest register value ever written *)
+}
+
+type 'i report = Pass of stats | Fail of 'i violation
+
+val pp_report :
+  (Format.formatter -> 'i -> unit) -> Format.formatter -> 'i report -> unit
+
+val run_once :
+  ('v, 'i, 'o) algorithm -> inputs:'i array ->
+  schedule:[ `Random of Bits.Rng.t * (int * int) list | `List of int list ] ->
+  ?max_steps:int -> unit -> ('v, 'i, 'o) Sched.Scheduler.state
+(** One execution. With [`Random (rng, crashes)] the run uses a fair random
+    schedule with the given crash points; with [`List pids] it replays the
+    given schedule (no crashes, remaining processes finished round-robin). *)
+
+val check_random :
+  task:('i, 'o) Task.t ->
+  algorithm:('v, 'i, 'o) algorithm ->
+  ?resilience:int ->
+  ?max_steps:int ->
+  runs:int ->
+  seed:int ->
+  unit ->
+  'i report
+(** [runs] executions with uniformly drawn admissible inputs, a fair random
+    schedule, and a uniformly drawn crash pattern of at most [resilience]
+    processes (default: arity - 1, i.e. wait-free) crashing at random times.
+    Fails if a surviving process does not decide within [max_steps] (default
+    100_000) total steps, or if the decided outputs violate Delta. *)
+
+val check_exhaustive :
+  task:('i, 'o) Task.t ->
+  algorithm:('v, 'i, 'o) algorithm ->
+  ?max_crashes:int ->
+  ?max_steps:int ->
+  unit ->
+  'i report
+(** Every admissible input configuration crossed with every interleaving
+    (and, when [max_crashes > 0], every crash placement up to that budget).
+    Interleavings longer than [max_steps] (default 10_000) are reported as a
+    termination failure rather than skipped. *)

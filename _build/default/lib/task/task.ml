@@ -1,0 +1,39 @@
+type ('i, 'o) t = {
+  name : string;
+  arity : int;
+  input_domain : 'i list;
+  legal_inputs : 'i array -> bool;
+  legal : inputs:'i array -> outputs:'o option array -> bool;
+  pp_input : Format.formatter -> 'i -> unit;
+  pp_output : Format.formatter -> 'o -> unit;
+}
+
+let pp_config pp_v ppf config =
+  let pp_entry ppf = function
+    | None -> Format.pp_print_string ppf "_"
+    | Some v -> pp_v ppf v
+  in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_entry)
+    (Array.to_seq config)
+
+let check t ~inputs ~outputs =
+  if t.legal ~inputs ~outputs then Ok ()
+  else
+    Error
+      (Format.asprintf "task %s: outputs %a illegal for inputs %a" t.name
+         (pp_config t.pp_output) outputs (pp_config t.pp_input)
+         (Array.map Option.some inputs))
+
+let input_configurations t =
+  let rec build k =
+    if k = 0 then [ [] ]
+    else
+      let rest = build (k - 1) in
+      List.concat_map (fun x -> List.map (fun tl -> x :: tl) rest)
+        t.input_domain
+  in
+  build t.arity |> List.map Array.of_list
+  |> List.filter t.legal_inputs

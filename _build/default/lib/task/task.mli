@@ -1,0 +1,34 @@
+(** Distributed tasks Pi = (I, O, Delta) in the sense of the paper.
+
+    A task for [arity] processes fixes a per-process input domain, a predicate
+    on full input configurations, and a legality predicate [legal] relating an
+    input configuration to a {e partial} output configuration ([None] marks a
+    process that crashed or was still running when the execution was cut).
+    [legal] must be monotone in the partial order "define more outputs": an
+    algorithm is judged on what the deciding processes produced, never on
+    what crashed ones did not. *)
+
+type ('i, 'o) t = {
+  name : string;
+  arity : int;
+  input_domain : 'i list;  (** per-process inputs *)
+  legal_inputs : 'i array -> bool;  (** admissible input configurations *)
+  legal : inputs:'i array -> outputs:'o option array -> bool;
+  pp_input : Format.formatter -> 'i -> unit;
+  pp_output : Format.formatter -> 'o -> unit;
+}
+
+val check :
+  ('i, 'o) t -> inputs:'i array -> outputs:'o option array ->
+  (unit, string) result
+(** Like [t.legal] but with a human-readable description of the violation
+    (inputs, outputs, task name) on failure. *)
+
+val input_configurations : ('i, 'o) t -> 'i array list
+(** All admissible input configurations — [|input_domain|^arity] filtered by
+    [legal_inputs]; intended for small domains (binary inputs). *)
+
+val pp_config :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a option array ->
+  unit
+(** Renders e.g. [(0, _, 1)] with [_] for missing entries. *)

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Array Bits List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bits Core Experiments Format Int Iterated List Printf Sched Seq String Tasks

@@ -1,0 +1,1 @@
+test/test_iterated.ml: Alcotest Array Bits Int Iterated List Printf

@@ -1,0 +1,1 @@
+test/test_msgpass.ml: Alcotest Array Bits Char Core Format Gen List Msgpass Printf QCheck QCheck_alcotest Sched String Tasks

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bits Core Int Iterated List Option QCheck QCheck_alcotest Sched Tasks

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Bits Core Int List Printf Sched Tasks

@@ -1,0 +1,1 @@
+test/test_tasks.ml: Alcotest Array Bits Core List Result Sched String Tasks

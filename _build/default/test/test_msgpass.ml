@@ -1,0 +1,394 @@
+(* Tests for lib/msgpass: topology, codecs, alternating bit, ABD, routing,
+   and the full Theorem 1.3 pipeline. *)
+
+module Q = Bits.Rational
+module T = Msgpass.Topology
+module Codec = Msgpass.Codec
+module Wire = Msgpass.Wire
+module AB = Msgpass.Alt_bit
+module H = Tasks.Harness
+
+let test_topology_connectivity () =
+  List.iter
+    (fun (n, t) ->
+      let ring = T.augmented_ring ~n ~t in
+      Alcotest.(check bool)
+        (Printf.sprintf "ring n=%d t=%d is (t+1)-connected" n t)
+        true
+        (T.survivor_connected ring ~faults:t);
+      Alcotest.(check int) "out-degree t+1" (t + 1)
+        (List.length (T.successors ring 0));
+      Alcotest.(check int) "in-degree t+1" (t + 1)
+        (List.length (T.predecessors ring 0)))
+    [ (3, 1); (5, 1); (5, 2); (7, 2); (7, 3) ]
+
+let test_topology_not_overconnected () =
+  (* Removing t+1 consecutive nodes disconnects the ring: the construction
+     is tight. *)
+  let ring = T.augmented_ring ~n:7 ~t:2 in
+  Alcotest.(check bool) "t+1 consecutive faults disconnect" false
+    (T.strongly_connected ring ~without:[ 1; 2; 3 ])
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "string->bits->string" s
+        (Codec.string_of_bits (Codec.bits_of_string s)))
+    [ ""; "a"; "hello world"; String.init 17 Char.chr ]
+
+let test_codec_framing () =
+  (* Several frames through one deframer, one bit at a time. *)
+  let messages = [ "alpha"; ""; "x"; "12:34:56" ] in
+  let stream = List.concat_map Codec.encode messages in
+  let d = Codec.decoder () in
+  let received =
+    List.filter_map (fun bit -> Codec.decode d bit) stream
+  in
+  Alcotest.(check (list string)) "frames recovered in order" messages received
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrip (random strings)" ~count:200
+    QCheck.(string_of_size (Gen.int_bound 40))
+    (fun s -> Codec.string_of_bits (Codec.bits_of_string s) = s)
+
+let prop_framing_stream =
+  QCheck.Test.make ~name:"framing recovers random message streams" ~count:100
+    QCheck.(list_of_size (Gen.int_bound 5) (string_of_size (Gen.int_bound 12)))
+    (fun messages ->
+      let d = Codec.decoder () in
+      let received =
+        List.filter_map (fun b -> Codec.decode d b)
+          (List.concat_map Codec.encode messages)
+      in
+      received = messages)
+
+let test_wire_roundtrip () =
+  let chunks = [ "a"; ""; "12:3"; "::"; String.make 50 'z' ] in
+  Alcotest.(check (list string)) "enc/dec" chunks (Wire.dec (Wire.enc chunks))
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire enc/dec (random chunk lists)" ~count:200
+    QCheck.(list_of_size (Gen.int_bound 6) (string_of_size (Gen.int_bound 20)))
+    (fun chunks -> Wire.dec (Wire.enc chunks) = chunks)
+
+let test_wire_envelope_codec () =
+  let codec =
+    Wire.envelope_codec
+      (Wire.abd_msg_codec (Wire.cell_codec Wire.rational_codec Wire.int_codec))
+  in
+  let envelope =
+    {
+      Msgpass.Router.origin = 2;
+      seq = 41;
+      dest = 0;
+      body =
+        Msgpass.Abd.Write_req
+          { reg = 1; ts = 7; value = Msgpass.Interp.Coord (Q.make 3 7); op = 9 };
+    }
+  in
+  let back = codec.Wire.of_string (codec.Wire.to_string envelope) in
+  Alcotest.(check bool) "envelope roundtrip" true (envelope = back)
+
+(* Alternating bit: push messages through polled register fields under a
+   random polling schedule. *)
+let test_alt_bit_channel () =
+  List.iter
+    (fun chunk ->
+      let rng = Bits.Rng.make (100 + chunk) in
+      let messages = List.init 8 (fun i -> Printf.sprintf "msg-%d!" i) in
+      let sender = AB.sender ~chunk in
+      List.iter (AB.send_string sender) messages;
+      let receiver = AB.receiver () in
+      let data_field = ref (AB.initial_field ~chunk) in
+      let ack_field = ref 0 in
+      let received = ref [] in
+      let steps = ref 0 in
+      while
+        (not (AB.sender_idle sender))
+        && !steps < 100_000
+      do
+        incr steps;
+        if Bits.Rng.bool rng then (
+          match AB.sender_poll sender ~ack_seen:!ack_field with
+          | Some field -> data_field := field
+          | None -> ())
+        else begin
+          let msgs = AB.receiver_poll receiver ~data_seen:!data_field in
+          received := !received @ msgs;
+          ack_field := AB.receiver_ack receiver
+        end
+      done;
+      (* Drain the last in-flight chunk. *)
+      let msgs = AB.receiver_poll receiver ~data_seen:!data_field in
+      received := !received @ msgs;
+      Alcotest.(check (list string))
+        (Printf.sprintf "FIFO delivery (chunk=%d)" chunk)
+        messages !received)
+    [ 1; 3; 8 ]
+
+let prop_alt_bit_fifo =
+  QCheck.Test.make ~name:"alt-bit: FIFO for random chunks and messages"
+    ~count:60
+    QCheck.(
+      triple (int_range 1 10)
+        (list_of_size (Gen.int_bound 5) (string_of_size (Gen.int_bound 10)))
+        (int_range 0 10_000))
+    (fun (chunk, messages, seed) ->
+      let rng = Bits.Rng.make seed in
+      let sender = AB.sender ~chunk in
+      List.iter (AB.send_string sender) messages;
+      let receiver = AB.receiver () in
+      let data = ref (AB.initial_field ~chunk) in
+      let received = ref [] in
+      let steps = ref 0 in
+      while (not (AB.sender_idle sender)) && !steps < 100_000 do
+        incr steps;
+        if Bits.Rng.bool rng then (
+          match
+            AB.sender_poll sender ~ack_seen:(AB.receiver_ack receiver)
+          with
+          | Some f -> data := f
+          | None -> ())
+        else received := !received @ AB.receiver_poll receiver ~data_seen:!data
+      done;
+      received := !received @ AB.receiver_poll receiver ~data_seen:!data;
+      !received = messages)
+
+(* ABD + Interp over the complete network: baseline eps-agreement survives
+   minority crashes. *)
+let test_abd_message_passing () =
+  let n = 3 and t = 1 and rounds = 3 in
+  let eps = Q.make 1 (Core.Baseline_unbounded.denominator ~rounds) in
+  for seed = 0 to 39 do
+    let rng = Bits.Rng.make seed in
+    let inputs = Array.init n (fun _ -> Bits.Rng.int rng 2) in
+    let interps =
+      Array.init n (fun me ->
+          Msgpass.Interp.create ~n ~t ~me ~init:[]
+            ~program:
+              (Core.Baseline_unbounded.protocol ~n ~rounds ~me
+                 ~input:inputs.(me)))
+    in
+    let net =
+      Msgpass.Net.create ~n ~nodes:(fun pid ->
+          Msgpass.Interp.node interps.(pid))
+    in
+    let crash_pid = if Bits.Rng.bool rng then Some (Bits.Rng.int rng n) else None in
+    let crash_at = Bits.Rng.int rng 300 in
+    let events = ref 0 in
+    Msgpass.Net.run_random ~rng ~max_events:100_000
+      ~until:(fun () ->
+        incr events;
+        (match crash_pid with
+        | Some p when !events = crash_at && Msgpass.Net.crashed net = [] ->
+            Msgpass.Net.crash net p
+        | _ -> ());
+        false)
+      net;
+    let crashed = Msgpass.Net.crashed net in
+    let decided =
+      Array.to_list interps
+      |> List.mapi (fun pid (i, _) -> (pid, Msgpass.Interp.decision i))
+      |> List.filter (fun (pid, _) -> not (List.mem pid crashed))
+    in
+    List.iter
+      (fun (pid, d) ->
+        if d = None then
+          Alcotest.failf "seed %d: live process %d undecided" seed pid)
+      decided;
+    let values = List.filter_map snd decided in
+    Alcotest.(check bool) "agreement" true Q.(Q.spread values <= eps)
+  done
+
+(* ABD atomicity: a single writer bumps a counter through ABD writes while
+   two readers read concurrently. Atomic SWMR registers forbid per-reader
+   regression and new/old inversions across readers (a read that starts
+   after another read completes cannot return an older value). *)
+let test_abd_atomicity () =
+  let n = 5 and t = 2 in
+  let open Sched.Program.Infix in
+  let writer_program =
+    let rec bump i =
+      if i > 10 then Sched.Program.return []
+      else
+        let* () = Sched.Program.write i in
+        bump (i + 1)
+    in
+    bump 1
+  in
+  let reader_program =
+    let rec scan k acc =
+      if k = 0 then Sched.Program.return (List.rev acc)
+      else
+        let* v = Sched.Program.read 0 in
+        scan (k - 1) (v :: acc)
+    in
+    scan 12 []
+  in
+  for seed = 0 to 29 do
+    let interps =
+      Array.init n (fun me ->
+          Msgpass.Interp.create ~n ~t ~me ~init:0
+            ~program:
+              (if me = 0 then writer_program
+               else if me <= 2 then reader_program
+               else Sched.Program.return []))
+    in
+    let net =
+      Msgpass.Net.create ~n ~nodes:(fun pid ->
+          Msgpass.Interp.node interps.(pid))
+    in
+    Msgpass.Net.run_random ~rng:(Bits.Rng.make (400 + seed)) net;
+    (* Per-reader monotonicity: the sequence of values each reader returns
+       never decreases (reads are sequential per process, so regression
+       would be a new/old inversion against its own earlier read). *)
+    for r = 1 to 2 do
+      match Msgpass.Interp.decision (fst interps.(r)) with
+      | Some values ->
+          let rec monotone = function
+            | a :: b :: rest -> a <= b && monotone (b :: rest)
+            | _ -> true
+          in
+          if not (monotone values) then
+            Alcotest.failf "seed %d: reader %d regressed: %s" seed r
+              (String.concat "," (List.map string_of_int values))
+      | None -> Alcotest.failf "seed %d: reader %d blocked" seed r
+    done
+  done
+
+(* Routing over the ring in the Net model: flooding delivers despite t
+   crashed forwarders. *)
+let test_router_flooding () =
+  let n = 7 and t = 2 in
+  let topology = T.augmented_ring ~n ~t in
+  let routers = Array.init n (fun me -> Msgpass.Router.create ~topology ~me) in
+  let delivered = ref [] in
+  let nodes pid =
+    {
+      Msgpass.Net.on_start =
+        (fun () ->
+          if pid = 0 then
+            (* 0 sends to its antipode through the ring. *)
+            let local, outs = Msgpass.Router.send routers.(0) ~dest:4 "ping" in
+            assert (local = []);
+            outs
+          else []);
+      on_message =
+        (fun ~from:_ envelope ->
+          let deliveries, forwards =
+            Msgpass.Router.receive routers.(pid) envelope
+          in
+          List.iter
+            (fun (e : _ Msgpass.Router.envelope) ->
+              delivered := (pid, e.body) :: !delivered)
+            deliveries;
+          forwards);
+    }
+  in
+  let net = Msgpass.Net.create ~n ~nodes in
+  (* Crash two consecutive intermediate nodes. *)
+  Msgpass.Net.crash net 1;
+  Msgpass.Net.crash net 2;
+  Msgpass.Net.run_random ~rng:(Bits.Rng.make 7) net;
+  Alcotest.(check (list (pair int string)))
+    "delivered exactly once despite crashes"
+    [ (4, "ping") ]
+    !delivered
+
+(* Theorem 1.3 end-to-end: the compiled protocol solves eps-agreement with
+   3(t+1)-bit registers under t-resilient crash injection. *)
+let pipeline_algorithm ~n ~t ~rounds ~chunk =
+  let value = Wire.list_codec (Wire.pair_codec Wire.int_codec Wire.rational_codec) in
+  Msgpass.Pipeline.algorithm ~n ~t ~chunk ~value ~input:Wire.int_codec
+    ~init:[]
+    ~source:(fun ~pid ~input ->
+      Core.Baseline_unbounded.protocol ~n ~rounds ~me:pid ~input)
+    ~name:(Printf.sprintf "pipeline(n=%d,t=%d,chunk=%d)" n t chunk)
+    ()
+
+let test_pipeline_register_bits () =
+  List.iter
+    (fun t ->
+      Alcotest.(check int)
+        (Printf.sprintf "3(t+1) bits for t=%d" t)
+        (3 * (t + 1))
+        (Msgpass.Pipeline.register_bits ~t ~chunk:1))
+    [ 1; 2; 3; 5 ]
+
+let test_pipeline_end_to_end () =
+  let n = 3 and t = 1 and rounds = 2 in
+  let task =
+    Tasks.Eps_agreement.task ~n ~k:(Core.Baseline_unbounded.denominator ~rounds)
+  in
+  let algorithm = pipeline_algorithm ~n ~t ~rounds ~chunk:1 in
+  match
+    H.check_random ~task ~algorithm ~resilience:t ~max_steps:30_000_000
+      ~runs:3 ~seed:11 ()
+  with
+  | H.Fail v ->
+      Alcotest.failf "pipeline: %a" (H.pp_violation Format.pp_print_int) v
+  | H.Pass stats ->
+      Alcotest.(check int) "6-bit registers" 6 stats.H.max_bits
+
+let test_pipeline_chunk_ablation () =
+  let n = 3 and t = 1 and rounds = 2 in
+  let task =
+    Tasks.Eps_agreement.task ~n ~k:(Core.Baseline_unbounded.denominator ~rounds)
+  in
+  let steps_for chunk =
+    let algorithm = pipeline_algorithm ~n ~t ~rounds ~chunk in
+    match
+      H.check_random ~task ~algorithm ~resilience:0 ~max_steps:30_000_000
+        ~runs:1 ~seed:5 ()
+    with
+    | H.Fail v ->
+        Alcotest.failf "pipeline chunk=%d: %a" chunk
+          (H.pp_violation Format.pp_print_int)
+          v
+    | H.Pass stats -> (stats.H.max_bits, stats.H.max_process_steps)
+  in
+  let bits1, steps1 = steps_for 1 in
+  let bits8, steps8 = steps_for 8 in
+  Alcotest.(check int) "chunk=1 register width" 6 bits1;
+  Alcotest.(check bool) "chunk=8 wider registers" true (bits8 > bits1);
+  Alcotest.(check bool) "chunk=8 fewer steps" true (steps8 < steps1)
+
+let () =
+  Alcotest.run "msgpass"
+    [
+      ( "substrate",
+        [
+          Alcotest.test_case "augmented ring connectivity" `Quick
+            test_topology_connectivity;
+          Alcotest.test_case "connectivity is tight" `Quick
+            test_topology_not_overconnected;
+          Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "codec framing" `Quick test_codec_framing;
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+          QCheck_alcotest.to_alcotest prop_framing_stream;
+          Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;
+          QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+          Alcotest.test_case "envelope codec" `Quick test_wire_envelope_codec;
+          Alcotest.test_case "alternating-bit channel" `Quick
+            test_alt_bit_channel;
+          QCheck_alcotest.to_alcotest prop_alt_bit_fifo;
+        ] );
+      ( "message-passing",
+        [
+          Alcotest.test_case "ABD eps-agreement with crashes" `Quick
+            test_abd_message_passing;
+          Alcotest.test_case "ABD atomicity (reader monotonicity)" `Quick
+            test_abd_atomicity;
+          Alcotest.test_case "ring flooding survives crashes" `Quick
+            test_router_flooding;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "register bits = 3(t+1)" `Quick
+            test_pipeline_register_bits;
+          Alcotest.test_case "theorem 1.3 end-to-end" `Slow
+            test_pipeline_end_to_end;
+          Alcotest.test_case "chunk ablation" `Slow
+            test_pipeline_chunk_ablation;
+        ] );
+    ]

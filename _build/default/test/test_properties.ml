@@ -1,0 +1,239 @@
+(* Cross-stack property-based tests: the paper's invariants under random
+   parameters and random schedules (all seeded through qcheck). *)
+
+module Q = Bits.Rational
+module H = Tasks.Harness
+module Proto = Iterated.Proto
+
+let q_in_01 v = Q.(v >= Q.zero) && Q.(v <= Q.one)
+
+(* Algorithm 1: for any k and any random schedule/crash pattern, decisions
+   are on the grid, within eps, and within the step bound. *)
+let prop_alg1 =
+  QCheck.Test.make ~name:"alg1: eps-agreement for random k, seeds" ~count:120
+    QCheck.(pair (int_range 1 20) (int_range 0 10_000))
+    (fun (k, seed) ->
+      let den = Core.Alg1_one_bit.denominator ~k in
+      let task = Tasks.Eps_agreement.task ~n:2 ~k:den in
+      match
+        H.check_random ~task
+          ~algorithm:(Core.Alg1_one_bit.algorithm ~k)
+          ~runs:3 ~seed ()
+      with
+      | H.Pass stats ->
+          stats.H.max_process_steps <= (2 * k) + 3 && stats.H.max_bits <= 1
+      | H.Fail _ -> false)
+
+(* The baseline halves the spread every round for any n. *)
+let prop_baseline =
+  QCheck.Test.make ~name:"baseline: halving for random n, rounds" ~count:60
+    QCheck.(triple (int_range 2 5) (int_range 0 5) (int_range 0 10_000))
+    (fun (n, rounds, seed) ->
+      let task =
+        Tasks.Eps_agreement.task ~n
+          ~k:(Core.Baseline_unbounded.denominator ~rounds)
+      in
+      match
+        H.check_random ~task
+          ~algorithm:(Core.Baseline_unbounded.algorithm ~n ~rounds)
+          ~runs:2 ~seed ()
+      with
+      | H.Pass _ -> true
+      | H.Fail _ -> false)
+
+(* Labelling: in any IS execution the two final labels map to values
+   exactly one grain apart, inside [0,1]. *)
+let partition_word_gen rounds =
+  QCheck.Gen.(list_size (return rounds) (int_bound 2))
+
+let prop_labelling =
+  QCheck.Test.make ~name:"labelling: co-final labels one grain apart"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(int_range 1 10 >>= fun r -> partition_word_gen r))
+    (fun word ->
+      let rounds = List.length word in
+      let pow3 =
+        let rec go acc i = if i = 0 then acc else go (3 * acc) (i - 1) in
+        go 1 rounds
+      in
+      let schedule ~round ~participants:_ =
+        match List.nth word (round - 1) with
+        | 0 -> [ [ 0 ]; [ 1 ] ] (* process 0 solo *)
+        | 1 -> [ [ 0; 1 ] ]
+        | _ -> [ [ 1 ]; [ 0 ] ]
+      in
+      let outcome =
+        Iterated.Iis.run ~n:2 ~budget:(Bits.Width.Bounded 1)
+          ~measure:(Bits.Width.uint ~max:1)
+          ~programs:(fun pid -> Core.Labelling.protocol ~rounds ~me:pid)
+          ~schedule ()
+      in
+      match (outcome.Iterated.Iis.decisions.(0), outcome.Iterated.Iis.decisions.(1)) with
+      | Some l0, Some l1 ->
+          let v0 = Core.Labelling.value l0 and v1 = Core.Labelling.value l1 in
+          q_in_01 v0 && q_in_01 v1
+          && Q.equal (Q.abs (Q.sub v0 v1)) (Q.make 1 pow3)
+      | _ -> false)
+
+(* Ring simulation: for random Delta, R, and shared-memory schedule, the
+   two exit labels sit exactly one pruned-path grain apart. *)
+let prop_ring_sim =
+  QCheck.Test.make ~name:"ring sim: pruned values one grain apart" ~count:150
+    QCheck.(triple (int_range 2 4) (int_range 2 10) (int_range 0 100_000))
+    (fun (delta, rounds, seed) ->
+      let total = Core.Ring_sim.executions_count ~delta ~rounds in
+      let state =
+        Sched.Scheduler.start
+          ~memory:
+            (Sched.Memory.create ~n:2
+               ~budget:
+                 (Bits.Width.Bounded (Core.Ring_sim.register_bits ~delta))
+               ~measure:(Core.Ring_sim.measure ~delta)
+               ~init:(Core.Ring_sim.initial ~delta))
+          ~programs:(fun pid -> Core.Ring_sim.protocol ~delta ~rounds ~me:pid)
+          ()
+      in
+      Sched.Scheduler.run_random (Bits.Rng.make seed) state;
+      match
+        ((Sched.Scheduler.decisions state).(0),
+         (Sched.Scheduler.decisions state).(1))
+      with
+      | Some l0, Some l1 ->
+          let v0 = Core.Ring_sim.value ~delta ~rounds l0
+          and v1 = Core.Ring_sim.value ~delta ~rounds l1 in
+          Q.equal (Q.abs (Q.sub v0 v1)) (Q.make 1 total)
+      | _ -> false)
+
+(* Fast agreement: eps <= 2^-R for random R and schedule. *)
+let prop_fast_agreement =
+  QCheck.Test.make ~name:"fast agreement: grain below 2^-R" ~count:80
+    QCheck.(pair (int_range 1 14) (int_range 0 10_000))
+    (fun (rounds, seed) ->
+      let den = Core.Fast_agreement.denominator ~delta:2 ~rounds in
+      let task = Tasks.Eps_agreement.task ~n:2 ~k:den in
+      den >= 1 lsl rounds
+      &&
+      match
+        H.check_random ~task
+          ~algorithm:(Core.Fast_agreement.algorithm ~delta:2 ~rounds)
+          ~runs:3 ~seed ()
+      with
+      | H.Pass stats -> stats.H.max_process_steps <= (2 * rounds) + 3
+      | H.Fail _ -> false)
+
+(* BG snapshots keep the IS properties at n = 4 (beyond the exhaustively
+   checked sizes). *)
+let prop_bg_n4 =
+  QCheck.Test.make ~name:"BG snapshot: IS properties at n=4" ~count:150
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let n = 4 in
+      let o =
+        Iterated.Ic.run_random ~n ~budget:Bits.Width.Unbounded
+          ~measure:Bits.Width.unbounded
+          ~programs:(fun pid ->
+            Iterated.Bg_snapshot.simulate ~n
+              (Proto.Round (pid, fun v -> Proto.Decide v)))
+          ~rng:(Bits.Rng.make seed) ()
+      in
+      let views =
+        Array.map
+          (function Some v -> v | None -> [||])
+          o.Iterated.Ic.decisions
+      in
+      let written = Array.init n (fun i -> i) in
+      Iterated.Views.validity ~equal:Int.equal ~written views
+      && Iterated.Views.self_containment views
+      && Iterated.Views.inclusion ~equal:Int.equal views
+      && Iterated.Views.immediacy ~equal:Int.equal views)
+
+(* The IIS midpoint agreement converges at 2^-rounds for n up to 4 under
+   random schedules with crashes. *)
+let prop_iis_agreement =
+  QCheck.Test.make ~name:"IIS agreement under random schedules" ~count:100
+    QCheck.(triple (int_range 2 4) (int_range 1 6) (int_range 0 100_000))
+    (fun (n, rounds, seed) ->
+      let rng = Bits.Rng.make seed in
+      let inputs = Array.init n (fun _ -> Bits.Rng.int rng 2) in
+      let o =
+        Iterated.Iis.run_random ~n ~budget:Bits.Width.Unbounded
+          ~measure:Bits.Width.unbounded
+          ~programs:(fun pid ->
+            Iterated.Agreement.protocol ~rounds ~input:inputs.(pid))
+          ~rng ~crash_probability:0.1 ()
+      in
+      let ds =
+        Array.to_list o.Iterated.Iis.decisions |> List.filter_map (fun d -> d)
+      in
+      let eps = Q.make 1 (Iterated.Agreement.denominator ~rounds) in
+      let same x = Array.for_all (Int.equal x) inputs in
+      Q.(Q.spread ds <= eps)
+      && (not (same 0) || List.for_all (Q.equal Q.zero) ds)
+      && (not (same 1) || List.for_all (Q.equal Q.one) ds))
+
+(* Explore really enumerates C(a+b, a) interleavings. *)
+let prop_explore_count =
+  QCheck.Test.make ~name:"explore: C(a+b,a) interleavings" ~count:30
+    QCheck.(pair (int_range 0 5) (int_range 0 5))
+    (fun (a, b) ->
+      let open Sched.Program.Infix in
+      let straight len : (int, unit, unit) Sched.Program.t =
+        let rec go k =
+          if k = 0 then Sched.Program.return ()
+          else
+            let* () = Sched.Program.write k in
+            go (k - 1)
+        in
+        go len
+      in
+      let init () =
+        Sched.Scheduler.start
+          ~memory:
+            (Sched.Memory.create ~n:2 ~budget:Bits.Width.Unbounded
+               ~measure:Bits.Width.unbounded ~init:0)
+          ~programs:(fun pid -> straight (if pid = 0 then a else b))
+          ()
+      in
+      let rec fact n = if n = 0 then 1 else n * fact (n - 1) in
+      Sched.Explore.count ~init () = fact (a + b) / (fact a * fact b))
+
+(* Trace replay: any random execution is reproduced exactly from its own
+   schedule. *)
+let prop_trace_replay =
+  QCheck.Test.make ~name:"trace replay reproduces decisions" ~count:100
+    QCheck.(pair (int_range 1 8) (int_range 0 100_000))
+    (fun (k, seed) ->
+      let algorithm = Core.Alg1_one_bit.algorithm ~k in
+      let fresh () =
+        Sched.Scheduler.start ~record_trace:true
+          ~memory:(algorithm.H.memory ())
+          ~programs:(fun pid -> algorithm.H.program ~pid ~input:pid)
+          ()
+      in
+      let s = fresh () in
+      Sched.Scheduler.run_random (Bits.Rng.make seed) s;
+      let s' = fresh () in
+      Sched.Scheduler.run_schedule s'
+        (Sched.Trace.schedule_of (Sched.Scheduler.trace s));
+      let d = Sched.Scheduler.decisions s
+      and d' = Sched.Scheduler.decisions s' in
+      Array.for_all2 (Option.equal Q.equal) d d')
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "protocol-invariants",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_alg1;
+            prop_baseline;
+            prop_labelling;
+            prop_ring_sim;
+            prop_fast_agreement;
+            prop_bg_n4;
+            prop_iis_agreement;
+            prop_explore_count;
+            prop_trace_replay;
+          ] );
+    ]

@@ -1,0 +1,304 @@
+(* Tests for lib/sched: memory, scheduler semantics, exhaustive exploration,
+   snapshots. *)
+
+module P = Sched.Program
+module M = Sched.Memory
+module S = Sched.Scheduler
+open P.Infix
+
+let make_memory ?(n = 2) ?(budget = Bits.Width.Unbounded) () =
+  M.create ~n ~budget ~measure:(fun (v : int) -> Bits.Width.bits_for v)
+    ~init:0
+
+let test_memory_basics () =
+  let m = make_memory ~n:3 () in
+  Alcotest.(check int) "n" 3 (M.n m);
+  M.write m ~pid:1 42;
+  Alcotest.(check int) "read back" 42 (M.read m 1);
+  Alcotest.(check int) "other registers untouched" 0 (M.read m 0);
+  Alcotest.(check (array int)) "contents" [| 0; 42; 0 |] (M.contents m);
+  Alcotest.(check int) "write count" 1 (M.writes_performed m);
+  Alcotest.(check int) "read count" 2 (M.reads_performed m);
+  Alcotest.(check int) "max bits = bits of 42" 6 (M.max_bits_written m)
+
+let test_memory_budget () =
+  let m = make_memory ~budget:(Bits.Width.Bounded 3) () in
+  M.write m ~pid:0 7;
+  Alcotest.check_raises "8 needs 4 bits"
+    (Bits.Width.Overflow { budget = 3; needed = 4 })
+    (fun () -> M.write m ~pid:0 8)
+
+let test_memory_inputs_write_once () =
+  let m = make_memory () in
+  Alcotest.(check (option string)) "initially empty" None (M.read_input m 0);
+  M.write_input m ~pid:0 "x";
+  Alcotest.(check (option string)) "written" (Some "x") (M.read_input m 0);
+  Alcotest.check_raises "second write rejected"
+    (Invalid_argument "Memory.write_input: input register is write-once")
+    (fun () -> M.write_input m ~pid:0 "y")
+
+let test_memory_copy_independent () =
+  let m = make_memory () in
+  M.write m ~pid:0 1;
+  let m' = M.copy m in
+  M.write m' ~pid:0 2;
+  Alcotest.(check int) "original unchanged" 1 (M.read m 0)
+
+(* A tiny ping protocol: write own pid + 1, read the other register. *)
+let ping ~me : (int, string, int) P.t =
+  let* () = P.write (me + 1) in
+  let* seen = P.read (1 - me) in
+  P.return seen
+
+let start ?record_trace () =
+  S.start ?record_trace ~memory:(make_memory ()) ~programs:(fun pid -> ping ~me:pid) ()
+
+let test_scheduler_step_semantics () =
+  let s = start () in
+  Alcotest.(check (list int)) "both running" [ 0; 1 ] (S.running s);
+  S.step s 0;
+  (* p0 wrote *)
+  Alcotest.(check int) "p0 write visible" 1 (M.read (S.memory s) 0);
+  S.step s 0;
+  (* p0 read R1 = 0 and decided *)
+  (match S.status s 0 with
+  | S.Decided 0 -> ()
+  | _ -> Alcotest.fail "p0 should have decided 0");
+  S.step s 1;
+  S.step s 1;
+  (match S.status s 1 with
+  | S.Decided 1 -> ()
+  | _ -> Alcotest.fail "p1 should have decided 1 (saw p0's write)");
+  Alcotest.(check bool) "all halted" true (S.all_halted s);
+  Alcotest.(check int) "4 steps total" 4 (S.steps_taken s)
+
+let test_scheduler_crash () =
+  let s = start () in
+  S.crash s 1;
+  Alcotest.(check (list int)) "crashed list" [ 1 ] (S.crashed s);
+  Alcotest.check_raises "stepping crashed raises"
+    (Invalid_argument "Scheduler.step: process 1 halted") (fun () ->
+      S.step s 1);
+  S.run_solo s 0;
+  Alcotest.(check bool) "solo decided" true (S.all_halted s);
+  Alcotest.(check (array (option int))) "solo read 0" [| Some 0; None |]
+    (S.decisions s)
+
+let test_scheduler_trace_replay () =
+  let s = start ~record_trace:true () in
+  S.run_random (Bits.Rng.make 3) s;
+  let schedule = Sched.Trace.schedule_of (S.trace s) in
+  let s' = start () in
+  S.run_schedule s' schedule;
+  Alcotest.(check (array (option int))) "replay reproduces decisions"
+    (S.decisions s) (S.decisions s')
+
+let test_scheduler_output_continue () =
+  (* A process that announces a decision and keeps writing forever. *)
+  let rec server i : (int, string, int) P.t =
+    P.Output (99, fun () -> let* () = P.write i in server (i + 1))
+  in
+  let memory = make_memory ~n:1 () in
+  let s = S.start ~memory ~programs:(fun _ -> server 0) () in
+  Alcotest.(check bool) "output immediately visible" true (S.all_output s);
+  Alcotest.(check (array (option int))) "decision" [| Some 99 |]
+    (S.decisions s);
+  S.step s 0;
+  S.step s 0;
+  Alcotest.(check bool) "still running" true (S.running s = [ 0 ]);
+  S.run_random ~until_outputs:true (Bits.Rng.make 1) s;
+  Alcotest.(check bool) "until_outputs halts the driver" true true
+
+(* Explore: the number of complete interleavings of two straight-line
+   programs of lengths a and b is C(a+b, a). *)
+let test_explore_counts () =
+  let straight len : (int, string, unit) P.t =
+    let rec go k = if k = 0 then P.return () else
+      let* () = P.write k in
+      go (k - 1)
+    in
+    go len
+  in
+  let choose a b =
+    let rec fact n = if n = 0 then 1 else n * fact (n - 1) in
+    fact (a + b) / (fact a * fact b)
+  in
+  List.iter
+    (fun (a, b) ->
+      let init () =
+        S.start ~memory:(make_memory ())
+          ~programs:(fun pid -> straight (if pid = 0 then a else b))
+          ()
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "C(%d+%d,%d) interleavings" a b a)
+        (choose a b)
+        (Sched.Explore.count ~init ()))
+    [ (1, 1); (2, 2); (3, 2); (4, 4) ]
+
+let test_explore_find () =
+  let init () = start () in
+  (* Find an execution where p1 saw p0's write. *)
+  let found =
+    Sched.Explore.find ~init (fun s ->
+        match (S.decisions s).(1) with Some 1 -> true | _ -> false)
+  in
+  Alcotest.(check bool) "found" true (found <> None);
+  let not_found =
+    Sched.Explore.find ~init (fun s ->
+        match (S.decisions s).(1) with Some 7 -> true | _ -> false)
+  in
+  Alcotest.(check bool) "absent outcome not found" true (not_found = None)
+
+let test_explore_crashes_include_solo () =
+  (* With 1 crash allowed, solo executions of both processes appear. *)
+  let solo_outcomes = ref [] in
+  Sched.Explore.interleavings_with_crashes ~max_crashes:1
+    ~init:(fun () -> start ())
+    (fun s ->
+      match (S.decisions s).(0), (S.decisions s).(1) with
+      | Some v, None -> solo_outcomes := (`P0, v) :: !solo_outcomes
+      | None, Some v -> solo_outcomes := (`P1, v) :: !solo_outcomes
+      | _ -> ());
+  Alcotest.(check bool) "p0 solo reads 0" true
+    (List.mem (`P0, 0) !solo_outcomes);
+  Alcotest.(check bool) "p1 solo reads 0" true
+    (List.mem (`P1, 0) !solo_outcomes)
+
+(* Double-collect snapshots: under concurrent writers, a returned snapshot
+   was instantaneously present in memory. We check the weaker testable
+   property: two sequential snapshots by the same process are ordered by
+   containment-in-time (each register's value only moves forward). *)
+let test_snapshot_clean () =
+  let writer ~me : (int, string, unit) P.t =
+    let rec go k =
+      if k = 0 then P.return ()
+      else
+        let* () = P.write ((10 * (me + 1)) + k) in
+        go (k - 1)
+    in
+    go 3
+  in
+  let scanner : (int, string, int array * int array) P.t =
+    let* s1 = Sched.Snapshots.double_collect ~n:3 ~equal:Int.equal in
+    let* s2 = Sched.Snapshots.double_collect ~n:3 ~equal:Int.equal in
+    P.return (s1, s2)
+  in
+  for seed = 0 to 49 do
+    let memory = make_memory ~n:3 () in
+    let s =
+      S.start ~memory
+        ~programs:(fun pid ->
+          if pid = 2 then P.map (fun v -> `Scan v) scanner
+          else P.map (fun () -> `Done) (writer ~me:pid))
+        ()
+    in
+    S.run_random (Bits.Rng.make seed) s;
+    match (S.decisions s).(2) with
+    | Some (`Scan (s1, s2)) ->
+        (* Writers only count down; each register value in s2 must not be
+           older than in s1 (values increase... writers write decreasing k,
+           so later values are smaller within a writer). Check stability:
+           the zero registers can only change to non-zero. *)
+        Array.iteri
+          (fun j v1 ->
+            if v1 <> 0 && s2.(j) = 0 then
+              Alcotest.failf "seed %d: register %d went backwards" seed j)
+          s1
+    | _ -> Alcotest.fail "scanner undecided"
+  done
+
+(* Adversarial schedulers. *)
+
+let test_adversary_lockstep_alg1 () =
+  (* Lockstep forces Algorithm 1 through all k iterations: exactly 2k+3
+     steps per process. *)
+  List.iter
+    (fun k ->
+      let algorithm = Core.Alg1_one_bit.algorithm ~k in
+      let s =
+        S.start
+          ~memory:(algorithm.Tasks.Harness.memory ())
+          ~programs:(fun pid ->
+            algorithm.Tasks.Harness.program ~pid ~input:pid)
+          ()
+      in
+      Sched.Adversary.run Sched.Adversary.lockstep s;
+      Alcotest.(check int)
+        (Printf.sprintf "p0 steps (k=%d)" k)
+        ((2 * k) + 3) (S.steps_of s 0);
+      Alcotest.(check int)
+        (Printf.sprintf "p1 steps (k=%d)" k)
+        ((2 * k) + 3) (S.steps_of s 1))
+    [ 1; 3; 6 ]
+
+let test_adversary_solo_then () =
+  (* Solo-then: process 0 decides before process 1 takes any step. *)
+  let algorithm = Core.Alg1_one_bit.algorithm ~k:3 in
+  let s =
+    S.start
+      ~memory:(algorithm.Tasks.Harness.memory ())
+      ~programs:(fun pid -> algorithm.Tasks.Harness.program ~pid ~input:pid)
+      ()
+  in
+  let p1_steps_at_p0_decision = ref (-1) in
+  let adversary view =
+    (match S.status s 0 with
+    | S.Decided _ when !p1_steps_at_p0_decision < 0 ->
+        p1_steps_at_p0_decision := view.Sched.Adversary.steps_of 1
+    | _ -> ());
+    Sched.Adversary.solo_then ~first:0 view
+  in
+  Sched.Adversary.run adversary s;
+  Alcotest.(check int) "p1 had taken no steps" 0 !p1_steps_at_p0_decision;
+  match (S.decisions s).(0) with
+  | Some d ->
+      Alcotest.(check bool) "solo p0 decides its input 0" true
+        (Bits.Rational.equal d Bits.Rational.zero)
+  | None -> Alcotest.fail "p0 undecided"
+
+let test_adversary_rejects_bad_pick () =
+  let s = start () in
+  Alcotest.check_raises "picking halted process raises"
+    (Invalid_argument "Adversary.run: pid 7 is not running") (fun () ->
+      Sched.Adversary.run (fun _ -> 7) s)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "basics" `Quick test_memory_basics;
+          Alcotest.test_case "budget enforced" `Quick test_memory_budget;
+          Alcotest.test_case "inputs write-once" `Quick
+            test_memory_inputs_write_once;
+          Alcotest.test_case "copy independent" `Quick
+            test_memory_copy_independent;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "step semantics" `Quick
+            test_scheduler_step_semantics;
+          Alcotest.test_case "crash" `Quick test_scheduler_crash;
+          Alcotest.test_case "trace replay" `Quick test_scheduler_trace_replay;
+          Alcotest.test_case "output-and-continue" `Quick
+            test_scheduler_output_continue;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "interleaving counts" `Quick test_explore_counts;
+          Alcotest.test_case "find" `Quick test_explore_find;
+          Alcotest.test_case "crash branching" `Quick
+            test_explore_crashes_include_solo;
+        ] );
+      ( "snapshots",
+        [ Alcotest.test_case "double collect" `Quick test_snapshot_clean ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "lockstep forces 2k+3 steps" `Quick
+            test_adversary_lockstep_alg1;
+          Alcotest.test_case "solo-then" `Quick test_adversary_solo_then;
+          Alcotest.test_case "invalid pick rejected" `Quick
+            test_adversary_rejects_bad_pick;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* Tests for lib/task: task specifications and the BMZ machinery. *)
+
+module Q = Bits.Rational
+module Bmz = Tasks.Bmz
+module Gallery = Tasks.Gallery
+
+let test_eps_task_legality () =
+  let task = Tasks.Eps_agreement.task ~n:3 ~k:4 in
+  let legal inputs outputs = task.Tasks.Task.legal ~inputs ~outputs in
+  Alcotest.(check bool)
+    "same inputs force the input value" false
+    (legal [| 0; 0; 0 |] [| Some (Q.make 1 4); Some Q.zero; Some Q.zero |]);
+  Alcotest.(check bool)
+    "agreement within 1/4 accepted" true
+    (legal [| 0; 1; 0 |] [| Some (Q.make 1 4); Some (Q.make 2 4); None |]);
+  Alcotest.(check bool)
+    "spread above 1/4 rejected" false
+    (legal [| 0; 1; 0 |] [| Some Q.zero; Some (Q.make 2 4); None |]);
+  Alcotest.(check bool)
+    "off-grid output rejected" false
+    (legal [| 0; 1; 0 |] [| Some (Q.make 1 3); None; None |]);
+  Alcotest.(check bool)
+    "crashed-only outputs accepted" true
+    (legal [| 0; 1; 1 |] [| None; None; None |])
+
+let test_consensus_legality () =
+  let task = Tasks.Consensus.binary ~n:3 in
+  let legal inputs outputs = task.Tasks.Task.legal ~inputs ~outputs in
+  Alcotest.(check bool) "agree on an input" true
+    (legal [| 0; 1; 1 |] [| Some 1; Some 1; Some 1 |]);
+  Alcotest.(check bool) "disagreement rejected" false
+    (legal [| 0; 1; 1 |] [| Some 1; Some 0; Some 1 |]);
+  Alcotest.(check bool) "non-input value rejected" false
+    (legal [| 0; 0; 0 |] [| Some 1; Some 1; Some 1 |])
+
+let test_input_configurations () =
+  let task = Tasks.Eps_agreement.task ~n:3 ~k:2 in
+  Alcotest.(check int) "2^3 binary configurations" 8
+    (List.length (Tasks.Task.input_configurations task))
+
+(* Lemma 5.7, sufficient direction: solvable tasks admit plans. *)
+let test_plan_solvable () =
+  List.iter
+    (fun (name, ok) ->
+      match ok with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s should be solvable: %s" name e)
+    [
+      ("eps-grid k=1", Result.map ignore (Bmz.plan (Gallery.eps_grid ~k:1)));
+      ("eps-grid k=3", Result.map ignore (Bmz.plan (Gallery.eps_grid ~k:3)));
+      ("renaming3", Result.map ignore (Bmz.plan Gallery.renaming3));
+      ("always-zero", Result.map ignore (Bmz.plan Gallery.always_zero));
+      ("hull-agreement", Result.map ignore (Bmz.plan Gallery.hull_agreement));
+      ("weak-consensus", Result.map ignore (Bmz.plan Gallery.weak_consensus));
+    ]
+
+(* Lemma 5.7, necessary direction: consensus-like tasks are rejected. *)
+let test_plan_unsolvable () =
+  List.iter
+    (fun (name, r) ->
+      match r with
+      | Ok _ -> Alcotest.failf "%s should NOT admit a plan" name
+      | Error _ -> ())
+    [
+      ( "binary-consensus",
+        Result.map ignore (Bmz.plan Gallery.binary_consensus) );
+      ("or-task", Result.map ignore (Bmz.plan Gallery.or_task));
+      ("exact-max", Result.map ignore (Bmz.plan Gallery.exact_max));
+    ]
+
+(* Structural properties of generated paths. *)
+let test_plan_paths () =
+  match Bmz.plan (Gallery.eps_grid ~k:2) with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      let t = plan.Bmz.task in
+      Alcotest.(check bool) "length odd" true (plan.Bmz.length mod 2 = 1);
+      Alcotest.(check bool) "length >= 3" true (plan.Bmz.length >= 3);
+      List.iter
+        (fun ((x0, x1), missing) ->
+          let path = plan.Bmz.path (x0, x1) ~missing in
+          Alcotest.(check int) "path has L+1 entries" (plan.Bmz.length + 1)
+            (Array.length path);
+          (* Y_0 .. Y_{L-1} are legal for X; consecutive entries adjacent. *)
+          for i = 0 to Array.length path - 2 do
+            Alcotest.(check bool) "interior vertex legal" true
+              (t.Bmz.delta (x0, x1) path.(i));
+            Alcotest.(check bool) "consecutive adjacent" true
+              (Bmz.adjacent t path.(i) path.(i + 1))
+          done;
+          (* Last two agree on the survivor's component. *)
+          let survivor = 1 - missing in
+          let comp (a, b) j = if j = 0 then a else b in
+          let l = plan.Bmz.length in
+          Alcotest.(check bool) "anchor agreement" true
+            (t.Bmz.equal_output
+               (comp path.(l - 1) survivor)
+               (comp path.(l) survivor)))
+        [ ((0, 0), 0); ((0, 1), 0); ((0, 1), 1); ((1, 0), 0); ((1, 1), 1) ]
+
+(* The subset search of Lemma 5.7's existential. *)
+let test_plan_searching () =
+  (* plan (O' = O) rejects noisy-grid; the subset search solves it. *)
+  (match Bmz.plan Gallery.noisy_grid with
+  | Ok _ -> Alcotest.fail "noisy-grid should fail with O' = O"
+  | Error _ -> ());
+  (match Bmz.plan_searching Gallery.noisy_grid with
+  | Ok plan ->
+      Alcotest.(check bool) "junk config dropped" true
+        (not
+           (List.exists
+              (fun (a, b) -> a = 9 && b = 9)
+              plan.Bmz.sub))
+  | Error e -> Alcotest.failf "subset search failed: %s" e);
+  (* And it still rejects genuinely unsolvable tasks, now with an
+     exhaustive no-witness guarantee. *)
+  match Bmz.plan_searching Gallery.binary_consensus with
+  | Ok _ -> Alcotest.fail "consensus must have no witness subset"
+  | Error _ -> ()
+
+(* The harness itself: violation detection and reproducibility. *)
+
+module H = Tasks.Harness
+
+let memory_1bit () =
+  Sched.Memory.create ~n:2 ~budget:(Bits.Width.Bounded 1)
+    ~measure:(Bits.Width.uint ~max:1) ~init:0
+
+let test_harness_detects_violation () =
+  (* Always decide 1/2: violates validity when both inputs are 0. *)
+  let algorithm =
+    {
+      H.name = "bad-half";
+      memory = memory_1bit;
+      program = (fun ~pid:_ ~input:_ -> Sched.Program.return (Q.make 1 2));
+    }
+  in
+  let task = Tasks.Eps_agreement.task ~n:2 ~k:2 in
+  (match H.check_exhaustive ~task ~algorithm () with
+  | H.Fail v ->
+      Alcotest.(check bool) "reason mentions illegality" true
+        (String.length v.H.reason > 0)
+  | H.Pass _ -> Alcotest.fail "violation missed");
+  match H.check_random ~task ~algorithm ~runs:50 ~seed:3 () with
+  | H.Fail _ -> ()
+  | H.Pass _ -> Alcotest.fail "random harness missed the violation"
+
+let test_harness_detects_nontermination () =
+  let rec spin () : (int, int, Q.t) Sched.Program.t =
+    Sched.Program.Write (0, spin)
+  in
+  let algorithm =
+    { H.name = "spinner"; memory = memory_1bit;
+      program = (fun ~pid:_ ~input:_ -> spin ()) }
+  in
+  let task = Tasks.Eps_agreement.task ~n:2 ~k:2 in
+  (match H.check_exhaustive ~task ~algorithm ~max_steps:200 () with
+  | H.Fail v ->
+      Alcotest.(check bool) "truncation reported" true
+        (String.length v.H.reason > 0)
+  | H.Pass _ -> Alcotest.fail "non-termination missed");
+  match H.check_random ~task ~algorithm ~max_steps:500 ~runs:3 ~seed:1 () with
+  | H.Fail _ -> ()
+  | H.Pass _ -> Alcotest.fail "random harness missed non-termination"
+
+let test_harness_reproducible () =
+  let k = 3 in
+  let task = Tasks.Eps_agreement.task ~n:2 ~k:(2 * k + 1) in
+  let algorithm =
+    {
+      H.name = "alg1";
+      memory = memory_1bit;
+      program =
+        (fun ~pid ~input ->
+          Core.Alg1_one_bit.protocol ~env:Core.Alg1_one_bit.env_standalone
+            ~k ~me:pid ~input);
+    }
+  in
+  let run () = H.check_random ~task ~algorithm ~runs:40 ~seed:77 () in
+  match (run (), run ()) with
+  | H.Pass a, H.Pass b ->
+      Alcotest.(check int) "same stats" a.H.max_process_steps
+        b.H.max_process_steps
+  | _ -> Alcotest.fail "expected passes"
+
+let () =
+  Alcotest.run "tasks"
+    [
+      ( "specs",
+        [
+          Alcotest.test_case "eps-agreement legality" `Quick
+            test_eps_task_legality;
+          Alcotest.test_case "consensus legality" `Quick
+            test_consensus_legality;
+          Alcotest.test_case "input configurations" `Quick
+            test_input_configurations;
+        ] );
+      ( "bmz",
+        [
+          Alcotest.test_case "solvable tasks admit plans" `Quick
+            test_plan_solvable;
+          Alcotest.test_case "unsolvable tasks rejected" `Quick
+            test_plan_unsolvable;
+          Alcotest.test_case "path structure" `Quick test_plan_paths;
+          Alcotest.test_case "subset search (Lemma 5.7 existential)" `Quick
+            test_plan_searching;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "detects violations" `Quick
+            test_harness_detects_violation;
+          Alcotest.test_case "detects non-termination" `Quick
+            test_harness_detects_nontermination;
+          Alcotest.test_case "reproducible from seed" `Quick
+            test_harness_reproducible;
+        ] );
+    ]
