@@ -120,6 +120,36 @@ let run_bmz_plan () =
   | Ok _ -> ()
   | Error e -> failwith e
 
+(* The fixed explorer workload: 3 straight-line writers of 4 steps each —
+   the test_sched count workload scaled to 3 processes. 34650 schedules
+   naively; the engine's counters on it are the perf trajectory tracked in
+   BENCH_PR1.json. *)
+let explore_workload_init () =
+  let straight len : (int, unit, unit) Sched.Program.t =
+    let rec go k =
+      if k = 0 then Sched.Program.return ()
+      else Sched.Program.Write (k, fun () -> go (k - 1))
+    in
+    go len
+  in
+  Sched.Scheduler.start
+    ~memory:
+      (Sched.Memory.create ~n:3 ~budget:Bits.Width.Unbounded
+         ~measure:Bits.Width.unbounded ~init:0)
+    ~programs:(fun _ -> straight 4)
+    ()
+
+let run_explore_engine () =
+  ignore
+    (Sched.Explore.explore ~init:explore_workload_init (fun _ -> ())
+      : Sched.Explore.stats)
+
+let run_explore_raw () =
+  ignore
+    (Sched.Explore.explore ~dedup:false ~por:false ~init:explore_workload_init
+       (fun _ -> ())
+      : Sched.Explore.stats)
+
 let run_labelling_value () =
   (* Closed-form pruned-path position at R = 20 (3^20-scale complex). *)
   let label =
@@ -148,13 +178,12 @@ let benchmarks =
       Test.make ~name:"bmz-plan(eps-grid-k=4)" (Staged.stage run_bmz_plan);
       Test.make ~name:"pruned-path-value(R=20)"
         (Staged.stage run_labelling_value);
+      Test.make ~name:"explore-3x4(dedup+por)"
+        (Staged.stage run_explore_engine);
+      Test.make ~name:"explore-3x4(raw-undo)" (Staged.stage run_explore_raw);
     ]
 
-let run_benchmarks () =
-  Format.printf
-    "------------------------------------------------------------------@\n\
-     Bechamel timings (monotonic clock, OLS estimate per call)@\n\
-     ------------------------------------------------------------------@\n";
+let measure_benchmarks () =
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] benchmarks in
   let ols =
@@ -172,6 +201,13 @@ let run_benchmarks () =
       rows := (name, ns) :: !rows)
     results;
   List.sort (fun (a, _) (b, _) -> compare a b) !rows
+
+let run_benchmarks () =
+  Format.printf
+    "------------------------------------------------------------------@\n\
+     Bechamel timings (monotonic clock, OLS estimate per call)@\n\
+     ------------------------------------------------------------------@\n";
+  measure_benchmarks ()
   |> List.iter (fun (name, ns) ->
          if ns >= 1e6 then
            Format.printf "  %-45s %10.2f ms/call@\n" name (ns /. 1e6)
@@ -180,9 +216,74 @@ let run_benchmarks () =
          else Format.printf "  %-45s %10.0f ns/call@\n" name ns);
   Format.printf "@\n"
 
+(* ------------------------------------------------------------------ *)
+(* --json FILE: machine-readable perf snapshot for tracking across PRs. *)
+
+let explorer_variants () =
+  let run ~dedup ~por =
+    Sched.Explore.explore ~dedup ~por ~init:explore_workload_init
+      (fun _ -> ())
+  in
+  [
+    ("dedup+por", run ~dedup:true ~por:true);
+    ("dedup", run ~dedup:true ~por:false);
+    ("por", run ~dedup:false ~por:true);
+    ("raw", run ~dedup:false ~por:false);
+  ]
+
+let json_stats b (s : Sched.Explore.stats) =
+  Printf.bprintf b
+    "{\"nodes\": %d, \"terminals\": %d, \"deduped\": %d, \"pruned\": %d, \
+     \"truncated\": %d, \"peak_depth\": %d}"
+    s.Sched.Explore.nodes s.Sched.Explore.terminals s.Sched.Explore.deduped
+    s.Sched.Explore.pruned s.Sched.Explore.truncated
+    s.Sched.Explore.peak_depth
+
+let write_json file rows =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.bprintf b "    {\"name\": %S, \"ns_per_call\": %.2f}%s\n" name ns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.bprintf b "  ],\n  \"explorer\": {\n";
+  Printf.bprintf b "    \"workload\": \"3 processes x 4 writes each\",\n";
+  let variants = explorer_variants () in
+  List.iteri
+    (fun i (name, stats) ->
+      Printf.bprintf b "    %S: " name;
+      json_stats b stats;
+      Printf.bprintf b "%s\n"
+        (if i = List.length variants - 1 then "" else ","))
+    variants;
+  Printf.bprintf b "  }\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "wrote %s@\n" file
+
+let json_target () =
+  let argv = Sys.argv in
+  let rec scan i =
+    if i >= Array.length argv then None
+    else if argv.(i) = "--json" then
+      if i + 1 < Array.length argv then Some argv.(i + 1)
+      else Some "BENCH_PR1.json"
+    else scan (i + 1)
+  in
+  scan 1
+
 let () =
-  let t0 = Unix.gettimeofday () in
-  run_tables ();
-  run_benchmarks ();
-  Format.printf "total experiment-suite time: %.1f s@\n"
-    (Unix.gettimeofday () -. t0)
+  match json_target () with
+  | Some file ->
+      (* Benchmarks + explorer counters only: the machine-readable path
+         skips the experiment tables. *)
+      let rows = measure_benchmarks () in
+      write_json file rows
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      run_tables ();
+      run_benchmarks ();
+      Format.printf "total experiment-suite time: %.1f s@\n"
+        (Unix.gettimeofday () -. t0)

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 gate: everything a PR must keep green.
+# Usage: ./check.sh
+set -eu
+cd "$(dirname "$0")"
+
+if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== fmt skipped (ocamlformat not available)"
+fi
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "check.sh: OK"

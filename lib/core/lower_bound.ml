@@ -31,6 +31,7 @@ type 'v analysis = {
   buckets : 'v bucket list;
   max_spread : Q.t;
   distinct_words : int;
+  search : Sched.Explore.stats;
 }
 
 let analyse proto =
@@ -48,7 +49,8 @@ let analyse proto =
       ~programs:(fun pid -> proto.program ~me:pid ~input:pid)
       ()
   in
-  Sched.Explore.interleavings ~max_steps:1_000_000 ~init (fun state ->
+  let search =
+    Sched.Explore.explore ~max_steps:1_000_000 ~init (fun state ->
       incr executions;
       let decisions = Scheduler.decisions state in
       let pair =
@@ -67,7 +69,8 @@ let analyse proto =
             cell
       in
       let pair_equal (a0, a1) (b0, b1) = Q.equal a0 b0 && Q.equal a1 b1 in
-      if not (List.exists (pair_equal pair) !cell) then cell := pair :: !cell);
+      if not (List.exists (pair_equal pair) !cell) then cell := pair :: !cell)
+  in
   let buckets =
     List.map
       (fun (word, cell) ->
@@ -86,6 +89,7 @@ let analyse proto =
     buckets;
     max_spread;
     distinct_words = List.length buckets;
+    search;
   }
 
 let third_process_error analysis = Q.mul Q.half analysis.max_spread

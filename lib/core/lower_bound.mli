@@ -40,15 +40,18 @@ type 'v bucket = {
 }
 
 type 'v analysis = {
-  executions : int;
+  executions : int;  (** distinct terminal states visited *)
   buckets : 'v bucket list;  (** sorted by decreasing spread *)
   max_spread : Q.t;
   distinct_words : int;
+  search : Sched.Explore.stats;  (** exploration-engine counters *)
 }
 
 val analyse : 'v two_protocol -> 'v analysis
 (** Exhaustive over all interleavings of the two processes with inputs
-    (0, 1); both processes run to decision. *)
+    (0, 1); both processes run to decision. The engine merges converging
+    interleavings, so [executions] counts distinct final states — the
+    pigeonhole object itself — rather than schedules. *)
 
 val third_process_error : 'v analysis -> Q.t
 (** [max_spread / 2]: the best-possible worst-case distance between the

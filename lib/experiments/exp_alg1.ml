@@ -7,25 +7,25 @@ module Scheduler = Sched.Scheduler
 let decision_pairs ~k =
   let algorithm = Core.Alg1_one_bit.algorithm ~k in
   let pairs = ref [] in
-  let executions = ref 0 in
-  Sched.Explore.interleavings
-    ~init:(fun () ->
-      Scheduler.start
-        ~memory:(algorithm.H.memory ())
-        ~programs:(fun pid -> algorithm.H.program ~pid ~input:pid)
-        ())
-    (fun st ->
-      incr executions;
-      match ((Scheduler.decisions st).(0), (Scheduler.decisions st).(1)) with
-      | Some a, Some b ->
-          if
-            not
-              (List.exists
-                 (fun (x, y) -> Q.equal x a && Q.equal y b)
-                 !pairs)
-          then pairs := (a, b) :: !pairs
-      | _ -> ());
-  (!executions, List.rev !pairs)
+  let search =
+    Sched.Explore.explore
+      ~init:(fun () ->
+        Scheduler.start
+          ~memory:(algorithm.H.memory ())
+          ~programs:(fun pid -> algorithm.H.program ~pid ~input:pid)
+          ())
+      (fun st ->
+        match ((Scheduler.decisions st).(0), (Scheduler.decisions st).(1)) with
+        | Some a, Some b ->
+            if
+              not
+                (List.exists
+                   (fun (x, y) -> Q.equal x a && Q.equal y b)
+                   !pairs)
+            then pairs := (a, b) :: !pairs
+        | _ -> ())
+  in
+  (search, List.rev !pairs)
 
 let run ppf =
   Format.fprintf ppf
@@ -38,7 +38,7 @@ let run ppf =
         let den = Core.Alg1_one_bit.denominator ~k in
         let task = Tasks.Eps_agreement.task ~n:2 ~k:den in
         let algorithm = Core.Alg1_one_bit.algorithm ~k in
-        let executions, pairs = decision_pairs ~k in
+        let search, pairs = decision_pairs ~k in
         let spread =
           List.fold_left
             (fun acc (a, b) -> Q.max acc (Q.abs (Q.sub a b)))
@@ -52,7 +52,9 @@ let run ppf =
         [
           string_of_int k;
           Table.cell_q (Q.make 1 den);
-          string_of_int executions;
+          string_of_int search.Sched.Explore.terminals;
+          Printf.sprintf "%d/%d" search.Sched.Explore.nodes
+            (search.Sched.Explore.deduped + search.Sched.Explore.pruned);
           string_of_int (List.length pairs);
           Table.cell_q spread;
           Printf.sprintf "%d (<= %d)" steps ((2 * k) + 3);
@@ -64,8 +66,8 @@ let run ppf =
   Table.print ppf ~title:"E2  Algorithm 1 over all schedules (+1 crash)"
     ~headers:
       [
-        "k"; "eps"; "execs(0,1)"; "pairs"; "max gap"; "steps"; "bits";
-        "pass";
+        "k"; "eps"; "states(0,1)"; "nodes/cut"; "pairs"; "max gap"; "steps";
+        "bits"; "pass";
       ]
     rows;
   (* The k = 4 decision-pair chain, Figure 2's data. *)

@@ -18,6 +18,7 @@ let run ppf =
       string_of_int proto.LB.bits;
       Printf.sprintf "%d/%d" a.LB.distinct_words (1 lsl (2 * proto.LB.bits));
       string_of_int a.LB.executions;
+      string_of_int a.LB.search.Sched.Explore.nodes;
       Table.cell_q a.LB.max_spread;
       Table.cell_q ratio;
       Table.cell_bool Q.(ratio > Q.of_int 2);
@@ -33,7 +34,7 @@ let run ppf =
       "E3a  Algorithm 1 extended to a third process: bucket spread vs its \
        own eps"
     ~headers:
-      [ "protocol"; "bits"; "words/2^2s"; "execs"; "bucket spread";
+      [ "protocol"; "bits"; "words/2^2s"; "states"; "nodes"; "bucket spread";
         "spread/eps"; "> 2eps" ]
     alg1_rows;
   let quant_rows =
@@ -48,7 +49,7 @@ let run ppf =
   Table.print ppf
     ~title:"E3b  Quantized-midpoint family: more bits, narrower buckets"
     ~headers:
-      [ "protocol"; "bits"; "words/2^2s"; "execs"; "bucket spread";
+      [ "protocol"; "bits"; "words/2^2s"; "states"; "nodes"; "bucket spread";
         "spread/grain"; "> 2grain" ]
     quant_rows;
   let w = LB.witness (LB.alg1_protocol ~k:3) in

@@ -95,10 +95,14 @@ let pruned_path ~delta ~rounds =
       ~programs:(fun pid -> Core.Ring_sim.protocol ~delta ~rounds ~me:pid)
       ()
   in
-  Sched.Explore.interleavings ~max_steps:1_000_000 ~init (fun st ->
-      match
-        ((Sched.Scheduler.decisions st).(0), (Sched.Scheduler.decisions st).(1))
-      with
-      | Some l0, Some l1 -> pairs := (l0, l1) :: !pairs
-      | _ -> ());
-  path_dot ~value:(Core.Ring_sim.value ~delta ~rounds) !pairs
+  let search =
+    Sched.Explore.explore ~max_steps:1_000_000 ~init (fun st ->
+        match
+          ( (Sched.Scheduler.decisions st).(0),
+            (Sched.Scheduler.decisions st).(1) )
+        with
+        | Some l0, Some l1 -> pairs := (l0, l1) :: !pairs
+        | _ -> ())
+  in
+  Format.asprintf "// explorer: %a@\n%s" Sched.Explore.pp_stats search
+    (path_dot ~value:(Core.Ring_sim.value ~delta ~rounds) !pairs)

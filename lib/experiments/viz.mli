@@ -14,4 +14,5 @@ val labelling_path : rounds:int -> string
 val pruned_path : delta:int -> rounds:int -> string
 (** The Algorithm 6 pruned complex: the labels reachable with the [delta]
     cutoff and their pruned-path values (vertices found by exhausting the
-    simulation's schedules — keep [rounds <= 5]). *)
+    simulation's schedules — keep [rounds <= 5]). The first line is a DOT
+    comment with the exploration-engine counters. *)

@@ -1,5 +1,257 @@
-let interleavings ?(max_steps = 10_000) ?(on_truncated = fun _ -> ()) ~init
-    visit =
+(* The exploration engine. Three independent mechanisms stack on top of a
+   depth-first walk over one shared, journaled scheduler state:
+
+   - undo-based backtracking: instead of [Scheduler.copy] at every branch
+     (memory copy + five array copies), a branch is [step]; recurse;
+     [undo_to] — O(1) allocation per branch.
+
+   - state deduplication: the canonical name of a state is the per-process
+     observation history (which ops ran, and what every read returned).
+     Programs are deterministic and registers are single-writer, so equal
+     histories imply equal continuations, statuses, and memory — a revisited
+     canonical state's subtree is skipped.
+
+   - sleep-set partial-order reduction: after the subtree stepping process
+     [p] is explored, sibling subtrees need not step [p] again until some
+     process performs an operation conflicting with [p]'s next op. In SWMR
+     memory only a read and a write of the same register conflict: any two
+     reads commute, and writes by distinct processes land in distinct
+     registers.
+
+   Sleep sets and the visited set interact (Godefroid's state-matching
+   caveat): a state first met with sleep set S had the transitions in S
+   pruned, so a later visit with sleep set T only skips the subtree when
+   S ⊆ T; otherwise the transitions in S \ T are re-expanded and the stored
+   set shrinks to S ∩ T. The canonical crash order (increasing pid between
+   steps) is tracked the same way: each visited state remembers the lowest
+   crash floor it was expanded with. See DESIGN.md "Exploration engine". *)
+
+type stats = {
+  nodes : int;
+  terminals : int;
+  deduped : int;
+  pruned : int;
+  truncated : int;
+  peak_depth : int;
+}
+
+let zero_stats =
+  { nodes = 0; terminals = 0; deduped = 0; pruned = 0; truncated = 0;
+    peak_depth = 0 }
+
+let add_stats a b =
+  {
+    nodes = a.nodes + b.nodes;
+    terminals = a.terminals + b.terminals;
+    deduped = a.deduped + b.deduped;
+    pruned = a.pruned + b.pruned;
+    truncated = a.truncated + b.truncated;
+    peak_depth = max a.peak_depth b.peak_depth;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "nodes=%d terminals=%d deduped=%d pruned=%d truncated=%d depth=%d"
+    s.nodes s.terminals s.deduped s.pruned s.truncated s.peak_depth
+
+(* One observation per step of one process. A write's value is a
+   deterministic function of the history so far, so only reads need to
+   record what they returned. *)
+type ('v, 'i) cell =
+  | C_write
+  | C_read of 'v
+  | C_write_input
+  | C_read_input of 'i option
+  | C_crash
+
+type visited_entry = { mutable sleep_stored : int; mutable floor_stored : int }
+
+let popcount m =
+  let c = ref 0 and m = ref m in
+  while !m <> 0 do
+    c := !c + (!m land 1);
+    m := !m lsr 1
+  done;
+  !c
+
+let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
+    ?(por = true) ?(on_truncated = fun _ -> ()) ~init visit =
+  let state = init () in
+  Scheduler.enable_journal state;
+  let n = Scheduler.n state in
+  if n >= Sys.int_size - 1 then
+    invalid_arg "Explore.explore: sleep-set bitmasks need n < word size";
+  let mem = Scheduler.memory state in
+  let keys = Array.make n ([] : _ cell list) in
+  let phash = Array.make n 0 in
+  let visited : (int, (('v, 'i) cell list array * visited_entry) list ref)
+      Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let nodes = ref 0 and terminals = ref 0 and deduped = ref 0
+  and pruned = ref 0 and truncated = ref 0 and peak_depth = ref 0 in
+  let combine h x = (h * 0x01000193) lxor x land max_int in
+  let state_hash () =
+    let h = ref 0 in
+    for pid = 0 to n - 1 do
+      h := combine !h phash.(pid)
+    done;
+    !h
+  in
+  (* Does the next op of process [i] conflict with the next op of process
+     [j]?  Only a read and a write of the same (SWMR) register do. *)
+  let conflict a i b j =
+    match (a, b) with
+    | Scheduler.Op_write, Scheduler.Op_read r -> r = i
+    | Scheduler.Op_read r, Scheduler.Op_write -> r = j
+    | Scheduler.Op_write_input, Scheduler.Op_read_input r -> r = i
+    | Scheduler.Op_read_input r, Scheduler.Op_write_input -> r = j
+    | _ -> false
+  in
+  let indep_filter op p mask =
+    let kept = ref 0 in
+    for u = 0 to n - 1 do
+      if
+        mask land (1 lsl u) <> 0
+        && not (conflict op p (Scheduler.peek state u) u)
+      then kept := !kept lor (1 lsl u)
+    done;
+    !kept
+  in
+  let observation p =
+    match Scheduler.peek state p with
+    | Scheduler.Op_write -> C_write
+    | Scheduler.Op_read j -> C_read (Memory.peek mem j)
+    | Scheduler.Op_write_input -> C_write_input
+    | Scheduler.Op_read_input j -> C_read_input (Memory.read_input mem j)
+    | Scheduler.Op_halted -> assert false
+  in
+  (* A crashed process's trailing reads are invisible: they wrote nothing
+     and its decision is void, so crashing right away and crashing after a
+     few more reads reach the same state. Canonicalizing the victim's key
+     (drop the read suffix, then append the crash marker) merges them.
+     Reads that precede a write must stay — they determined its value. *)
+  let drop_read_suffix key =
+    let rec go = function
+      | (C_read _ | C_read_input _) :: rest -> go rest
+      | k -> k
+    in
+    go key
+  in
+  let rehash key =
+    List.fold_left (fun h c -> combine h (Hashtbl.hash c)) 0 (List.rev key)
+  in
+  let rec node ~sleep ~depth ~crashes ~floor =
+    incr nodes;
+    if depth > !peak_depth then peak_depth := depth;
+    let enabled = ref 0 in
+    Scheduler.iter_running state (fun p -> enabled := !enabled lor (1 lsl p));
+    let enabled = !enabled in
+    let terminal = enabled = 0 in
+    let sleep = if por then sleep land enabled else 0 in
+    let fresh () =
+      if terminal then begin
+        incr terminals;
+        visit state
+      end
+      else begin
+        pruned := !pruned + popcount sleep;
+        expand ~step_mask:(enabled land lnot sleep) ~covered:sleep
+          ~crash_lo:floor ~crash_hi:n ~depth ~crashes ~enabled
+      end
+    in
+    if (not terminal) && depth >= max_steps then begin
+      incr truncated;
+      on_truncated state
+    end
+    else if not dedup then fresh ()
+    else begin
+      let h = state_hash () in
+      let bucket =
+        match Hashtbl.find_opt visited h with
+        | Some b -> b
+        | None ->
+            let b = ref [] in
+            Hashtbl.add visited h b;
+            b
+      in
+      match List.find_opt (fun (k, _) -> k = keys) !bucket with
+      | None ->
+          bucket :=
+            (Array.copy keys, { sleep_stored = sleep; floor_stored = floor })
+            :: !bucket;
+          fresh ()
+      | Some (_, _) when terminal -> incr deduped
+      | Some (_, e) ->
+          (* Transitions slept on every earlier visit but awake now must
+             be expanded; likewise crash pids below every earlier floor. *)
+          let reopen_steps = e.sleep_stored land lnot sleep land enabled in
+          let reopen_crashes =
+            crashes < max_crashes && floor < e.floor_stored
+          in
+          if reopen_steps = 0 && not reopen_crashes then incr deduped
+          else begin
+            let covered = sleep lor (enabled land lnot e.sleep_stored) in
+            let crash_hi = if reopen_crashes then e.floor_stored else floor in
+            e.sleep_stored <- e.sleep_stored land sleep;
+            e.floor_stored <- min e.floor_stored floor;
+            expand ~step_mask:reopen_steps ~covered ~crash_lo:floor ~crash_hi
+              ~depth ~crashes ~enabled
+          end
+    end
+  and expand ~step_mask ~covered ~crash_lo ~crash_hi ~depth ~crashes ~enabled =
+    let covered = ref covered in
+    for p = 0 to n - 1 do
+      if step_mask land (1 lsl p) <> 0 then begin
+        let op = Scheduler.peek state p in
+        let child_sleep = if por then indep_filter op p !covered else 0 in
+        let obs = observation p in
+        let old_key = keys.(p) and old_h = phash.(p) in
+        keys.(p) <- obs :: old_key;
+        phash.(p) <- combine old_h (Hashtbl.hash obs);
+        let m = Scheduler.journal_mark state in
+        Scheduler.step state p;
+        node ~sleep:child_sleep ~depth:(depth + 1) ~crashes ~floor:0;
+        Scheduler.undo_to state m;
+        keys.(p) <- old_key;
+        phash.(p) <- old_h;
+        covered := !covered lor (1 lsl p)
+      end
+    done;
+    if crashes < max_crashes then
+      for p = max 0 crash_lo to crash_hi - 1 do
+        if enabled land (1 lsl p) <> 0 then begin
+          (* A crash only touches the victim's status: it commutes with
+             every other process's next op, so the whole covered set stays
+             asleep in the crash subtree. *)
+          let child_sleep = if por then !covered land lnot (1 lsl p) else 0 in
+          let old_key = keys.(p) and old_h = phash.(p) in
+          keys.(p) <- C_crash :: drop_read_suffix old_key;
+          phash.(p) <- rehash keys.(p);
+          let m = Scheduler.journal_mark state in
+          Scheduler.crash state p;
+          node ~sleep:child_sleep ~depth ~crashes:(crashes + 1)
+            ~floor:(p + 1);
+          Scheduler.undo_to state m;
+          keys.(p) <- old_key;
+          phash.(p) <- old_h
+        end
+      done
+  in
+  node ~sleep:0 ~depth:0 ~crashes:0 ~floor:0;
+  {
+    nodes = !nodes;
+    terminals = !terminals;
+    deduped = !deduped;
+    pruned = !pruned;
+    truncated = !truncated;
+    peak_depth = !peak_depth;
+  }
+
+(* {2 The naive reference walker} *)
+
+let interleavings_naive ?(max_steps = 10_000) ?(on_truncated = fun _ -> ())
+    ~init visit =
   let rec go state depth =
     match Scheduler.running state with
     | [] -> visit state
@@ -15,9 +267,9 @@ let interleavings ?(max_steps = 10_000) ?(on_truncated = fun _ -> ()) ~init
   in
   go (init ()) 0
 
-let interleavings_with_crashes ?(max_steps = 10_000)
+let interleavings_with_crashes_naive ?(max_steps = 10_000)
     ?(on_truncated = fun _ -> ()) ~max_crashes ~init visit =
-  let rec go state depth crashes =
+  let rec go state depth crashes crash_floor =
     match Scheduler.running state with
     | [] -> visit state
     | procs ->
@@ -27,33 +279,49 @@ let interleavings_with_crashes ?(max_steps = 10_000)
             (fun pid ->
               let fork = Scheduler.copy state in
               Scheduler.step fork pid;
-              go fork (depth + 1) crashes)
+              go fork (depth + 1) crashes 0)
             procs;
+          (* Crashes between two steps commute; enumerating only the
+             increasing-pid order visits each crash set once. *)
           if crashes < max_crashes then
             List.iter
               (fun pid ->
-                let fork = Scheduler.copy state in
-                Scheduler.crash fork pid;
-                go fork depth (crashes + 1))
+                if pid >= crash_floor then begin
+                  let fork = Scheduler.copy state in
+                  Scheduler.crash fork pid;
+                  go fork depth (crashes + 1) (pid + 1)
+                end)
               procs
         end
   in
-  go (init ()) 0 0
+  go (init ()) 0 0 0
+
+(* {2 Compatibility wrappers} *)
+
+let interleavings ?max_steps ?on_truncated ~init visit =
+  ignore
+    (explore ?max_steps ?on_truncated ~init visit : stats)
+
+let interleavings_with_crashes ?max_steps ?on_truncated ~max_crashes ~init
+    visit =
+  ignore
+    (explore ?max_steps ~max_crashes ?on_truncated ~init visit : stats)
 
 exception Found
 
 let find ?max_steps ~init pred =
   let result = ref None in
   (try
-     interleavings ?max_steps ~init (fun state ->
-         if pred state then begin
-           result := Some state;
-           raise Found
-         end)
+     ignore
+       (explore ?max_steps ~init (fun state ->
+            if pred state then begin
+              result := Some state;
+              raise Found
+            end)
+         : stats)
    with Found -> ());
   !result
 
 let count ?max_steps ~init () =
-  let k = ref 0 in
-  interleavings ?max_steps ~init (fun _ -> incr k);
-  !k
+  let s = explore ?max_steps ~dedup:false ~por:false ~init (fun _ -> ()) in
+  s.terminals

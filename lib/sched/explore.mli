@@ -3,9 +3,59 @@
 
     Impossibility arguments in the paper quantify over {e all} executions;
     for small systems (2–3 processes, short protocols) we can visit all of
-    them. The number of interleavings of two L-step programs is
-    [C(2L, L) ~ 4^L], so callers are expected to keep protocols short here
-    and use {!Scheduler.run_random} for anything bigger. *)
+    them. The engine walks a single scheduler state depth-first, undoing
+    steps on backtrack instead of copying the state per branch, merges
+    interleavings that converge to the same canonical state, and prunes
+    redundant orderings of commuting operations (sleep-set partial-order
+    reduction). Together these preserve the set of reachable {e final}
+    states — every distinct terminal state is still visited exactly once —
+    while the number of explored nodes collapses from the full
+    [C(2L, L) ~ 4^L] interleaving tree. {!interleavings_naive} is the
+    original copy-per-branch walker, kept as the reference oracle for
+    differential tests. See DESIGN.md "Exploration engine" for the
+    soundness argument. *)
+
+type stats = {
+  nodes : int;  (** DFS nodes expanded (including terminals) *)
+  terminals : int;  (** complete executions handed to the visitor *)
+  deduped : int;  (** subtree re-entries skipped by the visited set *)
+  pruned : int;  (** step branches skipped by sleep-set POR *)
+  truncated : int;  (** paths abandoned at the step budget *)
+  peak_depth : int;  (** deepest path, in memory steps *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One line: [nodes=… terminals=… deduped=… pruned=… truncated=… depth=…]. *)
+
+val explore :
+  ?max_steps:int ->
+  ?max_crashes:int ->
+  ?dedup:bool ->
+  ?por:bool ->
+  ?on_truncated:(('v, 'i, 'a) Scheduler.state -> unit) ->
+  init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
+  (('v, 'i, 'a) Scheduler.state -> unit) ->
+  stats
+(** The engine. Visits every reachable terminal state (all processes decided
+    or crashed) of every interleaving of the running processes, branching on
+    crashing any running process before any step while fewer than
+    [max_crashes] (default 0) have crashed. Crash branches are canonical:
+    between two steps, crash pids only increase — the crash {e set} is what
+    matters, not its order. [dedup] (default true) keys a visited set on the
+    per-process observation histories; [por] (default true) enables
+    sleep-set commutativity pruning. With both off the engine expands
+    exactly the naive walker's tree (one terminal visit per schedule).
+    Paths exceeding [max_steps] (default 10_000) memory steps are abandoned
+    after calling [on_truncated] (default: nothing) — the guard against
+    non-wait-free protocols.
+
+    The visitor receives the engine's single journaled state; it may read
+    anything ({!Scheduler.decisions}, {!Scheduler.trace}, memory contents,
+    step counts — all reflect exactly the current path) but must not step,
+    crash, or undo it, and must not retain it after returning. *)
 
 val interleavings :
   ?max_steps:int ->
@@ -13,11 +63,10 @@ val interleavings :
   init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
   (('v, 'i, 'a) Scheduler.state -> unit) ->
   unit
-(** Depth-first enumeration of every maximal interleaving of the running
-    processes (no crashes): the visitor is called once per execution in which
-    every process ran to decision. Runs exceeding [max_steps] (default
-    10_000) total steps are abandoned after calling [on_truncated] (default:
-    nothing) — a guard against non-wait-free protocols. *)
+(** [explore] with no crashes and the default reductions: the visitor runs
+    once per distinct reachable final state. Callers that need one visit
+    per schedule (counting, probability weighting) use
+    {!interleavings_naive} or [explore ~dedup:false ~por:false]. *)
 
 val interleavings_with_crashes :
   ?max_steps:int ->
@@ -26,10 +75,28 @@ val interleavings_with_crashes :
   init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
   (('v, 'i, 'a) Scheduler.state -> unit) ->
   unit
-(** Like {!interleavings} but additionally branches, before every step, on
-    crashing any running process, as long as fewer than [max_crashes] have
-    crashed. Visits each maximal execution (all processes decided or
-    crashed). Exponentially larger than {!interleavings}; keep it tiny. *)
+(** [explore ~max_crashes] discarding the stats. *)
+
+val interleavings_naive :
+  ?max_steps:int ->
+  ?on_truncated:(('v, 'i, 'a) Scheduler.state -> unit) ->
+  init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
+  (('v, 'i, 'a) Scheduler.state -> unit) ->
+  unit
+(** The original engine: fork the full state ({!Scheduler.copy}) at every
+    branch, visit once per maximal schedule, no reductions. Kept as the
+    reference oracle — the differential property tests assert the optimized
+    engine reaches exactly the same terminal states. *)
+
+val interleavings_with_crashes_naive :
+  ?max_steps:int ->
+  ?on_truncated:(('v, 'i, 'a) Scheduler.state -> unit) ->
+  max_crashes:int ->
+  init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
+  (('v, 'i, 'a) Scheduler.state -> unit) ->
+  unit
+(** Copy-per-branch walker with crash branching (canonical increasing-pid
+    crash order, so each crash set is enumerated once per position). *)
 
 val find :
   ?max_steps:int ->
@@ -41,4 +108,5 @@ val find :
 
 val count : ?max_steps:int -> init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
   unit -> int
-(** Number of complete crash-free interleavings. *)
+(** Number of complete crash-free interleavings — schedules, not distinct
+    states, so this runs with [dedup] and [por] off. *)

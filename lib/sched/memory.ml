@@ -36,6 +36,8 @@ let read t j =
   t.reads <- t.reads + 1;
   t.regs.(j)
 
+let peek t j = t.regs.(j)
+
 let write_input t ~pid v =
   (match t.inputs.(pid) with
   | Some _ -> invalid_arg "Memory.write_input: input register is write-once"
@@ -51,3 +53,18 @@ let copy t =
 let reads_performed t = t.reads
 let writes_performed t = t.writes
 let max_bits_written t = t.max_bits
+
+type ('v, 'i) undo =
+  | U_none
+  | U_write of { pid : int; old : 'v; old_max_bits : int }
+  | U_read
+  | U_write_input of int
+
+let undo t = function
+  | U_none -> ()
+  | U_write { pid; old; old_max_bits } ->
+      t.regs.(pid) <- old;
+      t.writes <- t.writes - 1;
+      t.max_bits <- old_max_bits
+  | U_read -> t.reads <- t.reads - 1
+  | U_write_input pid -> t.inputs.(pid) <- None

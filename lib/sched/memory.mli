@@ -26,6 +26,11 @@ val write : ('v, 'i) t -> pid:int -> 'v -> unit
 
 val read : ('v, 'i) t -> int -> 'v
 
+val peek : ('v, 'i) t -> int -> 'v
+(** Like {!read} but without bumping the read counter — for explorers and
+    adversaries that inspect memory outside the protocol's own step
+    accounting. *)
+
 val write_input : ('v, 'i) t -> pid:int -> 'i -> unit
 (** @raise Invalid_argument on a second write to the same input register. *)
 
@@ -44,3 +49,21 @@ val writes_performed : ('v, 'i) t -> int
 
 val max_bits_written : ('v, 'i) t -> int
 (** Largest measured width over all writes so far (0 if none). *)
+
+(** {1 Undo support}
+
+    One token per memory operation, built by {!Scheduler.step} when its undo
+    journal is enabled and applied in reverse order on backtrack. Reverting a
+    write restores both the register and the statistics counters, so a
+    backtracking search observes exactly the counters of the execution path
+    it is currently on. *)
+
+type ('v, 'i) undo =
+  | U_none  (** operations that left the memory untouched *)
+  | U_write of { pid : int; old : 'v; old_max_bits : int }
+  | U_read
+  | U_write_input of int
+
+val undo : ('v, 'i) t -> ('v, 'i) undo -> unit
+(** Revert one operation. Tokens must be applied in LIFO order with respect
+    to the operations they describe. *)

@@ -1,5 +1,20 @@
 type 'a status = Running | Decided of 'a | Crashed
 
+(* One journal entry per {!step}/{!crash} when journaling is on. A step
+   changes at most: the process's program, its status/output (via [settle]),
+   the trace head, one memory cell and the memory counters, and the two step
+   counters — so reverting is O(1) regardless of system size. *)
+type ('v, 'i, 'a) undo_entry =
+  | U_step of {
+      pid : int;
+      old_prog : ('v, 'i, 'a) Program.t;
+      old_status : 'a status;
+      old_output : 'a option;
+      old_events : 'v Trace.event list;
+      mem_undo : ('v, 'i) Memory.undo;
+    }
+  | U_crash of { pid : int; old_events : 'v Trace.event list }
+
 type ('v, 'i, 'a) state = {
   mem : ('v, 'i) Memory.t;
   progs : ('v, 'i, 'a) Program.t array;
@@ -9,6 +24,9 @@ type ('v, 'i, 'a) state = {
   mutable total_steps : int;
   mutable events : 'v Trace.event list;
   record_trace : bool;
+  mutable journaling : bool;
+  mutable journal : ('v, 'i, 'a) undo_entry array;
+  mutable journal_len : int;
 }
 
 let record t pid op =
@@ -44,6 +62,9 @@ let start ?(record_trace = false) ~memory ~programs () =
       total_steps = 0;
       events = [];
       record_trace;
+      journaling = false;
+      journal = [||];
+      journal_len = 0;
     }
   in
   for pid = 0 to n - 1 do
@@ -54,45 +75,144 @@ let start ?(record_trace = false) ~memory ~programs () =
 let memory t = t.mem
 let n t = Memory.n t.mem
 
+let push_entry t e =
+  let cap = Array.length t.journal in
+  if t.journal_len = cap then begin
+    let grown = Array.make (if cap = 0 then 64 else 2 * cap) e in
+    Array.blit t.journal 0 grown 0 cap;
+    t.journal <- grown
+  end;
+  t.journal.(t.journal_len) <- e;
+  t.journal_len <- t.journal_len + 1
+
 let step t pid =
   (match t.status.(pid) with
   | Running -> ()
   | Decided _ | Crashed ->
       invalid_arg (Printf.sprintf "Scheduler.step: process %d halted" pid));
-  (match t.progs.(pid) with
-  | Program.Return _ | Program.Output _ -> assert false (* settled away *)
-  | Program.Write (v, k) ->
-      Memory.write t.mem ~pid v;
-      record t pid (Trace.Write v);
-      t.progs.(pid) <- k ()
-  | Program.Read (j, k) ->
-      let v = Memory.read t.mem j in
-      record t pid (Trace.Read (j, v));
-      t.progs.(pid) <- k v
-  | Program.Write_input (v, k) ->
-      Memory.write_input t.mem ~pid v;
-      record t pid Trace.Write_input;
-      t.progs.(pid) <- k ()
-  | Program.Read_input (j, k) ->
-      let v = Memory.read_input t.mem j in
-      record t pid (Trace.Read_input j);
-      t.progs.(pid) <- k v);
+  let journaling = t.journaling in
+  let old_prog = t.progs.(pid)
+  and old_output = t.outputs.(pid)
+  and old_events = t.events in
+  let mem_undo =
+    match t.progs.(pid) with
+    | Program.Return _ | Program.Output _ -> assert false (* settled away *)
+    | Program.Write (v, k) ->
+        let u =
+          if journaling then
+            Memory.U_write
+              {
+                pid;
+                old = Memory.peek t.mem pid;
+                old_max_bits = Memory.max_bits_written t.mem;
+              }
+          else Memory.U_none
+        in
+        Memory.write t.mem ~pid v;
+        record t pid (Trace.Write v);
+        t.progs.(pid) <- k ();
+        u
+    | Program.Read (j, k) ->
+        let v = Memory.read t.mem j in
+        record t pid (Trace.Read (j, v));
+        t.progs.(pid) <- k v;
+        if journaling then Memory.U_read else Memory.U_none
+    | Program.Write_input (v, k) ->
+        Memory.write_input t.mem ~pid v;
+        record t pid Trace.Write_input;
+        t.progs.(pid) <- k ();
+        if journaling then Memory.U_write_input pid else Memory.U_none
+    | Program.Read_input (j, k) ->
+        let v = Memory.read_input t.mem j in
+        record t pid (Trace.Read_input j);
+        t.progs.(pid) <- k v;
+        Memory.U_none
+  in
   t.step_counts.(pid) <- t.step_counts.(pid) + 1;
   t.total_steps <- t.total_steps + 1;
-  settle t pid
+  settle t pid;
+  if journaling then
+    push_entry t
+      (U_step
+         { pid; old_prog; old_status = Running; old_output; old_events;
+           mem_undo })
 
 let crash t pid =
   (match t.status.(pid) with
   | Running -> ()
   | Decided _ | Crashed ->
       invalid_arg (Printf.sprintf "Scheduler.crash: process %d halted" pid));
+  if t.journaling then push_entry t (U_crash { pid; old_events = t.events });
   t.status.(pid) <- Crashed;
   record t pid Trace.Crash
+
+(* {2 Undo journal} *)
+
+type journal_mark = int
+
+let enable_journal t = t.journaling <- true
+let journal_mark t = t.journal_len
+
+let undo_to t m =
+  if m > t.journal_len || m < 0 then
+    invalid_arg "Scheduler.undo_to: mark is not in the journal";
+  while t.journal_len > m do
+    t.journal_len <- t.journal_len - 1;
+    match t.journal.(t.journal_len) with
+    | U_step { pid; old_prog; old_status; old_output; old_events; mem_undo }
+      ->
+        t.progs.(pid) <- old_prog;
+        t.status.(pid) <- old_status;
+        t.outputs.(pid) <- old_output;
+        t.events <- old_events;
+        t.step_counts.(pid) <- t.step_counts.(pid) - 1;
+        t.total_steps <- t.total_steps - 1;
+        Memory.undo t.mem mem_undo
+    | U_crash { pid; old_events } ->
+        t.status.(pid) <- Running;
+        t.events <- old_events
+  done
+
+(* {2 Inspection} *)
+
+type op_view =
+  | Op_write
+  | Op_read of int
+  | Op_write_input
+  | Op_read_input of int
+  | Op_halted
+
+let peek t pid =
+  match t.status.(pid) with
+  | Decided _ | Crashed -> Op_halted
+  | Running -> (
+      match t.progs.(pid) with
+      | Program.Write _ -> Op_write
+      | Program.Read (j, _) -> Op_read j
+      | Program.Write_input _ -> Op_write_input
+      | Program.Read_input (j, _) -> Op_read_input j
+      | Program.Return _ | Program.Output _ -> assert false (* settled *))
 
 let is_running t pid =
   match t.status.(pid) with Running -> true | Decided _ | Crashed -> false
 
 let status t pid = t.status.(pid)
+
+let iter_running t f =
+  for pid = 0 to n t - 1 do
+    match t.status.(pid) with
+    | Running -> f pid
+    | Decided _ | Crashed -> ()
+  done
+
+let running_count t =
+  let c = ref 0 in
+  for pid = 0 to n t - 1 do
+    match t.status.(pid) with
+    | Running -> incr c
+    | Decided _ | Crashed -> ()
+  done;
+  !c
 
 let running t =
   let acc = ref [] in
@@ -103,7 +223,7 @@ let running t =
   done;
   !acc
 
-let all_halted t = running t = []
+let all_halted t = running_count t = 0
 
 let decisions t = Array.copy t.outputs
 
@@ -142,6 +262,10 @@ let copy t =
     status = Array.copy t.status;
     outputs = Array.copy t.outputs;
     step_counts = Array.copy t.step_counts;
+    (* The copy cannot rewind past its creation point, and sharing the
+       journal buffer would corrupt it on divergent pushes. *)
+    journal = [||];
+    journal_len = 0;
   }
 
 let run_schedule t pids =
@@ -154,20 +278,15 @@ let run_schedule t pids =
 
 let run_round_robin ?(max_steps = 1_000_000) t =
   let budget = ref max_steps in
-  let rec loop () =
-    match running t with
-    | [] -> ()
-    | procs ->
-        List.iter
-          (fun pid ->
-            if !budget > 0 && is_running t pid then begin
-              step t pid;
-              decr budget
-            end)
-          procs;
-        if !budget > 0 then loop ()
-  in
-  loop ()
+  let continue_ = ref true in
+  while !continue_ && running_count t > 0 do
+    iter_running t (fun pid ->
+        if !budget > 0 && is_running t pid then begin
+          step t pid;
+          decr budget
+        end);
+    if !budget <= 0 then continue_ := false
+  done
 
 let run_random ?(max_steps = 1_000_000) ?(crashes = []) ?(until_outputs = false)
     rng t =

@@ -35,9 +35,55 @@ val crash : ('v, 'i, 'a) state -> int -> unit
 (** Process takes no further steps, ever.
     @raise Invalid_argument if the process is not [Running]. *)
 
+(** {1 Undo journal}
+
+    Backtracking support for {!module:Explore}: with the journal enabled,
+    every {!step} and {!crash} records what it overwrote, and {!undo_to}
+    rewinds the state to an earlier {!journal_mark} in O(steps undone) —
+    no copying of the memory or the per-process arrays. *)
+
+type journal_mark
+
+val enable_journal : ('v, 'i, 'a) state -> unit
+(** Start journaling. Off by default ([step] stays allocation-free for plain
+    runs). Steps taken before enabling cannot be undone. *)
+
+val journal_mark : ('v, 'i, 'a) state -> journal_mark
+(** The current rewind point. *)
+
+val undo_to : ('v, 'i, 'a) state -> journal_mark -> unit
+(** Rewind to a previously obtained mark, reverting programs, statuses,
+    outputs, step counters, memory contents and memory statistics, and the
+    recorded trace. Marks must be used LIFO.
+    @raise Invalid_argument if the mark is ahead of the journal. *)
+
+(** {1 Inspection} *)
+
+type op_view =
+  | Op_write  (** next op writes the process's own register *)
+  | Op_read of int  (** next op reads register [j] *)
+  | Op_write_input  (** next op writes the process's input register *)
+  | Op_read_input of int  (** next op reads input register [j] *)
+  | Op_halted
+
+val peek : ('v, 'i, 'a) state -> int -> op_view
+(** The next atomic operation process [pid] would perform — what {!step}
+    is about to do, without doing it. Explorers use this for commutativity
+    analysis (two reads commute; a read and a write conflict iff they touch
+    the same register). *)
+
 val status : ('v, 'i, 'a) state -> int -> 'a status
 val running : ('v, 'i, 'a) state -> int list
-(** Running process ids, ascending. *)
+(** Running process ids, ascending. Allocates; prefer {!iter_running} in hot
+    loops. *)
+
+val iter_running : ('v, 'i, 'a) state -> (int -> unit) -> unit
+(** [f] applied to each running pid in ascending order, allocation-free.
+    Statuses are consulted live: a process halted by an earlier callback in
+    the same sweep is skipped. *)
+
+val running_count : ('v, 'i, 'a) state -> int
+(** Number of running processes, allocation-free. *)
 
 val all_halted : ('v, 'i, 'a) state -> bool
 
@@ -59,7 +105,8 @@ val trace : ('v, 'i, 'a) state -> 'v Trace.event list
 val copy : ('v, 'i, 'a) state -> ('v, 'i, 'a) state
 (** Independent copy (memory deep-copied). Programs must be pure between
     steps — all per-process state in the continuation — for the copy to be a
-    true fork; every protocol in this repository is. *)
+    true fork; every protocol in this repository is. The copy starts with an
+    empty undo journal: it cannot be rewound past the copy point. *)
 
 (** {1 Drivers} *)
 

@@ -25,15 +25,23 @@ let pp_violation pp_i ppf { inputs; crashes; seed; reason } =
     (Format.pp_print_option Format.pp_print_int)
     seed
 
-type stats = { runs : int; max_process_steps : int; max_bits : int }
+type stats = {
+  runs : int;
+  max_process_steps : int;
+  max_bits : int;
+  explored : Sched.Explore.stats option;
+}
 
 type 'i report = Pass of stats | Fail of 'i violation
 
 let pp_report pp_i ppf = function
-  | Pass { runs; max_process_steps; max_bits } ->
+  | Pass { runs; max_process_steps; max_bits; explored } ->
       Format.fprintf ppf
         "pass: %d runs, <=%d steps/process, <=%d bits/register" runs
-        max_process_steps max_bits
+        max_process_steps max_bits;
+      Option.iter
+        (fun s -> Format.fprintf ppf " (%a)" Sched.Explore.pp_stats s)
+        explored
   | Fail v -> pp_violation pp_i ppf v
 
 let start algorithm ~inputs =
@@ -79,6 +87,7 @@ let observe stats state =
     per_proc := max !per_proc (Scheduler.steps_of state pid)
   done;
   {
+    stats with
     runs = stats.runs + 1;
     max_process_steps = max stats.max_process_steps !per_proc;
     max_bits =
@@ -86,7 +95,8 @@ let observe stats state =
         (Sched.Memory.max_bits_written (Scheduler.memory state));
   }
 
-let initial_stats = { runs = 0; max_process_steps = 0; max_bits = 0 }
+let initial_stats =
+  { runs = 0; max_process_steps = 0; max_bits = 0; explored = None }
 
 let random_crash_pattern rng ~n ~resilience =
   let how_many = Bits.Rng.int rng (resilience + 1) in
@@ -125,6 +135,7 @@ exception Stop
 let check_exhaustive ~task ~algorithm ?(max_crashes = 0) ?(max_steps = 10_000)
     () =
   let stats = ref initial_stats in
+  let search = ref Sched.Explore.zero_stats in
   let failure = ref None in
   (try
      List.iter
@@ -143,11 +154,12 @@ let check_exhaustive ~task ~algorithm ?(max_crashes = 0) ?(max_steps = 10_000)
          let on_truncated _ =
            stop "interleaving exceeded the step budget (non-termination?)"
          in
-         if max_crashes = 0 then
-           Sched.Explore.interleavings ~max_steps ~on_truncated ~init visit
-         else
-           Sched.Explore.interleavings_with_crashes ~max_steps ~on_truncated
-             ~max_crashes ~init visit)
+         search :=
+           Sched.Explore.add_stats !search
+             (Sched.Explore.explore ~max_steps ~max_crashes ~on_truncated
+                ~init visit))
        (Task.input_configurations task)
    with Stop -> ());
-  match !failure with Some v -> Fail v | None -> Pass !stats
+  match !failure with
+  | Some v -> Fail v
+  | None -> Pass { !stats with explored = Some !search }

@@ -30,6 +30,9 @@ type stats = {
   runs : int;
   max_process_steps : int;  (** worst per-process step count observed *)
   max_bits : int;  (** widest register value ever written *)
+  explored : Sched.Explore.stats option;
+      (** exploration-engine counters, summed over input configurations —
+          [Some] for {!check_exhaustive}, [None] for {!check_random} *)
 }
 
 type 'i report = Pass of stats | Fail of 'i violation

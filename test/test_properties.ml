@@ -198,6 +198,95 @@ let prop_explore_count =
       let rec fact n = if n = 0 then 1 else n * fact (n - 1) in
       Sched.Explore.count ~init () = fact (a + b) / (fact a * fact b))
 
+(* Differential oracle for the exploration engine: on random small programs
+   (reads feed into decisions, so observation order matters), the journaled
+   engine with reductions off walks the same tree as the copy-per-branch
+   naive walker, and with dedup+POR on it reaches exactly the same set of
+   terminal states, each visited once. *)
+let explore_gen =
+  QCheck.Gen.(
+    int_range 2 3 >>= fun n ->
+    int_range 0 1 >>= fun crashes ->
+    (* Keep the naive tree small: 3 procs get <= 3 ops, 2 procs <= 4. *)
+    let op =
+      oneof
+        [
+          map (fun v -> `W v) (int_range 0 3);
+          map (fun j -> `R j) (int_range 0 (n - 1));
+        ]
+    in
+    list_repeat n (list_size (int_range 0 (if n = 2 then 4 else 3)) op)
+    >>= fun progs -> return (n, crashes, Array.of_list progs))
+
+let explore_print (n, crashes, progs) =
+  Printf.sprintf "n=%d crashes=%d [%s]" n crashes
+    (String.concat "; "
+       (Array.to_list progs
+       |> List.map (fun ops ->
+              String.concat ","
+                (List.map
+                   (function
+                     | `W v -> Printf.sprintf "W%d" v
+                     | `R j -> Printf.sprintf "R%d" j)
+                   ops))))
+
+let prop_explore_differential =
+  QCheck.Test.make ~name:"explore: optimized engine = naive walker" ~count:80
+    (QCheck.make ~print:explore_print explore_gen)
+    (fun (n, max_crashes, progs) ->
+      let build ops =
+        let rec go ops acc =
+          match ops with
+          | [] -> Sched.Program.Return (List.rev acc)
+          | `W v :: rest -> Sched.Program.Write (v, fun () -> go rest acc)
+          | `R j :: rest ->
+              Sched.Program.Read (j, fun v -> go rest (v :: acc))
+        in
+        go ops []
+      in
+      let init () =
+        Sched.Scheduler.start
+          ~memory:
+            (Sched.Memory.create ~n ~budget:Bits.Width.Unbounded
+               ~measure:Bits.Width.unbounded ~init:0)
+          ~programs:(fun pid -> build progs.(pid))
+          ()
+      in
+      let signature st =
+        ( Array.to_list (Sched.Scheduler.decisions st),
+          Array.to_list (Sched.Memory.contents (Sched.Scheduler.memory st)),
+          Sched.Scheduler.crashed st )
+      in
+      let naive = ref [] in
+      (if max_crashes = 0 then
+         Sched.Explore.interleavings_naive ~init (fun st ->
+             naive := signature st :: !naive)
+       else
+         Sched.Explore.interleavings_with_crashes_naive ~max_crashes ~init
+           (fun st -> naive := signature st :: !naive));
+      let raw = ref [] in
+      let raw_stats =
+        Sched.Explore.explore ~max_crashes ~dedup:false ~por:false ~init
+          (fun st -> raw := signature st :: !raw)
+      in
+      let opt = ref [] in
+      let opt_stats =
+        Sched.Explore.explore ~max_crashes ~init (fun st ->
+            opt := signature st :: !opt)
+      in
+      let sorted l = List.sort compare l in
+      let set l = List.sort_uniq compare l in
+      (* reductions off: the same multiset of terminal states as naive *)
+      sorted !raw = sorted !naive
+      && raw_stats.Sched.Explore.terminals = List.length !naive
+      (* dedup + POR: exactly the same reachable terminal-state set *)
+      && set !opt = set !naive
+      (* crash-free histories determine signatures, so dedup implies each
+         state is visited exactly once; under crashes, coinciding write
+         values can leave distinct histories with equal signatures. *)
+      && (max_crashes > 0 || List.length !opt = List.length (set !opt))
+      && opt_stats.Sched.Explore.nodes <= raw_stats.Sched.Explore.nodes)
+
 (* Trace replay: any random execution is reproduced exactly from its own
    schedule. *)
 let prop_trace_replay =
@@ -234,6 +323,7 @@ let () =
             prop_bg_n4;
             prop_iis_agreement;
             prop_explore_count;
+            prop_explore_differential;
             prop_trace_replay;
           ] );
     ]

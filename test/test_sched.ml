@@ -165,6 +165,153 @@ let test_explore_crashes_include_solo () =
   Alcotest.(check bool) "p1 solo reads 0" true
     (List.mem (`P1, 0) !solo_outcomes)
 
+(* Undo journal: stepping and crashing, then rewinding, restores programs,
+   statuses, outputs, memory contents, and every statistics counter. *)
+let journal_snap s =
+  ( S.decisions s,
+    M.contents (S.memory s),
+    S.running s,
+    S.crashed s,
+    S.steps_taken s,
+    (S.steps_of s 0, S.steps_of s 1),
+    ( M.reads_performed (S.memory s),
+      M.writes_performed (S.memory s),
+      M.max_bits_written (S.memory s) ) )
+
+let test_undo_rollback_across_crashes () =
+  let s = start ~record_trace:true () in
+  S.enable_journal s;
+  let root = journal_snap s in
+  let m0 = S.journal_mark s in
+  S.step s 0;
+  (* p0 wrote 1 *)
+  let after_write = journal_snap s in
+  let m1 = S.journal_mark s in
+  (* Branch A: crash p1, run p0 to decision. *)
+  S.crash s 1;
+  S.step s 0;
+  Alcotest.(check (list int)) "branch A: p1 crashed" [ 1 ] (S.crashed s);
+  Alcotest.(check (array (option int))) "branch A: p0 decided solo"
+    [| Some 0; None |] (S.decisions s);
+  S.undo_to s m1;
+  Alcotest.(check bool) "undo to mid-point restores everything" true
+    (journal_snap s = after_write);
+  (* Branch B from the same mid-point: p1 runs and sees p0's write. *)
+  S.step s 1;
+  S.step s 1;
+  (match S.status s 1 with
+  | S.Decided 1 -> ()
+  | _ -> Alcotest.fail "branch B: p1 should have seen p0's write");
+  S.undo_to s m0;
+  Alcotest.(check bool) "undo to root restores everything" true
+    (journal_snap s = root);
+  Alcotest.(check int) "trace rewound too" 0 (List.length (S.trace s));
+  (* The rewound state is still live: a full run completes normally. *)
+  S.run_round_robin s;
+  Alcotest.(check bool) "rewound state replays" true (S.all_halted s)
+
+let test_undo_rollback_write_over () =
+  (* Overwrites and width stats rewind: write a wide value, undo, and the
+     memory reports the narrow past, not the wide future. *)
+  let m = make_memory () in
+  let s =
+    S.start ~memory:m
+      ~programs:(fun _ ->
+        let* () = P.write 1 in
+        let* () = P.write 255 in
+        P.return ())
+      ()
+  in
+  S.enable_journal s;
+  S.step s 0;
+  let mark = S.journal_mark s in
+  S.step s 0;
+  Alcotest.(check int) "wide value written" 255 (M.read m 0);
+  Alcotest.(check int) "8 bits seen" 8 (M.max_bits_written m);
+  S.undo_to s mark;
+  Alcotest.(check int) "register restored" 1 (M.peek m 0);
+  Alcotest.(check int) "width stat restored" 1 (M.max_bits_written m);
+  Alcotest.(check int) "read counter restored" 1 (M.reads_performed m)
+
+(* The acceptance workload: 3 straight-line writers, 4 steps each. The
+   engine must (a) reach exactly the naive walker's terminal states and
+   (b) expand >= 5x fewer nodes. *)
+let writers_3x4_init () =
+  let straight len : (int, string, unit) P.t =
+    let rec go k =
+      if k = 0 then P.return ()
+      else
+        let* () = P.write k in
+        go (k - 1)
+    in
+    go len
+  in
+  S.start ~memory:(make_memory ~n:3 ()) ~programs:(fun _ -> straight 4) ()
+
+let terminal_signature s =
+  ( Array.to_list (S.decisions s),
+    Array.to_list (M.contents (S.memory s)),
+    S.crashed s )
+
+let test_explore_reductions_5x () =
+  let init = writers_3x4_init in
+  let naive = ref [] in
+  Sched.Explore.interleavings_naive ~init (fun s ->
+      naive := terminal_signature s :: !naive);
+  Alcotest.(check int) "naive schedule count: 12!/(4!)^3" 34650
+    (List.length !naive);
+  let raw = Sched.Explore.explore ~dedup:false ~por:false ~init (fun _ -> ()) in
+  Alcotest.(check int) "raw engine = naive tree" 34650
+    raw.Sched.Explore.terminals;
+  let opt_states = ref [] in
+  let opt =
+    Sched.Explore.explore ~init (fun s ->
+        opt_states := terminal_signature s :: !opt_states)
+  in
+  let set l = List.sort_uniq compare l in
+  Alcotest.(check bool) "same reachable terminal states" true
+    (set !naive = set !opt_states);
+  Alcotest.(check int) "each distinct state visited once"
+    (List.length (set !naive))
+    (List.length !opt_states);
+  Alcotest.(check bool)
+    (Printf.sprintf ">=5x fewer nodes (%d vs %d)" opt.Sched.Explore.nodes
+       raw.Sched.Explore.nodes)
+    true
+    (5 * opt.Sched.Explore.nodes <= raw.Sched.Explore.nodes)
+
+let test_explore_canonical_crash_order () =
+  (* Two 1-step writers, up to 2 crashes. Canonical (increasing-pid) crash
+     order enumerates: 2 crash-free schedules, 2+2 single-crash schedules,
+     and exactly ONE double-crash schedule (crash 0 then crash 1) — the
+     pid-swapped duplicate is gone. *)
+  let init () =
+    S.start ~memory:(make_memory ())
+      ~programs:(fun pid ->
+        let* () = P.write (pid + 1) in
+        P.return ())
+      ()
+  in
+  let raw =
+    Sched.Explore.explore ~max_crashes:2 ~dedup:false ~por:false ~init
+      (fun _ -> ())
+  in
+  Alcotest.(check int) "7 canonical schedules" 7 raw.Sched.Explore.terminals;
+  let states = ref [] in
+  let opt =
+    Sched.Explore.explore ~max_crashes:2 ~init (fun s ->
+        states := terminal_signature s :: !states)
+  in
+  Alcotest.(check int) "4 distinct terminal states" 4
+    opt.Sched.Explore.terminals;
+  Alcotest.(check int) "all distinct" 4
+    (List.length (List.sort_uniq compare !states));
+  (* And the naive crash walker agrees with the raw engine. *)
+  let naive = ref 0 in
+  Sched.Explore.interleavings_with_crashes_naive ~max_crashes:2 ~init
+    (fun _ -> incr naive);
+  Alcotest.(check int) "naive crash walker canonical too" 7 !naive
+
 (* Double-collect snapshots: under concurrent writers, a returned snapshot
    was instantaneously present in memory. We check the weaker testable
    property: two sequential snapshots by the same process are ordered by
@@ -290,6 +437,14 @@ let () =
           Alcotest.test_case "find" `Quick test_explore_find;
           Alcotest.test_case "crash branching" `Quick
             test_explore_crashes_include_solo;
+          Alcotest.test_case "undo rollback across crash branches" `Quick
+            test_undo_rollback_across_crashes;
+          Alcotest.test_case "undo restores overwritten registers" `Quick
+            test_undo_rollback_write_over;
+          Alcotest.test_case "dedup+POR: >=5x fewer nodes, same states" `Quick
+            test_explore_reductions_5x;
+          Alcotest.test_case "canonical crash order" `Quick
+            test_explore_canonical_crash_order;
         ] );
       ( "snapshots",
         [ Alcotest.test_case "double collect" `Quick test_snapshot_clean ] );
