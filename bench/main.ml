@@ -115,6 +115,32 @@ let run_abd_ops () =
   in
   Msgpass.Net.run_random ~rng:(Bits.Rng.make 9) net
 
+let run_chaos_sound () =
+  (* One sound-quorum chaos run: faults + history recording + the
+     linearizability decision. *)
+  ignore (Msgpass.Chaos.run_random ~seed:1 (Msgpass.Chaos.sound ()))
+
+let run_linearize_check () =
+  (* Decide a 24-operation linearizable history (2 writers x 2 values
+     interleaved with 4 readers x 5 reads on one register). *)
+  let open Check.Linearize in
+  let evs = ref [] in
+  let clock = ref 0 in
+  let tick () = incr clock; !clock in
+  for w = 1 to 4 do
+    let inv = tick () in
+    evs := { proc = 0; reg = 0; op = Write w; inv; res = Some (tick ()) }
+           :: !evs;
+    for p = 1 to 4 do
+      let inv = tick () in
+      evs := { proc = p; reg = 0; op = Read w; inv; res = Some (tick ()) }
+             :: !evs
+    done
+  done;
+  match check ~init:(fun _ -> 0) ~equal:Int.equal !evs with
+  | Linearizable _ -> ()
+  | Nonlinearizable _ -> failwith "bench history must be linearizable"
+
 let run_bmz_plan () =
   match Tasks.Bmz.plan (Tasks.Gallery.eps_grid ~k:4) with
   | Ok _ -> ()
@@ -175,6 +201,9 @@ let benchmarks =
         (Staged.stage run_one_bit_sim);
       Test.make ~name:"alt-bit-128-bytes" (Staged.stage run_alt_bit_transfer);
       Test.make ~name:"abd-write+read(n=5)" (Staged.stage run_abd_ops);
+      Test.make ~name:"chaos-run(sound,n=4)" (Staged.stage run_chaos_sound);
+      Test.make ~name:"linearize-check(24-ops)"
+        (Staged.stage run_linearize_check);
       Test.make ~name:"bmz-plan(eps-grid-k=4)" (Staged.stage run_bmz_plan);
       Test.make ~name:"pruned-path-value(R=20)"
         (Staged.stage run_labelling_value);
@@ -239,6 +268,43 @@ let json_stats b (s : Sched.Explore.stats) =
     s.Sched.Explore.pruned s.Sched.Explore.truncated
     s.Sched.Explore.peak_depth
 
+(* Chaos-campaign counters: throughput of the sound sweep and shrink
+   quality on the published frontier counterexample (seed 127). *)
+let chaos_stats () =
+  let module C = Msgpass.Chaos in
+  let t0 = Unix.gettimeofday () in
+  let sound = C.campaign ~seed:1 ~runs:50 (C.sound ()) in
+  let sound_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let frontier = C.campaign ~seed:127 ~runs:1 (C.frontier ()) in
+  let frontier_s = Unix.gettimeofday () -. t0 in
+  (sound, sound_s, frontier, frontier_s)
+
+let json_chaos b =
+  let module C = Msgpass.Chaos in
+  let sound, sound_s, frontier, frontier_s = chaos_stats () in
+  Printf.bprintf b
+    "    \"sound\": {\"runs\": %d, \"violations\": %d, \"fault_events\": %d, \
+     \"completed_ops\": %d, \"events_per_sec\": %.0f},\n"
+    sound.C.runs sound.C.violations sound.C.total_events
+    sound.C.total_completed
+    (float_of_int sound.C.total_events /. sound_s);
+  match frontier.C.first with
+  | None ->
+      Printf.bprintf b
+        "    \"frontier\": {\"runs\": %d, \"violations\": %d}\n"
+        frontier.C.runs frontier.C.violations
+  | Some f ->
+      Printf.bprintf b
+        "    \"frontier\": {\"seed\": %d, \"plan_events\": %d, \
+         \"shrunk_events\": %d, \"shrunk_deliveries\": %d, \
+         \"shrink_replays\": %d, \"find_and_shrink_sec\": %.2f}\n"
+        f.C.seed
+        (List.length f.C.original.C.plan)
+        (List.length f.C.shrunk)
+        (Msgpass.Faults.deliveries f.C.shrunk)
+        f.C.shrink_tests frontier_s
+
 let write_json file rows =
   let b = Buffer.create 4096 in
   Printf.bprintf b "{\n  \"benchmarks\": [\n";
@@ -257,6 +323,8 @@ let write_json file rows =
       Printf.bprintf b "%s\n"
         (if i = List.length variants - 1 then "" else ","))
     variants;
+  Printf.bprintf b "  },\n  \"chaos\": {\n";
+  json_chaos b;
   Printf.bprintf b "  }\n}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents b);
@@ -269,7 +337,7 @@ let json_target () =
     if i >= Array.length argv then None
     else if argv.(i) = "--json" then
       if i + 1 < Array.length argv then Some argv.(i + 1)
-      else Some "BENCH_PR1.json"
+      else Some "BENCH_PR2.json"
     else scan (i + 1)
   in
   scan 1

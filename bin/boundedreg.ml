@@ -208,6 +208,82 @@ let labelling_cmd =
   in
   Cmd.v (Cmd.info "labelling" ~doc) Term.(const run $ rounds_arg)
 
+let chaos_cmd =
+  let doc =
+    "Run a fault-injection campaign against the ABD register emulation and \
+     machine-check linearizability of every run."
+  in
+  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N") in
+  let t_arg = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T") in
+  let quorum_arg =
+    Arg.(value & opt (some int) None & info [ "quorum" ] ~docv:"Q")
+  in
+  let frontier_arg =
+    Arg.(
+      value & flag
+      & info [ "frontier" ]
+          ~doc:
+            "Use the t = n/2 frontier preset (disjoint quorums, the E13 \
+             configuration).")
+  in
+  let runs_arg = Arg.(value & opt int 100 & info [ "runs" ] ~docv:"RUNS") in
+  let max_events_arg =
+    Arg.(value & opt (some int) None & info [ "max-events" ] ~docv:"E")
+  in
+  let plan_arg =
+    Arg.(
+      value & flag
+      & info [ "plan" ] ~doc:"Print the shrunk fault plan of a violation.")
+  in
+  let expect_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("pass", `Pass); ("violation", `Violation) ])) None
+      & info [ "expect" ] ~docv:"VERDICT"
+          ~doc:
+            "Exit non-zero unless the campaign outcome matches (CI smoke \
+             gate).")
+  in
+  let run n t quorum frontier runs max_events seed print_plan expect =
+    let config =
+      if frontier then Msgpass.Chaos.frontier ~n ()
+      else
+        let c = Msgpass.Chaos.sound ~n ~t () in
+        { c with Msgpass.Chaos.quorum = Option.fold ~none:c.Msgpass.Chaos.quorum ~some:Option.some quorum }
+    in
+    let config =
+      match max_events with
+      | Some e -> { config with Msgpass.Chaos.max_events = e }
+      | None -> config
+    in
+    Format.printf "chaos: n=%d t=%d quorum=%d writes=%d readers=%dx%d@."
+      config.Msgpass.Chaos.n config.Msgpass.Chaos.t
+      (Option.value config.Msgpass.Chaos.quorum
+         ~default:(config.Msgpass.Chaos.n - config.Msgpass.Chaos.t))
+      config.Msgpass.Chaos.writes config.Msgpass.Chaos.readers
+      config.Msgpass.Chaos.reads;
+    let c = Msgpass.Chaos.campaign ~seed ~runs config in
+    Format.printf "@[<v>%a@]@." Msgpass.Chaos.pp_campaign c;
+    (match (print_plan, c.Msgpass.Chaos.first) with
+    | true, Some f ->
+        Format.printf "shrunk plan:@.  @[<hov>%a@]@." Msgpass.Faults.pp_plan
+          f.Msgpass.Chaos.shrunk
+    | _ -> ());
+    match expect with
+    | Some `Pass when c.Msgpass.Chaos.violations > 0 ->
+        Format.eprintf "expected a clean campaign, found %d violation(s)@."
+          c.Msgpass.Chaos.violations;
+        exit 1
+    | Some `Violation when c.Msgpass.Chaos.violations = 0 ->
+        Format.eprintf "expected the campaign to find a violation@.";
+        exit 1
+    | _ -> ()
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ n_arg $ t_arg $ quorum_arg $ frontier_arg $ runs_arg
+      $ max_events_arg $ seed_arg $ plan_arg $ expect_arg)
+
 let dot_cmd =
   let doc =
     "Emit a Graphviz rendering (task output graph or protocol complex)."
@@ -246,4 +322,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; alg1_cmd; fast_cmd; pipeline_cmd; search_cmd;
-            labelling_cmd; dot_cmd ]))
+            labelling_cmd; chaos_cmd; dot_cmd ]))

@@ -17,4 +17,12 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+# Chaos smoke: the sound quorum must survive a quick seeded campaign, and
+# the published frontier seed must still find (and shrink) the E13-style
+# atomicity violation. --expect makes a mismatch a non-zero exit.
+echo "== chaos smoke"
+dune exec bin/boundedreg.exe -- chaos --runs 20 --seed 1 --expect pass
+dune exec bin/boundedreg.exe -- chaos --frontier --runs 1 --seed 127 \
+  --expect violation
+
 echo "check.sh: OK"

@@ -1,0 +1,193 @@
+type 'v op = Read of 'v | Write of 'v
+
+type 'v event = {
+  proc : int;
+  reg : int;
+  op : 'v op;
+  inv : int;
+  res : int option;
+}
+
+type 'v verdict =
+  | Linearizable of 'v event list
+  | Nonlinearizable of { reg : int; reason : string }
+
+let pp_event pp_v ppf e =
+  let kind, v = match e.op with Read v -> ("R", v) | Write v -> ("W", v) in
+  Format.fprintf ppf "p%d:%s%d=%a[%d,%s]" e.proc kind e.reg pp_v v e.inv
+    (match e.res with Some r -> string_of_int r | None -> "?")
+
+let pp_verdict pp_v ppf = function
+  | Linearizable witness ->
+      Format.fprintf ppf "@[<h>linearizable:@ %a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           (pp_event pp_v))
+        witness
+  | Nonlinearizable { reg; reason } ->
+      Format.fprintf ppf "NONLINEARIZABLE (register %d): %s" reg reason
+
+let completed e = e.res <> None
+let is_read e = match e.op with Read _ -> true | Write _ -> false
+
+(* [e] may be linearized next iff no other remaining completed operation
+   finished before [e] was invoked. Pending operations never constrain
+   others (their response is in the open future). *)
+let minimal used evs i =
+  let e = evs.(i) in
+  let blocked = ref false in
+  Array.iteri
+    (fun j e' ->
+      if (not !blocked) && j <> i && not used.(j) then
+        match e'.res with
+        | Some r when r < e.inv -> blocked := true
+        | Some _ | None -> ())
+    evs;
+  not !blocked
+
+(* Decide one register's history. Pending reads were dropped by the caller;
+   pending writes are optional. Greedy rule: a minimal completed read that
+   returns the current value can always be linearized immediately — reads
+   leave the register unchanged, so hoisting one to the front of any witness
+   keeps the witness legal. Backtracking is only over writes. *)
+let check_reg ~pp ~init ~equal evs =
+  let nn = Array.length evs in
+  let used = Array.make nn false in
+  let remaining = ref (Array.fold_left (fun k e -> if completed e then k + 1 else k) 0 evs) in
+  let witness = ref [] in
+  let take i =
+    used.(i) <- true;
+    if completed evs.(i) then decr remaining;
+    witness := evs.(i) :: !witness
+  in
+  let rec greedy_reads value =
+    let progress = ref false in
+    for i = 0 to nn - 1 do
+      if
+        (not used.(i)) && completed evs.(i) && is_read evs.(i)
+        && (match evs.(i).op with Read v -> equal v value | Write _ -> false)
+        && minimal used evs i
+      then begin
+        take i;
+        progress := true
+      end
+    done;
+    if !progress then greedy_reads value
+  in
+  (* Explore from register state [value]; returns true on success with
+     [witness] holding the order found (newest first). *)
+  let rec go value =
+    greedy_reads value;
+    if !remaining = 0 then true
+    else begin
+      let saved_witness = !witness and saved_used = Array.copy used in
+      let saved_remaining = !remaining in
+      let restore () =
+        witness := saved_witness;
+        Array.blit saved_used 0 used 0 nn;
+        remaining := saved_remaining
+      in
+      let ok = ref false in
+      let i = ref 0 in
+      while (not !ok) && !i < nn do
+        (match evs.(!i).op with
+        | Write v when (not used.(!i)) && minimal used evs !i ->
+            take !i;
+            if go v then ok := true else restore ()
+        | Write _ | Read _ -> ());
+        incr i
+      done;
+      !ok
+    end
+  in
+  if go (init ()) then Ok (List.rev !witness)
+  else begin
+    (* For the message: the earliest-invoked completed operation that the
+       search could not place. The greedy pass consumed everything
+       consistent, so after a failed search some completed read disagrees
+       with every reachable register value. *)
+    let stuck = ref None in
+    Array.iter
+      (fun e ->
+        if completed e then
+          match !stuck with
+          | Some s when s.inv <= e.inv -> ()
+          | Some _ | None -> ( match e.op with Read _ -> stuck := Some e | Write _ -> ()))
+      evs;
+    let reason =
+      match !stuck with
+      | Some ({ op = Read v; _ } as e) ->
+          Format.asprintf
+            "read by p%d over [%d,%s] returned %a, which no interleaving of \
+             the writes consistent with real-time order can produce"
+            e.proc e.inv
+            (match e.res with Some r -> string_of_int r | None -> "?")
+            pp v
+      | Some _ | None ->
+          "no linearization of the completed operations exists"
+    in
+    Error reason
+  end
+
+let group_by_reg events =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let l = Option.value (Hashtbl.find_opt tbl e.reg) ~default:[] in
+      Hashtbl.replace tbl e.reg (e :: l))
+    events;
+  Hashtbl.fold (fun reg l acc -> (reg, List.rev l) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let default_pp ppf _ = Format.pp_print_string ppf "<v>"
+
+let check ?(pp = default_pp) ~init ~equal events =
+  let rec per_reg acc = function
+    | [] -> Linearizable (List.concat (List.rev acc))
+    | (reg, evs) :: rest -> (
+        (* Pending reads promise nothing: drop them. *)
+        let evs =
+          List.filter (fun e -> completed e || not (is_read e)) evs
+        in
+        match
+          check_reg ~pp ~init:(fun () -> init reg) ~equal
+            (Array.of_list evs)
+        with
+        | Ok witness -> per_reg (witness :: acc) rest
+        | Error reason -> Nonlinearizable { reg; reason })
+  in
+  per_reg [] (group_by_reg events)
+
+(* The oracle: plain Wing–Gong, branching over every minimal candidate. *)
+let check_naive ~init ~equal events =
+  let one_reg (reg, evs) =
+    let evs =
+      Array.of_list
+        (List.filter (fun e -> completed e || not (is_read e)) evs)
+    in
+    let nn = Array.length evs in
+    let used = Array.make nn false in
+    let rec go value remaining =
+      if remaining = 0 then true
+      else begin
+        let ok = ref false in
+        for i = 0 to nn - 1 do
+          if (not !ok) && (not used.(i)) && minimal used evs i then begin
+            let attempt value' =
+              used.(i) <- true;
+              if go value' (if completed evs.(i) then remaining - 1 else remaining)
+              then ok := true
+              else used.(i) <- false
+            in
+            match evs.(i).op with
+            | Read v -> if equal v value then attempt value
+            | Write v -> attempt v
+          end
+        done;
+        !ok
+      end
+    in
+    go (init reg)
+      (Array.fold_left (fun k e -> if completed e then k + 1 else k) 0 evs)
+  in
+  List.for_all one_reg (group_by_reg events)

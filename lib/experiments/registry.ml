@@ -91,6 +91,12 @@ let all =
       paper = "Lemma 2.4 (IIS = shared memory, the embedding direction)";
       run = Exp_embedding.run;
     };
+    {
+      id = "E15";
+      slug = "chaos-campaigns";
+      paper = "Section 6 step 1 (ABD atomicity) vs the Section 9 frontier";
+      run = Exp_chaos.run;
+    };
   ]
 
 let find key =

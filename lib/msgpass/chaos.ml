@@ -1,0 +1,277 @@
+module L = Check.Linearize
+
+type config = {
+  n : int;
+  t : int;
+  quorum : int option;
+  writes : int;
+  readers : int;
+  reads : int;
+  crashes : int;
+  profile : Faults.profile;
+  max_events : int;
+}
+
+let default_profile =
+  {
+    Faults.reliable with
+    drop = 0.08;
+    duplicate = 0.06;
+    defer = 0.12;
+    delay = 0.05;
+    delay_span = 12;
+    max_channel_drops = 4;
+  }
+
+let sound ?(n = 4) ?(t = 1) () =
+  {
+    n;
+    t;
+    quorum = None;
+    writes = 2;
+    readers = 2;
+    reads = 3;
+    crashes = t;
+    profile = default_profile;
+    max_events = 4_000;
+  }
+
+let frontier ?(n = 4) () =
+  {
+    n;
+    t = 0;
+    quorum = Some (n / 2);
+    writes = 2;
+    readers = 2;
+    reads = 4;
+    crashes = 0;
+    (* Disjoint quorums only misbehave when a write settles in one half
+       while reads are served entirely by the other. Long delay bursts and
+       aggressive reordering manufacture that partition; loss stays modest
+       and per-channel bounded so operations still complete — a dead
+       channel stalls the protocol instead of staling it. (Profile chosen
+       by sweep: ~3.5% violation rate over seeds 1..200, minimal shrunk
+       witnesses under 20 deliveries.) *)
+    profile =
+      {
+        default_profile with
+        drop = 0.10;
+        defer = 0.3;
+        delay = 0.25;
+        delay_span = 40;
+        max_channel_drops = 4;
+      };
+    max_events = 4_000;
+  }
+
+type outcome = {
+  verdict : int L.verdict;
+  history : int L.event list;
+  plan : Faults.plan;
+  events : int;
+  deliveries : int;
+  completed : int;
+}
+
+let failed o =
+  match o.verdict with L.Nonlinearizable _ -> true | L.Linearizable _ -> false
+
+(* The client fleet: ABD peers with operation scripts against register 0,
+   recording invocation/response events on a shared logical clock. Every
+   inv/res gets a fresh stamp, so the recorded real-time order is exactly
+   the callback order of the simulation. *)
+let build config =
+  let n = config.n in
+  let abds =
+    Array.init n (fun me ->
+        Abd.create ~n ~t:config.t ~me ?quorum:config.quorum ~registers:n
+          ~init:(fun _ -> 0)
+          ())
+  in
+  let stamp = ref 0 in
+  let now () =
+    incr stamp;
+    !stamp
+  in
+  let history = ref [] in
+  let pending : (int * [ `W of int | `R ]) option array = Array.make n None in
+  let scripts =
+    Array.init n (fun me ->
+        if me = 0 then ref (List.init config.writes (fun i -> `W (i + 1)))
+        else if me <= config.readers then
+          ref (List.init config.reads (fun _ -> `R))
+        else ref [])
+  in
+  let start_next me =
+    match !(scripts.(me)) with
+    | [] -> []
+    | op :: rest ->
+        scripts.(me) := rest;
+        pending.(me) <- Some (now (), op);
+        (match op with
+        | `W v -> Abd.begin_write abds.(me) ~reg:0 v
+        | `R -> Abd.begin_read abds.(me) ~reg:0)
+  in
+  let complete me c =
+    match pending.(me) with
+    | None -> ()
+    | Some (inv, kind) ->
+        pending.(me) <- None;
+        let op =
+          match (c, kind) with
+          | Abd.Wrote, `W v -> L.Write v
+          | Abd.Read_value v, `R -> L.Read v
+          | Abd.Wrote, `R -> L.Read 0
+          | Abd.Read_value v, `W _ -> L.Write v
+        in
+        history :=
+          { L.proc = me; reg = 0; op; inv; res = Some (now ()) } :: !history
+  in
+  let node me =
+    {
+      Net.on_start = (fun () -> start_next me);
+      on_message =
+        (fun ~from m ->
+          let outs = Abd.handle abds.(me) ~from m in
+          match Abd.take_completion abds.(me) with
+          | None -> outs
+          | Some c ->
+              complete me c;
+              outs @ start_next me);
+    }
+  in
+  let net = Net.create ~n ~nodes:node in
+  let finalize () =
+    let tail = ref [] in
+    Array.iteri
+      (fun me p ->
+        match p with
+        | Some (inv, `W v) ->
+            tail := { L.proc = me; reg = 0; op = L.Write v; inv; res = None } :: !tail
+        | Some (inv, `R) ->
+            tail := { L.proc = me; reg = 0; op = L.Read 0; inv; res = None } :: !tail
+        | None -> ())
+      pending;
+    List.rev_append !history !tail
+  in
+  (net, finalize)
+
+let outcome_of ft finalize =
+  let history = finalize () in
+  let plan = Faults.plan ft in
+  {
+    verdict =
+      L.check ~pp:Format.pp_print_int ~init:(fun _ -> 0) ~equal:Int.equal
+        history;
+    history;
+    plan;
+    events = Faults.events ft;
+    deliveries = Faults.deliveries plan;
+    completed =
+      List.fold_left
+        (fun k (e : int L.event) -> if e.res <> None then k + 1 else k)
+        0 history;
+  }
+
+let random_crashes rng config =
+  let how_many =
+    Bits.Rng.int rng (min config.crashes config.t + 1)
+  in
+  let pids = Array.init config.n (fun i -> i) in
+  Bits.Rng.shuffle rng pids;
+  List.init how_many (fun i ->
+      (pids.(i), Bits.Rng.int rng (max 1 (config.max_events / 4))))
+
+let run_random ~seed config =
+  let rng = Bits.Rng.make seed in
+  let crash_at = random_crashes rng config in
+  let profile =
+    { config.profile with crash_at = config.profile.crash_at @ crash_at }
+  in
+  let net, finalize = build config in
+  let ft = Faults.wrap net in
+  Faults.run_random ~rng ~profile ~max_events:config.max_events ft;
+  outcome_of ft finalize
+
+let run_plan config plan =
+  let net, finalize = build config in
+  let ft = Faults.wrap net in
+  Faults.replay ft plan;
+  outcome_of ft finalize
+
+let shrink config plan =
+  let test p = failed (run_plan config p) in
+  Check.Shrink.minimize_count ~test plan
+
+type found = {
+  seed : int;
+  original : outcome;
+  shrunk : Faults.plan;
+  shrunk_outcome : outcome;
+  shrink_tests : int;
+}
+
+type campaign = {
+  runs : int;
+  violations : int;
+  total_events : int;
+  total_completed : int;
+  first : found option;
+}
+
+let campaign ~seed ~runs config =
+  let acc =
+    ref
+      {
+        runs = 0;
+        violations = 0;
+        total_events = 0;
+        total_completed = 0;
+        first = None;
+      }
+  in
+  for s = seed to seed + runs - 1 do
+    let o = run_random ~seed:s config in
+    let c = !acc in
+    let first =
+      match (c.first, failed o) with
+      | None, true ->
+          let shrunk, shrink_tests = shrink config o.plan in
+          Some
+            {
+              seed = s;
+              original = o;
+              shrunk;
+              shrunk_outcome = run_plan config shrunk;
+              shrink_tests;
+            }
+      | first, _ -> first
+    in
+    acc :=
+      {
+        runs = c.runs + 1;
+        violations = (c.violations + if failed o then 1 else 0);
+        total_events = c.total_events + o.events;
+        total_completed = c.total_completed + o.completed;
+        first;
+      }
+  done;
+  !acc
+
+let pp_campaign ppf c =
+  Format.fprintf ppf
+    "%d runs, %d violation(s), %d fault events, %d completed ops" c.runs
+    c.violations c.total_events c.total_completed;
+  match c.first with
+  | None -> ()
+  | Some f ->
+      Format.fprintf ppf
+        "@ first at seed %d: plan %d events -> shrunk %d (%d deliveries, %d \
+         replays); replayed verdict: %a"
+        f.seed
+        (List.length f.original.plan)
+        (List.length f.shrunk)
+        (Faults.deliveries f.shrunk)
+        f.shrink_tests
+        (L.pp_verdict Format.pp_print_int)
+        f.shrunk_outcome.verdict

@@ -1,0 +1,86 @@
+(** Chaos campaigns: ABD register emulations under injected faults, with
+    machine-checked atomicity verdicts and shrunk counterexamples.
+
+    One run builds an [n]-process {!Net} of ABD peers ({!Abd}), gives
+    process 0 a script of writes to register 0 and processes [1..readers] a
+    script of sequential reads, drives deliveries through a {!Faults} layer,
+    and records every operation's invocation/response on a logical clock.
+    The recorded history is handed to {!Check.Linearize}: a sound quorum
+    ([n - t], [t < n/2]) must yield [Linearizable] under any plan — crash,
+    drop, duplication, reordering, delay — while the [t = n/2] frontier
+    (disjoint quorums, the Section 9 open problem staged by E13) admits
+    runs whose completed write vanishes from a later read:
+    [Nonlinearizable], found by seed search rather than eyeballing.
+
+    A failing random run is then {e shrunk}: {!Check.Shrink.ddmin} deletes
+    fault-plan actions while replaying ({!run_plan}) keeps the verdict,
+    converging on a 1-minimal plan — for the frontier configuration,
+    around 17 delivery events: one write-request delivery, one read served
+    by fresh copies, one read served by stale ones. *)
+
+type config = {
+  n : int;
+  t : int;  (** resilience parameter handed to {!Abd.create} *)
+  quorum : int option;  (** override; [None] = the sound [n - t] *)
+  writes : int;  (** writer ops: values [1..writes] to register 0 *)
+  readers : int;  (** processes [1..readers] run read scripts *)
+  reads : int;  (** sequential reads per reader *)
+  crashes : int;  (** up to this many seeded random crash injections *)
+  profile : Faults.profile;
+  max_events : int;
+}
+
+val sound : ?n:int -> ?t:int -> unit -> config
+(** Default [n = 4], [t = 1]: quorum [n - t] with crash, drop, duplication,
+    reorder and delay faults (drops capped per channel so operations keep
+    completing; safety never depends on the cap). *)
+
+val frontier : ?n:int -> unit -> config
+(** The E13 configuration: quorum [n / 2], no crashes, delivery faults
+    only — the campaign that must find a stale read. *)
+
+type outcome = {
+  verdict : int Check.Linearize.verdict;
+  history : int Check.Linearize.event list;
+  plan : Faults.plan;  (** the replayable record of the run *)
+  events : int;  (** fault-layer actions executed *)
+  deliveries : int;
+  completed : int;  (** operations that got a response *)
+}
+
+val failed : outcome -> bool
+
+val run_random : seed:int -> config -> outcome
+(** One seeded campaign run: random crash pattern (at most
+    [config.crashes], never more than [config.t] processes), then
+    {!Faults.run_random} until quiescence or [config.max_events]. *)
+
+val run_plan : config -> Faults.plan -> outcome
+(** Deterministic replay of a plan against a fresh network — bit-for-bit:
+    [run_plan c (run_random ~seed c).plan] reproduces the run. *)
+
+val shrink : config -> Faults.plan -> Faults.plan * int
+(** ddmin a failing plan down to a 1-minimal failing plan, and the number
+    of replays spent. Returns the input unchanged when it does not fail. *)
+
+type found = {
+  seed : int;
+  original : outcome;
+  shrunk : Faults.plan;
+  shrunk_outcome : outcome;  (** replay of the shrunk plan: still failing *)
+  shrink_tests : int;
+}
+
+type campaign = {
+  runs : int;
+  violations : int;
+  total_events : int;
+  total_completed : int;
+  first : found option;  (** first violation, shrunk and re-verified *)
+}
+
+val campaign : seed:int -> runs:int -> config -> campaign
+(** Seeds [seed .. seed + runs - 1], every run checked; the first failing
+    run is shrunk and its shrunk plan replayed. *)
+
+val pp_campaign : Format.formatter -> campaign -> unit

@@ -1,0 +1,147 @@
+type channel = { src : int; dst : int }
+
+type action =
+  | Deliver of channel
+  | Drop of channel
+  | Duplicate of channel
+  | Defer of channel
+  | Crash of int
+
+type plan = action list
+
+let pp_action ppf = function
+  | Deliver { src; dst } -> Format.fprintf ppf "deliver %d>%d" src dst
+  | Drop { src; dst } -> Format.fprintf ppf "drop %d>%d" src dst
+  | Duplicate { src; dst } -> Format.fprintf ppf "dup %d>%d" src dst
+  | Defer { src; dst } -> Format.fprintf ppf "defer %d>%d" src dst
+  | Crash pid -> Format.fprintf ppf "crash %d" pid
+
+let pp_plan ppf plan =
+  Format.fprintf ppf "@[<hov>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_action)
+    plan
+
+let deliveries plan =
+  List.fold_left
+    (fun k -> function Deliver _ -> k + 1 | _ -> k)
+    0 plan
+
+type profile = {
+  drop : float;
+  duplicate : float;
+  defer : float;
+  delay : float;
+  delay_span : int;
+  max_channel_drops : int;
+  crash_at : (int * int) list;
+}
+
+let reliable =
+  {
+    drop = 0.;
+    duplicate = 0.;
+    defer = 0.;
+    delay = 0.;
+    delay_span = 0;
+    max_channel_drops = max_int;
+    crash_at = [];
+  }
+
+type 'm t = {
+  net : 'm Net.t;
+  mutable recorded : action list;  (** newest first *)
+  mutable events : int;
+  frozen : int array array;  (** channel thaws at this event index *)
+  drops : int array array;  (** drops spent per channel *)
+}
+
+let wrap net =
+  let n = Net.n net in
+  {
+    net;
+    recorded = [];
+    events = 0;
+    frozen = Array.make_matrix n n 0;
+    drops = Array.make_matrix n n 0;
+  }
+
+let net t = t.net
+let events t = t.events
+let plan t = List.rev t.recorded
+
+let apply t action =
+  let effective =
+    match action with
+    | Deliver { src; dst } -> Net.deliver t.net ~src ~dst
+    | Drop { src; dst } ->
+        if Net.drop t.net ~src ~dst then begin
+          t.drops.(src).(dst) <- t.drops.(src).(dst) + 1;
+          true
+        end
+        else false
+    | Duplicate { src; dst } -> Net.duplicate t.net ~src ~dst
+    | Defer { src; dst } -> Net.defer t.net ~src ~dst
+    | Crash pid ->
+        if Net.alive t.net pid then begin
+          Net.crash t.net pid;
+          true
+        end
+        else false
+  in
+  if effective then begin
+    t.recorded <- action :: t.recorded;
+    t.events <- t.events + 1
+  end;
+  effective
+
+let step_random rng profile t =
+  List.iter
+    (fun (pid, at) ->
+      if t.events >= at && Net.alive t.net pid then
+        ignore (apply t (Crash pid)))
+    profile.crash_at;
+  match Net.deliverable t.net with
+  | [] -> false
+  | all ->
+      let unfrozen =
+        List.filter (fun (s, d) -> t.frozen.(s).(d) <= t.events) all
+      in
+      (* All channels frozen: thaw by decree rather than livelock. *)
+      let candidates = if unfrozen = [] then all else unfrozen in
+      let src, dst = Bits.Rng.pick rng candidates in
+      let ch = { src; dst } in
+      let u = Bits.Rng.float rng in
+      let p_drop =
+        if t.drops.(src).(dst) < profile.max_channel_drops then profile.drop
+        else 0.
+      in
+      if u < p_drop then ignore (apply t (Drop ch))
+      else if u < p_drop +. profile.duplicate then
+        ignore (apply t (Duplicate ch))
+      else if
+        u < p_drop +. profile.duplicate +. profile.defer
+        && Net.pending t.net ~src ~dst >= 2
+      then ignore (apply t (Defer ch))
+      else if Bits.Rng.float rng < profile.delay then begin
+        (* Delay burst: freeze this channel and serve another if any. *)
+        t.frozen.(src).(dst) <- t.events + max 1 profile.delay_span;
+        match List.filter (fun c -> c <> (src, dst)) candidates with
+        | [] -> ignore (apply t (Deliver ch))
+        | rest ->
+            let src, dst = Bits.Rng.pick rng rest in
+            ignore (apply t (Deliver { src; dst }))
+      end
+      else ignore (apply t (Deliver ch));
+      true
+
+let run_random ~rng ~profile ?(max_events = 100_000) ?(until = fun () -> false)
+    t =
+  let rec loop budget =
+    if budget > 0 && (not (until ())) && step_random rng profile t then
+      loop (budget - 1)
+  in
+  loop max_events
+
+let replay t plan = List.iter (fun a -> ignore (apply t a)) plan

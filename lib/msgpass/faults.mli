@@ -1,0 +1,90 @@
+(** Deterministic, replayable fault injection over {!Net}.
+
+    The ABD emulation (Section 6, step 1) is advertised against an
+    asynchronous network with crash failures; Attiya-style register
+    simulations are additionally expected to shrug off message loss,
+    duplication and reordering, since a quorum system never waits for any
+    specific [t] processes. This layer makes those faults first-class
+    {e events}: every perturbation of the network — a delivery, a drop, a
+    duplication, a head-of-line reorder, a crash — is one {!action}, and a
+    run is exactly its action sequence (the {!plan}).
+
+    Two drivers produce runs. {!run_random} rolls seeded {!Bits.Rng} dice
+    against a {!profile} of per-event fault probabilities (with delay
+    bursts that freeze a channel for a stretch of events, and scheduled
+    crash-at-event-index injections); whatever it ends up doing is
+    {!plan}-recorded. {!replay} re-executes a recorded plan bit-for-bit —
+    the random and scripted modes meet in the same [action] vocabulary, so
+    a shrunk counterexample (see {!Check.Shrink}) is replayed by the exact
+    machinery that found it. *)
+
+type channel = { src : int; dst : int }
+
+type action =
+  | Deliver of channel  (** pop the channel head into the destination *)
+  | Drop of channel  (** lose the channel head *)
+  | Duplicate of channel  (** re-enqueue a copy of the head at the tail *)
+  | Defer of channel  (** move the head behind the tail: reordering *)
+  | Crash of int
+
+type plan = action list
+
+val pp_action : Format.formatter -> action -> unit
+(** [deliver 0>2], [drop 0>2], [dup 0>2], [defer 0>2], [crash 3] — the
+    fault-plan grammar quoted in EXPERIMENTS.md. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+val deliveries : plan -> int
+(** Number of [Deliver] actions — the size metric for shrunk plans. *)
+
+type profile = {
+  drop : float;  (** per-event probability of losing the chosen head *)
+  duplicate : float;
+  defer : float;
+  delay : float;  (** probability of freezing the chosen channel instead *)
+  delay_span : int;  (** freeze length, in events *)
+  max_channel_drops : int;  (** drop budget per channel ([max_int] = none) *)
+  crash_at : (int * int) list;  (** (pid, crash at this event index) *)
+}
+
+val reliable : profile
+(** All fault probabilities zero, no crashes: {!run_random} degenerates to
+    {!Net.run_random} up to channel choice. Build custom profiles with
+    [{ reliable with drop = 0.1; ... }]. *)
+
+type 'm t
+
+val wrap : 'm Net.t -> 'm t
+val net : 'm t -> 'm Net.t
+val events : 'm t -> int
+(** Actions executed so far (both drivers, and {!apply}). *)
+
+val plan : 'm t -> plan
+(** Every action executed so far, oldest first — the replayable record. *)
+
+val apply : 'm t -> action -> bool
+(** Execute one action. [false] (and no event recorded) when it has no
+    effect: empty channel, crashed destination, single-message [Defer],
+    [Crash] of a dead process. Replay skips such actions silently, which is
+    what lets {!Check.Shrink.ddmin} delete plan elements freely. *)
+
+val step_random : Bits.Rng.t -> profile -> 'm t -> bool
+(** One randomized event: fire due [crash_at] entries, pick a deliverable
+    channel (skipping frozen ones unless all are frozen), roll the fault
+    dice, apply. [false] when the network is quiescent. *)
+
+val run_random :
+  rng:Bits.Rng.t ->
+  profile:profile ->
+  ?max_events:int ->
+  ?until:(unit -> bool) ->
+  'm t ->
+  unit
+(** Drive {!step_random} until quiescence, [until ()], or [max_events]
+    (default 100_000). *)
+
+val replay : 'm t -> plan -> unit
+(** Execute a plan action by action, skipping no-ops. Replaying the plan of
+    a previous run against a freshly built identical network reproduces
+    that run exactly: same deliveries, same handler executions, same final
+    state. *)

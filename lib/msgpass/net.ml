@@ -47,17 +47,58 @@ let deliverable t =
   done;
   !acc
 
+let check_channel t ~src ~dst =
+  if src < 0 || src >= t.size || dst < 0 || dst >= t.size then
+    invalid_arg "Net: channel out of range"
+
+let pending t ~src ~dst =
+  check_channel t ~src ~dst;
+  Queue.length t.channels.(src).(dst)
+
+let deliver t ~src ~dst =
+  check_channel t ~src ~dst;
+  if (not t.alive.(dst)) || Queue.is_empty t.channels.(src).(dst) then false
+  else begin
+    let m = Queue.pop t.channels.(src).(dst) in
+    t.delivered <- t.delivered + 1;
+    enqueue t ~src:dst (t.nodes.(dst).on_message ~from:src m);
+    true
+  end
+
 let deliver_random rng t =
   match deliverable t with
   | [] -> false
   | channels ->
       let src, dst = Bits.Rng.pick rng channels in
-      let m = Queue.pop t.channels.(src).(dst) in
-      t.delivered <- t.delivered + 1;
-      enqueue t ~src:dst (t.nodes.(dst).on_message ~from:src m);
+      deliver t ~src ~dst
+
+let drop t ~src ~dst =
+  check_channel t ~src ~dst;
+  if Queue.is_empty t.channels.(src).(dst) then false
+  else begin
+    ignore (Queue.pop t.channels.(src).(dst));
+    true
+  end
+
+let duplicate t ~src ~dst =
+  check_channel t ~src ~dst;
+  match Queue.peek_opt t.channels.(src).(dst) with
+  | None -> false
+  | Some m ->
+      Queue.add m t.channels.(src).(dst);
       true
 
+let defer t ~src ~dst =
+  check_channel t ~src ~dst;
+  let q = t.channels.(src).(dst) in
+  if Queue.length q < 2 then false
+  else begin
+    Queue.add (Queue.pop q) q;
+    true
+  end
+
 let crash t pid = t.alive.(pid) <- false
+let alive t pid = t.alive.(pid)
 
 let crashed t =
   List.init t.size (fun i -> i) |> List.filter (fun i -> not t.alive.(i))

@@ -25,7 +25,42 @@ val deliver_random : Bits.Rng.t -> 'm t -> bool
 (** Deliver one message from a uniformly chosen non-empty channel with a
     live destination; [false] when nothing is deliverable. *)
 
+val deliver : 'm t -> src:int -> dst:int -> bool
+(** Scripted delivery: pop the head of channel [src → dst] and run the
+    destination's handler. Adversarial delivery orders are expressed by
+    choosing the channel per event; {e within} a channel order stays FIFO —
+    non-FIFO behaviour exists only through {!defer}, which the base
+    substrate never calls (see {!Faults}). [false] if the channel is empty
+    or the destination has crashed (the message stays queued).
+    @raise Invalid_argument if [src] or [dst] is out of range. *)
+
+val deliverable : 'm t -> (int * int) list
+(** Channels [(src, dst)] with queued messages and a live destination,
+    lexicographic. *)
+
+val pending : 'm t -> src:int -> dst:int -> int
+(** Messages queued on channel [src → dst].
+    @raise Invalid_argument if [src] or [dst] is out of range. *)
+
+(** {1 Fault primitives}
+
+    The reliable-FIFO substrate of the ABD model never invokes these; they
+    exist so a fault-injection layer ({!Faults}) can perturb channels
+    through the public interface. Each returns [false] (and does nothing)
+    when it would have no observable effect. *)
+
+val drop : 'm t -> src:int -> dst:int -> bool
+(** Discard the head of channel [src → dst] (message loss). *)
+
+val duplicate : 'm t -> src:int -> dst:int -> bool
+(** Re-enqueue a copy of the head of [src → dst] at the tail. *)
+
+val defer : 'm t -> src:int -> dst:int -> bool
+(** Move the head of [src → dst] to the tail — the reordering primitive;
+    [false] when fewer than two messages are queued. *)
+
 val crash : 'm t -> int -> unit
+val alive : 'm t -> int -> bool
 val crashed : 'm t -> int list
 
 val quiescent : 'm t -> bool

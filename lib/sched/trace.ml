@@ -28,3 +28,16 @@ let schedule_of events =
       | Write _ | Read _ | Write_input | Read_input _ -> Some pid
       | Crash | Decide -> None)
     events
+
+let crashes_of events =
+  let steps = Hashtbl.create 8 in
+  let taken pid = Option.value (Hashtbl.find_opt steps pid) ~default:0 in
+  List.filter_map
+    (fun { pid; op } ->
+      match op with
+      | Write _ | Read _ | Write_input | Read_input _ ->
+          Hashtbl.replace steps pid (taken pid + 1);
+          None
+      | Crash -> Some (pid, taken pid)
+      | Decide -> None)
+    events

@@ -21,3 +21,9 @@ val schedule_of : 'v event list -> int list
 (** The sequence of process ids of the memory steps in the trace (crash and
     decide events excluded) — feeding it back to
     {!Scheduler.run_schedule} replays the execution. *)
+
+val crashes_of : 'v event list -> (int * int) list
+(** Crash placements recoverable from the trace: [(pid, steps the process
+    had taken when it crashed)], in crash order — the format
+    {!Scheduler.run_random}'s [crashes] argument and the harness's replay
+    mode consume. *)

@@ -10,11 +10,32 @@ type 'i violation = {
   inputs : 'i array;
   crashes : (int * int) list;
   seed : int option;
+  schedule : int list option;
   reason : string;
 }
 
-let pp_violation pp_i ppf { inputs; crashes; seed; reason } =
-  Format.fprintf ppf "@[<v>violation: %s@ inputs: %a@ crashes: %a@ seed: %a@]"
+let pp_schedule ppf pids =
+  let shown, extra =
+    let rec take k = function
+      | [] -> ([], 0)
+      | _ :: _ as l when k = 0 -> ([], List.length l)
+      | x :: rest ->
+          let taken, dropped = take (k - 1) rest in
+          (x :: taken, dropped)
+    in
+    take 400 pids
+  in
+  Format.fprintf ppf "@[<hov>%a%t@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_space ppf ())
+       Format.pp_print_int)
+    shown
+    (fun ppf ->
+      if extra > 0 then Format.fprintf ppf "@ ... (+%d steps)" extra)
+
+let pp_violation pp_i ppf { inputs; crashes; seed; schedule; reason } =
+  Format.fprintf ppf
+    "@[<v>violation: %s@ inputs: %a@ crashes: %a@ seed: %a@ schedule: %a@]"
     reason
     (Task.pp_config pp_i)
     (Array.map Option.some inputs)
@@ -24,6 +45,8 @@ let pp_violation pp_i ppf { inputs; crashes; seed; reason } =
     crashes
     (Format.pp_print_option Format.pp_print_int)
     seed
+    (Format.pp_print_option pp_schedule)
+    schedule
 
 type stats = {
   runs : int;
@@ -44,31 +67,59 @@ let pp_report pp_i ppf = function
         explored
   | Fail v -> pp_violation pp_i ppf v
 
-let start algorithm ~inputs =
-  Scheduler.start ~memory:(algorithm.memory ())
+let start ?record_trace algorithm ~inputs =
+  Scheduler.start ?record_trace
+    ~memory:(algorithm.memory ())
     ~programs:(fun pid -> algorithm.program ~pid ~input:inputs.(pid))
     ()
 
-let run_once algorithm ~inputs ~schedule ?(max_steps = 100_000) () =
-  let state = start algorithm ~inputs in
+(* Replay mode: step the recorded pids in order, applying the recorded
+   crash placements with the same trigger rule as {!Scheduler.run_random}
+   (crash once the process has taken its quota of steps). The crashed
+   process takes no steps inside the recorded schedule either way, so
+   crash-at-first-opportunity reproduces the original memory evolution
+   bit-for-bit. *)
+let run_replay state pids crashes =
+  let n = Scheduler.n state in
+  let crash_after = Array.make n max_int in
+  List.iter (fun (pid, after) -> crash_after.(pid) <- after) crashes;
+  let maybe_crash () =
+    Scheduler.iter_running state (fun pid ->
+        if Scheduler.steps_of state pid >= crash_after.(pid) then
+          Scheduler.crash state pid)
+  in
+  List.iter
+    (fun pid ->
+      maybe_crash ();
+      match Scheduler.status state pid with
+      | Scheduler.Running -> Scheduler.step state pid
+      | Scheduler.Decided _ | Scheduler.Crashed -> ())
+    pids;
+  maybe_crash ()
+
+let run_once ?record_trace algorithm ~inputs ~schedule ?(max_steps = 100_000)
+    () =
+  let state = start ?record_trace algorithm ~inputs in
   (match schedule with
   | `Random (rng, crashes) ->
       Scheduler.run_random ~max_steps ~crashes ~until_outputs:true rng state
   | `List pids ->
       Scheduler.run_schedule state pids;
-      Scheduler.run_round_robin ~max_steps state);
+      Scheduler.run_round_robin ~max_steps state
+  | `Replay (pids, crashes) -> run_replay state pids crashes);
   state
 
 (* Check one finished (or abandoned) execution; crashed processes contribute
    [None] outputs, surviving ones must have announced a decision (halting is
    not required: simulations may decide via [Output] and keep serving). *)
-let judge task ~inputs ~crashes ~seed state =
+let judge task ~inputs ~crashes ~seed ~schedule state =
   if not (Scheduler.all_output state) then
     Some
       {
         inputs;
         crashes;
         seed;
+        schedule;
         reason =
           Printf.sprintf
             "process(es) %s did not decide within the step budget"
@@ -79,7 +130,7 @@ let judge task ~inputs ~crashes ~seed state =
     let outputs = Scheduler.decisions state in
     match Task.check task ~inputs ~outputs with
     | Ok () -> None
-    | Error reason -> Some { inputs; crashes; seed; reason }
+    | Error reason -> Some { inputs; crashes; seed; schedule; reason }
 
 let observe stats state =
   let per_proc = ref 0 in
@@ -104,6 +155,19 @@ let random_crash_pattern rng ~n ~resilience =
   Bits.Rng.shuffle rng pids;
   List.init how_many (fun i -> (pids.(i), Bits.Rng.int rng 30))
 
+(* Schedules longer than this are reported without a replayable schedule:
+   re-deriving and printing hundreds of millions of pids helps nobody. *)
+let schedule_cap = 2_000_000
+
+let replay algorithm (v : 'i violation) =
+  match v.schedule with
+  | None -> None
+  | Some pids ->
+      Some
+        (run_once algorithm ~inputs:v.inputs
+           ~schedule:(`Replay (pids, v.crashes))
+           ())
+
 let check_random ~task ~algorithm ?resilience ?(max_steps = 100_000) ~runs
     ~seed () =
   let n = task.Task.arity in
@@ -111,21 +175,38 @@ let check_random ~task ~algorithm ?resilience ?(max_steps = 100_000) ~runs
   let configurations = Array.of_list (Task.input_configurations task) in
   if Array.length configurations = 0 then
     invalid_arg "Harness.check_random: task admits no input configuration";
+  (* One seeded run; [record_trace] replays the identical rng stream with
+     tracing on, which is how a failure's concrete schedule is recovered
+     without paying trace allocation on the happy path. *)
+  let seeded_run ?record_trace run_seed =
+    let rng = Bits.Rng.make run_seed in
+    let inputs =
+      configurations.(Bits.Rng.int rng (Array.length configurations))
+    in
+    let crashes = random_crash_pattern rng ~n ~resilience in
+    let state =
+      run_once ?record_trace algorithm ~inputs
+        ~schedule:(`Random (rng, crashes))
+        ~max_steps ()
+    in
+    (inputs, crashes, state)
+  in
+  let extract_schedule run_seed state =
+    if Scheduler.steps_taken state > schedule_cap then None
+    else
+      let _, _, traced = seeded_run ~record_trace:true run_seed in
+      Some (Sched.Trace.schedule_of (Scheduler.trace traced))
+  in
   let rec loop run stats =
     if run >= runs then Pass stats
     else
       let run_seed = seed + run in
-      let rng = Bits.Rng.make run_seed in
-      let inputs =
-        configurations.(Bits.Rng.int rng (Array.length configurations))
-      in
-      let crashes = random_crash_pattern rng ~n ~resilience in
-      let state =
-        run_once algorithm ~inputs ~schedule:(`Random (rng, crashes))
-          ~max_steps ()
-      in
-      match judge task ~inputs ~crashes ~seed:(Some run_seed) state with
-      | Some v -> Fail v
+      let inputs, crashes, state = seeded_run run_seed in
+      match
+        judge task ~inputs ~crashes ~seed:(Some run_seed) ~schedule:None
+          state
+      with
+      | Some v -> Fail { v with schedule = extract_schedule run_seed state }
       | None -> loop (run + 1) (observe stats state)
   in
   loop 0 initial_stats
@@ -140,19 +221,38 @@ let check_exhaustive ~task ~algorithm ?(max_crashes = 0) ?(max_steps = 10_000)
   (try
      List.iter
        (fun inputs ->
-         let init () = start algorithm ~inputs in
-         let stop reason =
-           failure := Some { inputs; crashes = []; seed = None; reason };
+         (* Traces stay on here: exhaustive runs are short, and they are
+            what lets a violation report the exact interleaving (and crash
+            placements) of the failing branch. *)
+         let init () = start ~record_trace:true algorithm ~inputs in
+         let stop v =
+           failure := Some v;
            raise Stop
          in
+         let witness state reason =
+           let events = Scheduler.trace state in
+           {
+             inputs;
+             crashes = Sched.Trace.crashes_of events;
+             seed = None;
+             schedule = Some (Sched.Trace.schedule_of events);
+             reason;
+           }
+         in
          let visit state =
-           (match judge task ~inputs ~crashes:[] ~seed:None state with
-           | Some v -> stop v.reason
+           (* Trace extraction is deferred to [witness]: only a failing
+              branch pays for it. *)
+           (match
+              judge task ~inputs ~crashes:[] ~seed:None ~schedule:None state
+            with
+           | Some v -> stop (witness state v.reason)
            | None -> ());
            stats := observe !stats state
          in
-         let on_truncated _ =
-           stop "interleaving exceeded the step budget (non-termination?)"
+         let on_truncated state =
+           stop
+             (witness state
+                "interleaving exceeded the step budget (non-termination?)")
          in
          search :=
            Sched.Explore.add_stats !search

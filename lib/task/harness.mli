@@ -20,6 +20,13 @@ type 'i violation = {
   inputs : 'i array;
   crashes : (int * int) list;  (** (pid, crashed after this many steps) *)
   seed : int option;  (** random-run seed, when applicable *)
+  schedule : int list option;
+      (** the concrete failing interleaving — pids in step order. Always
+          present for exhaustive failures (recovered from the explorer's
+          trace, crashes included); present for random failures up to a
+          2M-step cap (re-derived by replaying the seed with tracing on).
+          Feed it back through [run_once ~schedule:(`Replay ...)] — or
+          {!replay} — to re-execute the failure bit-for-bit. *)
   reason : string;
 }
 
@@ -41,12 +48,26 @@ val pp_report :
   (Format.formatter -> 'i -> unit) -> Format.formatter -> 'i report -> unit
 
 val run_once :
+  ?record_trace:bool ->
   ('v, 'i, 'o) algorithm -> inputs:'i array ->
-  schedule:[ `Random of Bits.Rng.t * (int * int) list | `List of int list ] ->
+  schedule:
+    [ `Random of Bits.Rng.t * (int * int) list
+    | `List of int list
+    | `Replay of int list * (int * int) list ] ->
   ?max_steps:int -> unit -> ('v, 'i, 'o) Sched.Scheduler.state
 (** One execution. With [`Random (rng, crashes)] the run uses a fair random
     schedule with the given crash points; with [`List pids] it replays the
-    given schedule (no crashes, remaining processes finished round-robin). *)
+    given schedule (no crashes, remaining processes finished round-robin);
+    with [`Replay (pids, crashes)] it re-executes a recorded failure
+    bit-for-bit — exactly the listed steps, crash placements applied, no
+    round-robin tail. *)
+
+val replay :
+  ('v, 'i, 'o) algorithm -> 'i violation ->
+  ('v, 'i, 'o) Sched.Scheduler.state option
+(** Re-execute a violation from its recorded schedule and crash pattern
+    ([None] when the violation carries no schedule). The returned state
+    exhibits the reported failure: same decisions, same step counts. *)
 
 val check_random :
   task:('i, 'o) Task.t ->

@@ -1,0 +1,233 @@
+(* Tests for lib/check (linearizability checking, counterexample shrinking)
+   and the chaos campaigns built on top of them. *)
+
+module L = Check.Linearize
+module S = Check.Shrink
+module C = Msgpass.Chaos
+
+let ev ?(proc = 0) ?(reg = 0) op inv res = { L.proc; reg; op; inv; res }
+let w ?proc ?reg v inv res = ev ?proc ?reg (L.Write v) inv (Some res)
+let r ?proc ?reg v inv res = ev ?proc ?reg (L.Read v) inv (Some res)
+
+let is_lin = function L.Linearizable _ -> true | L.Nonlinearizable _ -> false
+
+let check evs =
+  L.check ~pp:Format.pp_print_int ~init:(fun _ -> 0) ~equal:Int.equal evs
+
+(* A witness must be a legal sequential history: every read returns the
+   value of the latest preceding write (or the register's initial value). *)
+let legal_witness witness =
+  let value = Hashtbl.create 4 in
+  let current reg = Option.value (Hashtbl.find_opt value reg) ~default:0 in
+  List.for_all
+    (fun (e : int L.event) ->
+      match e.L.op with
+      | L.Write v ->
+          Hashtbl.replace value e.reg v;
+          true
+      | L.Read v -> v = current e.reg)
+    witness
+
+let test_linearize_basic () =
+  Alcotest.(check bool) "empty history" true (is_lin (check []));
+  Alcotest.(check bool)
+    "sequential write then read" true
+    (is_lin (check [ w 1 0 1; r 1 2 3 ]));
+  Alcotest.(check bool)
+    "read of the initial value" true
+    (is_lin (check [ r 0 0 1 ]));
+  Alcotest.(check bool)
+    "read overlapping a write may return either value (new)" true
+    (is_lin (check [ w 1 0 5; r ~proc:1 1 2 4 ]));
+  Alcotest.(check bool)
+    "read overlapping a write may return either value (old)" true
+    (is_lin (check [ w 1 0 5; r ~proc:1 0 2 4 ]))
+
+let test_linearize_stale_read () =
+  (* Write completes at 2; a read invoked at 3 returns the initial value:
+     the E13 shape. *)
+  let verdict = check [ w 1 0 2; r ~proc:1 0 3 4 ] in
+  (match verdict with
+  | L.Nonlinearizable { reg; reason } ->
+      Alcotest.(check int) "register cited" 0 reg;
+      Alcotest.(check bool) "reason mentions the stuck read" true
+        (String.length reason > 0)
+  | L.Linearizable _ -> Alcotest.fail "stale read accepted");
+  (* New/old inversion across two readers: p1 reads 1, then p2's later read
+     returns 0 even though the write never completed — still illegal, the
+     pending write was exposed by p1's read. *)
+  let inversion =
+    [ ev (L.Write 1) 0 None; r ~proc:1 1 1 2; r ~proc:2 0 3 4 ]
+  in
+  Alcotest.(check bool) "new/old inversion" false (is_lin (check inversion))
+
+let test_linearize_pending () =
+  (* A pending write may or may not have taken effect: both a read of its
+     value and a read of the old value are fine. *)
+  Alcotest.(check bool)
+    "pending write visible" true
+    (is_lin (check [ ev (L.Write 7) 0 None; r ~proc:1 7 1 2 ]));
+  Alcotest.(check bool)
+    "pending write invisible" true
+    (is_lin (check [ ev (L.Write 7) 0 None; r ~proc:1 0 1 2 ]));
+  (* Pending reads promise nothing. *)
+  Alcotest.(check bool)
+    "pending read dropped" true
+    (is_lin (check [ w 1 0 1; ev ~proc:1 (L.Read 99) 2 None ]))
+
+let test_linearize_per_register () =
+  (* Registers are independent: a violation on register 3 is reported as
+     such even when register 0's history is fine. *)
+  let evs =
+    [ w 1 0 1; r 1 2 3; w ~reg:3 5 0 2; r ~proc:1 ~reg:3 0 3 4 ]
+  in
+  match check evs with
+  | L.Nonlinearizable { reg; _ } ->
+      Alcotest.(check int) "violating register" 3 reg
+  | L.Linearizable _ -> Alcotest.fail "cross-register violation missed"
+
+let test_linearize_witness_legal () =
+  (* The returned witness order is itself a legal sequential history. *)
+  let evs =
+    [
+      w 1 0 4;
+      w ~proc:0 2 5 9;
+      r ~proc:1 1 2 6;
+      r ~proc:1 2 7 10;
+      r ~proc:2 0 0 1;
+      r ~proc:2 2 8 11;
+    ]
+  in
+  match check evs with
+  | L.Linearizable witness ->
+      Alcotest.(check int) "witness covers completed ops" (List.length evs)
+        (List.length witness);
+      Alcotest.(check bool) "witness is sequentially legal" true
+        (legal_witness witness)
+  | L.Nonlinearizable _ -> Alcotest.fail "linearizable history rejected"
+
+(* Differential: the greedy-read checker agrees with plain Wing–Gong
+   backtracking on small random histories. *)
+let gen_history =
+  let open QCheck.Gen in
+  let gen_event =
+    int_range 0 2 >>= fun proc ->
+    int_range 0 1 >>= fun reg ->
+    int_range 0 2 >>= fun v ->
+    bool >>= fun is_write ->
+    int_range 0 12 >>= fun inv ->
+    int_range 1 5 >>= fun len ->
+    int_range 0 9 >>= fun pending_die ->
+    let res = if pending_die = 0 then None else Some (inv + len) in
+    let op = if is_write then L.Write v else L.Read v in
+    return { L.proc; reg; op; inv; res }
+  in
+  list_size (int_bound 6) gen_event
+
+let prop_check_vs_naive =
+  QCheck.Test.make ~name:"greedy checker agrees with naive Wing-Gong"
+    ~count:500
+    (QCheck.make gen_history)
+    (fun evs ->
+      is_lin (check evs)
+      = L.check_naive ~init:(fun _ -> 0) ~equal:Int.equal evs)
+
+let test_ddmin () =
+  let contains x xs = List.mem x xs in
+  Alcotest.(check (list int))
+    "single culprit" [ 7 ]
+    (S.ddmin ~test:(contains 7) [ 1; 2; 3; 7; 4; 5; 6 ]);
+  Alcotest.(check (list int))
+    "two culprits, order preserved" [ 3; 5 ]
+    (S.ddmin ~test:(fun xs -> contains 3 xs && contains 5 xs)
+       [ 9; 3; 1; 4; 5; 2 ]);
+  Alcotest.(check (list int))
+    "non-failing input unchanged" [ 1; 2 ]
+    (S.ddmin ~test:(fun _ -> false) [ 1; 2 ]);
+  let _, tests = S.ddmin_count ~test:(contains 7) [ 1; 2; 3; 7 ] in
+  Alcotest.(check bool) "test invocations counted" true (tests > 1)
+
+let test_minimize_pairs () =
+  (* A failure only the whole list or a non-chunk-aligned pair removal can
+     exhibit: ddmin alone is stuck at the full list, pair elimination finds
+     the core. *)
+  let test xs = xs = [ 1; 2; 3; 4 ] || xs = [ 2; 3 ] in
+  Alcotest.(check (list int))
+    "ddmin alone is stuck" [ 1; 2; 3; 4 ]
+    (S.ddmin ~test [ 1; 2; 3; 4 ]);
+  Alcotest.(check (list int))
+    "pair elimination finds the core" [ 2; 3 ]
+    (S.minimize ~test [ 1; 2; 3; 4 ]);
+  let shrunk, tests = S.minimize_count ~test [ 1; 2; 3; 4 ] in
+  Alcotest.(check (list int)) "count variant agrees" [ 2; 3 ] shrunk;
+  Alcotest.(check bool) "replay count positive" true (tests > 0)
+
+(* Sound quorum (n - t, t < n/2): every seeded chaos run — crashes, drops,
+   duplication, reordering, delay bursts — must record a linearizable
+   history. *)
+let prop_sound_chaos_linearizable =
+  QCheck.Test.make ~name:"sound-quorum chaos runs are linearizable" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed -> not (C.failed (C.run_random ~seed (C.sound ()))))
+
+(* The published frontier counterexample: seed 127 at the t = n/2 frontier
+   (disjoint quorums) yields a nonlinearizable history; the shrinker reduces
+   its fault plan to at most 20 delivery events; replaying the shrunk plan
+   deterministically re-triggers the verdict. *)
+let test_frontier_seed_127 () =
+  let config = C.frontier () in
+  let o = C.run_random ~seed:127 config in
+  Alcotest.(check bool) "seed 127 violates atomicity" true (C.failed o);
+  let shrunk, _replays = C.shrink config o.C.plan in
+  let deliveries = Msgpass.Faults.deliveries shrunk in
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk to <= 20 deliveries (got %d)" deliveries)
+    true (deliveries <= 20);
+  let replayed = C.run_plan config shrunk in
+  (match replayed.C.verdict with
+  | L.Nonlinearizable { reg; _ } ->
+      Alcotest.(check int) "replay re-triggers on register 0" 0 reg
+  | L.Linearizable _ -> Alcotest.fail "shrunk plan no longer fails");
+  (* Replay is bit-for-bit: same plan, same history, same verdict. *)
+  let again = C.run_plan config shrunk in
+  Alcotest.(check bool) "replay deterministic" true
+    (again.C.history = replayed.C.history)
+
+let test_run_plan_reproduces_run_random () =
+  let config = C.sound () in
+  let o = C.run_random ~seed:3 config in
+  let replayed = C.run_plan config o.C.plan in
+  Alcotest.(check bool) "same history under plan replay" true
+    (replayed.C.history = o.C.history);
+  Alcotest.(check int) "same delivery count" o.C.deliveries
+    replayed.C.deliveries
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "linearize",
+        [
+          Alcotest.test_case "basic histories" `Quick test_linearize_basic;
+          Alcotest.test_case "stale reads rejected" `Quick
+            test_linearize_stale_read;
+          Alcotest.test_case "pending operations" `Quick test_linearize_pending;
+          Alcotest.test_case "per-register verdicts" `Quick
+            test_linearize_per_register;
+          Alcotest.test_case "witness legality" `Quick
+            test_linearize_witness_legal;
+          QCheck_alcotest.to_alcotest prop_check_vs_naive;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "ddmin" `Quick test_ddmin;
+          Alcotest.test_case "pair elimination" `Quick test_minimize_pairs;
+        ] );
+      ( "chaos",
+        [
+          QCheck_alcotest.to_alcotest prop_sound_chaos_linearizable;
+          Alcotest.test_case "frontier seed 127 finds, shrinks, replays"
+            `Quick test_frontier_seed_127;
+          Alcotest.test_case "plan replay reproduces random run" `Quick
+            test_run_plan_reproduces_run_random;
+        ] );
+    ]

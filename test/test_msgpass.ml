@@ -154,6 +154,118 @@ let prop_alt_bit_fifo =
       received := !received @ AB.receiver_poll receiver ~data_seen:!data;
       !received = messages)
 
+(* Scripted delivery on the base substrate: per-channel FIFO is an
+   invariant of Net itself, whatever delivery order the adversary picks. *)
+let two_node_net received =
+  Msgpass.Net.create ~n:2 ~nodes:(fun pid ->
+      {
+        Msgpass.Net.on_start =
+          (fun () -> if pid = 0 then [ (1, "a"); (1, "b"); (1, "c") ] else []);
+        on_message =
+          (fun ~from:_ m ->
+            received := !received @ [ m ];
+            []);
+      })
+
+let test_net_scripted_delivery () =
+  let received = ref [] in
+  let net = two_node_net received in
+  Alcotest.(check int) "three messages queued" 3
+    (Msgpass.Net.pending net ~src:0 ~dst:1);
+  Alcotest.(check int) "reverse channel empty" 0
+    (Msgpass.Net.pending net ~src:1 ~dst:0);
+  Alcotest.(check bool) "deliver head" true
+    (Msgpass.Net.deliver net ~src:0 ~dst:1);
+  Alcotest.(check int) "two left" 2 (Msgpass.Net.pending net ~src:0 ~dst:1);
+  Alcotest.(check bool) "second" true (Msgpass.Net.deliver net ~src:0 ~dst:1);
+  Alcotest.(check bool) "third" true (Msgpass.Net.deliver net ~src:0 ~dst:1);
+  Alcotest.(check bool) "empty channel refuses" false
+    (Msgpass.Net.deliver net ~src:0 ~dst:1);
+  Alcotest.(check (list string)) "FIFO order" [ "a"; "b"; "c" ] !received
+
+let test_net_deliver_respects_crash () =
+  let received = ref [] in
+  let net = two_node_net received in
+  Msgpass.Net.crash net 1;
+  Alcotest.(check bool) "crashed destination refuses" false
+    (Msgpass.Net.deliver net ~src:0 ~dst:1);
+  Alcotest.(check int) "message stays queued" 3
+    (Msgpass.Net.pending net ~src:0 ~dst:1);
+  Alcotest.(check (list string)) "nothing handled" [] !received
+
+let prop_net_random_fifo =
+  (* Whatever channel order deliver_random picks, each channel's messages
+     arrive in send order. *)
+  QCheck.Test.make ~name:"random delivery keeps per-channel FIFO" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let n = 3 in
+      let received = Array.make n [] in
+      let net =
+        Msgpass.Net.create ~n ~nodes:(fun pid ->
+            {
+              Msgpass.Net.on_start =
+                (fun () ->
+                  List.concat_map
+                    (fun dst ->
+                      if dst = pid then []
+                      else List.init 4 (fun i -> (dst, (pid, i))))
+                    (List.init n Fun.id));
+              on_message =
+                (fun ~from:_ m ->
+                  received.(pid) <- m :: received.(pid);
+                  []);
+            })
+      in
+      Msgpass.Net.run_random ~rng:(Bits.Rng.make seed) net;
+      (* Per (receiver, sender): sequence numbers strictly increase. *)
+      Array.for_all
+        (fun log ->
+          let per_sender = Hashtbl.create 4 in
+          List.for_all
+            (fun (src, i) ->
+              let prev =
+                Option.value (Hashtbl.find_opt per_sender src) ~default:(-1)
+              in
+              Hashtbl.replace per_sender src i;
+              i > prev)
+            (List.rev log))
+        received)
+
+let test_faults_defer_breaks_fifo () =
+  (* The only way to see non-FIFO per-channel delivery is through the
+     Faults layer's defer action — the base substrate above stays FIFO. *)
+  let received = ref [] in
+  let net = two_node_net received in
+  let ft = Msgpass.Faults.wrap net in
+  let ch = { Msgpass.Faults.src = 0; dst = 1 } in
+  Alcotest.(check bool) "defer head" true
+    (Msgpass.Faults.apply ft (Msgpass.Faults.Defer ch));
+  List.iter
+    (fun _ ->
+      ignore (Msgpass.Faults.apply ft (Msgpass.Faults.Deliver ch)))
+    [ (); (); () ];
+  Alcotest.(check (list string)) "reordered delivery" [ "b"; "c"; "a" ]
+    !received;
+  (* The perturbation is part of the replayable record. *)
+  Alcotest.(check int) "plan records all four actions" 4
+    (List.length (Msgpass.Faults.plan ft))
+
+let test_faults_drop_and_duplicate () =
+  let received = ref [] in
+  let net = two_node_net received in
+  let ft = Msgpass.Faults.wrap net in
+  let ch = { Msgpass.Faults.src = 0; dst = 1 } in
+  Alcotest.(check bool) "drop head" true
+    (Msgpass.Faults.apply ft (Msgpass.Faults.Drop ch));
+  Alcotest.(check bool) "duplicate new head" true
+    (Msgpass.Faults.apply ft (Msgpass.Faults.Duplicate ch));
+  while Msgpass.Faults.apply ft (Msgpass.Faults.Deliver ch) do
+    ()
+  done;
+  Alcotest.(check (list string)) "lost a, duplicated b" [ "b"; "c"; "b" ]
+    !received
+
 (* ABD + Interp over the complete network: baseline eps-agreement survives
    minority crashes. *)
 let test_abd_message_passing () =
@@ -372,6 +484,18 @@ let () =
           Alcotest.test_case "alternating-bit channel" `Quick
             test_alt_bit_channel;
           QCheck_alcotest.to_alcotest prop_alt_bit_fifo;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "scripted delivery is FIFO" `Quick
+            test_net_scripted_delivery;
+          Alcotest.test_case "delivery respects crashes" `Quick
+            test_net_deliver_respects_crash;
+          QCheck_alcotest.to_alcotest prop_net_random_fifo;
+          Alcotest.test_case "defer breaks FIFO (Faults only)" `Quick
+            test_faults_defer_breaks_fifo;
+          Alcotest.test_case "drop and duplicate" `Quick
+            test_faults_drop_and_duplicate;
         ] );
       ( "message-passing",
         [

@@ -183,6 +183,79 @@ let test_harness_reproducible () =
         b.H.max_process_steps
   | _ -> Alcotest.fail "expected passes"
 
+(* Every violation carries a concrete schedule; Harness.replay re-executes
+   it bit-for-bit, reproducing the failing decisions. *)
+let bad_half_algorithm () =
+  {
+    H.name = "bad-half";
+    memory = memory_1bit;
+    program = (fun ~pid:_ ~input:_ -> Sched.Program.return (Q.make 1 2));
+  }
+
+let test_violation_carries_schedule () =
+  let task = Tasks.Eps_agreement.task ~n:2 ~k:2 in
+  let algorithm = bad_half_algorithm () in
+  (match H.check_exhaustive ~task ~algorithm () with
+  | H.Fail v -> (
+      match v.H.schedule with
+      | None -> Alcotest.fail "exhaustive violation without schedule"
+      | Some _ -> ())
+  | H.Pass _ -> Alcotest.fail "violation missed");
+  match H.check_random ~task ~algorithm ~runs:50 ~seed:3 () with
+  | H.Fail v ->
+      Alcotest.(check bool) "random violation has schedule" true
+        (v.H.schedule <> None)
+  | H.Pass _ -> Alcotest.fail "random harness missed the violation"
+
+let test_replay_reproduces_decisions () =
+  let task = Tasks.Eps_agreement.task ~n:2 ~k:2 in
+  let algorithm = bad_half_algorithm () in
+  let replayed v =
+    match H.replay algorithm v with
+    | None -> Alcotest.fail "violation not replayable"
+    | Some state ->
+        (* Same illegal outcome: both survivors decided 1/2 on inputs the
+           task rejects, with the recorded crash pattern applied. *)
+        Alcotest.(check bool) "decisions violate the task" false
+          (task.Tasks.Task.legal ~inputs:v.H.inputs
+             ~outputs:(Sched.Scheduler.decisions state));
+        Alcotest.(check (list int))
+          "crash pattern reproduced"
+          (List.sort compare (List.map fst v.H.crashes))
+          (List.sort compare (Sched.Scheduler.crashed state))
+  in
+  (match H.check_exhaustive ~task ~algorithm () with
+  | H.Fail v -> replayed v
+  | H.Pass _ -> Alcotest.fail "violation missed");
+  match H.check_random ~task ~algorithm ~runs:50 ~seed:3 () with
+  | H.Fail v -> replayed v
+  | H.Pass _ -> Alcotest.fail "random harness missed the violation"
+
+let test_replay_nontermination_schedule () =
+  (* Truncated (non-terminating) runs also carry their schedule, capped at
+     max_steps; replay re-executes exactly those steps. *)
+  let rec spin () : (int, int, Q.t) Sched.Program.t =
+    Sched.Program.Write (0, spin)
+  in
+  let algorithm =
+    { H.name = "spinner"; memory = memory_1bit;
+      program = (fun ~pid:_ ~input:_ -> spin ()) }
+  in
+  let task = Tasks.Eps_agreement.task ~n:2 ~k:2 in
+  match H.check_exhaustive ~task ~algorithm ~max_steps:64 () with
+  | H.Pass _ -> Alcotest.fail "non-termination missed"
+  | H.Fail v -> (
+      match v.H.schedule with
+      | None -> Alcotest.fail "truncated violation without schedule"
+      | Some pids -> (
+          Alcotest.(check int) "schedule capped at max_steps" 64
+            (List.length pids);
+          match H.replay algorithm v with
+          | None -> Alcotest.fail "not replayable"
+          | Some state ->
+              Alcotest.(check int) "replay takes the same steps" 64
+                (Sched.Scheduler.steps_taken state)))
+
 let () =
   Alcotest.run "tasks"
     [
@@ -213,5 +286,11 @@ let () =
             test_harness_detects_nontermination;
           Alcotest.test_case "reproducible from seed" `Quick
             test_harness_reproducible;
+          Alcotest.test_case "violations carry schedules" `Quick
+            test_violation_carries_schedule;
+          Alcotest.test_case "replay reproduces decisions" `Quick
+            test_replay_reproduces_decisions;
+          Alcotest.test_case "replay of truncated runs" `Quick
+            test_replay_nontermination_schedule;
         ] );
     ]
