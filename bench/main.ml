@@ -21,7 +21,7 @@ let run_tables () =
          ------------------------------------------------------------------@\n"
         e.Experiments.Registry.id e.Experiments.Registry.slug
         e.Experiments.Registry.paper;
-      e.Experiments.Registry.run ppf;
+      e.Experiments.Registry.run Experiments.Ctx.default ppf;
       Format.pp_print_flush ppf ())
     Experiments.Registry.all
 
@@ -168,13 +168,13 @@ let explore_workload_init () =
 let run_explore_engine () =
   ignore
     (Sched.Explore.explore ~init:explore_workload_init (fun _ -> ())
-      : Sched.Explore.stats)
+      : Sched.Explore.result)
 
 let run_explore_raw () =
   ignore
     (Sched.Explore.explore ~dedup:false ~por:false ~init:explore_workload_init
        (fun _ -> ())
-      : Sched.Explore.stats)
+      : Sched.Explore.result)
 
 let run_labelling_value () =
   (* Closed-form pruned-path position at R = 20 (3^20-scale complex). *)
@@ -250,8 +250,9 @@ let run_benchmarks () =
 
 let explorer_variants () =
   let run ~dedup ~por =
-    Sched.Explore.explore ~dedup ~por ~init:explore_workload_init
-      (fun _ -> ())
+    (Sched.Explore.explore ~dedup ~por ~init:explore_workload_init
+       (fun _ -> ()))
+      .Sched.Explore.stats
   in
   [
     ("dedup+por", run ~dedup:true ~por:true);
@@ -305,6 +306,65 @@ let json_chaos b =
         (Msgpass.Faults.deliveries f.C.shrunk)
         f.C.shrink_tests frontier_s
 
+(* Supervision counters: exhaustive-vs-degraded behaviour of the budgeted
+   paths — a node-capped exploration resumed to completion (terminal
+   counts must reconcile with the unbudgeted run), a harness check forced
+   into sampled coverage, and a chaos campaign stopped by a deadline. *)
+let supervision_stats b =
+  let module E = Sched.Explore in
+  let module B = Sched.Budget in
+  let full =
+    E.explore ~dedup:false ~por:false ~init:explore_workload_init
+      (fun _ -> ())
+  in
+  let budget = B.make ~max_nodes:20_000 () in
+  let segments = ref 0 in
+  let resumed_terminals = ref 0 in
+  let rec drain resume =
+    incr segments;
+    let r =
+      E.explore ~dedup:false ~por:false ~budget ?resume
+        ~init:explore_workload_init (fun _ -> incr resumed_terminals)
+    in
+    match r.E.outcome with
+    | E.Complete -> ()
+    | E.Exhausted { frontier; _ } -> drain (Some frontier)
+  in
+  drain None;
+  Printf.bprintf b
+    "    \"explore\": {\"full_terminals\": %d, \"budget_max_nodes\": 20000, \
+     \"segments\": %d, \"resumed_terminals\": %d, \"resume_exact\": %b},\n"
+    full.E.stats.E.terminals !segments !resumed_terminals
+    (!resumed_terminals = full.E.stats.E.terminals);
+  let task =
+    Tasks.Eps_agreement.task ~n:2 ~k:(Core.Alg1_one_bit.denominator ~k:4)
+  in
+  let algorithm = Core.Alg1_one_bit.algorithm ~k:4 in
+  (match
+     H.check_supervised ~task ~algorithm ~max_crashes:1
+       ~budget:(B.make ~max_nodes:400 ())
+       ()
+   with
+  | H.Verified_exhaustive _ ->
+      Printf.bprintf b "    \"harness\": {\"verdict\": \"exhaustive\"},\n"
+  | H.Verified_sampled (_, c) ->
+      Printf.bprintf b
+        "    \"harness\": {\"verdict\": \"sampled\", \"explored\": %d, \
+         \"frontier\": %d, \"sampled\": %d, \"stop\": %S},\n"
+        c.H.explored c.H.frontier c.H.sampled
+        (match c.H.stop with
+        | Some r -> B.stop_reason_to_string r
+        | None -> "truncation")
+  | H.Violation _ ->
+      Printf.bprintf b "    \"harness\": {\"verdict\": \"violation\"},\n");
+  let module C = Msgpass.Chaos in
+  let degraded = C.campaign ~deadline:0.05 ~seed:1 ~runs:100_000 (C.sound ()) in
+  Printf.bprintf b
+    "    \"chaos_deadline\": {\"requested\": %d, \"completed\": %d, \
+     \"degraded\": %b, \"violations\": %d}\n"
+    degraded.C.requested degraded.C.runs degraded.C.degraded
+    degraded.C.violations
+
 let write_json file rows =
   let b = Buffer.create 4096 in
   Printf.bprintf b "{\n  \"benchmarks\": [\n";
@@ -325,6 +385,8 @@ let write_json file rows =
     variants;
   Printf.bprintf b "  },\n  \"chaos\": {\n";
   json_chaos b;
+  Printf.bprintf b "  },\n  \"supervision\": {\n";
+  supervision_stats b;
   Printf.bprintf b "  }\n}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents b);
@@ -337,7 +399,7 @@ let json_target () =
     if i >= Array.length argv then None
     else if argv.(i) = "--json" then
       if i + 1 < Array.length argv then Some argv.(i + 1)
-      else Some "BENCH_PR2.json"
+      else Some "BENCH_PR3.json"
     else scan (i + 1)
   in
   scan 1

@@ -14,11 +14,37 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
 let run_cmd =
-  let doc = "Run experiments by id or slug ('all' runs every one)." in
+  let doc =
+    "Run experiments by id or slug ('all' runs every one). Each experiment \
+     runs supervised: exceptions are caught with their backtrace, a \
+     deadline aborts hung runs, and a summary table plus a non-zero exit \
+     code report any failure — one bad experiment never loses the rest."
+  in
   let keys =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT")
   in
-  let run keys =
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-experiment wall-clock deadline. Exploration-backed checks \
+             degrade to sampled coverage at the deadline; an experiment \
+             still running at 1.5x the deadline (+1s) is killed and \
+             reported as timed out.")
+  in
+  let max_states_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "Per-experiment cap on explored interleaving-tree nodes; \
+             exploration-backed checks degrade to sampled coverage at the \
+             cap.")
+  in
+  let run keys deadline max_states =
     let selected =
       if List.exists (fun k -> String.lowercase_ascii k = "all") keys then
         Ok Experiments.Registry.all
@@ -37,16 +63,42 @@ let run_cmd =
         Format.eprintf "unknown experiment %S (try 'boundedreg list')@." k;
         exit 1
     | Ok experiments ->
-        List.iter
-          (fun e ->
-            Format.printf "=== %s  %s ===@.reproduces: %s@.@."
-              e.Experiments.Registry.id e.Experiments.Registry.slug
-              e.Experiments.Registry.paper;
-            e.Experiments.Registry.run Format.std_formatter;
-            Format.print_flush ())
-          experiments
+        let budget = Sched.Budget.make ?deadline ?max_nodes:max_states () in
+        (* The soft (budget) deadline fires first so checks can degrade
+           gracefully; the SIGALRM backstop gets 1.5x + 1s of slack and
+           only kills experiments that ignored their budget. *)
+        let hard = Option.map (fun d -> (d *. 1.5) +. 1.) deadline in
+        let results =
+          List.map
+            (fun e ->
+              Format.printf "=== %s  %s ===@.reproduces: %s@.@."
+                e.Experiments.Registry.id e.Experiments.Registry.slug
+                e.Experiments.Registry.paper;
+              Format.print_flush ();
+              let r =
+                Experiments.Supervisor.run_one ?deadline:hard ~budget e
+              in
+              Format.printf "%s@." r.Experiments.Supervisor.output;
+              (match r.Experiments.Supervisor.status with
+              | Experiments.Supervisor.Passed
+              | Experiments.Supervisor.Degraded _ ->
+                  ()
+              | Experiments.Supervisor.Timed_out s ->
+                  Format.printf "*** %s: timed out after %.1fs@.@."
+                    e.Experiments.Registry.id s
+              | Experiments.Supervisor.Crashed { exn_text; backtrace } ->
+                  Format.printf "*** %s: uncaught exception %s@.%s@."
+                    e.Experiments.Registry.id exn_text backtrace);
+              Format.print_flush ();
+              r)
+            experiments
+        in
+        Experiments.Supervisor.summary Format.std_formatter results;
+        Format.print_flush ();
+        exit (Experiments.Supervisor.exit_code results)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ keys)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ keys $ deadline_arg $ max_states_arg)
 
 (* ----- demo subcommands ----- *)
 
@@ -244,7 +296,17 @@ let chaos_cmd =
             "Exit non-zero unless the campaign outcome matches (CI smoke \
              gate).")
   in
-  let run n t quorum frontier runs max_events seed print_plan expect =
+  let chaos_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Stop the campaign after $(docv) of wall clock; completed runs \
+             still count and the report is marked degraded.")
+  in
+  let run n t quorum frontier runs max_events seed print_plan expect deadline
+      =
     let config =
       if frontier then Msgpass.Chaos.frontier ~n ()
       else
@@ -262,7 +324,7 @@ let chaos_cmd =
          ~default:(config.Msgpass.Chaos.n - config.Msgpass.Chaos.t))
       config.Msgpass.Chaos.writes config.Msgpass.Chaos.readers
       config.Msgpass.Chaos.reads;
-    let c = Msgpass.Chaos.campaign ~seed ~runs config in
+    let c = Msgpass.Chaos.campaign ?deadline ~seed ~runs config in
     Format.printf "@[<v>%a@]@." Msgpass.Chaos.pp_campaign c;
     (match (print_plan, c.Msgpass.Chaos.first) with
     | true, Some f ->
@@ -282,7 +344,103 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ n_arg $ t_arg $ quorum_arg $ frontier_arg $ runs_arg
-      $ max_events_arg $ seed_arg $ plan_arg $ expect_arg)
+      $ max_events_arg $ seed_arg $ plan_arg $ expect_arg
+      $ chaos_deadline_arg)
+
+let explore_cmd =
+  let doc =
+    "Budgeted exhaustive exploration of Algorithm 1's interleavings with \
+     checkpoint/resume: a run cut short by --max-nodes or --deadline \
+     writes its unexplored frontier to the checkpoint file; --resume picks \
+     it up and continues until the enumeration is complete."
+  in
+  let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~docv:"K") in
+  let max_crashes_arg =
+    Arg.(value & opt int 1 & info [ "max-crashes" ] ~docv:"C")
+  in
+  let max_nodes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"Stop after expanding $(docv) DFS nodes.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Stop exploring after $(docv) of wall clock.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt string "explore.ckpt"
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Where the unexplored frontier is saved and resumed from.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the checkpoint file instead of starting at the \
+             root (flags and K must match the run that wrote it).")
+  in
+  let run k max_crashes max_nodes deadline checkpoint resume =
+    let algorithm = Core.Alg1_one_bit.algorithm ~k in
+    let init () =
+      Sched.Scheduler.start
+        ~memory:(algorithm.H.memory ())
+        ~programs:(fun pid -> algorithm.H.program ~pid ~input:pid)
+        ()
+    in
+    let resume_frontier =
+      if not resume then None
+      else
+        let text =
+          try In_channel.with_open_text checkpoint In_channel.input_all
+          with Sys_error e ->
+            Format.eprintf "cannot read checkpoint: %s@." e;
+            exit 1
+        in
+        match Sched.Budget.frontier_of_string text with
+        | Ok f ->
+            Format.printf "resuming %d frontier path(s) from %s@."
+              (Sched.Budget.frontier_size f) checkpoint;
+            Some f
+        | Error e ->
+            Format.eprintf "corrupt checkpoint %s: %s@." checkpoint e;
+            exit 1
+    in
+    let budget = Sched.Budget.make ?deadline ?max_nodes () in
+    let terminals = ref 0 in
+    let r =
+      Sched.Explore.explore ~max_crashes ~budget ?resume:resume_frontier
+        ~init (fun _ -> incr terminals)
+    in
+    Format.printf "k=%d max_crashes=%d budget: %a@.%a@." k max_crashes
+      Sched.Budget.pp budget Sched.Explore.pp_stats
+      r.Sched.Explore.stats;
+    match r.Sched.Explore.outcome with
+    | Sched.Explore.Complete ->
+        Format.printf "outcome: complete — every terminal state visited@."
+    | Sched.Explore.Exhausted { frontier; reason } ->
+        Out_channel.with_open_text checkpoint (fun oc ->
+            Out_channel.output_string oc
+              (Sched.Budget.frontier_to_string frontier));
+        Format.printf
+          "outcome: exhausted (%a); %d frontier path(s) -> %s@.resume with: \
+           boundedreg explore -k %d --max-crashes %d --resume --checkpoint \
+           %s@."
+          Sched.Budget.pp_stop_reason reason
+          (Sched.Budget.frontier_size frontier)
+          checkpoint k max_crashes checkpoint
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ k_arg $ max_crashes_arg $ max_nodes_arg $ deadline_arg
+      $ checkpoint_arg $ resume_arg)
 
 let dot_cmd =
   let doc =
@@ -322,4 +480,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; alg1_cmd; fast_cmd; pipeline_cmd; search_cmd;
-            labelling_cmd; chaos_cmd; dot_cmd ]))
+            labelling_cmd; chaos_cmd; explore_cmd; dot_cmd ]))

@@ -1,8 +1,20 @@
 #!/bin/sh
 # Tier-1 gate: everything a PR must keep green.
-# Usage: ./check.sh
+# Usage: ./check.sh [--quick]
+#   --quick  CI-friendly subset: skip `dune runtest`'s slow cases via a
+#            reduced chaos smoke and run the experiment suite under tight
+#            supervision budgets (--deadline/--max-states), exercising the
+#            graceful-degradation path instead of the full state spaces.
 set -eu
 cd "$(dirname "$0")"
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "usage: ./check.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
 
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   echo "== dune build @fmt"
@@ -21,8 +33,20 @@ dune runtest
 # the published frontier seed must still find (and shrink) the E13-style
 # atomicity violation. --expect makes a mismatch a non-zero exit.
 echo "== chaos smoke"
-dune exec bin/boundedreg.exe -- chaos --runs 20 --seed 1 --expect pass
+if [ "$QUICK" = 1 ]; then
+  dune exec bin/boundedreg.exe -- chaos --runs 5 --seed 1 --expect pass
+else
+  dune exec bin/boundedreg.exe -- chaos --runs 20 --seed 1 --expect pass
+fi
 dune exec bin/boundedreg.exe -- chaos --frontier --runs 1 --seed 127 \
   --expect violation
+
+if [ "$QUICK" = 1 ]; then
+  # Supervised smoke: the whole experiment registry under a tight
+  # per-experiment budget. Experiments degrade to sampled coverage
+  # rather than blowing the CI clock; crashes and hangs still exit 1.
+  echo "== supervised experiment smoke (budgeted)"
+  dune exec bin/boundedreg.exe -- run all --deadline 10 --max-states 20000
+fi
 
 echo "check.sh: OK"

@@ -41,17 +41,20 @@ let () =
   (* All decision pairs reachable with inputs (0, 1): the chromatic path. *)
   Printf.printf "\nDecision pairs over all executions with inputs (0, 1):\n";
   let pairs = ref [] in
-  Sched.Explore.interleavings
-    ~init:(fun () ->
-      Scheduler.start
-        ~memory:(algorithm.H.memory ())
-        ~programs:(fun pid -> algorithm.H.program ~pid ~input:pid)
-        ())
-    (fun st ->
-      match ((Scheduler.decisions st).(0), (Scheduler.decisions st).(1)) with
-      | Some a, Some b ->
-          if not (List.exists (fun (x, y) -> Q.equal x a && Q.equal y b) !pairs)
-          then pairs := (a, b) :: !pairs
-      | _ -> ());
+  let (_ : Sched.Explore.outcome) =
+    Sched.Explore.interleavings
+      ~init:(fun () ->
+        Scheduler.start
+          ~memory:(algorithm.H.memory ())
+          ~programs:(fun pid -> algorithm.H.program ~pid ~input:pid)
+          ())
+      (fun st ->
+        match ((Scheduler.decisions st).(0), (Scheduler.decisions st).(1)) with
+        | Some a, Some b ->
+            if
+              not (List.exists (fun (x, y) -> Q.equal x a && Q.equal y b) !pairs)
+            then pairs := (a, b) :: !pairs
+        | _ -> ())
+  in
   List.sort (fun (a, _) (b, _) -> Q.compare a b) !pairs
   |> List.iter (fun (a, b) -> Format.printf "  (%a, %a)@\n" Q.pp a Q.pp b)

@@ -49,7 +49,7 @@ let analyse proto =
       ~programs:(fun pid -> proto.program ~me:pid ~input:pid)
       ()
   in
-  let search =
+  let result =
     Sched.Explore.explore ~max_steps:1_000_000 ~init (fun state ->
       incr executions;
       let decisions = Scheduler.decisions state in
@@ -89,7 +89,7 @@ let analyse proto =
     buckets;
     max_spread;
     distinct_words = List.length buckets;
-    search;
+    search = result.Sched.Explore.stats;
   }
 
 let third_process_error analysis = Q.mul Q.half analysis.max_spread
@@ -128,7 +128,8 @@ let witness proto =
       ~programs:(fun pid -> proto.program ~me:pid ~input:pid)
       ()
   in
-  Sched.Explore.interleavings ~max_steps:1_000_000 ~init (fun state ->
+  let (_ : Sched.Explore.outcome) =
+    Sched.Explore.interleavings ~max_steps:1_000_000 ~init (fun state ->
       let y0, y1 =
         match
           ((Scheduler.decisions state).(0), (Scheduler.decisions state).(1))
@@ -152,7 +153,8 @@ let witness proto =
             (w, low, high) :: rest
         | other :: rest -> other :: update rest
       in
-      extremes := update !extremes);
+      extremes := update !extremes)
+  in
   let best =
     List.fold_left
       (fun acc ((_, (lo, _), (hi, _)) as candidate) ->

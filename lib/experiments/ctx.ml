@@ -1,0 +1,14 @@
+(* The execution context handed to every experiment by the supervisor:
+   a resource budget the experiment may (but need not) honour, and a
+   channel for reporting that it degraded some check to sampling so the
+   summary table can say so. *)
+
+type t = {
+  budget : Sched.Budget.t;
+  degraded : string -> unit;
+}
+
+let default = { budget = Sched.Budget.unlimited; degraded = ignore }
+
+let make ?(budget = Sched.Budget.unlimited) ?(degraded = ignore) () =
+  { budget; degraded }

@@ -1,0 +1,20 @@
+(** Per-experiment execution context.
+
+    The supervisor hands every experiment a context: a {!Sched.Budget.t}
+    bounding its expensive checks, and a [degraded] callback the
+    experiment calls (with a short human-readable note) whenever a check
+    fell back from exhaustive to sampled coverage, so the run summary can
+    flag the row instead of silently weakening the claim. *)
+
+type t = {
+  budget : Sched.Budget.t;
+      (** budget for the experiment's exploration-backed checks *)
+  degraded : string -> unit;
+      (** report a check that was degraded to sampling, with a note *)
+}
+
+val default : t
+(** Unlimited budget, degradation notes dropped — the standalone-run
+    context. *)
+
+val make : ?budget:Sched.Budget.t -> ?degraded:(string -> unit) -> unit -> t

@@ -7,7 +7,7 @@ module Scheduler = Sched.Scheduler
 let decision_pairs ~k =
   let algorithm = Core.Alg1_one_bit.algorithm ~k in
   let pairs = ref [] in
-  let search =
+  let result =
     Sched.Explore.explore
       ~init:(fun () ->
         Scheduler.start
@@ -25,9 +25,9 @@ let decision_pairs ~k =
             then pairs := (a, b) :: !pairs
         | _ -> ())
   in
-  (search, List.rev !pairs)
+  (result.Sched.Explore.stats, List.rev !pairs)
 
-let run ppf =
+let run ctx ppf =
   Format.fprintf ppf
     "Algorithm 1: 2-process eps-agreement with 1-bit registers.@\n\
      All interleavings with inputs (0, 1); eps = 1/(2k+1). Lemma 5.5 bounds@\n\
@@ -45,9 +45,16 @@ let run ppf =
             Q.zero pairs
         in
         let verdict, steps, bits =
-          match H.check_exhaustive ~task ~algorithm ~max_crashes:1 () with
-          | H.Pass s -> (true, s.H.max_process_steps, s.H.max_bits)
-          | H.Fail _ -> (false, 0, 0)
+          match
+            H.check_supervised ~task ~algorithm ~max_crashes:1
+              ~budget:ctx.Ctx.budget ()
+          with
+          | H.Verified_exhaustive s -> (true, s.H.max_process_steps, s.H.max_bits)
+          | H.Verified_sampled (s, c) ->
+              ctx.Ctx.degraded
+                (Format.asprintf "Alg1 k=%d sampled (%a)" k H.pp_coverage c);
+              (true, s.H.max_process_steps, s.H.max_bits)
+          | H.Violation _ -> (false, 0, 0)
         in
         [
           string_of_int k;

@@ -18,8 +18,15 @@ let sound_seed = 1
 let sound_runs = 50
 let frontier_seed = 127
 
-let row label config ~seed ~runs =
-  let c = C.campaign ~seed ~runs config in
+let row ctx label config ~seed ~runs =
+  let c =
+    C.campaign ?deadline:ctx.Ctx.budget.Sched.Budget.deadline ~seed ~runs
+      config
+  in
+  if c.C.degraded then
+    ctx.Ctx.degraded
+      (Printf.sprintf "chaos %s: deadline stopped campaign at %d/%d runs"
+         label c.C.runs c.C.requested);
   let found =
     match c.C.first with
     | None -> [ "-"; "-"; "-" ]
@@ -43,7 +50,7 @@ let row label config ~seed ~runs =
    ]
    @ found)
 
-let run ppf =
+let run ctx ppf =
   Format.fprintf ppf
     "ABD's atomicity claim, attacked instead of assumed: seeded campaigns@\n\
      inject drops, duplications, reorderings, delay bursts and crashes@\n\
@@ -51,11 +58,11 @@ let run ppf =
      and hand the history to the Check.Linearize Wing–Gong search. A@\n\
      failing fault plan is ddmin-shrunk and replayed bit-for-bit.@\n@\n";
   let _sound, sound_row =
-    row "sound (n=4, t=1, quorum 3)" (C.sound ()) ~seed:sound_seed
+    row ctx "sound (n=4, t=1, quorum 3)" (C.sound ()) ~seed:sound_seed
       ~runs:sound_runs
   in
   let frontier, frontier_row =
-    row "frontier (n=4, quorum 2)" (C.frontier ()) ~seed:frontier_seed
+    row ctx "frontier (n=4, quorum 2)" (C.frontier ()) ~seed:frontier_seed
       ~runs:1
   in
   Table.print ppf

@@ -2,7 +2,7 @@
 
 module CS = Core.Consensus_search
 
-let run ppf =
+let run _ctx ppf =
   Format.fprintf ppf
     "Every symmetric two-process protocol with 1-bit registers and a fixed@\n\
      number of write/read rounds is enumerated and model-checked against@\n\

@@ -2,7 +2,7 @@
 
 module H = Tasks.Harness
 
-let run ppf =
+let run _ctx ppf =
   Format.fprintf ppf
     "One IIS round becomes n Borowsky-Gafni write/collect iterations over@\n\
      history registers — n(n+1) plain steps per round. The embedded rounds@\n\

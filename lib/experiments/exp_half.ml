@@ -80,7 +80,7 @@ let verdict_cell = function
   | Check.Linearize.Linearizable _ -> "linearizable"
   | Check.Linearize.Nonlinearizable _ -> "NONLINEARIZABLE"
 
-let run ppf =
+let run _ctx ppf =
   Format.fprintf ppf
     "Section 9 leaves t = n/2 open. The Theorem 1.3 compilation needs ABD@\n\
      quorums (size n - t) to intersect, i.e. t < n/2. With n = 4 we run the@\n\

@@ -16,7 +16,7 @@ let binary_configs n =
   List.map Array.of_list (go n)
 
 (* E6 *)
-let run_one_bit ppf =
+let run_one_bit _ctx ppf =
   Format.fprintf ppf
     "Algorithm 4 simulates a full-information iterated-collect protocol in@\n\
      IIS writing one bit per memory level: round r of the source costs@\n\
@@ -109,7 +109,7 @@ let run_one_bit ppf =
     (Table.cell_bool !ok)
 
 (* E10 *)
-let run_growth ppf =
+let run_growth _ctx ppf =
   Format.fprintf ppf
     "The one-round outcome counts drive the protocol complex growth: 3@\n\
      ordered partitions for two processes (so 3^r executions and a path of@\n\
@@ -160,7 +160,7 @@ let run_growth ppf =
     rows
 
 (* E12 *)
-let run_bg ppf =
+let run_bg _ctx ppf =
   Format.fprintf ppf
     "Algorithm 5 (Borowsky-Gafni) builds one immediate-snapshot round from@\n\
      n iterated-collect rounds. Over every IC execution, the outputs must@\n\

@@ -3,7 +3,7 @@
 module Q = Bits.Rational
 module LB = Core.Lower_bound
 
-let run ppf =
+let run _ctx ppf =
   Format.fprintf ppf
     "With s-bit registers, two processes leave one of at most 2^(2s) register@\n\
      words; a third process waking up after they finish decides from that@\n\

@@ -8,7 +8,7 @@ module RS = Core.Ring_sim
 module FA = Core.Fast_agreement
 
 (* E7 *)
-let run_labelling ppf =
+let run_labelling _ctx ppf =
   Format.fprintf ppf
     "The solo-parity labelling protocol writes 1 bit per IS round; its@\n\
      labels must be exactly the 3^r + 1 vertices of the protocol-complex@\n\
@@ -64,7 +64,7 @@ let run_labelling ppf =
     rows
 
 (* E8 *)
-let run_exec_count ppf =
+let run_exec_count _ctx ppf =
   Format.fprintf ppf
     "Algorithm 6 cuts a process off after Delta consecutive solo rounds, so@\n\
      only a pruned subset of IS executions is simulable — but still at least@\n\
@@ -119,7 +119,7 @@ let steps_of_algorithm algorithm ~k ~runs ~seed =
       Ok (max stats.H.max_process_steps lockstep_steps, stats.H.max_bits)
   | H.Fail _ -> Error ()
 
-let run_race ppf =
+let run_race _ctx ppf =
   Format.fprintf ppf
     "Three wait-free 2-process eps-agreement algorithms at matching@\n\
      precision (steps = worst per-process over 60 random runs each):@\n\

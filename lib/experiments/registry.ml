@@ -2,7 +2,8 @@ type t = {
   id : string;
   slug : string;
   paper : string;
-  run : Format.formatter -> unit;
+  seeded : bool;
+  run : Ctx.t -> Format.formatter -> unit;
 }
 
 let all =
@@ -11,90 +12,105 @@ let all =
       id = "E1";
       slug = "fig1-universality-map";
       paper = "Figure 1 (summary of results)";
+      seeded = false;
       run = Exp_summary.run;
     };
     {
       id = "E2";
       slug = "fig2-alg1-executions";
       paper = "Figure 2, Algorithm 1, Lemmas 5.1-5.5, Prop 5.1";
+      seeded = false;
       run = Exp_alg1.run;
     };
     {
       id = "E3";
       slug = "thm1.1-lower-bound";
       paper = "Theorem 1.1, Proposition 4.1, Claim 4.1";
+      seeded = false;
       run = Exp_lower_bound.run;
     };
     {
       id = "E4";
       slug = "thm1.2-universal-2proc";
       paper = "Theorem 1.2, Algorithm 2, Lemma 5.7";
+      seeded = false;
       run = Exp_universal.run;
     };
     {
       id = "E5";
       slug = "thm1.3-pipeline";
       paper = "Theorem 1.3, Proposition 6.1, Figure 3";
+      seeded = true;
       run = Exp_pipeline.run;
     };
     {
       id = "E6";
       slug = "thm1.4-iis-1bit";
       paper = "Theorem 1.4, Proposition 7.1, Algorithm 4";
+      seeded = false;
       run = Exp_iterated.run_one_bit;
     };
     {
       id = "E7";
       slug = "lem8.1-labelling";
       paper = "Lemma 8.1, Figure 5";
+      seeded = false;
       run = Exp_section8.run_labelling;
     };
     {
       id = "E8";
       slug = "lem8.7-exec-count";
       paper = "Lemma 8.7, Figure 6, Proposition 8.1";
+      seeded = false;
       run = Exp_section8.run_exec_count;
     };
     {
       id = "E9";
       slug = "thm8.1-step-complexity";
       paper = "Theorem 8.1 and the Section 3.2 remark";
+      seeded = true;
       run = Exp_section8.run_race;
     };
     {
       id = "E10";
       slug = "fig4-is-growth";
       paper = "Figure 4, Section 8 introduction";
+      seeded = false;
       run = Exp_iterated.run_growth;
     };
     {
       id = "E11";
       slug = "lem2.1-consensus";
       paper = "Lemma 2.1 (consensus impossibility)";
+      seeded = false;
       run = Exp_consensus.run;
     };
     {
       id = "E12";
       slug = "lem2.3-bg-snapshot";
       paper = "Lemma 2.3, Algorithm 5, Proposition 7.2";
+      seeded = false;
       run = Exp_iterated.run_bg;
     };
     {
       id = "E13";
       slug = "half-frontier";
       paper = "Section 9 open problem: the t = n/2 boundary";
+      seeded = false;
       run = Exp_half.run;
     };
     {
       id = "E14";
       slug = "lem2.4-iis-in-sm";
       paper = "Lemma 2.4 (IIS = shared memory, the embedding direction)";
+      seeded = true;
       run = Exp_embedding.run;
     };
     {
       id = "E15";
       slug = "chaos-campaigns";
       paper = "Section 6 step 1 (ABD atomicity) vs the Section 9 frontier";
+      seeded = true;
       run = Exp_chaos.run;
     };
   ]

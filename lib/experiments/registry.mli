@@ -5,7 +5,12 @@ type t = {
   id : string;  (** e.g. "E2" *)
   slug : string;  (** e.g. "fig2-alg1-executions" *)
   paper : string;  (** the figure/theorem reproduced *)
-  run : Format.formatter -> unit;
+  seeded : bool;
+      (** uses seeded randomness (random schedules, chaos campaigns) —
+          the supervisor retries these once before reporting a crash *)
+  run : Ctx.t -> Format.formatter -> unit;
+      (** run the experiment under a {!Ctx.t}; standalone callers pass
+          {!Ctx.default} *)
 }
 
 val all : t list

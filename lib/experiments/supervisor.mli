@@ -1,0 +1,55 @@
+(** Crash-isolated experiment runs.
+
+    [boundedreg run all] used to be as reliable as its least reliable
+    experiment: one uncaught exception or non-terminating search lost
+    every report after it. The supervisor runs each {!Registry.t} entry
+    in isolation — output buffered, exceptions caught with their
+    backtraces, a wall-clock alarm ({!Unix.setitimer} + [SIGALRM])
+    aborting hung runs — and renders a summary table plus a process exit
+    code, so the full suite always completes and CI can still fail. *)
+
+type status =
+  | Passed
+  | Degraded of string list
+      (** completed, but some check fell back to sampled coverage; the
+          notes come from {!Ctx.t}'s [degraded] callback *)
+  | Timed_out of float  (** aborted by the per-experiment deadline *)
+  | Crashed of { exn_text : string; backtrace : string }
+
+type result = {
+  experiment : Registry.t;
+  status : status;
+  seconds : float;  (** wall clock, summed over attempts *)
+  attempts : int;  (** 2 when a seeded experiment was retried *)
+  output : string;  (** everything the experiment printed (possibly partial) *)
+}
+
+val pp_status : Format.formatter -> status -> unit
+val status_ok : status -> bool
+
+val run_one :
+  ?deadline:float -> ?budget:Sched.Budget.t -> Registry.t -> result
+(** Run one experiment under a [deadline] (seconds of wall clock, default
+    none) and a {!Ctx.t} carrying [budget] (default unlimited). A seeded
+    experiment that crashes is retried once — flakes surface as
+    [attempts = 2] rather than a failed run; timeouts are not retried. *)
+
+val run_all :
+  ?deadline:float ->
+  ?budget:Sched.Budget.t ->
+  ?ppf:Format.formatter ->
+  ?experiments:Registry.t list ->
+  unit ->
+  result list
+(** {!run_one} over [experiments] (default {!Registry.all}), printing each
+    experiment's buffered output — and, for failures, the exception and
+    backtrace — to [ppf] (default stdout) as it completes. Always returns
+    all results: no experiment can prevent a later one from running. *)
+
+val summary : Format.formatter -> result list -> unit
+(** The per-experiment status table (id, status, wall clock, attempts),
+    degradation notes, and a one-line verdict. *)
+
+val exit_code : result list -> int
+(** [0] when every status is {!status_ok}, [1] otherwise — the process
+    exit code for [boundedreg run]. *)

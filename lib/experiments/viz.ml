@@ -104,5 +104,6 @@ let pruned_path ~delta ~rounds =
         | Some l0, Some l1 -> pairs := (l0, l1) :: !pairs
         | _ -> ())
   in
-  Format.asprintf "// explorer: %a@\n%s" Sched.Explore.pp_stats search
+  Format.asprintf "// explorer: %a@\n%s" Sched.Explore.pp_stats
+    search.Sched.Explore.stats
     (path_dot ~value:(Core.Ring_sim.value ~delta ~rounds) !pairs)

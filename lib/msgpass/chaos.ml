@@ -213,55 +213,106 @@ type found = {
 
 type campaign = {
   runs : int;
+  requested : int;
+  degraded : bool;
   violations : int;
   total_events : int;
   total_completed : int;
   first : found option;
 }
 
-let campaign ~seed ~runs config =
+let campaign ?deadline ~seed ~runs config =
+  let monitor =
+    Sched.Budget.arm (Sched.Budget.make ?deadline ())
+  in
+  let over_deadline () =
+    match deadline with
+    | None -> false
+    | Some d -> Sched.Budget.elapsed monitor >= d
+  in
   let acc =
     ref
       {
         runs = 0;
+        requested = runs;
+        degraded = false;
         violations = 0;
         total_events = 0;
         total_completed = 0;
         first = None;
       }
   in
-  for s = seed to seed + runs - 1 do
-    let o = run_random ~seed:s config in
-    let c = !acc in
-    let first =
-      match (c.first, failed o) with
-      | None, true ->
-          let shrunk, shrink_tests = shrink config o.plan in
-          Some
-            {
-              seed = s;
-              original = o;
-              shrunk;
-              shrunk_outcome = run_plan config shrunk;
-              shrink_tests;
-            }
-      | first, _ -> first
-    in
-    acc :=
-      {
-        runs = c.runs + 1;
-        violations = (c.violations + if failed o then 1 else 0);
-        total_events = c.total_events + o.events;
-        total_completed = c.total_completed + o.completed;
-        first;
-      }
-  done;
+  (try
+     for s = seed to seed + runs - 1 do
+       (* The deadline is checked between runs: an individual run is
+          bounded by [config.max_events], so the overshoot is one run. *)
+       if over_deadline () then begin
+         acc := { !acc with degraded = true };
+         raise Exit
+       end;
+       let o = run_random ~seed:s config in
+       let c = !acc in
+       let first =
+         match (c.first, failed o) with
+         | None, true ->
+             let shrunk, shrink_tests = shrink config o.plan in
+             Some
+               {
+                 seed = s;
+                 original = o;
+                 shrunk;
+                 shrunk_outcome = run_plan config shrunk;
+                 shrink_tests;
+               }
+         | first, _ -> first
+       in
+       acc :=
+         {
+           c with
+           runs = c.runs + 1;
+           violations = (c.violations + if failed o then 1 else 0);
+           total_events = c.total_events + o.events;
+           total_completed = c.total_completed + o.completed;
+           first;
+         }
+     done
+   with Exit -> ());
   !acc
+
+type verdict =
+  | Verified_sampled of { runs : int; requested : int }
+  | Violation of found
+
+let verdict c =
+  match c.first with
+  | Some f -> Violation f
+  | None -> Verified_sampled { runs = c.runs; requested = c.requested }
+
+let verdict_ok = function
+  | Verified_sampled _ -> true
+  | Violation _ -> false
+
+let pp_verdict ppf = function
+  | Verified_sampled { runs; requested } ->
+      if runs = requested then
+        Format.fprintf ppf "verified (sampled): %d/%d runs linearizable" runs
+          requested
+      else
+        Format.fprintf ppf
+          "verified (sampled, DEGRADED by deadline): %d/%d runs linearizable"
+          runs requested
+  | Violation f ->
+      Format.fprintf ppf "violation at seed %d: %a" f.seed
+        (L.pp_verdict Format.pp_print_int)
+        f.shrunk_outcome.verdict
 
 let pp_campaign ppf c =
   Format.fprintf ppf
     "%d runs, %d violation(s), %d fault events, %d completed ops" c.runs
     c.violations c.total_events c.total_completed;
+  if c.degraded then
+    Format.fprintf ppf " (deadline: stopped %d run(s) short)"
+      (c.requested - c.runs);
   match c.first with
   | None -> ()
   | Some f ->

@@ -72,15 +72,32 @@ type found = {
 }
 
 type campaign = {
-  runs : int;
+  runs : int;  (** runs actually completed *)
+  requested : int;  (** runs asked for *)
+  degraded : bool;  (** the deadline stopped the campaign early *)
   violations : int;
   total_events : int;
   total_completed : int;
   first : found option;  (** first violation, shrunk and re-verified *)
 }
 
-val campaign : seed:int -> runs:int -> config -> campaign
+val campaign : ?deadline:float -> seed:int -> runs:int -> config -> campaign
 (** Seeds [seed .. seed + runs - 1], every run checked; the first failing
-    run is shrunk and its shrunk plan replayed. *)
+    run is shrunk and its shrunk plan replayed. [deadline] (seconds,
+    default none) is checked between runs: when it passes, the campaign
+    stops early with [degraded = true] and however many runs it finished —
+    graceful degradation rather than an unbounded tail. An individual run
+    is already bounded by [config.max_events], so the overshoot past the
+    deadline is at most one run (plus one shrink, if that run fails). *)
+
+type verdict =
+  | Verified_sampled of { runs : int; requested : int }
+      (** no violation in [runs] seeded runs; [runs < requested] means the
+          deadline degraded the campaign *)
+  | Violation of found  (** a nonlinearizable run, shrunk and replayed *)
+
+val verdict : campaign -> verdict
+val verdict_ok : verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit
 
 val pp_campaign : Format.formatter -> campaign -> unit

@@ -1,0 +1,187 @@
+type t = {
+  deadline : float option;
+  max_nodes : int option;
+  max_terminals : int option;
+  max_visited : int option;
+}
+
+let unlimited =
+  { deadline = None; max_nodes = None; max_terminals = None;
+    max_visited = None }
+
+let make ?deadline ?max_nodes ?max_terminals ?max_visited () =
+  { deadline; max_nodes; max_terminals; max_visited }
+
+let is_unlimited b = b = unlimited
+
+let opt_min a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)
+
+let min_caps a b =
+  {
+    deadline = opt_min a.deadline b.deadline;
+    max_nodes = opt_min a.max_nodes b.max_nodes;
+    max_terminals = opt_min a.max_terminals b.max_terminals;
+    max_visited = opt_min a.max_visited b.max_visited;
+  }
+
+let pp ppf b =
+  if is_unlimited b then Format.pp_print_string ppf "unlimited"
+  else begin
+    let cap pp_v ppf = function
+      | None -> Format.pp_print_string ppf "-"
+      | Some v -> pp_v ppf v
+    in
+    Format.fprintf ppf "deadline=%a nodes=%a terminals=%a visited=%a"
+      (cap (fun ppf s -> Format.fprintf ppf "%.3gs" s))
+      b.deadline (cap Format.pp_print_int) b.max_nodes
+      (cap Format.pp_print_int) b.max_terminals (cap Format.pp_print_int)
+      b.max_visited
+  end
+
+type stop_reason =
+  | Deadline
+  | Node_cap
+  | Terminal_cap
+
+let stop_reason_to_string = function
+  | Deadline -> "deadline"
+  | Node_cap -> "node-cap"
+  | Terminal_cap -> "terminal-cap"
+
+let pp_stop_reason ppf r =
+  Format.pp_print_string ppf (stop_reason_to_string r)
+
+(* How many [stopped] polls to skip between clock reads. *)
+let clock_stride = 64
+
+type monitor = {
+  b : t;
+  clock : unit -> float;
+  started : float;
+  mutable polls : int;
+  mutable tripped : stop_reason option;
+}
+
+let arm ?(clock = Unix.gettimeofday) b =
+  { b; clock; started = clock (); polls = 0; tripped = None }
+
+let budget m = m.b
+let elapsed m = m.clock () -. m.started
+
+let exceeds cap used =
+  match cap with None -> false | Some cap -> used >= cap
+
+let stopped m ~nodes ~terminals =
+  match m.tripped with
+  | Some _ as r -> r
+  | None ->
+      let r =
+        if exceeds m.b.max_nodes nodes then Some Node_cap
+        else if exceeds m.b.max_terminals terminals then Some Terminal_cap
+        else begin
+          m.polls <- m.polls + 1;
+          match m.b.deadline with
+          | Some d when m.polls mod clock_stride = 1 && elapsed m >= d ->
+              Some Deadline
+          | _ -> None
+        end
+      in
+      m.tripped <- r;
+      r
+
+let visited_full m ~visited = exceeds m.b.max_visited visited
+
+let remaining m ~nodes ~terminals =
+  let minus cap used =
+    Option.map (fun c -> max 0 (c - used)) cap
+  in
+  {
+    deadline = Option.map (fun d -> max 0. (d -. elapsed m)) m.b.deadline;
+    max_nodes = minus m.b.max_nodes nodes;
+    max_terminals = minus m.b.max_terminals terminals;
+    max_visited = m.b.max_visited;
+  }
+
+(* {1 Frontiers} *)
+
+type choice =
+  | Step of int
+  | Crash of int
+
+type frontier = choice list list
+
+let frontier_size = List.length
+
+let pp_choice ppf = function
+  | Step p -> Format.fprintf ppf "s%d" p
+  | Crash p -> Format.fprintf ppf "c%d" p
+
+let pp_frontier ppf f =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf path ->
+         Format.fprintf ppf "@[<hov>%a@]"
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.pp_print_space ppf ())
+              pp_choice)
+           path))
+    f
+
+(* The empty path (a budget that tripped at the root: the whole tree is
+   the frontier) gets an explicit token, so it survives the round trip
+   instead of reading back as a blank line. *)
+let frontier_to_string f =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun path ->
+      if path = [] then Buffer.add_char b '.'
+      else
+        List.iteri
+          (fun i c ->
+            if i > 0 then Buffer.add_char b ' ';
+            match c with
+            | Step p -> Buffer.add_string b (Printf.sprintf "s%d" p)
+            | Crash p -> Buffer.add_string b (Printf.sprintf "c%d" p))
+          path;
+      Buffer.add_char b '\n')
+    f;
+  Buffer.contents b
+
+let frontier_of_string s =
+  let parse_token tok =
+    let pid tail =
+      match int_of_string_opt tail with
+      | Some p when p >= 0 -> Ok p
+      | _ -> Error (Printf.sprintf "bad pid in frontier token %S" tok)
+    in
+    if String.length tok < 2 then
+      Error (Printf.sprintf "bad frontier token %S" tok)
+    else
+      let tail = String.sub tok 1 (String.length tok - 1) in
+      match tok.[0] with
+      | 's' -> Result.map (fun p -> Step p) (pid tail)
+      | 'c' -> Result.map (fun p -> Crash p) (pid tail)
+      | _ -> Error (Printf.sprintf "bad frontier token %S" tok)
+  in
+  let parse_line line =
+    if String.trim line = "." then Ok []
+    else
+      String.split_on_char ' ' line
+      |> List.filter (fun t -> t <> "")
+      |> List.fold_left
+           (fun acc tok ->
+             Result.bind acc (fun path ->
+                 Result.map (fun c -> c :: path) (parse_token tok)))
+           (Ok [])
+      |> Result.map List.rev
+  in
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.fold_left
+       (fun acc line ->
+         Result.bind acc (fun paths ->
+             Result.map (fun p -> p :: paths) (parse_line line)))
+       (Ok [])
+  |> Result.map List.rev

@@ -66,6 +66,21 @@ type ('v, 'i) cell =
 
 type visited_entry = { mutable sleep_stored : int; mutable floor_stored : int }
 
+type outcome =
+  | Complete
+  | Exhausted of exhausted
+
+and exhausted = { frontier : Budget.frontier; reason : Budget.stop_reason }
+
+type result = { stats : stats; outcome : outcome }
+
+let pp_outcome ppf = function
+  | Complete -> Format.pp_print_string ppf "complete"
+  | Exhausted { frontier; reason } ->
+      Format.fprintf ppf "exhausted (%a, %d frontier paths)"
+        Budget.pp_stop_reason reason
+        (Budget.frontier_size frontier)
+
 let popcount m =
   let c = ref 0 and m = ref m in
   while !m <> 0 do
@@ -75,7 +90,8 @@ let popcount m =
   !c
 
 let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
-    ?(por = true) ?(on_truncated = fun _ -> ()) ~init visit =
+    ?(por = true) ?(budget = Budget.unlimited) ?resume ?clock
+    ?(on_truncated = fun _ -> ()) ~init visit =
   let state = init () in
   Scheduler.enable_journal state;
   let n = Scheduler.n state in
@@ -88,6 +104,13 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
       Hashtbl.t =
     Hashtbl.create 1024
   in
+  let monitor = Budget.arm ?clock budget in
+  (* Once a cap trips, no further subtree is entered: every node reached
+     after the trip records its root-to-node choice path instead, and the
+     collected paths become the resumable frontier. *)
+  let stop = ref None in
+  let frontier = ref [] in
+  let visited_count = ref 0 in
   let nodes = ref 0 and terminals = ref 0 and deduped = ref 0
   and pruned = ref 0 and truncated = ref 0 and peak_depth = ref 0 in
   let combine h x = (h * 0x01000193) lxor x land max_int in
@@ -141,65 +164,90 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
   let rehash key =
     List.fold_left (fun h c -> combine h (Hashtbl.hash c)) 0 (List.rev key)
   in
-  let rec node ~sleep ~depth ~crashes ~floor =
-    incr nodes;
-    if depth > !peak_depth then peak_depth := depth;
-    let enabled = ref 0 in
-    Scheduler.iter_running state (fun p -> enabled := !enabled lor (1 lsl p));
-    let enabled = !enabled in
-    let terminal = enabled = 0 in
-    let sleep = if por then sleep land enabled else 0 in
-    let fresh () =
-      if terminal then begin
-        incr terminals;
-        visit state
-      end
-      else begin
-        pruned := !pruned + popcount sleep;
-        expand ~step_mask:(enabled land lnot sleep) ~covered:sleep
-          ~crash_lo:floor ~crash_hi:n ~depth ~crashes ~enabled
-      end
-    in
-    if (not terminal) && depth >= max_steps then begin
-      incr truncated;
-      on_truncated state
-    end
-    else if not dedup then fresh ()
-    else begin
-      let h = state_hash () in
-      let bucket =
-        match Hashtbl.find_opt visited h with
-        | Some b -> b
-        | None ->
-            let b = ref [] in
-            Hashtbl.add visited h b;
-            b
-      in
-      match List.find_opt (fun (k, _) -> k = keys) !bucket with
-      | None ->
-          bucket :=
-            (Array.copy keys, { sleep_stored = sleep; floor_stored = floor })
-            :: !bucket;
-          fresh ()
-      | Some (_, _) when terminal -> incr deduped
-      | Some (_, e) ->
-          (* Transitions slept on every earlier visit but awake now must
-             be expanded; likewise crash pids below every earlier floor. *)
-          let reopen_steps = e.sleep_stored land lnot sleep land enabled in
-          let reopen_crashes =
-            crashes < max_crashes && floor < e.floor_stored
+  let rec node ~sleep ~depth ~crashes ~floor ~path =
+    if !stop <> None then frontier := List.rev path :: !frontier
+    else
+      match Budget.stopped monitor ~nodes:!nodes ~terminals:!terminals with
+      | Some r ->
+          stop := Some r;
+          frontier := List.rev path :: !frontier
+      | None -> begin
+          incr nodes;
+          if depth > !peak_depth then peak_depth := depth;
+          let enabled = ref 0 in
+          Scheduler.iter_running state (fun p ->
+              enabled := !enabled lor (1 lsl p));
+          let enabled = !enabled in
+          let terminal = enabled = 0 in
+          let sleep = if por then sleep land enabled else 0 in
+          let fresh () =
+            if terminal then begin
+              incr terminals;
+              visit state
+            end
+            else begin
+              pruned := !pruned + popcount sleep;
+              expand ~step_mask:(enabled land lnot sleep) ~covered:sleep
+                ~crash_lo:floor ~crash_hi:n ~depth ~crashes ~enabled ~path
+            end
           in
-          if reopen_steps = 0 && not reopen_crashes then incr deduped
-          else begin
-            let covered = sleep lor (enabled land lnot e.sleep_stored) in
-            let crash_hi = if reopen_crashes then e.floor_stored else floor in
-            e.sleep_stored <- e.sleep_stored land sleep;
-            e.floor_stored <- min e.floor_stored floor;
-            expand ~step_mask:reopen_steps ~covered ~crash_lo:floor ~crash_hi
-              ~depth ~crashes ~enabled
+          if (not terminal) && depth >= max_steps then begin
+            incr truncated;
+            on_truncated state
           end
-    end
-  and expand ~step_mask ~covered ~crash_lo ~crash_hi ~depth ~crashes ~enabled =
+          else if not dedup then fresh ()
+          else begin
+            let h = state_hash () in
+            let bucket =
+              match Hashtbl.find_opt visited h with
+              | Some b -> b
+              | None ->
+                  let b = ref [] in
+                  Hashtbl.add visited h b;
+                  b
+            in
+            match List.find_opt (fun (k, _) -> k = keys) !bucket with
+            | None ->
+                (* The dedup-table cap bounds memory, not progress: a full
+                   table stops memoizing new states and the walk carries
+                   on, merely re-exploring convergent interleavings. *)
+                if not (Budget.visited_full monitor ~visited:!visited_count)
+                then begin
+                  bucket :=
+                    ( Array.copy keys,
+                      { sleep_stored = sleep; floor_stored = floor } )
+                    :: !bucket;
+                  incr visited_count
+                end;
+                fresh ()
+            | Some (_, _) when terminal -> incr deduped
+            | Some (_, e) ->
+                (* Transitions slept on every earlier visit but awake now
+                   must be expanded; likewise crash pids below every
+                   earlier floor. *)
+                let reopen_steps =
+                  e.sleep_stored land lnot sleep land enabled
+                in
+                let reopen_crashes =
+                  crashes < max_crashes && floor < e.floor_stored
+                in
+                if reopen_steps = 0 && not reopen_crashes then incr deduped
+                else begin
+                  let covered =
+                    sleep lor (enabled land lnot e.sleep_stored)
+                  in
+                  let crash_hi =
+                    if reopen_crashes then e.floor_stored else floor
+                  in
+                  e.sleep_stored <- e.sleep_stored land sleep;
+                  e.floor_stored <- min e.floor_stored floor;
+                  expand ~step_mask:reopen_steps ~covered ~crash_lo:floor
+                    ~crash_hi ~depth ~crashes ~enabled ~path
+                end
+          end
+        end
+  and expand ~step_mask ~covered ~crash_lo ~crash_hi ~depth ~crashes ~enabled
+      ~path =
     let covered = ref covered in
     for p = 0 to n - 1 do
       if step_mask land (1 lsl p) <> 0 then begin
@@ -211,7 +259,8 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
         phash.(p) <- combine old_h (Hashtbl.hash obs);
         let m = Scheduler.journal_mark state in
         Scheduler.step state p;
-        node ~sleep:child_sleep ~depth:(depth + 1) ~crashes ~floor:0;
+        node ~sleep:child_sleep ~depth:(depth + 1) ~crashes ~floor:0
+          ~path:(Budget.Step p :: path);
         Scheduler.undo_to state m;
         keys.(p) <- old_key;
         phash.(p) <- old_h;
@@ -231,22 +280,67 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
           let m = Scheduler.journal_mark state in
           Scheduler.crash state p;
           node ~sleep:child_sleep ~depth ~crashes:(crashes + 1)
-            ~floor:(p + 1);
+            ~floor:(p + 1) ~path:(Budget.Crash p :: path);
           Scheduler.undo_to state m;
           keys.(p) <- old_key;
           phash.(p) <- old_h
         end
       done
   in
-  node ~sleep:0 ~depth:0 ~crashes:0 ~floor:0;
-  {
-    nodes = !nodes;
-    terminals = !terminals;
-    deduped = !deduped;
-    pruned = !pruned;
-    truncated = !truncated;
-    peak_depth = !peak_depth;
-  }
+  (* Resuming re-executes a frontier path's choices (maintaining the
+     observation keys exactly as [expand] would have) and explores the
+     subtree below it. Fresh visited and sleep sets only ever make the
+     resumed walk explore {e more} than the original would have — sound,
+     and complete because every abandoned subtree is on the frontier. *)
+  let run_prefix prefix =
+    if !stop <> None then frontier := prefix :: !frontier
+    else begin
+      let saved_keys = Array.copy keys and saved_phash = Array.copy phash in
+      let m0 = Scheduler.journal_mark state in
+      let depth = ref 0 and crashes = ref 0 and floor = ref 0 in
+      List.iter
+        (fun choice ->
+          match choice with
+          | Budget.Step p ->
+              let obs = observation p in
+              keys.(p) <- obs :: keys.(p);
+              phash.(p) <- combine phash.(p) (Hashtbl.hash obs);
+              Scheduler.step state p;
+              incr depth;
+              floor := 0
+          | Budget.Crash p ->
+              keys.(p) <- C_crash :: drop_read_suffix keys.(p);
+              phash.(p) <- rehash keys.(p);
+              Scheduler.crash state p;
+              incr crashes;
+              floor := p + 1)
+        prefix;
+      node ~sleep:0 ~depth:!depth ~crashes:!crashes ~floor:!floor
+        ~path:(List.rev prefix);
+      Scheduler.undo_to state m0;
+      Array.blit saved_keys 0 keys 0 n;
+      Array.blit saved_phash 0 phash 0 n
+    end
+  in
+  (match resume with
+  | None -> node ~sleep:0 ~depth:0 ~crashes:0 ~floor:0 ~path:[]
+  | Some paths -> List.iter run_prefix paths);
+  let stats =
+    {
+      nodes = !nodes;
+      terminals = !terminals;
+      deduped = !deduped;
+      pruned = !pruned;
+      truncated = !truncated;
+      peak_depth = !peak_depth;
+    }
+  in
+  let outcome =
+    match !stop with
+    | None -> Complete
+    | Some reason -> Exhausted { frontier = List.rev !frontier; reason }
+  in
+  { stats; outcome }
 
 (* {2 The naive reference walker} *)
 
@@ -298,30 +392,32 @@ let interleavings_with_crashes_naive ?(max_steps = 10_000)
 
 (* {2 Compatibility wrappers} *)
 
-let interleavings ?max_steps ?on_truncated ~init visit =
-  ignore
-    (explore ?max_steps ?on_truncated ~init visit : stats)
+let interleavings ?max_steps ?budget ?on_truncated ~init visit =
+  (explore ?max_steps ?budget ?on_truncated ~init visit).outcome
 
-let interleavings_with_crashes ?max_steps ?on_truncated ~max_crashes ~init
-    visit =
-  ignore
-    (explore ?max_steps ~max_crashes ?on_truncated ~init visit : stats)
+let interleavings_with_crashes ?max_steps ?budget ?on_truncated ~max_crashes
+    ~init visit =
+  (explore ?max_steps ~max_crashes ?budget ?on_truncated ~init visit).outcome
 
 exception Found
 
-let find ?max_steps ~init pred =
+let find ?max_steps ?budget ~init pred =
   let result = ref None in
+  let outcome = ref Complete in
   (try
-     ignore
-       (explore ?max_steps ~init (fun state ->
-            if pred state then begin
-              result := Some state;
-              raise Found
-            end)
-         : stats)
+     let r =
+       explore ?max_steps ?budget ~init (fun state ->
+           if pred state then begin
+             result := Some state;
+             raise Found
+           end)
+     in
+     outcome := r.outcome
    with Found -> ());
-  !result
+  (!result, !outcome)
 
-let count ?max_steps ~init () =
-  let s = explore ?max_steps ~dedup:false ~por:false ~init (fun _ -> ()) in
-  s.terminals
+let count ?max_steps ?budget ~init () =
+  let r =
+    explore ?max_steps ?budget ~dedup:false ~por:false ~init (fun _ -> ())
+  in
+  (r.stats.terminals, r.outcome)

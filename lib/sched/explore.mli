@@ -30,15 +30,37 @@ val add_stats : stats -> stats -> stats
 val pp_stats : Format.formatter -> stats -> unit
 (** One line: [nodes=… terminals=… deduped=… pruned=… truncated=… depth=…]. *)
 
+type outcome =
+  | Complete  (** every reachable terminal state was visited *)
+  | Exhausted of exhausted
+      (** a {!Budget} cap tripped first; the unvisited subtrees are on the
+          frontier *)
+
+and exhausted = {
+  frontier : Budget.frontier;
+      (** the root-to-subtree choice path of every part of the state space
+          the budgeted run did not enter — serializable
+          ({!Budget.frontier_to_string}) and resumable ([explore ~resume]) *)
+  reason : Budget.stop_reason;
+}
+
+type result = { stats : stats; outcome : outcome }
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** [complete], or [exhausted (node-cap, 17 frontier paths)]. *)
+
 val explore :
   ?max_steps:int ->
   ?max_crashes:int ->
   ?dedup:bool ->
   ?por:bool ->
+  ?budget:Budget.t ->
+  ?resume:Budget.frontier ->
+  ?clock:(unit -> float) ->
   ?on_truncated:(('v, 'i, 'a) Scheduler.state -> unit) ->
   init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
   (('v, 'i, 'a) Scheduler.state -> unit) ->
-  stats
+  result
 (** The engine. Visits every reachable terminal state (all processes decided
     or crashed) of every interleaving of the running processes, branching on
     crashing any running process before any step while fewer than
@@ -52,6 +74,17 @@ val explore :
     after calling [on_truncated] (default: nothing) — the guard against
     non-wait-free protocols.
 
+    [budget] (default {!Budget.unlimited}) bounds the whole exploration:
+    when its deadline, node cap, or terminal cap trips, no further subtree
+    is entered and the result's outcome is [Exhausted] with the frontier of
+    abandoned subtrees; the dedup-table cap degrades memoization instead of
+    stopping. [resume] (a frontier from an earlier [Exhausted] result over
+    the {e same} [init]) explores exactly the abandoned subtrees: chaining
+    budgeted calls until [Complete] visits every terminal state a single
+    unbudgeted call would have, and with [dedup]/[por] off the terminal
+    counts partition exactly. [clock] (default [Unix.gettimeofday]) is the
+    deadline's time source, overridable for deterministic tests.
+
     The visitor receives the engine's single journaled state; it may read
     anything ({!Scheduler.decisions}, {!Scheduler.trace}, memory contents,
     step counts — all reflect exactly the current path) but must not step,
@@ -59,23 +92,26 @@ val explore :
 
 val interleavings :
   ?max_steps:int ->
+  ?budget:Budget.t ->
   ?on_truncated:(('v, 'i, 'a) Scheduler.state -> unit) ->
   init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
   (('v, 'i, 'a) Scheduler.state -> unit) ->
-  unit
+  outcome
 (** [explore] with no crashes and the default reductions: the visitor runs
-    once per distinct reachable final state. Callers that need one visit
-    per schedule (counting, probability weighting) use
-    {!interleavings_naive} or [explore ~dedup:false ~por:false]. *)
+    once per distinct reachable final state, and the outcome says whether
+    the enumeration was complete. Callers that need one visit per schedule
+    (counting, probability weighting) use {!interleavings_naive} or
+    [explore ~dedup:false ~por:false]. *)
 
 val interleavings_with_crashes :
   ?max_steps:int ->
+  ?budget:Budget.t ->
   ?on_truncated:(('v, 'i, 'a) Scheduler.state -> unit) ->
   max_crashes:int ->
   init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
   (('v, 'i, 'a) Scheduler.state -> unit) ->
-  unit
-(** [explore ~max_crashes] discarding the stats. *)
+  outcome
+(** [explore ~max_crashes] keeping only the outcome. *)
 
 val interleavings_naive :
   ?max_steps:int ->
@@ -100,13 +136,20 @@ val interleavings_with_crashes_naive :
 
 val find :
   ?max_steps:int ->
+  ?budget:Budget.t ->
   init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
   (('v, 'i, 'a) Scheduler.state -> bool) ->
-  ('v, 'i, 'a) Scheduler.state option
-(** First complete crash-free execution satisfying the predicate, or [None]
-    if none exists. *)
+  ('v, 'i, 'a) Scheduler.state option * outcome
+(** First complete crash-free execution satisfying the predicate. [None]
+    paired with [Complete] means no such execution exists; [None] with
+    [Exhausted _] means the budget tripped before the search could say. *)
 
-val count : ?max_steps:int -> init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
-  unit -> int
+val count :
+  ?max_steps:int ->
+  ?budget:Budget.t ->
+  init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
+  unit ->
+  int * outcome
 (** Number of complete crash-free interleavings — schedules, not distinct
-    states, so this runs with [dedup] and [por] off. *)
+    states, so this runs with [dedup] and [por] off. The count is exact
+    only when the outcome is [Complete]. *)

@@ -213,11 +213,72 @@ let check_random ~task ~algorithm ?resilience ?(max_steps = 100_000) ~runs
 
 exception Stop
 
-let check_exhaustive ~task ~algorithm ?(max_crashes = 0) ?(max_steps = 10_000)
-    () =
+type coverage = {
+  explored : int;
+  frontier : int;
+  sampled : int;
+  sample_seed : int;
+  truncated : int;
+  first_truncated : int list option;
+  stop : Sched.Budget.stop_reason option;
+}
+
+type 'i verdict =
+  | Verified_exhaustive of stats
+  | Verified_sampled of stats * coverage
+  | Violation of 'i violation
+
+let pp_coverage ppf c =
+  Format.fprintf ppf "explored=%d frontier=%d sampled=%d (seed %d)"
+    c.explored c.frontier c.sampled c.sample_seed;
+  if c.truncated > 0 then
+    Format.fprintf ppf " truncated=%d" c.truncated;
+  Option.iter
+    (fun r -> Format.fprintf ppf " stop=%a" Sched.Budget.pp_stop_reason r)
+    c.stop
+
+let pp_verdict pp_i ppf = function
+  | Verified_exhaustive stats ->
+      Format.fprintf ppf "verified (exhaustive): %a" (pp_report pp_i)
+        (Pass stats)
+  | Verified_sampled (stats, c) ->
+      Format.fprintf ppf "verified (SAMPLED, not exhaustive): %a@ coverage: %a"
+        (pp_report pp_i) (Pass stats) pp_coverage c;
+      Option.iter
+        (fun pids ->
+          Format.fprintf ppf "@ warning: first truncated schedule: %a"
+            pp_schedule pids)
+        c.first_truncated
+  | Violation v -> pp_violation pp_i ppf v
+
+let verdict_ok = function
+  | Verified_exhaustive _ | Verified_sampled _ -> true
+  | Violation _ -> false
+
+let report_of_verdict = function
+  | Verified_exhaustive stats | Verified_sampled (stats, _) -> Pass stats
+  | Violation v -> Fail v
+
+(* Supervised checking: the exhaustive pass runs under a resource budget;
+   if the budget trips, the abandoned frontier is sampled with seeded
+   random completions instead of being silently dropped, and the verdict
+   records exactly how hard the claim was checked. *)
+let check_supervised ~task ~algorithm ?(max_crashes = 0) ?(max_steps = 10_000)
+    ?(budget = Sched.Budget.unlimited) ?(samples = 64) ?(seed = 1)
+    ?(truncation = `Fail) () =
   let stats = ref initial_stats in
   let search = ref Sched.Explore.zero_stats in
   let failure = ref None in
+  let truncated_count = ref 0 in
+  let first_truncated = ref None in
+  let frontier_total = ref 0 in
+  let sampled = ref 0 in
+  let samples_left = ref samples in
+  let stop_reason = ref None in
+  let rng = Bits.Rng.make seed in
+  (* One budget for the whole check: each input configuration's exploration
+     gets whatever the previous ones left over. *)
+  let monitor = Sched.Budget.arm budget in
   (try
      List.iter
        (fun inputs ->
@@ -250,16 +311,95 @@ let check_exhaustive ~task ~algorithm ?(max_crashes = 0) ?(max_steps = 10_000)
            stats := observe !stats state
          in
          let on_truncated state =
-           stop
-             (witness state
-                "interleaving exceeded the step budget (non-termination?)")
+           match truncation with
+           | `Fail ->
+               stop
+                 (witness state
+                    "interleaving exceeded the step budget \
+                     (non-termination?)")
+           | `Warn ->
+               incr truncated_count;
+               if !first_truncated = None then
+                 first_truncated :=
+                   Some (Sched.Trace.schedule_of (Scheduler.trace state))
          in
-         search :=
-           Sched.Explore.add_stats !search
-             (Sched.Explore.explore ~max_steps ~max_crashes ~on_truncated
-                ~init visit))
+         (* Sample one abandoned subtree: re-execute its choice prefix and
+            finish the run under a seeded fair random schedule. *)
+         let sample_path path =
+           let state = init () in
+           List.iter
+             (fun choice ->
+               match choice with
+               | Sched.Budget.Step p -> Scheduler.step state p
+               | Sched.Budget.Crash p -> Scheduler.crash state p)
+             path;
+           Scheduler.run_random ~max_steps:(max 1 max_steps)
+             ~until_outputs:true rng state;
+           incr sampled;
+           let events = Scheduler.trace state in
+           match
+             judge task ~inputs
+               ~crashes:(Sched.Trace.crashes_of events)
+               ~seed:(Some seed) ~schedule:None state
+           with
+           | None -> stats := observe !stats state
+           | Some v -> (
+               match (truncation, Scheduler.all_output state) with
+               | `Warn, false ->
+                   (* An undecided sampled run under `Warn is a truncation
+                      warning, exactly like an undecided exhaustive path. *)
+                   incr truncated_count;
+                   if !first_truncated = None then
+                     first_truncated :=
+                       Some (Sched.Trace.schedule_of events)
+               | _ ->
+                   stop
+                     { (witness state v.reason) with seed = Some seed })
+         in
+         let sub_budget =
+           Sched.Budget.remaining monitor ~nodes:!search.Sched.Explore.nodes
+             ~terminals:!search.Sched.Explore.terminals
+         in
+         let r =
+           Sched.Explore.explore ~max_steps ~max_crashes ~budget:sub_budget
+             ~on_truncated ~init visit
+         in
+         search := Sched.Explore.add_stats !search r.Sched.Explore.stats;
+         match r.Sched.Explore.outcome with
+         | Sched.Explore.Complete -> ()
+         | Sched.Explore.Exhausted { frontier; reason } ->
+             stop_reason := Some reason;
+             frontier_total := !frontier_total + List.length frontier;
+             List.iter
+               (fun path ->
+                 if !samples_left > 0 then begin
+                   decr samples_left;
+                   sample_path path
+                 end)
+               frontier)
        (Task.input_configurations task)
    with Stop -> ());
   match !failure with
-  | Some v -> Fail v
-  | None -> Pass { !stats with explored = Some !search }
+  | Some v -> Violation v
+  | None ->
+      let stats = { !stats with explored = Some !search } in
+      if !stop_reason = None && !truncated_count = 0 then
+        Verified_exhaustive stats
+      else
+        Verified_sampled
+          ( stats,
+            {
+              explored = !search.Sched.Explore.terminals;
+              frontier = !frontier_total;
+              sampled = !sampled;
+              sample_seed = seed;
+              truncated = !truncated_count;
+              first_truncated = !first_truncated;
+              stop = !stop_reason;
+            } )
+
+let check_exhaustive ~task ~algorithm ?max_crashes ?max_steps () =
+  (* Unbudgeted and strict about truncation: [Verified_sampled] cannot
+     happen, so this collapses losslessly to the two-valued report. *)
+  report_of_verdict
+    (check_supervised ~task ~algorithm ?max_crashes ?max_steps ())

@@ -84,6 +84,76 @@ val check_random :
     Fails if a surviving process does not decide within [max_steps] (default
     100_000) total steps, or if the decided outputs violate Delta. *)
 
+(** {1 Supervised checking}
+
+    {!check_exhaustive} is all-or-nothing: it either finishes or it does
+    not come back. Under a {!Sched.Budget.t} the harness degrades
+    gracefully instead — when the exhaustive pass is cut short, the
+    abandoned frontier is {e sampled} with seeded random completions, and
+    the verdict says exactly how much of the state space backs the claim. *)
+
+type coverage = {
+  explored : int;  (** terminal states visited by the exhaustive pass *)
+  frontier : int;  (** subtrees abandoned when the budget tripped *)
+  sampled : int;  (** frontier subtrees finished under a random schedule *)
+  sample_seed : int;  (** rng seed of the sampling pass *)
+  truncated : int;
+      (** interleavings abandoned at [max_steps] under [~truncation:`Warn] *)
+  first_truncated : int list option;
+      (** schedule prefix of the first truncated interleaving, for
+          diagnosis — [None] when nothing was truncated *)
+  stop : Sched.Budget.stop_reason option;
+      (** which budget cap ended the exhaustive pass; [None] when the
+          verdict is degraded only by truncation warnings *)
+}
+
+val pp_coverage : Format.formatter -> coverage -> unit
+
+type 'i verdict =
+  | Verified_exhaustive of stats
+      (** every interleaving was checked; this is a proof over the model *)
+  | Verified_sampled of stats * coverage
+      (** no violation found, but the search was cut short — the coverage
+          says how much was exhaustive and how much merely sampled *)
+  | Violation of 'i violation
+      (** a counterexample, with its replayable schedule *)
+
+val pp_verdict :
+  (Format.formatter -> 'i -> unit) -> Format.formatter -> 'i verdict -> unit
+
+val verdict_ok : 'i verdict -> bool
+(** [true] unless the verdict is a {!Violation}. *)
+
+val report_of_verdict : 'i verdict -> 'i report
+(** Collapse to the two-valued report: both [Verified_*] become [Pass].
+    Lossy — the coverage disclaimer is dropped. *)
+
+val check_supervised :
+  task:('i, 'o) Task.t ->
+  algorithm:('v, 'i, 'o) algorithm ->
+  ?max_crashes:int ->
+  ?max_steps:int ->
+  ?budget:Sched.Budget.t ->
+  ?samples:int ->
+  ?seed:int ->
+  ?truncation:[ `Fail | `Warn ] ->
+  unit ->
+  'i verdict
+(** {!check_exhaustive} under a resource [budget] (default
+    {!Sched.Budget.unlimited}) shared across all input configurations:
+    each configuration's exploration gets what the previous ones left
+    over ({!Sched.Budget.remaining}). When the budget trips, up to
+    [samples] (default 64) abandoned frontier subtrees are completed
+    under a fair random schedule seeded with [seed] (default 1) and
+    judged like any other execution — a violation found while sampling
+    is still a [Violation]; surviving yields [Verified_sampled] with the
+    coverage counters. [truncation] decides what an interleaving
+    exceeding [max_steps] means: [`Fail] (default) reports it as a
+    non-termination violation exactly like {!check_exhaustive}; [`Warn]
+    counts it, records the first truncated schedule prefix, and degrades
+    the verdict to [Verified_sampled] — for protocols whose tail is
+    legitimately unbounded rather than buggy. *)
+
 val check_exhaustive :
   task:('i, 'o) Task.t ->
   algorithm:('v, 'i, 'o) algorithm ->
@@ -94,4 +164,6 @@ val check_exhaustive :
 (** Every admissible input configuration crossed with every interleaving
     (and, when [max_crashes > 0], every crash placement up to that budget).
     Interleavings longer than [max_steps] (default 10_000) are reported as a
-    termination failure rather than skipped. *)
+    termination failure rather than skipped. Equivalent to
+    {!check_supervised} with an unlimited budget, collapsed through
+    {!report_of_verdict}. *)

@@ -162,6 +162,47 @@ let test_minimize_pairs () =
   Alcotest.(check (list int)) "count variant agrees" [ 2; 3 ] shrunk;
   Alcotest.(check bool) "replay count positive" true (tests > 0)
 
+let test_shrink_edge_cases () =
+  (* Empty plan: nothing to remove, whatever [test] says. *)
+  Alcotest.(check (list int))
+    "empty plan, failing" []
+    (S.ddmin ~test:(fun _ -> true) []);
+  Alcotest.(check (list int))
+    "empty plan, passing" []
+    (S.ddmin ~test:(fun _ -> false) []);
+  (* Singleton: 1-minimal by construction when it still fails. *)
+  Alcotest.(check (list int))
+    "failing singleton kept" [ 42 ]
+    (S.ddmin ~test:(fun xs -> xs <> []) [ 42 ]);
+  (* Already minimal: every element is load-bearing, nothing is dropped
+     and order is preserved. *)
+  let all_present xs = List.for_all (fun x -> List.mem x xs) [ 1; 2; 3 ] in
+  Alcotest.(check (list int))
+    "already-minimal plan unchanged" [ 1; 2; 3 ]
+    (S.ddmin ~test:all_present [ 1; 2; 3 ]);
+  Alcotest.(check (list int))
+    "minimize agrees on minimal plans" [ 1; 2; 3 ]
+    (S.minimize ~test:all_present [ 1; 2; 3 ])
+
+let test_shrink_non_monotone_terminates () =
+  (* An odd-length predicate is about as hostile as it gets: removing one
+     element flips the verdict, removing two restores it. ddmin makes no
+     monotonicity assumption — it must still terminate, return a
+     subsequence, and keep the failure. *)
+  let odd xs = List.length xs mod 2 = 1 in
+  let input = [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let shrunk, tests = S.minimize_count ~test:odd input in
+  Alcotest.(check bool) "result still fails" true (odd shrunk);
+  Alcotest.(check bool) "result is a subsequence" true
+    (List.for_all (fun x -> List.mem x input) shrunk);
+  Alcotest.(check bool) "bounded work" true (tests < 1000);
+  (* Flapping predicate keyed on content, not length. *)
+  let spiky xs = List.mem 3 xs && not (List.mem 5 xs) in
+  let shrunk2 = S.ddmin ~test:spiky [ 1; 2; 3; 4; 5; 6 ] in
+  Alcotest.(check bool)
+    "ddmin on non-monotone input returns input when it passes" true
+    (spiky shrunk2 || shrunk2 = [ 1; 2; 3; 4; 5; 6 ])
+
 (* Sound quorum (n - t, t < n/2): every seeded chaos run — crashes, drops,
    duplication, reordering, delay bursts — must record a linearizable
    history. *)
@@ -221,6 +262,9 @@ let () =
         [
           Alcotest.test_case "ddmin" `Quick test_ddmin;
           Alcotest.test_case "pair elimination" `Quick test_minimize_pairs;
+          Alcotest.test_case "edge cases" `Quick test_shrink_edge_cases;
+          Alcotest.test_case "non-monotone predicates" `Quick
+            test_shrink_non_monotone_terminates;
         ] );
       ( "chaos",
         [

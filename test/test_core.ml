@@ -327,7 +327,8 @@ let test_ring_sim_exhaustive () =
           ()
       in
       let distinct = ref [] in
-      Sched.Explore.interleavings ~max_steps:100_000 ~init (fun st ->
+      let (_ : Sched.Explore.outcome) =
+        Sched.Explore.interleavings ~max_steps:100_000 ~init (fun st ->
           match
             ( (Sched.Scheduler.decisions st).(0),
               (Sched.Scheduler.decisions st).(1) )
@@ -346,7 +347,8 @@ let test_ring_sim_exhaustive () =
                      (fun (a, b) -> L.equal a l0 && L.equal b l1)
                      !distinct)
               then distinct := (l0, l1) :: !distinct
-          | _ -> Alcotest.fail "ring sim: undecided");
+          | _ -> Alcotest.fail "ring sim: undecided")
+      in
       (* The simulation reaches every pruned execution. *)
       Alcotest.(check int) "all pruned executions realized" total
         (List.length !distinct))

@@ -266,6 +266,36 @@ let test_faults_drop_and_duplicate () =
   Alcotest.(check (list string)) "lost a, duplicated b" [ "b"; "c"; "b" ]
     !received
 
+(* Regression: chaos campaigns are a pure function of the seed. Every
+   shrunk counterexample in EXPERIMENTS.md is quoted by seed, so a drift
+   in the RNG stream or the fault layer would silently invalidate them. *)
+let test_chaos_deterministic () =
+  let module C = Msgpass.Chaos in
+  List.iter
+    (fun (label, config, seed) ->
+      let a = C.run_random ~seed config in
+      let b = C.run_random ~seed config in
+      Alcotest.(check bool)
+        (label ^ ": identical fault plan")
+        true
+        (a.C.plan = b.C.plan);
+      Alcotest.(check bool)
+        (label ^ ": identical verdict")
+        true
+        (C.failed a = C.failed b);
+      Alcotest.(check int) (label ^ ": identical event count") a.C.events
+        b.C.events;
+      (* And the plan really replays to the same verdict. *)
+      let r = C.run_plan config a.C.plan in
+      Alcotest.(check bool)
+        (label ^ ": replay agrees")
+        true
+        (C.failed r = C.failed a))
+    [
+      ("sound", C.sound (), 7);
+      ("frontier violation", C.frontier (), 127);
+    ]
+
 (* ABD + Interp over the complete network: baseline eps-agreement survives
    minority crashes. *)
 let test_abd_message_passing () =
@@ -496,6 +526,8 @@ let () =
             test_faults_defer_breaks_fifo;
           Alcotest.test_case "drop and duplicate" `Quick
             test_faults_drop_and_duplicate;
+          Alcotest.test_case "chaos campaigns are seed-deterministic" `Quick
+            test_chaos_deterministic;
         ] );
       ( "message-passing",
         [

@@ -196,7 +196,7 @@ let prop_explore_count =
           ()
       in
       let rec fact n = if n = 0 then 1 else n * fact (n - 1) in
-      Sched.Explore.count ~init () = fact (a + b) / (fact a * fact b))
+      fst (Sched.Explore.count ~init ()) = fact (a + b) / (fact a * fact b))
 
 (* Differential oracle for the exploration engine: on random small programs
    (reads feed into decisions, so observation order matters), the journaled
@@ -266,13 +266,15 @@ let prop_explore_differential =
            (fun st -> naive := signature st :: !naive));
       let raw = ref [] in
       let raw_stats =
-        Sched.Explore.explore ~max_crashes ~dedup:false ~por:false ~init
-          (fun st -> raw := signature st :: !raw)
+        (Sched.Explore.explore ~max_crashes ~dedup:false ~por:false ~init
+           (fun st -> raw := signature st :: !raw))
+          .Sched.Explore.stats
       in
       let opt = ref [] in
       let opt_stats =
-        Sched.Explore.explore ~max_crashes ~init (fun st ->
-            opt := signature st :: !opt)
+        (Sched.Explore.explore ~max_crashes ~init (fun st ->
+             opt := signature st :: !opt))
+          .Sched.Explore.stats
       in
       let sorted l = List.sort compare l in
       let set l = List.sort_uniq compare l in

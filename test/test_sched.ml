@@ -133,33 +133,37 @@ let test_explore_counts () =
       Alcotest.(check int)
         (Printf.sprintf "C(%d+%d,%d) interleavings" a b a)
         (choose a b)
-        (Sched.Explore.count ~init ()))
+        (fst (Sched.Explore.count ~init ())))
     [ (1, 1); (2, 2); (3, 2); (4, 4) ]
 
 let test_explore_find () =
   let init () = start () in
   (* Find an execution where p1 saw p0's write. *)
-  let found =
+  let found, _ =
     Sched.Explore.find ~init (fun s ->
         match (S.decisions s).(1) with Some 1 -> true | _ -> false)
   in
   Alcotest.(check bool) "found" true (found <> None);
-  let not_found =
+  let not_found, complete =
     Sched.Explore.find ~init (fun s ->
         match (S.decisions s).(1) with Some 7 -> true | _ -> false)
   in
-  Alcotest.(check bool) "absent outcome not found" true (not_found = None)
+  Alcotest.(check bool) "absent outcome not found" true (not_found = None);
+  Alcotest.(check bool) "absence is conclusive (complete search)" true
+    (complete = Sched.Explore.Complete)
 
 let test_explore_crashes_include_solo () =
   (* With 1 crash allowed, solo executions of both processes appear. *)
   let solo_outcomes = ref [] in
-  Sched.Explore.interleavings_with_crashes ~max_crashes:1
-    ~init:(fun () -> start ())
-    (fun s ->
-      match (S.decisions s).(0), (S.decisions s).(1) with
-      | Some v, None -> solo_outcomes := (`P0, v) :: !solo_outcomes
-      | None, Some v -> solo_outcomes := (`P1, v) :: !solo_outcomes
-      | _ -> ());
+  let (_ : Sched.Explore.outcome) =
+    Sched.Explore.interleavings_with_crashes ~max_crashes:1
+      ~init:(fun () -> start ())
+      (fun s ->
+        match (S.decisions s).(0), (S.decisions s).(1) with
+        | Some v, None -> solo_outcomes := (`P0, v) :: !solo_outcomes
+        | None, Some v -> solo_outcomes := (`P1, v) :: !solo_outcomes
+        | _ -> ())
+  in
   Alcotest.(check bool) "p0 solo reads 0" true
     (List.mem (`P0, 0) !solo_outcomes);
   Alcotest.(check bool) "p1 solo reads 0" true
@@ -260,13 +264,17 @@ let test_explore_reductions_5x () =
       naive := terminal_signature s :: !naive);
   Alcotest.(check int) "naive schedule count: 12!/(4!)^3" 34650
     (List.length !naive);
-  let raw = Sched.Explore.explore ~dedup:false ~por:false ~init (fun _ -> ()) in
+  let raw =
+    (Sched.Explore.explore ~dedup:false ~por:false ~init (fun _ -> ()))
+      .Sched.Explore.stats
+  in
   Alcotest.(check int) "raw engine = naive tree" 34650
     raw.Sched.Explore.terminals;
   let opt_states = ref [] in
   let opt =
-    Sched.Explore.explore ~init (fun s ->
-        opt_states := terminal_signature s :: !opt_states)
+    (Sched.Explore.explore ~init (fun s ->
+         opt_states := terminal_signature s :: !opt_states))
+      .Sched.Explore.stats
   in
   let set l = List.sort_uniq compare l in
   Alcotest.(check bool) "same reachable terminal states" true
@@ -293,14 +301,16 @@ let test_explore_canonical_crash_order () =
       ()
   in
   let raw =
-    Sched.Explore.explore ~max_crashes:2 ~dedup:false ~por:false ~init
-      (fun _ -> ())
+    (Sched.Explore.explore ~max_crashes:2 ~dedup:false ~por:false ~init
+       (fun _ -> ()))
+      .Sched.Explore.stats
   in
   Alcotest.(check int) "7 canonical schedules" 7 raw.Sched.Explore.terminals;
   let states = ref [] in
   let opt =
-    Sched.Explore.explore ~max_crashes:2 ~init (fun s ->
-        states := terminal_signature s :: !states)
+    (Sched.Explore.explore ~max_crashes:2 ~init (fun s ->
+         states := terminal_signature s :: !states))
+      .Sched.Explore.stats
   in
   Alcotest.(check int) "4 distinct terminal states" 4
     opt.Sched.Explore.terminals;
@@ -311,6 +321,128 @@ let test_explore_canonical_crash_order () =
   Sched.Explore.interleavings_with_crashes_naive ~max_crashes:2 ~init
     (fun _ -> incr naive);
   Alcotest.(check int) "naive crash walker canonical too" 7 !naive
+
+(* Budgets: a node-capped run stops with a serializable frontier, and
+   resuming from that frontier visits exactly the schedules the budgeted
+   run abandoned — chained segments partition the full enumeration. Run
+   with dedup/POR off so terminal counts are exact (one per schedule). *)
+let test_budget_resume_partitions () =
+  let init = writers_3x4_init in
+  let full = ref [] in
+  let r =
+    Sched.Explore.explore ~dedup:false ~por:false ~init (fun s ->
+        full := terminal_signature s :: !full)
+  in
+  Alcotest.(check bool) "unbudgeted run complete" true
+    (r.Sched.Explore.outcome = Sched.Explore.Complete);
+  Alcotest.(check int) "unbudgeted terminal count" 34650
+    (List.length !full);
+  let budget = Sched.Budget.make ~max_nodes:5_000 () in
+  let segments = ref 0 in
+  let collected = ref [] in
+  let rec drain resume =
+    incr segments;
+    let r =
+      Sched.Explore.explore ~dedup:false ~por:false ~budget ?resume ~init
+        (fun s -> collected := terminal_signature s :: !collected)
+    in
+    match r.Sched.Explore.outcome with
+    | Sched.Explore.Complete -> ()
+    | Sched.Explore.Exhausted { frontier; reason } ->
+        Alcotest.(check bool) "stopped by the node cap" true
+          (reason = Sched.Budget.Node_cap);
+        Alcotest.(check bool) "frontier is nonempty" true (frontier <> []);
+        (* The checkpoint survives serialization. *)
+        (match
+           Sched.Budget.frontier_of_string
+             (Sched.Budget.frontier_to_string frontier)
+         with
+        | Ok f -> Alcotest.(check bool) "frontier round-trips" true (f = frontier)
+        | Error e -> Alcotest.fail e);
+        drain (Some frontier)
+  in
+  drain None;
+  Alcotest.(check bool)
+    (Printf.sprintf "budget forced several segments (%d)" !segments)
+    true (!segments > 1);
+  Alcotest.(check int) "segments partition the terminal count" 34650
+    (List.length !collected);
+  Alcotest.(check bool) "same multiset of terminal states" true
+    (List.sort compare !full = List.sort compare !collected)
+
+let test_budget_terminal_cap () =
+  let r =
+    Sched.Explore.explore ~dedup:false ~por:false
+      ~budget:(Sched.Budget.make ~max_terminals:100 ())
+      ~init:writers_3x4_init
+      (fun _ -> ())
+  in
+  Alcotest.(check int) "visited exactly the cap" 100
+    r.Sched.Explore.stats.Sched.Explore.terminals;
+  match r.Sched.Explore.outcome with
+  | Sched.Explore.Exhausted { reason = Sched.Budget.Terminal_cap; frontier }
+    ->
+      Alcotest.(check bool) "rest of the tree on the frontier" true
+        (frontier <> [])
+  | _ -> Alcotest.fail "expected terminal-cap exhaustion"
+
+let test_budget_deadline_fake_clock () =
+  (* A deterministic clock that advances 10ms per read: the 0.5s deadline
+     trips after ~50 reads (the monitor samples it every 64th poll), long
+     before the raw 3x4 tree is done. *)
+  let now = ref 0. in
+  let clock () =
+    now := !now +. 0.01;
+    !now
+  in
+  let r =
+    Sched.Explore.explore ~dedup:false ~por:false
+      ~budget:(Sched.Budget.make ~deadline:0.5 ())
+      ~clock ~init:writers_3x4_init
+      (fun _ -> ())
+  in
+  match r.Sched.Explore.outcome with
+  | Sched.Explore.Exhausted { reason = Sched.Budget.Deadline; frontier } ->
+      Alcotest.(check bool) "frontier is nonempty" true (frontier <> [])
+  | _ -> Alcotest.fail "expected deadline exhaustion"
+
+let test_visited_cap_degrades_not_stops () =
+  (* Capping the dedup table weakens memoization but must not change the
+     reachable terminal-state set or the completeness of the run. *)
+  let init = writers_3x4_init in
+  let states budget =
+    let acc = ref [] in
+    let r =
+      Sched.Explore.explore ~budget ~init (fun s ->
+          acc := terminal_signature s :: !acc)
+    in
+    Alcotest.(check bool) "complete despite the visited cap" true
+      (r.Sched.Explore.outcome = Sched.Explore.Complete);
+    (List.sort_uniq compare !acc, r.Sched.Explore.stats)
+  in
+  let full_set, full = states Sched.Budget.unlimited in
+  let capped_set, capped =
+    states (Sched.Budget.make ~max_visited:10 ())
+  in
+  Alcotest.(check bool) "same terminal-state set" true
+    (full_set = capped_set);
+  Alcotest.(check bool) "weaker dedup explores at least as many nodes" true
+    (capped.Sched.Explore.nodes >= full.Sched.Explore.nodes)
+
+let test_frontier_of_string_rejects_garbage () =
+  (match Sched.Budget.frontier_of_string "s0 x1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad token accepted");
+  (match Sched.Budget.frontier_of_string "s0 c\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing pid accepted");
+  (* The empty path (budget tripped at the root) round-trips. *)
+  match
+    Sched.Budget.frontier_of_string (Sched.Budget.frontier_to_string [ [] ])
+  with
+  | Ok [ [] ] -> ()
+  | Ok _ -> Alcotest.fail "empty path did not round-trip"
+  | Error e -> Alcotest.fail e
 
 (* Double-collect snapshots: under concurrent writers, a returned snapshot
    was instantaneously present in memory. We check the weaker testable
@@ -445,6 +577,19 @@ let () =
             test_explore_reductions_5x;
           Alcotest.test_case "canonical crash order" `Quick
             test_explore_canonical_crash_order;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "resume partitions the enumeration" `Quick
+            test_budget_resume_partitions;
+          Alcotest.test_case "terminal cap is exact" `Quick
+            test_budget_terminal_cap;
+          Alcotest.test_case "deadline (deterministic clock)" `Quick
+            test_budget_deadline_fake_clock;
+          Alcotest.test_case "visited cap degrades, not stops" `Quick
+            test_visited_cap_degrades_not_stops;
+          Alcotest.test_case "frontier parsing rejects garbage" `Quick
+            test_frontier_of_string_rejects_garbage;
         ] );
       ( "snapshots",
         [ Alcotest.test_case "double collect" `Quick test_snapshot_clean ] );

@@ -256,6 +256,116 @@ let test_replay_nontermination_schedule () =
               Alcotest.(check int) "replay takes the same steps" 64
                 (Sched.Scheduler.steps_taken state)))
 
+(* Supervised checking: budgets degrade to sampled coverage instead of
+   failing, violations are still caught while sampling, and truncation
+   can be demoted from a failure to a coverage warning. *)
+
+let alg1_algorithm ~k =
+  {
+    H.name = "alg1";
+    memory = memory_1bit;
+    program =
+      (fun ~pid ~input ->
+        Core.Alg1_one_bit.protocol ~env:Core.Alg1_one_bit.env_standalone ~k
+          ~me:pid ~input);
+  }
+
+let test_supervised_unbudgeted_is_exhaustive () =
+  let k = 2 in
+  let task = Tasks.Eps_agreement.task ~n:2 ~k:(2 * k + 1) in
+  let algorithm = alg1_algorithm ~k in
+  match
+    ( H.check_supervised ~task ~algorithm ~max_crashes:1 (),
+      H.check_exhaustive ~task ~algorithm ~max_crashes:1 () )
+  with
+  | H.Verified_exhaustive a, H.Pass b ->
+      Alcotest.(check int) "same number of runs" b.H.runs a.H.runs;
+      Alcotest.(check int) "same step bound" b.H.max_process_steps
+        a.H.max_process_steps
+  | _ -> Alcotest.fail "expected exhaustive verification on both paths"
+
+let test_supervised_degrades_to_sampled () =
+  let k = 2 in
+  let task = Tasks.Eps_agreement.task ~n:2 ~k:(2 * k + 1) in
+  let algorithm = alg1_algorithm ~k in
+  match
+    H.check_supervised ~task ~algorithm ~max_crashes:1
+      ~budget:(Sched.Budget.make ~max_nodes:50 ())
+      ~samples:32 ~seed:11 ()
+  with
+  | H.Verified_sampled (stats, c) ->
+      Alcotest.(check bool) "stopped by the node cap" true
+        (c.H.stop = Some Sched.Budget.Node_cap);
+      Alcotest.(check bool) "frontier was recorded" true (c.H.frontier > 0);
+      Alcotest.(check bool) "frontier was sampled" true (c.H.sampled > 0);
+      Alcotest.(check int) "sample seed recorded" 11 c.H.sample_seed;
+      Alcotest.(check bool) "sampled runs counted in stats" true
+        (stats.H.runs >= c.H.sampled);
+      (* The lossy collapse still reads as a pass. *)
+      (match H.report_of_verdict (H.Verified_sampled (stats, c)) with
+      | H.Pass _ -> ()
+      | H.Fail _ -> Alcotest.fail "sampled verdict must collapse to Pass")
+  | H.Verified_exhaustive _ ->
+      Alcotest.fail "a 50-node budget cannot cover the whole tree"
+  | H.Violation v -> Alcotest.fail ("unexpected violation: " ^ v.H.reason)
+
+let test_supervised_violation_found_while_sampling () =
+  (* Wrong on equal inputs, but only after a memory step — the root is
+     not terminal, so with a 1-node budget the violation can only be
+     caught by the sampling fallback, never the exhaustive pass. *)
+  let task = Tasks.Eps_agreement.task ~n:2 ~k:2 in
+  let algorithm =
+    {
+      H.name = "stepping-bad-half";
+      memory = memory_1bit;
+      program =
+        (fun ~pid:_ ~input:_ ->
+          Sched.Program.Write
+            (0, fun () -> Sched.Program.return (Q.make 1 2)));
+    }
+  in
+  match
+    H.check_supervised ~task ~algorithm
+      ~budget:(Sched.Budget.make ~max_nodes:1 ())
+      ~seed:5 ()
+  with
+  | H.Violation v ->
+      Alcotest.(check bool) "sampled violation carries the seed" true
+        (v.H.seed <> None);
+      Alcotest.(check bool) "reason is reported" true
+        (String.length v.H.reason > 0)
+  | H.Verified_exhaustive _ | H.Verified_sampled _ ->
+      Alcotest.fail "sampling fallback missed the violation"
+
+let test_supervised_truncation_warn () =
+  (* The spinner never decides: under ~truncation:`Warn the harness
+     reports degraded coverage with the first truncated schedule prefix
+     instead of a non-termination failure. *)
+  let rec spin () : (int, int, Q.t) Sched.Program.t =
+    Sched.Program.Write (0, spin)
+  in
+  let algorithm =
+    { H.name = "spinner"; memory = memory_1bit;
+      program = (fun ~pid:_ ~input:_ -> spin ()) }
+  in
+  let task = Tasks.Eps_agreement.task ~n:2 ~k:2 in
+  match
+    H.check_supervised ~task ~algorithm ~max_steps:40 ~truncation:`Warn ()
+  with
+  | H.Verified_sampled (_, c) ->
+      Alcotest.(check bool) "truncations counted" true (c.H.truncated > 0);
+      (match c.H.first_truncated with
+      | Some pids ->
+          Alcotest.(check int) "prefix capped at max_steps" 40
+            (List.length pids)
+      | None -> Alcotest.fail "first truncated prefix missing");
+      Alcotest.(check bool) "degraded by truncation, not a budget cap" true
+        (c.H.stop = None)
+  | H.Verified_exhaustive _ ->
+      Alcotest.fail "truncated search reported as exhaustive"
+  | H.Violation _ ->
+      Alcotest.fail "`Warn must not fail on truncation"
+
 let () =
   Alcotest.run "tasks"
     [
@@ -292,5 +402,16 @@ let () =
             test_replay_reproduces_decisions;
           Alcotest.test_case "replay of truncated runs" `Quick
             test_replay_nontermination_schedule;
+        ] );
+      ( "supervised",
+        [
+          Alcotest.test_case "unbudgeted = exhaustive" `Quick
+            test_supervised_unbudgeted_is_exhaustive;
+          Alcotest.test_case "budget degrades to sampled coverage" `Quick
+            test_supervised_degrades_to_sampled;
+          Alcotest.test_case "violation found while sampling" `Quick
+            test_supervised_violation_found_while_sampling;
+          Alcotest.test_case "truncation warnings degrade the verdict"
+            `Quick test_supervised_truncation_warn;
         ] );
     ]
