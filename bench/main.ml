@@ -366,6 +366,14 @@ let supervision_stats b =
     degraded.C.violations
 
 let write_json file rows =
+  (* The embedded metrics snapshot covers the deterministic counter
+     workloads below (explorer variants, chaos campaigns, supervision) —
+     not the Bechamel timing loops, whose iteration counts vary run to
+     run (and which run before this point, with hot tallies off, so the
+     timed paths stay untelemetered). Resetting here makes the snapshot
+     comparable across PRs. *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.hot := true;
   let b = Buffer.create 4096 in
   Printf.bprintf b "{\n  \"benchmarks\": [\n";
   List.iteri
@@ -387,7 +395,9 @@ let write_json file rows =
   json_chaos b;
   Printf.bprintf b "  },\n  \"supervision\": {\n";
   supervision_stats b;
-  Printf.bprintf b "  }\n}\n";
+  Printf.bprintf b "  },\n  \"metrics\": ";
+  Buffer.add_string b (Obs.Metrics.snapshot_string ());
+  Printf.bprintf b "\n}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents b);
   close_out oc;
@@ -399,7 +409,7 @@ let json_target () =
     if i >= Array.length argv then None
     else if argv.(i) = "--json" then
       if i + 1 < Array.length argv then Some argv.(i + 1)
-      else Some "BENCH_PR3.json"
+      else Some "BENCH_PR4.json"
     else scan (i + 1)
   in
   scan 1

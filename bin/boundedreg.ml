@@ -2,6 +2,88 @@
 
 open Cmdliner
 
+(* ----- telemetry plumbing shared by the run/explore/chaos commands ----- *)
+
+type telemetry = {
+  trace : string option;
+  trace_format : [ `Jsonl | `Catapult ];
+  metrics : string option;
+}
+
+let telemetry_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a structured execution trace (logical-clock spans and \
+             instant events from every instrumented subsystem) to $(docv).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("catapult", `Catapult) ]) `Jsonl
+      & info [ "trace-format" ] ~docv:"FORMAT"
+          ~doc:
+            "Trace encoding: $(b,jsonl) (one JSON event per line) or \
+             $(b,catapult) (a Chrome trace_event array, viewable in \
+             about:tracing or Perfetto).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "After the run, write the JSON metrics snapshot (counters, \
+             gauges, histograms from the process-wide registry) to $(docv); \
+             bare $(b,--metrics) or '-' prints it to stdout.")
+  in
+  Term.(
+    const (fun trace trace_format metrics -> { trace; trace_format; metrics })
+    $ trace_arg $ format_arg $ metrics_arg)
+
+(* Installs the requested sink around [f]. Subcommands call [exit] on
+   their failure paths, which does not unwind the stack — so teardown is
+   both a [Fun.protect] finalizer and an idempotent [at_exit] hook, and a
+   catapult trace gets its closing bracket whatever the exit path. *)
+let with_telemetry tel f =
+  Obs.Span.reset ();
+  (* Per-operation tallies (scheduler steps, register widths) only count
+     while someone is going to read them. *)
+  if tel.metrics <> None then Obs.Metrics.hot := true;
+  let teardown =
+    let done_ = ref false in
+    let close_trace =
+      match tel.trace with
+      | None -> ignore
+      | Some file ->
+          let oc = open_out file in
+          Obs.Sink.set
+            (match tel.trace_format with
+            | `Jsonl -> Obs.Sink.jsonl (output_string oc)
+            | `Catapult -> Obs.Sink.catapult (output_string oc));
+          fun () ->
+            Obs.Sink.clear ();
+            close_out_noerr oc
+    in
+    fun () ->
+      if not !done_ then begin
+        done_ := true;
+        close_trace ();
+        match tel.metrics with
+        | None -> ()
+        | Some "-" -> print_endline (Obs.Metrics.snapshot_string ())
+        | Some file ->
+            Out_channel.with_open_text file (fun oc ->
+                output_string oc (Obs.Metrics.snapshot_string ());
+                output_char oc '\n')
+      end
+  in
+  at_exit teardown;
+  Fun.protect ~finally:teardown f
+
 let list_cmd =
   let doc = "List the available experiments." in
   let run () =
@@ -44,7 +126,8 @@ let run_cmd =
              exploration-backed checks degrade to sampled coverage at the \
              cap.")
   in
-  let run keys deadline max_states =
+  let run keys deadline max_states tel =
+    with_telemetry tel @@ fun () ->
     let selected =
       if List.exists (fun k -> String.lowercase_ascii k = "all") keys then
         Ok Experiments.Registry.all
@@ -98,7 +181,7 @@ let run_cmd =
         exit (Experiments.Supervisor.exit_code results)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ keys $ deadline_arg $ max_states_arg)
+    Term.(const run $ keys $ deadline_arg $ max_states_arg $ telemetry_term)
 
 (* ----- demo subcommands ----- *)
 
@@ -305,8 +388,28 @@ let chaos_cmd =
             "Stop the campaign after $(docv) of wall clock; completed runs \
              still count and the report is marked degraded.")
   in
+  let chaos_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Campaign base seed. When omitted, one is auto-picked and \
+             echoed — a reported violation is replayable either way.")
+  in
   let run n t quorum frontier runs max_events seed print_plan expect deadline
-      =
+      tel =
+    with_telemetry tel @@ fun () ->
+    (* Always echo the resolved seed: a violation found under an
+       auto-picked seed must be replayable from the console output. *)
+    let seed, picked =
+      match seed with
+      | Some s -> (s, "")
+      | None ->
+          Random.self_init ();
+          (Random.int 0x3FFFFFF, " (auto-picked)")
+    in
+    Format.printf "seed: %d%s@." seed picked;
     let config =
       if frontier then Msgpass.Chaos.frontier ~n ()
       else
@@ -344,8 +447,8 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ n_arg $ t_arg $ quorum_arg $ frontier_arg $ runs_arg
-      $ max_events_arg $ seed_arg $ plan_arg $ expect_arg
-      $ chaos_deadline_arg)
+      $ max_events_arg $ chaos_seed_arg $ plan_arg $ expect_arg
+      $ chaos_deadline_arg $ telemetry_term)
 
 let explore_cmd =
   let doc =
@@ -387,7 +490,8 @@ let explore_cmd =
             "Resume from the checkpoint file instead of starting at the \
              root (flags and K must match the run that wrote it).")
   in
-  let run k max_crashes max_nodes deadline checkpoint resume =
+  let run k max_crashes max_nodes deadline checkpoint resume tel =
+    with_telemetry tel @@ fun () ->
     let algorithm = Core.Alg1_one_bit.algorithm ~k in
     let init () =
       Sched.Scheduler.start
@@ -440,7 +544,78 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run $ k_arg $ max_crashes_arg $ max_nodes_arg $ deadline_arg
-      $ checkpoint_arg $ resume_arg)
+      $ checkpoint_arg $ resume_arg $ telemetry_term)
+
+let trace_cmd =
+  let doc = "Inspect a trace file written by --trace." in
+  let summary_cmd =
+    let doc =
+      "Validate and summarize a trace: every event is parsed (a malformed \
+       file exits non-zero) and per-event-name counts plus span totals are \
+       printed. Reads both jsonl and catapult formats."
+    in
+    let file_arg =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+    in
+    let run file =
+      let text =
+        try In_channel.with_open_text file In_channel.input_all
+        with Sys_error e ->
+          Format.eprintf "cannot read trace: %s@." e;
+          exit 1
+      in
+      let fail fmt = Format.kasprintf (fun m ->
+          Format.eprintf "invalid trace %s: %s@." file m;
+          exit 1) fmt
+      in
+      let event_of_json j =
+        match Obs.Sink.event_of_json j with
+        | Some e -> e
+        | None -> fail "object is not a trace event: %s" (Obs.Json.to_string j)
+      in
+      let trimmed = String.trim text in
+      let events =
+        if trimmed = "" then []
+        else if trimmed.[0] = '[' then
+          (* catapult: one JSON array of trace_event objects *)
+          match Obs.Json.of_string trimmed with
+          | Error e -> fail "unparseable catapult array (%s)" e
+          | Ok (Obs.Json.List items) -> List.map event_of_json items
+          | Ok _ -> fail "expected a top-level array"
+        else
+          String.split_on_char '\n' text
+          |> List.filter (fun l -> String.trim l <> "")
+          |> List.mapi (fun i line ->
+                 match Obs.Json.of_string line with
+                 | Error e -> fail "line %d unparseable (%s)" (i + 1) e
+                 | Ok j -> event_of_json j)
+      in
+      (* Spans must nest: every End matches the innermost open Begin on
+         its track. The console summarizer reports totals; unbalanced
+         files fail the validation. *)
+      let depth = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Obs.Sink.event) ->
+          let d = Option.value (Hashtbl.find_opt depth e.track) ~default:0 in
+          match e.kind with
+          | Obs.Sink.Begin -> Hashtbl.replace depth e.track (d + 1)
+          | Obs.Sink.End ->
+              if d = 0 then fail "span end without begin on track %d" e.track
+              else Hashtbl.replace depth e.track (d - 1)
+          | Obs.Sink.Instant -> ())
+        events;
+      Hashtbl.iter
+        (fun track d ->
+          if d > 0 then fail "%d unclosed span(s) on track %d" d track)
+        depth;
+      let sink = Obs.Sink.console Format.std_formatter in
+      List.iter sink.Obs.Sink.emit events;
+      sink.Obs.Sink.flush ();
+      Format.printf "trace %s: valid@." file
+    in
+    Cmd.v (Cmd.info "summary" ~doc) Term.(const run $ file_arg)
+  in
+  Cmd.group (Cmd.info "trace" ~doc) [ summary_cmd ]
 
 let dot_cmd =
   let doc =
@@ -480,4 +655,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; alg1_cmd; fast_cmd; pipeline_cmd; search_cmd;
-            labelling_cmd; chaos_cmd; explore_cmd; dot_cmd ]))
+            labelling_cmd; chaos_cmd; explore_cmd; trace_cmd; dot_cmd ]))

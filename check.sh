@@ -41,6 +41,16 @@ fi
 dune exec bin/boundedreg.exe -- chaos --frontier --runs 1 --seed 127 \
   --expect violation
 
+# Trace smoke: a budgeted exploration captured to JSONL must validate —
+# parseable events, balanced spans — via the trace summarizer; metrics go
+# to a JSON file CI archives. Runs in both modes (it is a fraction of a
+# second) and leaves ci-smoke.trace.jsonl / ci-metrics.json behind for
+# the artifact upload step.
+echo "== trace smoke"
+dune exec bin/boundedreg.exe -- explore -k 2 --max-nodes 2000 \
+  --trace ci-smoke.trace.jsonl --metrics ci-metrics.json
+dune exec bin/boundedreg.exe -- trace summary ci-smoke.trace.jsonl
+
 if [ "$QUICK" = 1 ]; then
   # Supervised smoke: the whole experiment registry under a tight
   # per-experiment budget. Experiments degrade to sampled coverage

@@ -74,30 +74,63 @@ let attempt ?deadline ~budget (e : Registry.t) =
   Format.pp_print_flush ppf ();
   (status, Unix.gettimeofday () -. started, Buffer.contents buf)
 
+let status_args status =
+  let tag, detail =
+    match status with
+    | Passed -> ("passed", Obs.Json.Null)
+    | Degraded notes ->
+        ("degraded", Obs.Json.List (List.map (fun n -> Obs.Json.Str n) notes))
+    | Timed_out s -> ("timed_out", Obs.Json.Float s)
+    | Crashed { exn_text; _ } -> ("crashed", Obs.Json.Str exn_text)
+  in
+  [ ("status", Obs.Json.Str tag); ("detail", detail) ]
+
 let run_one ?deadline ?(budget = Sched.Budget.unlimited) (e : Registry.t) =
   Printexc.record_backtrace true;
+  Obs.Span.begin_ ~cat:"experiment"
+    ~args:
+      [
+        ("id", Obs.Json.Str e.id);
+        ("slug", Obs.Json.Str e.slug);
+        ("seeded", Obs.Json.Bool e.seeded);
+      ]
+    e.id;
   let status, seconds, output = attempt ?deadline ~budget e in
   (* Seeded experiments are retried once: a crash there can be an
      artefact of one unlucky seed interacting with a budget, and the
      second attempt makes the flake visible as [attempts = 2] instead of
      failing the whole run. Timeouts are not retried — the second attempt
      would spend the same wall clock to learn the same thing. *)
-  match status with
-  | Crashed _ when e.seeded ->
-      let status2, seconds2, output2 = attempt ?deadline ~budget e in
-      let status2, output2 =
-        match status2 with
-        | Crashed _ -> (status, output)  (* report the first failure *)
-        | _ -> (status2, output2)
-      in
-      {
-        experiment = e;
-        status = status2;
-        seconds = seconds +. seconds2;
-        attempts = 2;
-        output = output2;
-      }
-  | _ -> { experiment = e; status; seconds; attempts = 1; output }
+  let result =
+    match status with
+    | Crashed _ when e.seeded ->
+        Obs.Span.instant ~cat:"experiment"
+          ~args:[ ("id", Obs.Json.Str e.id) ]
+          "experiment.retry";
+        let status2, seconds2, output2 = attempt ?deadline ~budget e in
+        let status2, output2 =
+          match status2 with
+          | Crashed _ -> (status, output)  (* report the first failure *)
+          | _ -> (status2, output2)
+        in
+        {
+          experiment = e;
+          status = status2;
+          seconds = seconds +. seconds2;
+          attempts = 2;
+          output = output2;
+        }
+    | _ -> { experiment = e; status; seconds; attempts = 1; output }
+  in
+  Obs.Span.end_ ~cat:"experiment"
+    ~args:
+      (status_args result.status
+      @ [
+          ("attempts", Obs.Json.Int result.attempts);
+          ("seconds", Obs.Json.Float result.seconds);
+        ])
+    e.id;
+  result
 
 let run_all ?deadline ?budget ?(ppf = Format.std_formatter)
     ?(experiments = Registry.all) () =

@@ -1,5 +1,8 @@
 module L = Check.Linearize
 
+let m_runs = Obs.Metrics.counter "chaos.runs"
+let m_violations = Obs.Metrics.counter "chaos.violations"
+
 type config = {
   n : int;
   t : int;
@@ -222,6 +225,20 @@ type campaign = {
 }
 
 let campaign ?deadline ~seed ~runs config =
+  (* The campaign span carries the resolved seed: a violation reported
+     from a trace is replayable without the console output. *)
+  Obs.Span.begin_ ~cat:"chaos"
+    ~args:
+      [
+        ("seed", Obs.Json.Int seed);
+        ("runs", Obs.Json.Int runs);
+        ("n", Obs.Json.Int config.n);
+        ("t", Obs.Json.Int config.t);
+        ( "quorum",
+          Obs.Json.Int
+            (Option.value config.quorum ~default:(config.n - config.t)) );
+      ]
+    "chaos.campaign";
   let monitor =
     Sched.Budget.arm (Sched.Budget.make ?deadline ())
   in
@@ -251,6 +268,19 @@ let campaign ?deadline ~seed ~runs config =
          raise Exit
        end;
        let o = run_random ~seed:s config in
+       Obs.Metrics.inc m_runs;
+       if failed o then Obs.Metrics.inc m_violations;
+       Obs.Span.instant ~cat:"chaos"
+         ~args:
+           [
+             ("seed", Obs.Json.Int s);
+             ( "verdict",
+               Obs.Json.Str
+                 (if failed o then "nonlinearizable" else "linearizable") );
+             ("events", Obs.Json.Int o.events);
+             ("completed", Obs.Json.Int o.completed);
+           ]
+         "chaos.run";
        let c = !acc in
        let first =
          match (c.first, failed o) with
@@ -277,7 +307,20 @@ let campaign ?deadline ~seed ~runs config =
          }
      done
    with Exit -> ());
-  !acc
+  let c = !acc in
+  Obs.Span.end_ ~cat:"chaos"
+    ~args:
+      [
+        ("runs", Obs.Json.Int c.runs);
+        ("violations", Obs.Json.Int c.violations);
+        ("degraded", Obs.Json.Bool c.degraded);
+        ( "first_violation_seed",
+          match c.first with
+          | Some f -> Obs.Json.Int f.seed
+          | None -> Obs.Json.Null );
+      ]
+    "chaos.campaign";
+  c
 
 type verdict =
   | Verified_sampled of { runs : int; requested : int }

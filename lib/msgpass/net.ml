@@ -1,12 +1,29 @@
+let m_deliveries = Obs.Metrics.counter "net.deliveries"
+let m_drops = Obs.Metrics.counter "net.drops"
+let m_duplicates = Obs.Metrics.counter "net.duplicates"
+let m_defers = Obs.Metrics.counter "net.defers"
+let m_crashes = Obs.Metrics.counter "net.crashes"
+let m_sends = Obs.Metrics.counter "net.sends"
+
+(* Delivery latency in logical hops: the number of network deliveries
+   that happened between a message's enqueue and its own delivery. The
+   network has no wall clock — deliveries are its only notion of time —
+   so this is the message-passing analogue of the scheduler's logical
+   step clock, and it is replay-stable. *)
+let h_hop_latency =
+  Obs.Metrics.histogram ~bounds:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 |]
+    "net.hop_latency"
+
 type 'm node = {
   on_start : unit -> (int * 'm) list;
   on_message : from:int -> 'm -> (int * 'm) list;
 }
 
+(* Each queued message carries the delivery-clock stamp of its enqueue. *)
 type 'm t = {
   size : int;
   nodes : 'm node array;
-  channels : 'm Queue.t array array;  (** [channels.(src).(dst)] *)
+  channels : (int * 'm) Queue.t array array;  (** [channels.(src).(dst)] *)
   alive : bool array;
   mutable delivered : int;
 }
@@ -17,7 +34,8 @@ let enqueue t ~src sends =
       (fun (dst, m) ->
         if dst < 0 || dst >= t.size then
           invalid_arg "Net: destination out of range";
-        Queue.add m t.channels.(src).(dst))
+        Obs.Metrics.inc m_sends;
+        Queue.add (t.delivered, m) t.channels.(src).(dst))
       sends
 
 let create ~n ~nodes =
@@ -55,12 +73,23 @@ let pending t ~src ~dst =
   check_channel t ~src ~dst;
   Queue.length t.channels.(src).(dst)
 
+(* Fault instants land on the destination's track; the source rides as
+   an argument, mirroring [deliver]. *)
+let channel_args ~src = [ ("src", Obs.Json.Int src) ]
+
 let deliver t ~src ~dst =
   check_channel t ~src ~dst;
   if (not t.alive.(dst)) || Queue.is_empty t.channels.(src).(dst) then false
   else begin
-    let m = Queue.pop t.channels.(src).(dst) in
+    let stamp, m = Queue.pop t.channels.(src).(dst) in
+    let hops = t.delivered - stamp in
     t.delivered <- t.delivered + 1;
+    Obs.Metrics.inc m_deliveries;
+    Obs.Metrics.observe h_hop_latency hops;
+    if Obs.Sink.enabled () then
+      Obs.Span.instant ~cat:"net" ~track:dst
+        ~args:[ ("src", Obs.Json.Int src); ("hops", Obs.Json.Int hops) ]
+        "deliver";
     enqueue t ~src:dst (t.nodes.(dst).on_message ~from:src m);
     true
   end
@@ -77,6 +106,10 @@ let drop t ~src ~dst =
   if Queue.is_empty t.channels.(src).(dst) then false
   else begin
     ignore (Queue.pop t.channels.(src).(dst));
+    Obs.Metrics.inc m_drops;
+    if Obs.Sink.enabled () then
+      Obs.Span.instant ~cat:"net" ~track:dst ~args:(channel_args ~src)
+        "drop";
     true
   end
 
@@ -84,8 +117,14 @@ let duplicate t ~src ~dst =
   check_channel t ~src ~dst;
   match Queue.peek_opt t.channels.(src).(dst) with
   | None -> false
-  | Some m ->
-      Queue.add m t.channels.(src).(dst);
+  | Some stamped ->
+      (* The copy keeps the original's stamp: its eventual delivery
+         reports the age of the data, not of the duplication. *)
+      Queue.add stamped t.channels.(src).(dst);
+      Obs.Metrics.inc m_duplicates;
+      if Obs.Sink.enabled () then
+        Obs.Span.instant ~cat:"net" ~track:dst ~args:(channel_args ~src)
+          "duplicate";
       true
 
 let defer t ~src ~dst =
@@ -94,10 +133,21 @@ let defer t ~src ~dst =
   if Queue.length q < 2 then false
   else begin
     Queue.add (Queue.pop q) q;
+    Obs.Metrics.inc m_defers;
+    if Obs.Sink.enabled () then
+      Obs.Span.instant ~cat:"net" ~track:dst ~args:(channel_args ~src)
+        "defer";
     true
   end
 
-let crash t pid = t.alive.(pid) <- false
+let crash t pid =
+  if t.alive.(pid) then begin
+    Obs.Metrics.inc m_crashes;
+    if Obs.Sink.enabled () then
+      Obs.Span.instant ~cat:"net" ~track:pid "node-crash"
+  end;
+  t.alive.(pid) <- false
+
 let alive t pid = t.alive.(pid)
 
 let crashed t =

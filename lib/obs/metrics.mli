@@ -1,0 +1,69 @@
+(** Process-wide registry of named counters, gauges and fixed-bucket
+    histograms.
+
+    Resolution happens once: a hot path registers its metric at module
+    initialization ([let steps = Obs.Metrics.counter "sched.steps"]) and
+    each event is then a plain field mutation — no hashing, no
+    allocation. Per-operation sites additionally guard with {!hot} so
+    the instrumentation costs one branch while nobody is reading the
+    registry. Metrics are monotone event tallies: the exploration
+    engine's undo journal rewinds scheduler {e state}, not the count of
+    work performed, so re-explored operations count every time they run.
+
+    Registration is idempotent per name; re-registering a name as a
+    different kind (or a histogram with different bounds) raises
+    [Invalid_argument]. *)
+
+type counter
+type gauge
+type histogram
+
+val hot : bool ref
+(** Gate for {e per-operation} tallies (scheduler steps, memory
+    reads/writes, per-terminal depth observations) — paths hot enough
+    that even a plain increment costs throughput. Sites guard with
+    [if !Obs.Metrics.hot then ...]: one load-and-branch when disabled.
+    Enabled by [--metrics] on the CLI and by the bench snapshot
+    workloads; coarser sites (per network delivery, per campaign run,
+    per exploration) tally unconditionally. Off by default. *)
+
+val counter : string -> counter
+val inc : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val gauge : string -> gauge
+val set : gauge -> int -> unit
+
+val set_max : gauge -> int -> unit
+(** High-watermark write: keeps the larger of old and new. *)
+
+val gauge_value : gauge -> int
+
+val default_bounds : int array
+(** Powers of two, 1 to 1024. *)
+
+val histogram : ?bounds:int array -> string -> histogram
+(** [bounds] are strictly increasing bucket upper bounds; an implicit
+    overflow bucket catches everything above the last. Defaults to
+    {!default_bounds}. *)
+
+val observe : histogram -> int -> unit
+(** Count [v] in the first bucket with [v <= bound] (else overflow),
+    updating the observation count, sum and max. *)
+
+val observations : histogram -> int
+val bucket_counts : histogram -> int array
+
+val reset : unit -> unit
+(** Zero every registered cell, keeping the registrations (and the cells
+    hot paths already hold) valid. Benchmarks and tests scope a
+    measurement with [reset] + {!snapshot}. *)
+
+val snapshot : unit -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] with
+    name-sorted fields — equal registry contents give byte-equal JSON. *)
+
+val snapshot_string : unit -> string
+val pp_snapshot : Format.formatter -> unit -> unit

@@ -1,0 +1,78 @@
+(** Pluggable trace consumers.
+
+    Instrumentation sites emit neutral {!event}s through one global sink.
+    The default sink is {!nil}: {!enabled} is then [false] and a site
+    guarded by it pays one load-and-compare for the whole feature. Event
+    timestamps are logical (see {!Span}); the JSONL and catapult writers
+    render them as-is, so a fixed schedule and seed produce byte-identical
+    output run over run. *)
+
+type kind = Begin | End | Instant
+
+type event = {
+  kind : kind;
+  name : string;
+  cat : string;  (** subsystem, e.g. ["sched"], ["net"], ["chaos"] *)
+  track : int;  (** pid / lane; rendered as the catapult [tid] *)
+  ts : int;  (** logical clock stamp ({!Span.now}) *)
+  args : (string * Json.t) list;
+}
+
+type t = { emit : event -> unit; flush : unit -> unit }
+
+val nil : t
+(** Drops everything. The installed default. *)
+
+val tee : t list -> t
+
+(** {2 The global sink} *)
+
+val enabled : unit -> bool
+(** [false] iff the installed sink is {!nil}. Guard event construction
+    with this: [if Sink.enabled () then Sink.emit {...}]. *)
+
+val active : bool ref
+(** The same truth as {!enabled}, as a bare ref for per-operation hot
+    paths where a call-free [!active] guard matters. Read-only outside
+    this module — install sinks via {!set}/{!clear}/{!with_sink}. *)
+
+val set : t -> unit
+
+val clear : unit -> unit
+(** Flush the installed sink and restore {!nil}. *)
+
+val emit : event -> unit
+val flush : unit -> unit
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Install a sink for the call, flush it, restore the previous sink
+    (even on exceptions). *)
+
+(** {2 Serialization} *)
+
+val event_json : event -> Json.t
+(** Chrome [trace_event] object: [name]/[cat]/[ph]/[ts]/[pid]/[tid],
+    [s:"t"] on instants, [args] when non-empty. *)
+
+val event_of_json : Json.t -> event option
+(** Inverse of {!event_json}; [None] when [name]/[ph] are missing. *)
+
+val kind_to_string : kind -> string
+
+(** {2 Writers} — take a [string -> unit] so they serve both channels
+    ([output_string oc]) and buffers ([Buffer.add_string b]). *)
+
+val jsonl : (string -> unit) -> t
+(** One {!event_json} object per line. *)
+
+val catapult : (string -> unit) -> t
+(** A Chrome [trace_event] JSON array, viewable in [about:tracing] and
+    Perfetto. The closing bracket is written on [flush] — flush exactly
+    once, e.g. via {!with_sink} or {!clear}. *)
+
+val memory : unit -> t * (unit -> event list)
+(** In-memory sink and its accessor, for tests. *)
+
+val console : Format.formatter -> t
+(** Accumulates per-event-name counts and span durations; prints the
+    summary table on [flush]. *)

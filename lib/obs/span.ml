@@ -1,0 +1,50 @@
+(* The logical clock and the span/instant emission helpers. Timestamps are
+   sequence numbers ticked per emitted event, not wall time: a replayed
+   schedule (same init, same choices, same seed) emits the same events in
+   the same order and therefore the same stamps — traces are deterministic
+   and diffable. Wall time, when a caller wants it, rides along as an
+   event argument instead of replacing the clock. *)
+
+let clock = ref 0
+let wall_clock : (unit -> float) option ref = ref None
+
+let reset () = clock := 0
+let set_wall_clock c = wall_clock := c
+
+let now () =
+  incr clock;
+  !clock
+
+let stamp_args args =
+  match !wall_clock with
+  | None -> args
+  | Some c -> ("wall_s", Json.Float (c ())) :: args
+
+let instant ?(cat = "app") ?(track = 0) ?(args = []) name =
+  if Sink.enabled () then
+    Sink.emit
+      { Sink.kind = Instant; name; cat; track; ts = now ();
+        args = stamp_args args }
+
+let begin_ ?(cat = "app") ?(track = 0) ?(args = []) name =
+  if Sink.enabled () then
+    Sink.emit
+      { Sink.kind = Begin; name; cat; track; ts = now ();
+        args = stamp_args args }
+
+let end_ ?(cat = "app") ?(track = 0) ?(args = []) name =
+  if Sink.enabled () then
+    Sink.emit
+      { Sink.kind = End; name; cat; track; ts = now ();
+        args = stamp_args args }
+
+let span ?cat ?track ?args name f =
+  begin_ ?cat ?track ?args name;
+  match f () with
+  | v ->
+      end_ ?cat ?track name;
+      v
+  | exception exn ->
+      end_ ?cat ?track ~args:[ ("exn", Json.Str (Printexc.to_string exn)) ]
+        name;
+      raise exn

@@ -1,0 +1,41 @@
+(** Structured spans and instant events on a {e logical} clock.
+
+    Timestamps are sequence numbers ticked per emitted event. A replayed
+    execution (same init, same schedule, same seed) emits the same event
+    sequence, so its trace is byte-identical — the property the trace
+    determinism tests pin down. Wall time is opt-in and travels as a
+    [wall_s] argument, never as the timestamp.
+
+    Every emission helper is a no-op (and does not tick the clock) while
+    {!Sink.enabled} is [false]. *)
+
+val now : unit -> int
+(** Tick and read the logical clock. *)
+
+val reset : unit -> unit
+(** Rewind the clock to 0 — the start of a fresh capture. *)
+
+val set_wall_clock : (unit -> float) option -> unit
+(** Install (or remove, with [None]) a wall-time source; when set, every
+    emitted event carries a [wall_s] argument. Off by default — wall time
+    breaks byte-level determinism. *)
+
+val instant :
+  ?cat:string -> ?track:int -> ?args:(string * Json.t) list -> string -> unit
+
+val begin_ :
+  ?cat:string -> ?track:int -> ?args:(string * Json.t) list -> string -> unit
+
+val end_ :
+  ?cat:string -> ?track:int -> ?args:(string * Json.t) list -> string -> unit
+
+val span :
+  ?cat:string ->
+  ?track:int ->
+  ?args:(string * Json.t) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [span name f] brackets [f ()] in a [Begin]/[End] pair; an escaping
+    exception still closes the span (with an [exn] argument) before
+    re-raising. *)

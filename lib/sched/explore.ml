@@ -49,10 +49,40 @@ let add_stats a b =
     peak_depth = max a.peak_depth b.peak_depth;
   }
 
+(* Field names match the Obs.Metrics registry (explore.nodes, ...,
+   explore.peak_depth) and the bench JSON, so every surface that reports
+   the engine reports identical keys. *)
 let pp_stats ppf s =
   Format.fprintf ppf
-    "nodes=%d terminals=%d deduped=%d pruned=%d truncated=%d depth=%d"
+    "nodes=%d terminals=%d deduped=%d pruned=%d truncated=%d peak_depth=%d"
     s.nodes s.terminals s.deduped s.pruned s.truncated s.peak_depth
+
+(* The per-run [stats] record is a view the engine also folds into the
+   process-wide registry when a run finishes: local refs keep the hot
+   loop allocation-free, the registry keeps the cross-run tallies that
+   snapshots and traces export. *)
+let m_nodes = Obs.Metrics.counter "explore.nodes"
+let m_terminals = Obs.Metrics.counter "explore.terminals"
+let m_deduped = Obs.Metrics.counter "explore.deduped"
+let m_pruned = Obs.Metrics.counter "explore.pruned"
+let m_truncated = Obs.Metrics.counter "explore.truncated"
+let m_peak_depth = Obs.Metrics.gauge "explore.peak_depth"
+let m_budget_trips = Obs.Metrics.counter "explore.budget_trips"
+let m_runs = Obs.Metrics.counter "explore.runs"
+
+let h_terminal_depth =
+  Obs.Metrics.histogram
+    ~bounds:[| 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096 |]
+    "explore.terminal_depth"
+
+let publish_stats s =
+  Obs.Metrics.inc m_runs;
+  Obs.Metrics.add m_nodes s.nodes;
+  Obs.Metrics.add m_terminals s.terminals;
+  Obs.Metrics.add m_deduped s.deduped;
+  Obs.Metrics.add m_pruned s.pruned;
+  Obs.Metrics.add m_truncated s.truncated;
+  Obs.Metrics.set_max m_peak_depth s.peak_depth
 
 (* One observation per step of one process. A write's value is a
    deterministic function of the history so far, so only reads need to
@@ -105,6 +135,16 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
     Hashtbl.create 1024
   in
   let monitor = Budget.arm ?clock budget in
+  Obs.Span.begin_ ~cat:"explore"
+    ~args:
+      [
+        ("n", Obs.Json.Int n);
+        ("max_steps", Obs.Json.Int max_steps);
+        ("max_crashes", Obs.Json.Int max_crashes);
+        ("dedup", Obs.Json.Bool dedup);
+        ("por", Obs.Json.Bool por);
+      ]
+    "explore";
   (* Once a cap trips, no further subtree is entered: every node reached
      after the trip records its root-to-node choice path instead, and the
      collected paths become the resumable frontier. *)
@@ -170,6 +210,15 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
       match Budget.stopped monitor ~nodes:!nodes ~terminals:!terminals with
       | Some r ->
           stop := Some r;
+          Obs.Metrics.inc m_budget_trips;
+          Obs.Span.instant ~cat:"explore"
+            ~args:
+              [
+                ("reason", Obs.Json.Str (Budget.stop_reason_to_string r));
+                ("nodes", Obs.Json.Int !nodes);
+                ("terminals", Obs.Json.Int !terminals);
+              ]
+            "budget-trip";
           frontier := List.rev path :: !frontier
       | None -> begin
           incr nodes;
@@ -183,6 +232,8 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
           let fresh () =
             if terminal then begin
               incr terminals;
+              if !Obs.Metrics.hot then
+                Obs.Metrics.observe h_terminal_depth depth;
               visit state
             end
             else begin
@@ -322,9 +373,18 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
       Array.blit saved_phash 0 phash 0 n
     end
   in
-  (match resume with
-  | None -> node ~sleep:0 ~depth:0 ~crashes:0 ~floor:0 ~path:[]
-  | Some paths -> List.iter run_prefix paths);
+  (* Visitors may abort the walk by raising ([find], the harness's early
+     stop): the span still closes and the partial tallies still reach the
+     registry before the exception continues. *)
+  let escaped =
+    match
+      match resume with
+      | None -> node ~sleep:0 ~depth:0 ~crashes:0 ~floor:0 ~path:[]
+      | Some paths -> List.iter run_prefix paths
+    with
+    | () -> None
+    | exception exn -> Some (exn, Printexc.get_raw_backtrace ())
+  in
   let stats =
     {
       nodes = !nodes;
@@ -340,6 +400,28 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
     | None -> Complete
     | Some reason -> Exhausted { frontier = List.rev !frontier; reason }
   in
+  publish_stats stats;
+  Obs.Span.end_ ~cat:"explore"
+    ~args:
+      [
+        ("nodes", Obs.Json.Int stats.nodes);
+        ("terminals", Obs.Json.Int stats.terminals);
+        ("deduped", Obs.Json.Int stats.deduped);
+        ("pruned", Obs.Json.Int stats.pruned);
+        ("truncated", Obs.Json.Int stats.truncated);
+        ("peak_depth", Obs.Json.Int stats.peak_depth);
+        ( "outcome",
+          Obs.Json.Str
+            (match (escaped, outcome) with
+            | Some _, _ -> "aborted"
+            | None, Complete -> "complete"
+            | None, Exhausted { reason; _ } ->
+                Budget.stop_reason_to_string reason) );
+      ]
+    "explore";
+  (match escaped with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ());
   { stats; outcome }
 
 (* {2 The naive reference walker} *)

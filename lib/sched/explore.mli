@@ -28,7 +28,9 @@ val zero_stats : stats
 val add_stats : stats -> stats -> stats
 
 val pp_stats : Format.formatter -> stats -> unit
-(** One line: [nodes=… terminals=… deduped=… pruned=… truncated=… depth=…]. *)
+(** One line: [nodes=… terminals=… deduped=… pruned=… truncated=…
+    peak_depth=…] — the same keys as the [explore.*] metrics and the
+    bench JSON, so every surface reports identical names. *)
 
 type outcome =
   | Complete  (** every reachable terminal state was visited *)

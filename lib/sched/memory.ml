@@ -1,3 +1,17 @@
+(* Register-width telemetry: every write's bit-accounted size lands in
+   one process-wide histogram, so the width/step trade-off curve can be
+   read off a metrics snapshot. Fine-grained bounds at the small end —
+   that is where the paper's registers (1, 3, 6, 3(t+1) bits) live.
+   Gated on [Obs.Metrics.hot]: reads and writes are the explorer's inner
+   loop, and the gate keeps its untelemetered throughput intact. *)
+let width_hist =
+  Obs.Metrics.histogram
+    ~bounds:[| 1; 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 64 |]
+    "sched.register_bits"
+
+let m_writes = Obs.Metrics.counter "sched.writes"
+let m_reads = Obs.Metrics.counter "sched.reads"
+
 type ('v, 'i) t = {
   n : int;
   budget : Bits.Width.budget;
@@ -30,10 +44,15 @@ let write t ~pid v =
   Bits.Width.check t.budget bits;
   if bits > t.max_bits then t.max_bits <- bits;
   t.regs.(pid) <- v;
-  t.writes <- t.writes + 1
+  t.writes <- t.writes + 1;
+  if !Obs.Metrics.hot then begin
+    Obs.Metrics.inc m_writes;
+    Obs.Metrics.observe width_hist bits
+  end
 
 let read t j =
   t.reads <- t.reads + 1;
+  if !Obs.Metrics.hot then Obs.Metrics.inc m_reads;
   t.regs.(j)
 
 let peek t j = t.regs.(j)

@@ -29,8 +29,40 @@ type ('v, 'i, 'a) state = {
   mutable journal_len : int;
 }
 
+let m_steps = Obs.Metrics.counter "sched.steps"
+let m_crashes = Obs.Metrics.counter "sched.crashes"
+let m_decides = Obs.Metrics.counter "sched.decides"
+
+(* Per-operation timeline events, one track per pid. Values are
+   polymorphic and stay out of the trace; Sched.Trace still carries them
+   for callers that record it. Gated on the sink so the disabled cost is
+   the one branch in [record]. *)
+let emit_op pid (op : _ Trace.op) =
+  let name, args =
+    match op with
+    | Trace.Write _ -> ("write", [])
+    | Trace.Read (j, _) -> ("read", [ ("reg", Obs.Json.Int j) ])
+    | Trace.Write_input -> ("write_input", [])
+    | Trace.Read_input j -> ("read_input", [ ("reg", Obs.Json.Int j) ])
+    | Trace.Crash -> ("crash", [])
+    | Trace.Decide -> ("decide", [])
+  in
+  Obs.Span.instant ~cat:"sched" ~track:pid ~args name
+
 let record t pid op =
-  if t.record_trace then t.events <- { Trace.pid; op } :: t.events
+  if t.record_trace then t.events <- { Trace.pid; op } :: t.events;
+  if Obs.Sink.enabled () then emit_op pid op
+
+(* [Write]/[Read] ops carry values, so building one allocates. The
+   exhaustive explorer runs with tracing and the sink both off and takes
+   these paths hundreds of thousands of times per run — the op is only
+   constructed once a consumer exists ([!Obs.Sink.active] is the
+   call-free spelling of [Sink.enabled ()]). *)
+let record_write t pid v =
+  if t.record_trace || !Obs.Sink.active then record t pid (Trace.Write v)
+
+let record_read t pid j v =
+  if t.record_trace || !Obs.Sink.active then record t pid (Trace.Read (j, v))
 
 (* [Return] and [Output] heads need no memory step: deciding is local. *)
 let rec settle t pid =
@@ -38,10 +70,12 @@ let rec settle t pid =
   | Program.Return v ->
       t.status.(pid) <- Decided v;
       if t.outputs.(pid) = None then t.outputs.(pid) <- Some v;
+      if !Obs.Metrics.hot then Obs.Metrics.inc m_decides;
       record t pid Trace.Decide
   | Program.Output (v, k) ->
       if t.outputs.(pid) = None then begin
         t.outputs.(pid) <- Some v;
+        if !Obs.Metrics.hot then Obs.Metrics.inc m_decides;
         record t pid Trace.Decide
       end;
       t.progs.(pid) <- k ();
@@ -109,12 +143,12 @@ let step t pid =
           else Memory.U_none
         in
         Memory.write t.mem ~pid v;
-        record t pid (Trace.Write v);
+        record_write t pid v;
         t.progs.(pid) <- k ();
         u
     | Program.Read (j, k) ->
         let v = Memory.read t.mem j in
-        record t pid (Trace.Read (j, v));
+        record_read t pid j v;
         t.progs.(pid) <- k v;
         if journaling then Memory.U_read else Memory.U_none
     | Program.Write_input (v, k) ->
@@ -130,6 +164,7 @@ let step t pid =
   in
   t.step_counts.(pid) <- t.step_counts.(pid) + 1;
   t.total_steps <- t.total_steps + 1;
+  if !Obs.Metrics.hot then Obs.Metrics.inc m_steps;
   settle t pid;
   if journaling then
     push_entry t
@@ -144,6 +179,7 @@ let crash t pid =
       invalid_arg (Printf.sprintf "Scheduler.crash: process %d halted" pid));
   if t.journaling then push_entry t (U_crash { pid; old_events = t.events });
   t.status.(pid) <- Crashed;
+  if !Obs.Metrics.hot then Obs.Metrics.inc m_crashes;
   record t pid Trace.Crash
 
 (* {2 Undo journal} *)

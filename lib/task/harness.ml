@@ -1,5 +1,10 @@
 module Scheduler = Sched.Scheduler
 
+let m_checks = Obs.Metrics.counter "harness.checks"
+let m_violations = Obs.Metrics.counter "harness.violations"
+let m_sampled = Obs.Metrics.counter "harness.sampled_paths"
+let m_random_runs = Obs.Metrics.counter "harness.random_runs"
+
 type ('v, 'i, 'o) algorithm = {
   name : string;
   memory : unit -> ('v, 'i) Sched.Memory.t;
@@ -202,11 +207,14 @@ let check_random ~task ~algorithm ?resilience ?(max_steps = 100_000) ~runs
     else
       let run_seed = seed + run in
       let inputs, crashes, state = seeded_run run_seed in
+      Obs.Metrics.inc m_random_runs;
       match
         judge task ~inputs ~crashes ~seed:(Some run_seed) ~schedule:None
           state
       with
-      | Some v -> Fail { v with schedule = extract_schedule run_seed state }
+      | Some v ->
+          Obs.Metrics.inc m_violations;
+          Fail { v with schedule = extract_schedule run_seed state }
       | None -> loop (run + 1) (observe stats state)
   in
   loop 0 initial_stats
@@ -266,6 +274,15 @@ let report_of_verdict = function
 let check_supervised ~task ~algorithm ?(max_crashes = 0) ?(max_steps = 10_000)
     ?(budget = Sched.Budget.unlimited) ?(samples = 64) ?(seed = 1)
     ?(truncation = `Fail) () =
+  Obs.Metrics.inc m_checks;
+  Obs.Span.begin_ ~cat:"harness"
+    ~args:
+      [
+        ("task", Obs.Json.Str task.Task.name);
+        ("algorithm", Obs.Json.Str algorithm.name);
+        ("max_crashes", Obs.Json.Int max_crashes);
+      ]
+    "harness.check";
   let stats = ref initial_stats in
   let search = ref Sched.Explore.zero_stats in
   let failure = ref None in
@@ -336,6 +353,7 @@ let check_supervised ~task ~algorithm ?(max_crashes = 0) ?(max_steps = 10_000)
            Scheduler.run_random ~max_steps:(max 1 max_steps)
              ~until_outputs:true rng state;
            incr sampled;
+           Obs.Metrics.inc m_sampled;
            let events = Scheduler.trace state in
            match
              judge task ~inputs
@@ -379,24 +397,43 @@ let check_supervised ~task ~algorithm ?(max_crashes = 0) ?(max_steps = 10_000)
                frontier)
        (Task.input_configurations task)
    with Stop -> ());
-  match !failure with
-  | Some v -> Violation v
-  | None ->
-      let stats = { !stats with explored = Some !search } in
-      if !stop_reason = None && !truncated_count = 0 then
-        Verified_exhaustive stats
-      else
-        Verified_sampled
-          ( stats,
-            {
-              explored = !search.Sched.Explore.terminals;
-              frontier = !frontier_total;
-              sampled = !sampled;
-              sample_seed = seed;
-              truncated = !truncated_count;
-              first_truncated = !first_truncated;
-              stop = !stop_reason;
-            } )
+  let verdict =
+    match !failure with
+    | Some v -> Violation v
+    | None ->
+        let stats = { !stats with explored = Some !search } in
+        if !stop_reason = None && !truncated_count = 0 then
+          Verified_exhaustive stats
+        else
+          Verified_sampled
+            ( stats,
+              {
+                explored = !search.Sched.Explore.terminals;
+                frontier = !frontier_total;
+                sampled = !sampled;
+                sample_seed = seed;
+                truncated = !truncated_count;
+                first_truncated = !first_truncated;
+                stop = !stop_reason;
+              } )
+  in
+  (match verdict with Violation _ -> Obs.Metrics.inc m_violations | _ -> ());
+  Obs.Span.end_ ~cat:"harness"
+    ~args:
+      [
+        ( "verdict",
+          Obs.Json.Str
+            (match verdict with
+            | Verified_exhaustive _ -> "verified_exhaustive"
+            | Verified_sampled _ -> "verified_sampled"
+            | Violation _ -> "violation") );
+        ("explored", Obs.Json.Int !search.Sched.Explore.terminals);
+        ("frontier", Obs.Json.Int !frontier_total);
+        ("sampled", Obs.Json.Int !sampled);
+        ("truncated", Obs.Json.Int !truncated_count);
+      ]
+    "harness.check";
+  verdict
 
 let check_exhaustive ~task ~algorithm ?max_crashes ?max_steps () =
   (* Unbudgeted and strict about truncation: [Verified_sampled] cannot

@@ -1,0 +1,347 @@
+(* Telemetry layer: the JSON codec, the metrics registry (bucketing in
+   particular), sink plumbing, catapult well-formedness, and the headline
+   guarantee — a fixed init + schedule + seed produces a byte-identical
+   trace, because timestamps come from a logical clock. *)
+
+module J = Obs.Json
+module M = Obs.Metrics
+module S = Obs.Sink
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("s", J.Str "a\"b\\c\nd\te");
+        ("i", J.Int (-42));
+        ("f", J.Float 0.125);
+        ("n", J.Null);
+        ("b", J.Bool true);
+        ("l", J.List [ J.Int 1; J.Obj []; J.List [] ]);
+      ]
+  in
+  let text = J.to_string v in
+  match J.of_string text with
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+  | Ok v' ->
+      Alcotest.(check string) "canonical reprint" text (J.to_string v');
+      Alcotest.(check bool) "structural equality" true (v = v')
+
+let test_json_errors () =
+  let bad s =
+    match J.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parser accepted %S" s
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1 \"b\":2}";
+  bad "\"unterminated";
+  bad "1 2";
+  match J.of_string "  {\"a\": [1, 2.5, null]}  " with
+  | Ok (J.Obj [ ("a", J.List [ J.Int 1; J.Float 2.5; J.Null ]) ]) -> ()
+  | Ok v -> Alcotest.failf "misparsed: %s" (J.to_string v)
+  | Error e -> Alcotest.failf "rejected valid JSON: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+
+let test_registry () =
+  M.reset ();
+  let c = M.counter "test.ops" in
+  let c' = M.counter "test.ops" in
+  M.inc c;
+  M.add c' 4;
+  Alcotest.(check int) "registration is idempotent" 5 (M.counter_value c);
+  let g = M.gauge "test.depth" in
+  M.set g 3;
+  M.set_max g 2;
+  Alcotest.(check int) "set_max keeps high-watermark" 3 (M.gauge_value g);
+  M.set_max g 9;
+  Alcotest.(check int) "set_max advances" 9 (M.gauge_value g);
+  (match M.gauge "test.ops" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch must raise");
+  (match M.histogram ~bounds:[| 1; 2 |] "test.hist_bounds" with
+  | h -> (
+      ignore (M.observe h 1);
+      match M.histogram ~bounds:[| 1; 3 |] "test.hist_bounds" with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bounds mismatch must raise"));
+  (* The snapshot is parseable JSON and contains the registered names. *)
+  (match J.of_string (M.snapshot_string ()) with
+  | Error e -> Alcotest.failf "snapshot unparseable: %s" e
+  | Ok snap -> (
+      match J.member "counters" snap with
+      | Some (J.Obj fields) ->
+          Alcotest.(check bool)
+            "counter in snapshot" true
+            (List.mem_assoc "test.ops" fields)
+      | _ -> Alcotest.fail "snapshot has no counters object"));
+  M.reset ();
+  Alcotest.(check int) "reset zeroes counters" 0 (M.counter_value c);
+  Alcotest.(check int) "reset zeroes gauges" 0 (M.gauge_value g)
+
+let test_histogram_bucketing () =
+  M.reset ();
+  let h = M.histogram ~bounds:[| 1; 2; 4 |] "test.bucketing" in
+  List.iter (M.observe h) [ 0; 1; 2; 3; 4; 5; 100 ];
+  Alcotest.(check int) "observation count" 7 (M.observations h);
+  (* v counts in the first bucket with v <= bound; above the last bound,
+     the overflow bucket: 0,1 -> le_1; 2 -> le_2; 3,4 -> le_4; 5,100 -> inf *)
+  Alcotest.(check (array int))
+    "bucket assignment" [| 2; 1; 2; 2 |] (M.bucket_counts h);
+  match J.of_string (M.snapshot_string ()) with
+  | Error e -> Alcotest.failf "snapshot unparseable: %s" e
+  | Ok snap -> (
+      let open J in
+      match
+        Option.bind (member "histograms" snap) (member "test.bucketing")
+      with
+      | None -> Alcotest.fail "histogram missing from snapshot"
+      | Some hj ->
+          Alcotest.(check (option string))
+            "sum" (Some "115")
+            (Option.map to_string (member "sum" hj));
+          Alcotest.(check (option string))
+            "max" (Some "100")
+            (Option.map to_string (member "max" hj));
+          Alcotest.(check (option string))
+            "overflow bucket" (Some "2")
+            (Option.map to_string
+               (Option.bind (member "buckets" hj) (member "inf"))))
+
+let test_empty_histogram_max_is_null () =
+  M.reset ();
+  let h = M.histogram ~bounds:[| 1 |] "test.empty_hist" in
+  ignore (M.observations h);
+  match J.of_string (M.snapshot_string ()) with
+  | Error e -> Alcotest.failf "snapshot unparseable: %s" e
+  | Ok snap ->
+      let open J in
+      Alcotest.(check (option string))
+        "max of empty histogram" (Some "null")
+        (Option.map to_string
+           (Option.bind
+              (Option.bind (member "histograms" snap)
+                 (member "test.empty_hist"))
+              (member "max")))
+
+(* ------------------------------------------------------------------ *)
+(* Sinks and the logical clock                                         *)
+
+let test_logical_clock_gating () =
+  let sink, events = S.memory () in
+  Obs.Span.reset ();
+  Obs.Span.instant "dropped-before";
+  (* nil sink: no tick *)
+  S.with_sink sink (fun () ->
+      Obs.Span.instant "a";
+      Obs.Span.begin_ "b";
+      Obs.Span.end_ "b");
+  Obs.Span.instant "dropped-after";
+  let ts = List.map (fun (e : S.event) -> e.ts) (events ()) in
+  Alcotest.(check (list int))
+    "disabled emissions do not tick the clock" [ 1; 2; 3 ] ts
+
+let test_span_closes_on_exception () =
+  let sink, events = S.memory () in
+  Obs.Span.reset ();
+  (match
+     S.with_sink sink (fun () ->
+         Obs.Span.span "work" (fun () -> failwith "boom"))
+   with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected the exception to escape");
+  match events () with
+  | [ b; e ] ->
+      Alcotest.(check bool) "begin first" true (b.S.kind = S.Begin);
+      Alcotest.(check bool) "end second" true (e.S.kind = S.End);
+      Alcotest.(check bool)
+        "end carries exn arg" true
+        (List.mem_assoc "exn" e.S.args)
+  | evs -> Alcotest.failf "expected exactly B+E, got %d events"
+             (List.length evs)
+
+let test_event_json_roundtrip () =
+  let e =
+    {
+      S.kind = S.Instant;
+      name = "deliver";
+      cat = "net";
+      track = 3;
+      ts = 17;
+      args = [ ("src", J.Int 1); ("hops", J.Int 4) ];
+    }
+  in
+  match S.event_of_json (S.event_json e) with
+  | Some e' -> Alcotest.(check bool) "event roundtrip" true (e = e')
+  | None -> Alcotest.fail "event_of_json rejected its own output"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end traces                                                   *)
+
+(* A fixed exploration workload: two straight-line writers, fully
+   deterministic given the engine's DFS order. *)
+let workload () =
+  let straight len : (int, unit, unit) Sched.Program.t =
+    let rec go k =
+      if k = 0 then Sched.Program.return ()
+      else Sched.Program.Write (k, fun () -> go (k - 1))
+    in
+    go len
+  in
+  Sched.Scheduler.start
+    ~memory:
+      (Sched.Memory.create ~n:2 ~budget:Bits.Width.Unbounded
+         ~measure:Bits.Width.unbounded ~init:0)
+    ~programs:(fun _ -> straight 2)
+    ()
+
+let capture_jsonl f =
+  let b = Buffer.create 4096 in
+  Obs.Span.reset ();
+  S.with_sink (S.jsonl (Buffer.add_string b)) f;
+  Buffer.contents b
+
+let test_trace_determinism_explore () =
+  let run () =
+    ignore (Sched.Explore.explore ~init:workload (fun _ -> ()))
+  in
+  let a = capture_jsonl run and b = capture_jsonl run in
+  Alcotest.(check bool) "trace is non-trivial" true (String.length a > 200);
+  Alcotest.(check string) "byte-identical across runs" a b
+
+let test_trace_determinism_chaos () =
+  let run () =
+    ignore
+      (Msgpass.Chaos.campaign ~seed:11 ~runs:2 (Msgpass.Chaos.sound ()))
+  in
+  let a = capture_jsonl run and b = capture_jsonl run in
+  Alcotest.(check bool) "trace is non-trivial" true (String.length a > 200);
+  Alcotest.(check string) "byte-identical across runs" a b;
+  (* Every line is an independently parseable trace event. *)
+  String.split_on_char '\n' a
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.iter (fun line ->
+         match J.of_string line with
+         | Error e -> Alcotest.failf "unparseable JSONL line: %s" e
+         | Ok j -> (
+             match S.event_of_json j with
+             | Some _ -> ()
+             | None -> Alcotest.failf "line is not a trace event: %s" line))
+
+let test_catapult_well_formed () =
+  let b = Buffer.create 4096 in
+  Obs.Span.reset ();
+  S.with_sink
+    (S.catapult (Buffer.add_string b))
+    (fun () ->
+      ignore
+        (Msgpass.Chaos.campaign ~seed:3 ~runs:1 (Msgpass.Chaos.sound ()));
+      ignore (Sched.Explore.explore ~init:workload (fun _ -> ())));
+  match J.of_string (Buffer.contents b) with
+  | Error e -> Alcotest.failf "catapult output unparseable: %s" e
+  | Ok (J.List items) ->
+      Alcotest.(check bool) "has events" true (List.length items > 10);
+      (* Spans must balance per track: every E matches an open B. *)
+      let depth = Hashtbl.create 4 in
+      List.iter
+        (fun item ->
+          match S.event_of_json item with
+          | None ->
+              Alcotest.failf "array element is not a trace event: %s"
+                (J.to_string item)
+          | Some e -> (
+              let d =
+                Option.value (Hashtbl.find_opt depth e.S.track) ~default:0
+              in
+              match e.S.kind with
+              | S.Begin -> Hashtbl.replace depth e.track (d + 1)
+              | S.End ->
+                  if d = 0 then Alcotest.fail "span end without begin";
+                  Hashtbl.replace depth e.track (d - 1)
+              | S.Instant -> ()))
+        items;
+      Hashtbl.iter
+        (fun track d ->
+          if d <> 0 then Alcotest.failf "%d unclosed span(s) on track %d" d track)
+        depth
+  | Ok _ -> Alcotest.fail "catapult output is not a JSON array"
+
+let test_hot_gating () =
+  M.reset ();
+  let steps = M.counter "sched.steps" in
+  let width = M.histogram ~bounds:[| 1; 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 64 |]
+      "sched.register_bits"
+  in
+  M.hot := false;
+  ignore (Sched.Explore.explore ~init:workload (fun _ -> ()));
+  Alcotest.(check int) "cold: steps untallied" 0 (M.counter_value steps);
+  Alcotest.(check int) "cold: widths unobserved" 0 (M.observations width);
+  M.hot := true;
+  Fun.protect ~finally:(fun () -> M.hot := false) (fun () ->
+      ignore (Sched.Explore.explore ~init:workload (fun _ -> ())));
+  Alcotest.(check bool)
+    "hot: steps tallied" true
+    (M.counter_value steps > 0);
+  Alcotest.(check bool)
+    "hot: widths observed" true
+    (M.observations width > 0)
+
+let test_explore_metrics_registry () =
+  M.reset ();
+  let r = Sched.Explore.explore ~init:workload (fun _ -> ()) in
+  let counter name =
+    M.counter_value (M.counter name)
+  in
+  Alcotest.(check int)
+    "explore.nodes mirrors stats" r.Sched.Explore.stats.Sched.Explore.nodes
+    (counter "explore.nodes");
+  Alcotest.(check int)
+    "explore.terminals mirrors stats"
+    r.Sched.Explore.stats.Sched.Explore.terminals
+    (counter "explore.terminals");
+  Alcotest.(check int)
+    "explore.peak_depth mirrors stats"
+    r.Sched.Explore.stats.Sched.Explore.peak_depth
+    (M.gauge_value (M.gauge "explore.peak_depth"))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "bucketing" `Quick test_histogram_bucketing;
+          Alcotest.test_case "empty-max" `Quick
+            test_empty_histogram_max_is_null;
+          Alcotest.test_case "hot-gating" `Quick test_hot_gating;
+          Alcotest.test_case "explore-mirror" `Quick
+            test_explore_metrics_registry;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "clock-gating" `Quick test_logical_clock_gating;
+          Alcotest.test_case "span-exception" `Quick
+            test_span_closes_on_exception;
+          Alcotest.test_case "event-roundtrip" `Quick
+            test_event_json_roundtrip;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "determinism-explore" `Quick
+            test_trace_determinism_explore;
+          Alcotest.test_case "determinism-chaos" `Quick
+            test_trace_determinism_chaos;
+          Alcotest.test_case "catapult" `Quick test_catapult_well_formed;
+        ] );
+    ]
