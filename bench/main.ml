@@ -365,6 +365,85 @@ let supervision_stats b =
     degraded.C.requested degraded.C.runs degraded.C.degraded
     degraded.C.violations
 
+(* Parallel scaling: the raw-undo 3x4 exploration and a 200-run sound
+   chaos campaign at jobs in {1, 2, 4, 8}. The digest is an
+   order-insensitive checksum over terminal-state signatures (native-int
+   wraparound addition is commutative and associative, so the total is
+   independent of visit order); raw mode visits every schedule exactly
+   once globally, so equal digests across jobs values certify that the
+   partitioned runs reached byte-identical terminal-state multisets. *)
+let jobs_measured = [ 1; 2; 4; 8 ]
+
+let terminal_digest st acc =
+  acc
+  + Hashtbl.hash
+      ( Array.to_list (Sched.Scheduler.decisions st),
+        Array.to_list (Sched.Memory.contents (Sched.Scheduler.memory st)),
+        Sched.Scheduler.crashed st )
+
+let parallel_stats b =
+  let module C = Msgpass.Chaos in
+  let explore_row jobs =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Sched.Par.explore ~dedup:false ~por:false ~jobs
+        ~init:explore_workload_init ~fold:terminal_digest ~merge:( + ) 0
+    in
+    let sec = Unix.gettimeofday () -. t0 in
+    (jobs, sec, r.Sched.Par.stats.Sched.Explore.terminals, r.Sched.Par.value)
+  in
+  let chaos_row jobs =
+    let t0 = Unix.gettimeofday () in
+    let c = C.campaign ~jobs ~seed:1 ~runs:200 (C.sound ()) in
+    let sec = Unix.gettimeofday () -. t0 in
+    (jobs, sec, Format.asprintf "%a" C.pp_campaign c)
+  in
+  let explore_rows = List.map explore_row jobs_measured in
+  let chaos_rows = List.map chaos_row jobs_measured in
+  let sec_of jobs rows =
+    List.find_map (fun (j, sec, _, _) -> if j = jobs then Some sec else None)
+      rows
+    |> Option.get
+  in
+  let chaos_sec_of jobs =
+    List.find_map
+      (fun (j, sec, _) -> if j = jobs then Some sec else None)
+      chaos_rows
+    |> Option.get
+  in
+  let all_equal = function
+    | [] -> true
+    | x :: rest -> List.for_all (( = ) x) rest
+  in
+  let deterministic =
+    all_equal (List.map (fun (_, _, t, d) -> (t, d)) explore_rows)
+    && all_equal (List.map (fun (_, _, v) -> v) chaos_rows)
+  in
+  Printf.bprintf b "    \"explore_raw_3x4\": [\n";
+  List.iteri
+    (fun i (jobs, sec, terminals, digest) ->
+      Printf.bprintf b
+        "      {\"jobs\": %d, \"sec\": %.4f, \"terminals\": %d, \"digest\": \
+         %d}%s\n"
+        jobs sec terminals digest
+        (if i = List.length explore_rows - 1 then "" else ","))
+    explore_rows;
+  Printf.bprintf b "    ],\n    \"chaos_sound_200\": [\n";
+  List.iteri
+    (fun i (jobs, sec, verdict) ->
+      Printf.bprintf b "      {\"jobs\": %d, \"sec\": %.4f, \"campaign\": %S}%s\n"
+        jobs sec verdict
+        (if i = List.length chaos_rows - 1 then "" else ","))
+    chaos_rows;
+  Printf.bprintf b
+    "    ],\n\
+    \    \"explore_speedup_j4\": %.2f,\n\
+    \    \"chaos_speedup_j4\": %.2f,\n\
+    \    \"deterministic\": %b\n"
+    (sec_of 1 explore_rows /. sec_of 4 explore_rows)
+    (chaos_sec_of 1 /. chaos_sec_of 4)
+    deterministic
+
 let write_json file rows =
   (* The embedded metrics snapshot covers the deterministic counter
      workloads below (explorer variants, chaos campaigns, supervision) —
@@ -395,6 +474,14 @@ let write_json file rows =
   json_chaos b;
   Printf.bprintf b "  },\n  \"supervision\": {\n";
   supervision_stats b;
+  Printf.bprintf b "  },\n  \"parallel\": {\n";
+  parallel_stats b;
+  Printf.bprintf b "  },\n  \"meta\": {\n";
+  Printf.bprintf b "    \"ocaml_version\": %S,\n" Sys.ocaml_version;
+  Printf.bprintf b "    \"recommended_domain_count\": %d,\n"
+    (Domain.recommended_domain_count ());
+  Printf.bprintf b "    \"jobs_measured\": [%s]\n"
+    (String.concat ", " (List.map string_of_int jobs_measured));
   Printf.bprintf b "  },\n  \"metrics\": ";
   Buffer.add_string b (Obs.Metrics.snapshot_string ());
   Printf.bprintf b "\n}\n";
@@ -409,7 +496,7 @@ let json_target () =
     if i >= Array.length argv then None
     else if argv.(i) = "--json" then
       if i + 1 < Array.length argv then Some argv.(i + 1)
-      else Some "BENCH_PR4.json"
+      else Some "BENCH_PR5.json"
     else scan (i + 1)
   in
   scan 1

@@ -84,6 +84,18 @@ let with_telemetry tel f =
   at_exit teardown;
   Fun.protect ~finally:teardown f
 
+(* Shared by run/chaos/explore: the width of the domain pool their
+   parallelizable work fans out over. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan parallelizable work (frontier exploration, chaos runs, \
+           frontier sampling) over $(docv) domains. The default 1 is the \
+           original sequential path; for fixed seeds, verdicts and \
+           terminal-state summaries are identical for any value.")
+
 let list_cmd =
   let doc = "List the available experiments." in
   let run () =
@@ -126,7 +138,7 @@ let run_cmd =
              exploration-backed checks degrade to sampled coverage at the \
              cap.")
   in
-  let run keys deadline max_states tel =
+  let run keys deadline max_states jobs tel =
     with_telemetry tel @@ fun () ->
     let selected =
       if List.exists (fun k -> String.lowercase_ascii k = "all") keys then
@@ -159,7 +171,7 @@ let run_cmd =
                 e.Experiments.Registry.paper;
               Format.print_flush ();
               let r =
-                Experiments.Supervisor.run_one ?deadline:hard ~budget e
+                Experiments.Supervisor.run_one ?deadline:hard ~budget ~jobs e
               in
               Format.printf "%s@." r.Experiments.Supervisor.output;
               (match r.Experiments.Supervisor.status with
@@ -181,7 +193,9 @@ let run_cmd =
         exit (Experiments.Supervisor.exit_code results)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ keys $ deadline_arg $ max_states_arg $ telemetry_term)
+    Term.(
+      const run $ keys $ deadline_arg $ max_states_arg $ jobs_arg
+      $ telemetry_term)
 
 (* ----- demo subcommands ----- *)
 
@@ -398,7 +412,7 @@ let chaos_cmd =
              echoed — a reported violation is replayable either way.")
   in
   let run n t quorum frontier runs max_events seed print_plan expect deadline
-      tel =
+      jobs tel =
     with_telemetry tel @@ fun () ->
     (* Always echo the resolved seed: a violation found under an
        auto-picked seed must be replayable from the console output. *)
@@ -427,7 +441,7 @@ let chaos_cmd =
          ~default:(config.Msgpass.Chaos.n - config.Msgpass.Chaos.t))
       config.Msgpass.Chaos.writes config.Msgpass.Chaos.readers
       config.Msgpass.Chaos.reads;
-    let c = Msgpass.Chaos.campaign ?deadline ~seed ~runs config in
+    let c = Msgpass.Chaos.campaign ?deadline ~jobs ~seed ~runs config in
     Format.printf "@[<v>%a@]@." Msgpass.Chaos.pp_campaign c;
     (match (print_plan, c.Msgpass.Chaos.first) with
     | true, Some f ->
@@ -448,7 +462,7 @@ let chaos_cmd =
     Term.(
       const run $ n_arg $ t_arg $ quorum_arg $ frontier_arg $ runs_arg
       $ max_events_arg $ chaos_seed_arg $ plan_arg $ expect_arg
-      $ chaos_deadline_arg $ telemetry_term)
+      $ chaos_deadline_arg $ jobs_arg $ telemetry_term)
 
 let explore_cmd =
   let doc =
@@ -490,7 +504,23 @@ let explore_cmd =
             "Resume from the checkpoint file instead of starting at the \
              root (flags and K must match the run that wrote it).")
   in
-  let run k max_crashes max_nodes deadline checkpoint resume tel =
+  let no_dedup_arg =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ]
+          ~doc:
+            "Disable state deduplication: one terminal visit per schedule. \
+             With $(b,--no-por) this is raw mode, where node and terminal \
+             counts partition exactly across budgeted or parallel runs.")
+  in
+  let no_por_arg =
+    Arg.(
+      value & flag
+      & info [ "no-por" ]
+          ~doc:"Disable sleep-set partial-order reduction.")
+  in
+  let run k max_crashes max_nodes deadline checkpoint resume no_dedup no_por
+      jobs tel =
     with_telemetry tel @@ fun () ->
     let algorithm = Core.Alg1_one_bit.algorithm ~k in
     let init () =
@@ -518,15 +548,19 @@ let explore_cmd =
             exit 1
     in
     let budget = Sched.Budget.make ?deadline ?max_nodes () in
-    let terminals = ref 0 in
+    (* The parallel driver with jobs=1 is exactly the sequential engine;
+       the fold merely mirrors the terminal count the stats already
+       carry, exercising the deterministic merge path. *)
     let r =
-      Sched.Explore.explore ~max_crashes ~budget ?resume:resume_frontier
-        ~init (fun _ -> incr terminals)
+      Sched.Par.explore ~max_crashes ~dedup:(not no_dedup) ~por:(not no_por)
+        ~budget ?resume:resume_frontier ~jobs ~init
+        ~fold:(fun _ count -> count + 1)
+        ~merge:( + ) 0
     in
-    Format.printf "k=%d max_crashes=%d budget: %a@.%a@." k max_crashes
-      Sched.Budget.pp budget Sched.Explore.pp_stats
-      r.Sched.Explore.stats;
-    match r.Sched.Explore.outcome with
+    Format.printf "k=%d max_crashes=%d jobs=%d budget: %a@.%a@." k max_crashes
+      r.Sched.Par.jobs Sched.Budget.pp budget Sched.Explore.pp_stats
+      r.Sched.Par.stats;
+    match r.Sched.Par.outcome with
     | Sched.Explore.Complete ->
         Format.printf "outcome: complete — every terminal state visited@."
     | Sched.Explore.Exhausted { frontier; reason } ->
@@ -544,7 +578,8 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run $ k_arg $ max_crashes_arg $ max_nodes_arg $ deadline_arg
-      $ checkpoint_arg $ resume_arg $ telemetry_term)
+      $ checkpoint_arg $ resume_arg $ no_dedup_arg $ no_por_arg $ jobs_arg
+      $ telemetry_term)
 
 let trace_cmd =
   let doc = "Inspect a trace file written by --trace." in

@@ -59,4 +59,23 @@ if [ "$QUICK" = 1 ]; then
   dune exec bin/boundedreg.exe -- run all --deadline 10 --max-states 20000
 fi
 
+# Parallel smoke: the domain pool must be invisible in the output. With
+# reductions off the raw tree partitions exactly, so the stats line of a
+# jobs=2 exploration is byte-identical to jobs=1; a parallel chaos
+# campaign (outcomes computed on workers, tallied in seed order on the
+# main domain) must reproduce the sequential stdout byte-for-byte.
+echo "== parallel smoke"
+tmp_seq=$(mktemp) && tmp_par=$(mktemp)
+trap 'rm -f "$tmp_seq" "$tmp_par"' EXIT
+dune exec bin/boundedreg.exe -- explore -k 2 --no-dedup --no-por \
+  --jobs 1 | sed 1d > "$tmp_seq"
+dune exec bin/boundedreg.exe -- explore -k 2 --no-dedup --no-por \
+  --jobs 2 | sed 1d > "$tmp_par"
+diff "$tmp_seq" "$tmp_par"
+dune exec bin/boundedreg.exe -- chaos --frontier --runs 5 --seed 127 \
+  --jobs 1 --expect violation > "$tmp_seq"
+dune exec bin/boundedreg.exe -- chaos --frontier --runs 5 --seed 127 \
+  --jobs 2 --expect violation > "$tmp_par"
+diff "$tmp_seq" "$tmp_par"
+
 echo "check.sh: OK"

@@ -1,14 +1,17 @@
 (* The execution context handed to every experiment by the supervisor:
-   a resource budget the experiment may (but need not) honour, and a
+   a resource budget the experiment may (but need not) honour, a
    channel for reporting that it degraded some check to sampling so the
-   summary table can say so. *)
+   summary table can say so, and the domain-pool width for checks that
+   can fan out (Harness.check_supervised sampling, chaos campaigns). *)
 
 type t = {
   budget : Sched.Budget.t;
   degraded : string -> unit;
+  jobs : int;
 }
 
-let default = { budget = Sched.Budget.unlimited; degraded = ignore }
+let default = { budget = Sched.Budget.unlimited; degraded = ignore; jobs = 1 }
 
-let make ?(budget = Sched.Budget.unlimited) ?(degraded = ignore) () =
-  { budget; degraded }
+let make ?(budget = Sched.Budget.unlimited) ?(degraded = ignore) ?(jobs = 1)
+    () =
+  { budget; degraded; jobs = max 1 jobs }

@@ -1,20 +1,30 @@
 (** Per-experiment execution context.
 
     The supervisor hands every experiment a context: a {!Sched.Budget.t}
-    bounding its expensive checks, and a [degraded] callback the
-    experiment calls (with a short human-readable note) whenever a check
-    fell back from exhaustive to sampled coverage, so the run summary can
-    flag the row instead of silently weakening the claim. *)
+    bounding its expensive checks, a [degraded] callback the experiment
+    calls (with a short human-readable note) whenever a check fell back
+    from exhaustive to sampled coverage, so the run summary can flag the
+    row instead of silently weakening the claim, and a [jobs] pool width
+    experiments thread into their parallelizable checks. *)
 
 type t = {
   budget : Sched.Budget.t;
       (** budget for the experiment's exploration-backed checks *)
   degraded : string -> unit;
       (** report a check that was degraded to sampling, with a note *)
+  jobs : int;
+      (** domain-pool width for parallelizable checks (default 1);
+          deterministic verdicts are preserved for any value *)
 }
 
 val default : t
-(** Unlimited budget, degradation notes dropped — the standalone-run
-    context. *)
+(** Unlimited budget, degradation notes dropped, [jobs = 1] — the
+    standalone-run context. *)
 
-val make : ?budget:Sched.Budget.t -> ?degraded:(string -> unit) -> unit -> t
+val make :
+  ?budget:Sched.Budget.t ->
+  ?degraded:(string -> unit) ->
+  ?jobs:int ->
+  unit ->
+  t
+(** [jobs] is clamped to at least 1. *)

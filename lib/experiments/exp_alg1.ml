@@ -47,7 +47,7 @@ let run ctx ppf =
         let verdict, steps, bits =
           match
             H.check_supervised ~task ~algorithm ~max_crashes:1
-              ~budget:ctx.Ctx.budget ()
+              ~budget:ctx.Ctx.budget ~jobs:ctx.Ctx.jobs ()
           with
           | H.Verified_exhaustive s -> (true, s.H.max_process_steps, s.H.max_bits)
           | H.Verified_sampled (s, c) ->

@@ -20,7 +20,8 @@ let frontier_seed = 127
 
 let row ctx label config ~seed ~runs =
   let c =
-    C.campaign ?deadline:ctx.Ctx.budget.Sched.Budget.deadline ~seed ~runs
+    C.campaign ?deadline:ctx.Ctx.budget.Sched.Budget.deadline
+      ~jobs:ctx.Ctx.jobs ~seed ~runs
       config
   in
   if c.C.degraded then

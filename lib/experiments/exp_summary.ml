@@ -10,7 +10,7 @@ let theorem_1_2 ctx =
   let supervised task algorithm =
     let v =
       H.check_supervised ~task ~algorithm ~max_crashes:1
-        ~budget:ctx.Ctx.budget ()
+        ~budget:ctx.Ctx.budget ~jobs:ctx.Ctx.jobs ()
     in
     (match v with
     | H.Verified_sampled (_, c) ->

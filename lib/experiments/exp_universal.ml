@@ -28,7 +28,7 @@ let check : type i o. Ctx.t -> (i, o) Bmz.two_task -> string list =
       in
       match
         H.check_supervised ~task ~algorithm ~max_crashes:1
-          ~budget:ctx.Ctx.budget ()
+          ~budget:ctx.Ctx.budget ~jobs:ctx.Ctx.jobs ()
       with
       | H.Verified_exhaustive stats -> solved "solved" stats
       | H.Verified_sampled (stats, c) ->

@@ -56,11 +56,13 @@ let with_alarm deadline f =
 (* One attempt: output goes to a buffer so a crash mid-table still leaves
    the partial output attached to the result instead of interleaved
    garbage on the terminal. *)
-let attempt ?deadline ~budget (e : Registry.t) =
+let attempt ?deadline ~budget ~jobs (e : Registry.t) =
   let buf = Buffer.create 4096 in
   let ppf = Format.formatter_of_buffer buf in
   let notes = ref [] in
-  let ctx = Ctx.make ~budget ~degraded:(fun n -> notes := n :: !notes) () in
+  let ctx =
+    Ctx.make ~budget ~degraded:(fun n -> notes := n :: !notes) ~jobs ()
+  in
   let started = Unix.gettimeofday () in
   let status =
     match with_alarm deadline (fun () -> e.run ctx ppf) with
@@ -85,7 +87,8 @@ let status_args status =
   in
   [ ("status", Obs.Json.Str tag); ("detail", detail) ]
 
-let run_one ?deadline ?(budget = Sched.Budget.unlimited) (e : Registry.t) =
+let run_one ?deadline ?(budget = Sched.Budget.unlimited) ?(jobs = 1)
+    (e : Registry.t) =
   Printexc.record_backtrace true;
   Obs.Span.begin_ ~cat:"experiment"
     ~args:
@@ -95,7 +98,7 @@ let run_one ?deadline ?(budget = Sched.Budget.unlimited) (e : Registry.t) =
         ("seeded", Obs.Json.Bool e.seeded);
       ]
     e.id;
-  let status, seconds, output = attempt ?deadline ~budget e in
+  let status, seconds, output = attempt ?deadline ~budget ~jobs e in
   (* Seeded experiments are retried once: a crash there can be an
      artefact of one unlucky seed interacting with a budget, and the
      second attempt makes the flake visible as [attempts = 2] instead of
@@ -107,7 +110,7 @@ let run_one ?deadline ?(budget = Sched.Budget.unlimited) (e : Registry.t) =
         Obs.Span.instant ~cat:"experiment"
           ~args:[ ("id", Obs.Json.Str e.id) ]
           "experiment.retry";
-        let status2, seconds2, output2 = attempt ?deadline ~budget e in
+        let status2, seconds2, output2 = attempt ?deadline ~budget ~jobs e in
         let status2, output2 =
           match status2 with
           | Crashed _ -> (status, output)  (* report the first failure *)
@@ -132,11 +135,11 @@ let run_one ?deadline ?(budget = Sched.Budget.unlimited) (e : Registry.t) =
     e.id;
   result
 
-let run_all ?deadline ?budget ?(ppf = Format.std_formatter)
+let run_all ?deadline ?budget ?jobs ?(ppf = Format.std_formatter)
     ?(experiments = Registry.all) () =
   List.map
     (fun (e : Registry.t) ->
-      let r = run_one ?deadline ?budget e in
+      let r = run_one ?deadline ?budget ?jobs e in
       Format.fprintf ppf "%s@." r.output;
       (match r.status with
       | Passed | Degraded _ -> ()

@@ -28,15 +28,26 @@ val pp_status : Format.formatter -> status -> unit
 val status_ok : status -> bool
 
 val run_one :
-  ?deadline:float -> ?budget:Sched.Budget.t -> Registry.t -> result
+  ?deadline:float ->
+  ?budget:Sched.Budget.t ->
+  ?jobs:int ->
+  Registry.t ->
+  result
 (** Run one experiment under a [deadline] (seconds of wall clock, default
-    none) and a {!Ctx.t} carrying [budget] (default unlimited). A seeded
+    none) and a {!Ctx.t} carrying [budget] (default unlimited) and [jobs]
+    (default 1, the domain-pool width for parallelizable checks). A seeded
     experiment that crashes is retried once — flakes surface as
-    [attempts = 2] rather than a failed run; timeouts are not retried. *)
+    [attempts = 2] rather than a failed run; timeouts are not retried.
+
+    Caveat when combining [deadline] with [jobs > 1]: the SIGALRM abort
+    interrupts the main domain only, so worker domains mid-unit finish
+    their unit before the process can exit — the timeout is best-effort
+    under parallelism, exactly as precise as the units are short. *)
 
 val run_all :
   ?deadline:float ->
   ?budget:Sched.Budget.t ->
+  ?jobs:int ->
   ?ppf:Format.formatter ->
   ?experiments:Registry.t list ->
   unit ->

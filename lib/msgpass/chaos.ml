@@ -224,7 +224,7 @@ type campaign = {
   first : found option;
 }
 
-let campaign ?deadline ~seed ~runs config =
+let campaign ?deadline ?(jobs = 1) ~seed ~runs config =
   (* The campaign span carries the resolved seed: a violation reported
      from a trace is replayable without the console output. *)
   Obs.Span.begin_ ~cat:"chaos"
@@ -259,53 +259,83 @@ let campaign ?deadline ~seed ~runs config =
         first = None;
       }
   in
+  (* Fold one run's outcome into the campaign, on the main domain: the
+     per-run metrics, trace instant and (for the first violation) the
+     inline shrink happen here in seed order, so a parallel campaign
+     replays exactly the sequential tally — byte-identical verdicts,
+     counts and traces for a fixed seed. *)
+  let tally s o =
+    Obs.Metrics.inc m_runs;
+    if failed o then Obs.Metrics.inc m_violations;
+    Obs.Span.instant ~cat:"chaos"
+      ~args:
+        [
+          ("seed", Obs.Json.Int s);
+          ( "verdict",
+            Obs.Json.Str
+              (if failed o then "nonlinearizable" else "linearizable") );
+          ("events", Obs.Json.Int o.events);
+          ("completed", Obs.Json.Int o.completed);
+        ]
+      "chaos.run";
+    let c = !acc in
+    let first =
+      match (c.first, failed o) with
+      | None, true ->
+          let shrunk, shrink_tests = shrink config o.plan in
+          Some
+            {
+              seed = s;
+              original = o;
+              shrunk;
+              shrunk_outcome = run_plan config shrunk;
+              shrink_tests;
+            }
+      | first, _ -> first
+    in
+    acc :=
+      {
+        c with
+        runs = c.runs + 1;
+        violations = (c.violations + if failed o then 1 else 0);
+        total_events = c.total_events + o.events;
+        total_completed = c.total_completed + o.completed;
+        first;
+      }
+  in
   (try
-     for s = seed to seed + runs - 1 do
-       (* The deadline is checked between runs: an individual run is
-          bounded by [config.max_events], so the overshoot is one run. *)
-       if over_deadline () then begin
-         acc := { !acc with degraded = true };
-         raise Exit
-       end;
-       let o = run_random ~seed:s config in
-       Obs.Metrics.inc m_runs;
-       if failed o then Obs.Metrics.inc m_violations;
-       Obs.Span.instant ~cat:"chaos"
-         ~args:
-           [
-             ("seed", Obs.Json.Int s);
-             ( "verdict",
-               Obs.Json.Str
-                 (if failed o then "nonlinearizable" else "linearizable") );
-             ("events", Obs.Json.Int o.events);
-             ("completed", Obs.Json.Int o.completed);
-           ]
-         "chaos.run";
-       let c = !acc in
-       let first =
-         match (c.first, failed o) with
-         | None, true ->
-             let shrunk, shrink_tests = shrink config o.plan in
-             Some
-               {
-                 seed = s;
-                 original = o;
-                 shrunk;
-                 shrunk_outcome = run_plan config shrunk;
-                 shrink_tests;
-               }
-         | first, _ -> first
+     if jobs <= 1 then
+       for s = seed to seed + runs - 1 do
+         (* The deadline is checked between runs: an individual run is
+            bounded by [config.max_events], so the overshoot is one run. *)
+         if over_deadline () then begin
+           acc := { !acc with degraded = true };
+           raise Exit
+         end;
+         tally s (run_random ~seed:s config)
+       done
+     else begin
+       (* Seeded runs are mutually independent — each builds its own
+          fleet, network and rng — so the campaign loop fans out as-is.
+          Workers skip (rather than start) runs past the deadline; the
+          fold below consumes outcomes in seed order and stops at the
+          first skipped one, mirroring the sequential contiguous-prefix
+          semantics, so only a deadline can make jobs counts differ. *)
+       let seeds = Array.init runs (fun i -> seed + i) in
+       let results =
+         Sched.Par.run_units ~jobs ~units:seeds (fun s ->
+             if over_deadline () then None
+             else Some (run_random ~seed:s config))
        in
-       acc :=
-         {
-           c with
-           runs = c.runs + 1;
-           violations = (c.violations + if failed o then 1 else 0);
-           total_events = c.total_events + o.events;
-           total_completed = c.total_completed + o.completed;
-           first;
-         }
-     done
+       Array.iteri
+         (fun i r ->
+           match r with
+           | None ->
+               acc := { !acc with degraded = true };
+               raise Exit
+           | Some o -> tally seeds.(i) o)
+         results
+     end
    with Exit -> ());
   let c = !acc in
   Obs.Span.end_ ~cat:"chaos"

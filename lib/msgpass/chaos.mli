@@ -81,14 +81,24 @@ type campaign = {
   first : found option;  (** first violation, shrunk and re-verified *)
 }
 
-val campaign : ?deadline:float -> seed:int -> runs:int -> config -> campaign
+val campaign :
+  ?deadline:float -> ?jobs:int -> seed:int -> runs:int -> config -> campaign
 (** Seeds [seed .. seed + runs - 1], every run checked; the first failing
     run is shrunk and its shrunk plan replayed. [deadline] (seconds,
     default none) is checked between runs: when it passes, the campaign
     stops early with [degraded = true] and however many runs it finished —
     graceful degradation rather than an unbounded tail. An individual run
     is already bounded by [config.max_events], so the overshoot past the
-    deadline is at most one run (plus one shrink, if that run fails). *)
+    deadline is at most one run (plus one shrink, if that run fails).
+
+    [jobs] (default 1) fans the seeded runs — mutually independent by
+    construction — over a domain pool ({!Sched.Par.run_units}). Outcomes
+    are folded in seed order on the calling domain, where the per-run
+    metrics, trace instants and the first violation's shrink also happen:
+    for a fixed [seed], verdicts, counts and traces are byte-identical
+    across any [jobs]. The one exception is a tripped [deadline], where
+    how many runs finished inherently depends on the pool; the fold still
+    consumes a contiguous seed prefix, mirroring sequential semantics. *)
 
 type verdict =
   | Verified_sampled of { runs : int; requested : int }

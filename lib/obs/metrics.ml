@@ -1,46 +1,64 @@
-(* The process-wide metrics registry. Hot paths pay for a metric exactly
+(* The process-wide metrics registry. Hot paths pay for a metric close to
    what they would pay for a bare [int ref]: the name → cell resolution
    happens once, at registration (typically a module-toplevel [let]), and
-   [inc]/[add]/[set] are plain mutations with no hashing, no allocation
-   and no enabled-check. Snapshots walk the registry and render sorted
-   JSON, so two snapshots of equal counts are byte-identical. *)
+   [inc]/[add]/[set] are single atomic mutations with no hashing and no
+   allocation. Snapshots walk the registry and render sorted JSON, so two
+   snapshots of equal counts are byte-identical.
 
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable value : int }
+   Cells are [Atomic.t]-backed so concurrent domains (the parallel
+   exploration workers) can tally into the same registry without losing
+   increments: a plain [mutable int] field would drop updates under
+   domain interleaving. [Atomic.fetch_and_add] on a contended cell is a
+   few nanoseconds — acceptable even for the [hot]-gated per-operation
+   sites, which are off by default anyway. Registration and snapshotting
+   are rare; they serialize on a [Mutex] so a domain registering a new
+   metric cannot race a snapshot's fold over the hashtable. *)
+
+type counter = { c_name : string; count : int Atomic.t }
+type gauge = { g_name : string; value : int Atomic.t }
 
 type histogram = {
   h_name : string;
   bounds : int array;  (** strictly increasing upper bounds *)
-  buckets : int array;  (** [Array.length bounds + 1]: last = overflow *)
-  mutable observations : int;
-  mutable sum : int;
-  mutable max_seen : int;
+  buckets : int Atomic.t array;
+      (** [Array.length bounds + 1]: last = overflow *)
+  observations : int Atomic.t;
+  sum : int Atomic.t;
+  max_seen : int Atomic.t;
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
 (* Per-operation tallies sit on paths the exploration engine drives
    hundreds of thousands of times per run, where even a non-inlined
    increment shows up in throughput (measured: ~17% on the raw-undo
    workload). Sites of that class guard themselves with [if !hot]; the
-   flag is a bare ref so the disabled cost is one load and branch.
+   flag is a bare ref so the disabled cost is one load and branch. It is
+   only toggled from the main domain before/after a measurement, never
+   concurrently with workers, so a bare ref is race-free in practice.
    Coarser-grained sites (per network delivery, per campaign run, per
    exploration) tally unconditionally. *)
 let hot = ref false
 
 let register name make match_existing =
-  match Hashtbl.find_opt registry name with
-  | Some m -> match_existing m
-  | None ->
-      let m = make () in
-      Hashtbl.replace registry name
-        (match m with
-        | `C c -> Counter c
-        | `G g -> Gauge g
-        | `H h -> Histogram h);
-      m
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> match_existing m
+      | None ->
+          let m = make () in
+          Hashtbl.replace registry name
+            (match m with
+            | `C c -> Counter c
+            | `G g -> Gauge g
+            | `H h -> Histogram h);
+          m)
 
 let kind_error name want =
   invalid_arg
@@ -49,7 +67,7 @@ let kind_error name want =
 let counter name =
   match
     register name
-      (fun () -> `C { c_name = name; count = 0 })
+      (fun () -> `C { c_name = name; count = Atomic.make 0 })
       (function Counter c -> `C c | _ -> kind_error name "non-counter")
   with
   | `C c -> c
@@ -58,7 +76,7 @@ let counter name =
 let gauge name =
   match
     register name
-      (fun () -> `G { g_name = name; value = 0 })
+      (fun () -> `G { g_name = name; value = Atomic.make 0 })
       (function Gauge g -> `G g | _ -> kind_error name "non-gauge")
   with
   | `G g -> g
@@ -84,10 +102,10 @@ let histogram ?(bounds = default_bounds) name =
           {
             h_name = name;
             bounds = Array.copy bounds;
-            buckets = Array.make (Array.length bounds + 1) 0;
-            observations = 0;
-            sum = 0;
-            max_seen = min_int;
+            buckets = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+            observations = Atomic.make 0;
+            sum = Atomic.make 0;
+            max_seen = Atomic.make min_int;
           })
       (function
         | Histogram h ->
@@ -101,13 +119,20 @@ let histogram ?(bounds = default_bounds) name =
   | `H h -> h
   | _ -> assert false
 
-let inc c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let counter_value c = c.count
+let inc c = ignore (Atomic.fetch_and_add c.count 1)
+let add c n = ignore (Atomic.fetch_and_add c.count n)
+let counter_value c = Atomic.get c.count
 let counter_name c = c.c_name
-let set g v = g.value <- v
-let set_max g v = if v > g.value then g.value <- v
-let gauge_value g = g.value
+let set g v = Atomic.set g.value v
+
+(* Lock-free high-watermark: retry the CAS only while our candidate is
+   still larger than what another domain published meanwhile. *)
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+let set_max g v = atomic_max g.value v
+let gauge_value g = Atomic.get g.value
 
 (* First bucket whose bound covers [v]; beyond the last bound, the
    overflow bucket. Bounds arrays are short and instrumented values small,
@@ -121,51 +146,54 @@ let rec bucket_index bounds k v i =
 
 let observe h v =
   let i = bucket_index h.bounds (Array.length h.bounds) v 0 in
-  h.buckets.(i) <- h.buckets.(i) + 1;
-  h.observations <- h.observations + 1;
-  h.sum <- h.sum + v;
-  if v > h.max_seen then h.max_seen <- v
+  ignore (Atomic.fetch_and_add (Array.unsafe_get h.buckets i) 1);
+  ignore (Atomic.fetch_and_add h.observations 1);
+  ignore (Atomic.fetch_and_add h.sum v);
+  atomic_max h.max_seen v
 
-let observations h = h.observations
-let bucket_counts h = Array.copy h.buckets
+let observations h = Atomic.get h.observations
+let bucket_counts h = Array.map Atomic.get h.buckets
 
 let reset () =
-  Hashtbl.iter
-    (fun _ -> function
-      | Counter c -> c.count <- 0
-      | Gauge g -> g.value <- 0
-      | Histogram h ->
-          Array.fill h.buckets 0 (Array.length h.buckets) 0;
-          h.observations <- 0;
-          h.sum <- 0;
-          h.max_seen <- min_int)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | Counter c -> Atomic.set c.count 0
+          | Gauge g -> Atomic.set g.value 0
+          | Histogram h ->
+              Array.iter (fun b -> Atomic.set b 0) h.buckets;
+              Atomic.set h.observations 0;
+              Atomic.set h.sum 0;
+              Atomic.set h.max_seen min_int)
+        registry)
 
 let bucket_label bounds i =
   if i < Array.length bounds then Printf.sprintf "le_%d" bounds.(i)
   else "inf"
 
 let histogram_json h =
+  let count = Atomic.get h.observations in
   Json.Obj
     [
-      ("count", Json.Int h.observations);
-      ("sum", Json.Int h.sum);
-      ("max", if h.observations = 0 then Json.Null else Json.Int h.max_seen);
+      ("count", Json.Int count);
+      ("sum", Json.Int (Atomic.get h.sum));
+      ("max", if count = 0 then Json.Null else Json.Int (Atomic.get h.max_seen));
       ( "buckets",
         Json.Obj
           (List.init (Array.length h.buckets) (fun i ->
-               (bucket_label h.bounds i, Json.Int h.buckets.(i)))) );
+               (bucket_label h.bounds i, Json.Int (Atomic.get h.buckets.(i))))) );
     ]
 
 let sorted_fields section =
-  Hashtbl.fold
-    (fun name m acc ->
-      match (section, m) with
-      | `Counters, Counter c -> (name, Json.Int c.count) :: acc
-      | `Gauges, Gauge g -> (name, Json.Int g.value) :: acc
-      | `Histograms, Histogram h -> (name, histogram_json h) :: acc
-      | _ -> acc)
-    registry []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name m acc ->
+          match (section, m) with
+          | `Counters, Counter c -> (name, Json.Int (Atomic.get c.count)) :: acc
+          | `Gauges, Gauge g -> (name, Json.Int (Atomic.get g.value)) :: acc
+          | `Histograms, Histogram h -> (name, histogram_json h) :: acc
+          | _ -> acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let snapshot () =

@@ -12,7 +12,15 @@
 
     Registration is idempotent per name; re-registering a name as a
     different kind (or a histogram with different bounds) raises
-    [Invalid_argument]. *)
+    [Invalid_argument].
+
+    Domain-safe: cells are [Atomic]-backed, so concurrent domains (the
+    parallel exploration workers) tally into the same registry without
+    losing increments, and registration/reset/snapshot serialize on a
+    mutex. Histograms update their fields independently, so a snapshot
+    taken {e while} another domain observes may see a bucket incremented
+    before the observation count — quiescent snapshots (after workers
+    join, which is how every consumer in this repo snapshots) are exact. *)
 
 type counter
 type gauge

@@ -33,7 +33,27 @@ let tee sinks =
    no call — where a function-call guard would be measurable. *)
 let current = ref nil
 let active = ref false
-let enabled () = !active
+
+(* Sinks are single-consumer (a Buffer, an out_channel): only the main
+   domain may emit. [enabled] short-circuits on [!active], so the
+   disabled cost stays one load-and-branch; the domain check only runs
+   while a sink is installed. Worker domains additionally run under
+   {!quiesce}, which silences the [!active]-guarded hot sites too. *)
+let enabled () = !active && Domain.is_main_domain ()
+
+(* Silence the global sink for the duration of [f]: parallel phases wrap
+   their fan-out in this so per-unit work — on workers or on the main
+   domain taking units from the same queue — emits nothing, and the trace
+   stays a deterministic main-domain-only stream. *)
+let quiesce f =
+  let previous = !current and was = !active in
+  current := nil;
+  active := false;
+  Fun.protect
+    ~finally:(fun () ->
+      current := previous;
+      active := was)
+    f
 
 let set s =
   current := s;

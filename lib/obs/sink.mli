@@ -28,8 +28,16 @@ val tee : t list -> t
 (** {2 The global sink} *)
 
 val enabled : unit -> bool
-(** [false] iff the installed sink is {!nil}. Guard event construction
-    with this: [if Sink.enabled () then Sink.emit {...}]. *)
+(** [false] when the installed sink is {!nil} — and always [false] off
+    the main domain: sinks are single-consumer, so worker domains never
+    emit. Guard event construction with this:
+    [if Sink.enabled () then Sink.emit {...}]. *)
+
+val quiesce : (unit -> 'a) -> 'a
+(** Run [f] with the global sink silenced ({!nil} installed, {!active}
+    false), restoring the previous sink afterwards even on exceptions.
+    Parallel drivers wrap their fan-out in this so per-unit work emits
+    nothing regardless of which domain executes it. *)
 
 val active : bool ref
 (** The same truth as {!enabled}, as a bare ref for per-operation hot

@@ -57,6 +57,16 @@ let pp_stop_reason ppf r =
 (* How many [stopped] polls to skip between clock reads. *)
 let clock_stride = 64
 
+(* One process-wide clock: every monitor armed without an explicit
+   override reads the same time source, so concurrent explorations (the
+   parallel driver's workers) judge the same deadline instead of each
+   call site defaulting to its own [Unix.gettimeofday] closure. Tests
+   swap it with [set_clock] to drive time deterministically. *)
+let default_clock : (unit -> float) ref = ref Unix.gettimeofday
+
+let now () = !default_clock ()
+let set_clock c = default_clock := c
+
 type monitor = {
   b : t;
   clock : unit -> float;
@@ -65,11 +75,11 @@ type monitor = {
   mutable tripped : stop_reason option;
 }
 
-let arm ?(clock = Unix.gettimeofday) b =
+let arm ?(clock = now) b =
   { b; clock; started = clock (); polls = 0; tripped = None }
 
 let budget m = m.b
-let elapsed m = m.clock () -. m.started
+let elapsed m = max 0. (m.clock () -. m.started)
 
 let exceeds cap used =
   match cap with None -> false | Some cap -> used >= cap

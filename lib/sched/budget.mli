@@ -67,8 +67,18 @@ val stop_reason_to_string : stop_reason -> string
 
 type monitor
 
+val now : unit -> float
+(** The shared wall-clock all monitors read by default. One process-wide
+    source (rather than a [Unix.gettimeofday] default captured per call
+    site) means concurrent explorations judge the {e same} deadline. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the shared clock — tests drive time deterministically with
+    this. Affects every monitor armed afterwards without an explicit
+    [clock] override. *)
+
 val arm : ?clock:(unit -> float) -> t -> monitor
-(** Start the wall-clock. [clock] defaults to [Unix.gettimeofday]. *)
+(** Start the wall-clock. [clock] defaults to the shared {!now}. *)
 
 val budget : monitor -> t
 

@@ -120,7 +120,7 @@ let popcount m =
   !c
 
 let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
-    ?(por = true) ?(budget = Budget.unlimited) ?resume ?clock
+    ?(por = true) ?(budget = Budget.unlimited) ?resume ?clock ?(quiet = false)
     ?(on_truncated = fun _ -> ()) ~init visit =
   let state = init () in
   Scheduler.enable_journal state;
@@ -135,16 +135,22 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
     Hashtbl.create 1024
   in
   let monitor = Budget.arm ?clock budget in
-  Obs.Span.begin_ ~cat:"explore"
-    ~args:
-      [
-        ("n", Obs.Json.Int n);
-        ("max_steps", Obs.Json.Int max_steps);
-        ("max_crashes", Obs.Json.Int max_crashes);
-        ("dedup", Obs.Json.Bool dedup);
-        ("por", Obs.Json.Bool por);
-      ]
-    "explore";
+  (* [quiet] marks an internal segment of a larger run (the parallel
+     driver's seed passes and per-unit worker calls): no span, no
+     budget-trip instant, no registry publication — the driver reports
+     the merged whole once, so telemetry keeps the shape of a single
+     exploration regardless of how the work was partitioned. *)
+  if not quiet then
+    Obs.Span.begin_ ~cat:"explore"
+      ~args:
+        [
+          ("n", Obs.Json.Int n);
+          ("max_steps", Obs.Json.Int max_steps);
+          ("max_crashes", Obs.Json.Int max_crashes);
+          ("dedup", Obs.Json.Bool dedup);
+          ("por", Obs.Json.Bool por);
+        ]
+      "explore";
   (* Once a cap trips, no further subtree is entered: every node reached
      after the trip records its root-to-node choice path instead, and the
      collected paths become the resumable frontier. *)
@@ -210,15 +216,17 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
       match Budget.stopped monitor ~nodes:!nodes ~terminals:!terminals with
       | Some r ->
           stop := Some r;
-          Obs.Metrics.inc m_budget_trips;
-          Obs.Span.instant ~cat:"explore"
-            ~args:
-              [
-                ("reason", Obs.Json.Str (Budget.stop_reason_to_string r));
-                ("nodes", Obs.Json.Int !nodes);
-                ("terminals", Obs.Json.Int !terminals);
-              ]
-            "budget-trip";
+          if not quiet then begin
+            Obs.Metrics.inc m_budget_trips;
+            Obs.Span.instant ~cat:"explore"
+              ~args:
+                [
+                  ("reason", Obs.Json.Str (Budget.stop_reason_to_string r));
+                  ("nodes", Obs.Json.Int !nodes);
+                  ("terminals", Obs.Json.Int !terminals);
+                ]
+              "budget-trip"
+          end;
           frontier := List.rev path :: !frontier
       | None -> begin
           incr nodes;
@@ -400,25 +408,27 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
     | None -> Complete
     | Some reason -> Exhausted { frontier = List.rev !frontier; reason }
   in
-  publish_stats stats;
-  Obs.Span.end_ ~cat:"explore"
-    ~args:
-      [
-        ("nodes", Obs.Json.Int stats.nodes);
-        ("terminals", Obs.Json.Int stats.terminals);
-        ("deduped", Obs.Json.Int stats.deduped);
-        ("pruned", Obs.Json.Int stats.pruned);
-        ("truncated", Obs.Json.Int stats.truncated);
-        ("peak_depth", Obs.Json.Int stats.peak_depth);
-        ( "outcome",
-          Obs.Json.Str
-            (match (escaped, outcome) with
-            | Some _, _ -> "aborted"
-            | None, Complete -> "complete"
-            | None, Exhausted { reason; _ } ->
-                Budget.stop_reason_to_string reason) );
-      ]
-    "explore";
+  if not quiet then begin
+    publish_stats stats;
+    Obs.Span.end_ ~cat:"explore"
+      ~args:
+        [
+          ("nodes", Obs.Json.Int stats.nodes);
+          ("terminals", Obs.Json.Int stats.terminals);
+          ("deduped", Obs.Json.Int stats.deduped);
+          ("pruned", Obs.Json.Int stats.pruned);
+          ("truncated", Obs.Json.Int stats.truncated);
+          ("peak_depth", Obs.Json.Int stats.peak_depth);
+          ( "outcome",
+            Obs.Json.Str
+              (match (escaped, outcome) with
+              | Some _, _ -> "aborted"
+              | None, Complete -> "complete"
+              | None, Exhausted { reason; _ } ->
+                  Budget.stop_reason_to_string reason) );
+        ]
+      "explore"
+  end;
   (match escaped with
   | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
   | None -> ());

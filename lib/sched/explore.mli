@@ -32,6 +32,12 @@ val pp_stats : Format.formatter -> stats -> unit
     peak_depth=…] — the same keys as the [explore.*] metrics and the
     bench JSON, so every surface reports identical names. *)
 
+val publish_stats : stats -> unit
+(** Fold one run's tallies into the [explore.*] metrics registry (and
+    count one run). [explore] does this itself unless [quiet]; the
+    parallel driver publishes its merged totals through here so a
+    partitioned run still registers as a single exploration. *)
+
 type outcome =
   | Complete  (** every reachable terminal state was visited *)
   | Exhausted of exhausted
@@ -59,6 +65,7 @@ val explore :
   ?budget:Budget.t ->
   ?resume:Budget.frontier ->
   ?clock:(unit -> float) ->
+  ?quiet:bool ->
   ?on_truncated:(('v, 'i, 'a) Scheduler.state -> unit) ->
   init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
   (('v, 'i, 'a) Scheduler.state -> unit) ->
@@ -84,8 +91,13 @@ val explore :
     the {e same} [init]) explores exactly the abandoned subtrees: chaining
     budgeted calls until [Complete] visits every terminal state a single
     unbudgeted call would have, and with [dedup]/[por] off the terminal
-    counts partition exactly. [clock] (default [Unix.gettimeofday]) is the
-    deadline's time source, overridable for deterministic tests.
+    counts partition exactly. [clock] (default: the shared {!Budget.now})
+    is the deadline's time source, overridable for deterministic tests —
+    the shared default means concurrent explorations judge the same
+    deadline. [quiet] (default false) marks the call as an internal
+    segment of a larger run: no span, no budget-trip instant, no registry
+    publication — {!Par.explore} uses it for seed passes and per-unit
+    worker calls and reports the merged whole once.
 
     The visitor receives the engine's single journaled state; it may read
     anything ({!Scheduler.decisions}, {!Scheduler.trace}, memory contents,

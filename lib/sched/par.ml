@@ -1,0 +1,301 @@
+(* Domain-parallel exploration. The sequential engine is already
+   partition-friendly: a budgeted run hands back a frontier of disjoint
+   subtree prefixes, and [explore ~resume] replays a prefix without
+   counting its nodes, so budgeted segments partition the search tree
+   exactly (PR 3's resume-partition test). The parallel driver leans on
+   that invariant:
+
+   1. a short budgeted seed pass on the calling domain grows the frontier
+      until it holds enough disjoint prefixes to feed the pool;
+   2. the prefixes fan out to [jobs] domains pulling from one atomic
+      queue; each unit is an independent [Explore.explore ~resume] over a
+      private journaled scheduler state built by its own [init ()] call —
+      no scheduler state is ever shared between domains;
+   3. per-unit stats merge with [add_stats] and per-unit visitor results
+      merge with the caller's [merge], both in unit-index order, so the
+      merged output is a pure function of the workload, never of worker
+      scheduling.
+
+   Soundness of the partition: frontier prefixes are exactly the roots of
+   the subtrees the seed pass did not enter, they are pairwise disjoint,
+   and together with the seed pass's visited terminals they cover the
+   whole tree. Workers use fresh dedup and sleep sets, which only ever
+   make a unit explore {e more} than the sequential run would have below
+   the same root — the terminal-state *set* is preserved. With dedup on,
+   a canonical state reachable under several prefixes may be visited by
+   several workers (the sequential run would have deduped the later
+   arrivals), so [deduped] can drop and visit counts can exceed the
+   sequential run's; with dedup and POR off the counts partition exactly. *)
+
+type 'r result = {
+  stats : Explore.stats;
+  outcome : Explore.outcome;
+  value : 'r;
+  jobs : int;
+  units : int;
+}
+
+(* {2 The worker pool} *)
+
+(* More domains than this buys nothing on machines we target and costs
+   per-domain runtime structures; [run_units] also never spawns more
+   domains than there are units. *)
+let max_jobs = 64
+
+let run_units ~jobs ~units f =
+  let n = Array.length units in
+  if n = 0 then [||]
+  else begin
+    let jobs = max 1 (min (min jobs n) max_jobs) in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    (* Workers claim unit indices from one atomic counter; result and
+       error slots are per-index, so writes from distinct domains never
+       alias. A failed unit flips [failed] and the pool drains: in-flight
+       units finish, unclaimed ones stay untouched. *)
+    let rec worker () =
+      if not (Atomic.get failed) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f units.(i) with
+          | r -> results.(i) <- Some r
+          | exception exn ->
+              errors.(i) <- Some (exn, Printexc.get_raw_backtrace ());
+              Atomic.set failed true);
+          worker ()
+        end
+      end
+    in
+    (* The whole pool phase runs with the trace sink silenced: sinks are
+       single-consumer, and the main domain participates in the pool, so
+       even its per-unit work must not interleave events into the trace. *)
+    Obs.Sink.quiesce (fun () ->
+        let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        List.iter Domain.join spawned);
+    Array.iter
+      (function
+        | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+        | None -> ())
+      errors;
+    Array.map
+      (function
+        | Some r -> r
+        | None -> invalid_arg "Par.run_units: unit skipped after failure")
+      results
+  end
+
+(* {2 The parallel exploration driver} *)
+
+(* Same registry cells as the sequential engine (registration is
+   idempotent per name): a partitioned run reports through the same
+   metrics surface. *)
+let m_budget_trips = Obs.Metrics.counter "explore.budget_trips"
+
+let budget_spent (b : Budget.t) =
+  (match b.Budget.deadline with Some d -> d <= 0. | None -> false)
+  || b.Budget.max_nodes = Some 0
+  || b.Budget.max_terminals = Some 0
+
+let stop_reason_of_remaining (b : Budget.t) =
+  if match b.Budget.deadline with Some d -> d <= 0. | None -> false then
+    Some Budget.Deadline
+  else if b.Budget.max_nodes = Some 0 then Some Budget.Node_cap
+  else if b.Budget.max_terminals = Some 0 then Some Budget.Terminal_cap
+  else None
+
+(* How many seed segments to run before settling for whatever frontier we
+   have: each segment costs [seed_nodes] nodes, so this also bounds the
+   sequential prelude. *)
+let grow_rounds = 64
+
+let explore ?max_steps ?max_crashes ?(dedup = true) ?(por = true)
+    ?(budget = Budget.unlimited) ?resume ?clock ?(jobs = 1)
+    ?(split_factor = 4) ?(seed_nodes = 512) ~init ~fold ~merge zero =
+  let jobs = max 1 (min jobs max_jobs) in
+  if jobs = 1 then begin
+    (* The sequential path, untouched: one engine call, spans and metrics
+       exactly as before. *)
+    let acc = ref zero in
+    let r =
+      Explore.explore ?max_steps ?max_crashes ~dedup ~por ~budget ?resume
+        ?clock ~init (fun st -> acc := fold st !acc)
+    in
+    {
+      stats = r.Explore.stats;
+      outcome = r.Explore.outcome;
+      value = !acc;
+      jobs = 1;
+      units = 0;
+    }
+  end
+  else begin
+    let monitor = Budget.arm ?clock budget in
+    let target = split_factor * jobs in
+    Obs.Span.begin_ ~cat:"explore"
+      ~args:
+        [
+          ("jobs", Obs.Json.Int jobs);
+          ("split_factor", Obs.Json.Int split_factor);
+          ("seed_nodes", Obs.Json.Int seed_nodes);
+        ]
+      "explore.par";
+    let finish ~units ~stats ~value ~outcome ~aborted =
+      Explore.publish_stats stats;
+      (match outcome with
+      | Explore.Exhausted _ -> Obs.Metrics.inc m_budget_trips
+      | Explore.Complete -> ());
+      Obs.Span.end_ ~cat:"explore"
+        ~args:
+          [
+            ("nodes", Obs.Json.Int stats.Explore.nodes);
+            ("terminals", Obs.Json.Int stats.Explore.terminals);
+            ("units", Obs.Json.Int units);
+            ( "outcome",
+              Obs.Json.Str
+                (if aborted then "aborted"
+                 else
+                   match outcome with
+                   | Explore.Complete -> "complete"
+                   | Explore.Exhausted { reason; _ } ->
+                       Budget.stop_reason_to_string reason) );
+          ]
+        "explore.par";
+      { stats; outcome; value; jobs; units }
+    in
+    let body () =
+      (* Seed pass: budgeted segments on this domain, each capped at
+         [seed_nodes] fresh nodes, resumed on their own frontier until it
+         is wide enough to keep [jobs] workers busy (or the tree, or the
+         caller's budget, runs out first). *)
+      let seed_acc = ref zero in
+      let seed_stats = ref Explore.zero_stats in
+      let nodes_done = ref 0 and terminals_done = ref 0 in
+      let remaining () =
+        Budget.remaining monitor ~nodes:!nodes_done ~terminals:!terminals_done
+      in
+      let segment resume =
+        let b =
+          Budget.min_caps (remaining ()) (Budget.make ~max_nodes:seed_nodes ())
+        in
+        let r =
+          Explore.explore ?max_steps ?max_crashes ~dedup ~por ~budget:b
+            ?resume ~quiet:true ~init (fun st -> seed_acc := fold st !seed_acc)
+        in
+        seed_stats := Explore.add_stats !seed_stats r.Explore.stats;
+        nodes_done := !nodes_done + r.Explore.stats.Explore.nodes;
+        terminals_done := !terminals_done + r.Explore.stats.Explore.terminals;
+        r.Explore.outcome
+      in
+      let rec grow resume round =
+        match segment resume with
+        | Explore.Complete -> `Seed_complete
+        | Explore.Exhausted { frontier; reason } ->
+            if budget_spent (remaining ()) then `Spent (frontier, reason)
+            else if
+              Budget.frontier_size frontier >= target || round >= grow_rounds
+            then `Frontier frontier
+            else grow (Some frontier) (round + 1)
+      in
+      match grow resume 1 with
+      | `Seed_complete ->
+          finish ~units:0 ~stats:!seed_stats ~value:!seed_acc
+            ~outcome:Explore.Complete ~aborted:false
+      | `Spent (frontier, reason) ->
+          finish ~units:0 ~stats:!seed_stats ~value:!seed_acc
+            ~outcome:(Explore.Exhausted { frontier; reason })
+            ~aborted:false
+      | `Frontier frontier ->
+          let units = Array.of_list frontier in
+          (* Cumulative progress across the pool, so a unit starting late
+             sees a budget already charged for finished units. The
+             per-unit snapshot is taken once at unit start: a unit never
+             stops because a *concurrent* unit consumed the budget, so
+             the global node/terminal caps can overshoot by at most
+             (jobs - 1) unit-sized runs. Deadlines don't overshoot: every
+             monitor reads the shared Budget.now. *)
+          let nodes_a = Atomic.make !nodes_done in
+          let terminals_a = Atomic.make !terminals_done in
+          let run_unit path =
+            let rem =
+              Budget.remaining monitor ~nodes:(Atomic.get nodes_a)
+                ~terminals:(Atomic.get terminals_a)
+            in
+            if budget_spent rem then `Skipped path
+            else begin
+              let acc = ref zero in
+              let r =
+                Explore.explore ?max_steps ?max_crashes ~dedup ~por
+                  ~budget:rem ~resume:[ path ] ~quiet:true ~init (fun st ->
+                    acc := fold st !acc)
+              in
+              ignore
+                (Atomic.fetch_and_add nodes_a r.Explore.stats.Explore.nodes);
+              ignore
+                (Atomic.fetch_and_add terminals_a
+                   r.Explore.stats.Explore.terminals);
+              let leftover, reason =
+                match r.Explore.outcome with
+                | Explore.Complete -> ([], None)
+                | Explore.Exhausted { frontier; reason } ->
+                    (frontier, Some reason)
+              in
+              `Done (!acc, r.Explore.stats, leftover, reason)
+            end
+          in
+          let results = run_units ~jobs ~units run_unit in
+          (* Deterministic reduction: stats, values and leftover frontier
+             paths combine in unit-index order, which is frontier order,
+             which the seed pass fixed before any domain was spawned. *)
+          let stats = ref !seed_stats in
+          let value = ref !seed_acc in
+          let first_reason = ref None in
+          Array.iter
+            (function
+              | `Done (_, st, _, reason) ->
+                  stats := Explore.add_stats !stats st;
+                  if !first_reason = None then first_reason := reason
+              | `Skipped _ -> ())
+            results;
+          Array.iter
+            (function
+              | `Done (acc, _, _, _) -> value := merge !value acc
+              | `Skipped _ -> ())
+            results;
+          let leftovers =
+            Array.to_list results
+            |> List.concat_map (function
+                 | `Done (_, _, leftover, _) -> leftover
+                 | `Skipped path -> [ path ])
+          in
+          let outcome =
+            if leftovers = [] then Explore.Complete
+            else
+              let reason =
+                match
+                  stop_reason_of_remaining
+                    (Budget.remaining monitor ~nodes:(Atomic.get nodes_a)
+                       ~terminals:(Atomic.get terminals_a))
+                with
+                | Some r -> r
+                | None ->
+                    Option.value !first_reason ~default:Budget.Node_cap
+              in
+              Explore.Exhausted { frontier = leftovers; reason }
+          in
+          finish ~units:(Array.length units) ~stats:!stats ~value:!value
+            ~outcome ~aborted:false
+    in
+    match body () with
+    | r -> r
+    | exception exn ->
+        (* Close the span before the exception continues, mirroring the
+           sequential engine's abort path. *)
+        let bt = Printexc.get_raw_backtrace () in
+        Obs.Span.end_ ~cat:"explore"
+          ~args:[ ("outcome", Obs.Json.Str "aborted") ]
+          "explore.par";
+        Printexc.raise_with_backtrace exn bt
+  end

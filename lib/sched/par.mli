@@ -1,0 +1,94 @@
+(** Domain-parallel exploration: frontier-partitioned fan-out of
+    {!Explore.explore} over a pool of OCaml 5 domains.
+
+    A budgeted sequential {e seed} pass grows a {!Budget.frontier} of
+    disjoint subtree prefixes, the prefixes fan out to a worker pool
+    (one atomic work-queue index; each unit rebuilds a private journaled
+    scheduler state from its own [init ()] call and replays its prefix
+    via [explore ~resume]), and per-unit results merge in unit-index
+    order. Three guarantees, tested in [test/test_sched.ml]:
+
+    - {b same terminal-state set}: frontier prefixes are disjoint and,
+      together with the seed pass, cover the whole tree; fresh per-worker
+      dedup/sleep sets only ever make a unit explore {e more} below its
+      root, never less.
+    - {b race-free telemetry}: metrics cells are atomic, and the whole
+      pool phase runs under {!Obs.Sink.quiesce}, so traces remain a
+      main-domain-only stream.
+    - {b deterministic output}: stats, visitor values and leftover
+      frontiers reduce in unit-index order — fixed workload and seed give
+      byte-identical merged results regardless of worker scheduling.
+
+    With [dedup] on, a canonical state reachable under several prefixes
+    may be visited by more than one worker (the sequential run would have
+    deduped the later arrivals): the visitor can run more than once per
+    terminal {e state}, [deduped] may drop, and [terminals] may exceed
+    the sequential count. Set-style [merge]s absorb this. With [dedup]
+    and [por] off, counts partition exactly: parallel [stats] equals the
+    sequential record field-for-field. *)
+
+type 'r result = {
+  stats : Explore.stats;  (** seed segments + all units, {!Explore.add_stats}ed *)
+  outcome : Explore.outcome;
+      (** [Complete], or [Exhausted] with every subtree no unit finished *)
+  value : 'r;  (** seed value merged with per-unit values, in unit order *)
+  jobs : int;  (** pool width actually used (after clamping) *)
+  units : int;  (** parallel work units dispatched (0 = never went parallel) *)
+}
+
+val run_units : jobs:int -> units:'a array -> ('a -> 'b) -> 'b array
+(** Run [f] over every element of [units] on a pool of [jobs] domains
+    (clamped to [1 .. min (Array.length units) 64]; the calling domain
+    participates, so [jobs - 1] domains are spawned). Results come back
+    indexed like [units]. The pool phase runs under {!Obs.Sink.quiesce}:
+    unit work never emits trace events, whichever domain runs it. If a
+    unit raises, the pool stops claiming new units, in-flight units
+    finish, and the lowest-index exception is re-raised on the caller
+    (with its backtrace) after all domains join.
+
+    [f] must be domain-safe: it runs off the main domain and concurrently
+    with itself on other units. *)
+
+val explore :
+  ?max_steps:int ->
+  ?max_crashes:int ->
+  ?dedup:bool ->
+  ?por:bool ->
+  ?budget:Budget.t ->
+  ?resume:Budget.frontier ->
+  ?clock:(unit -> float) ->
+  ?jobs:int ->
+  ?split_factor:int ->
+  ?seed_nodes:int ->
+  init:(unit -> ('v, 'i, 'a) Scheduler.state) ->
+  fold:(('v, 'i, 'a) Scheduler.state -> 'r -> 'r) ->
+  merge:('r -> 'r -> 'r) ->
+  'r ->
+  'r result
+(** [explore ~jobs ~init ~fold ~merge zero] visits the same terminal
+    states as [Explore.explore] with the same engine arguments, folding
+    each visited terminal into a per-unit accumulator ([fold state acc],
+    starting from [zero]) and combining accumulators with [merge] in
+    deterministic unit-index order (seed value first).
+
+    [jobs] (default 1) is the pool width; 1 is exactly the sequential
+    engine — same spans, same metrics, one [Explore.explore] call. For
+    [jobs > 1], a seed pass of node-capped segments (each [seed_nodes]
+    nodes, default 512) runs on the calling domain until the frontier
+    holds at least [split_factor * jobs] prefixes (default factor 4 — a
+    few units per worker evens out skewed subtree sizes), then the pool
+    drains the frontier. Trees smaller than the seed budget complete
+    sequentially ([units = 0]).
+
+    [fold] and [init] must be domain-safe: units run concurrently, each
+    with its own [init ()] state and its own accumulator. [fold] gets the
+    engine's usual journaled-state view (read, don't step/retain).
+    [merge] needs no commutativity — the reduction order is fixed — but
+    [zero] should be its identity, since every unit starts from [zero].
+
+    [budget] caps the whole parallel run. Each unit snapshots the
+    remaining budget when it starts, so global node/terminal caps can
+    overshoot by up to [jobs - 1] unit-sized runs (deadlines cannot: all
+    monitors share {!Budget.now}). Unfinished and unstarted subtrees come
+    back on the merged [Exhausted] frontier, resumable like any other
+    checkpoint. *)

@@ -273,7 +273,7 @@ let report_of_verdict = function
    records exactly how hard the claim was checked. *)
 let check_supervised ~task ~algorithm ?(max_crashes = 0) ?(max_steps = 10_000)
     ?(budget = Sched.Budget.unlimited) ?(samples = 64) ?(seed = 1)
-    ?(truncation = `Fail) () =
+    ?(truncation = `Fail) ?(jobs = 1) () =
   Obs.Metrics.inc m_checks;
   Obs.Span.begin_ ~cat:"harness"
     ~args:
@@ -382,19 +382,79 @@ let check_supervised ~task ~algorithm ?(max_crashes = 0) ?(max_steps = 10_000)
            Sched.Explore.explore ~max_steps ~max_crashes ~budget:sub_budget
              ~on_truncated ~init visit
          in
+         (* Parallel sampling: the paths are independent completions, so
+            they fan out over the pool. Each sample derives a private rng
+            from [seed] and its global sample index — results depend on
+            the workload and seed, never on how many domains ran them
+            (though they differ from the jobs=1 path, which keeps the
+            original single-rng stream byte-for-byte). Outcomes fold on
+            this domain in sample order: stats, truncation warnings and
+            the winning violation are the same for any [jobs > 1]. *)
+         let sample_parallel paths =
+           let base = !sampled in
+           let units =
+             Array.of_list (List.mapi (fun i path -> (base + i, path)) paths)
+           in
+           let sample_unit (gi, path) =
+             let rng = Bits.Rng.make (seed + (7919 * (gi + 1))) in
+             let state = init () in
+             List.iter
+               (fun choice ->
+                 match choice with
+                 | Sched.Budget.Step p -> Scheduler.step state p
+                 | Sched.Budget.Crash p -> Scheduler.crash state p)
+               path;
+             Scheduler.run_random ~max_steps:(max 1 max_steps)
+               ~until_outputs:true rng state;
+             let events = Scheduler.trace state in
+             match
+               judge task ~inputs
+                 ~crashes:(Sched.Trace.crashes_of events)
+                 ~seed:(Some seed) ~schedule:None state
+             with
+             | None -> `Ok state
+             | Some v -> (
+                 match (truncation, Scheduler.all_output state) with
+                 | `Warn, false -> `Trunc (Sched.Trace.schedule_of events)
+                 | _ -> `Viol { (witness state v.reason) with seed = Some seed })
+           in
+           let results = Sched.Par.run_units ~jobs ~units sample_unit in
+           Array.iter
+             (fun r ->
+               incr sampled;
+               Obs.Metrics.inc m_sampled;
+               match r with
+               | `Ok state -> stats := observe !stats state
+               | `Trunc schedule ->
+                   incr truncated_count;
+                   if !first_truncated = None then
+                     first_truncated := Some schedule
+               | `Viol v -> stop v)
+             results
+         in
          search := Sched.Explore.add_stats !search r.Sched.Explore.stats;
          match r.Sched.Explore.outcome with
          | Sched.Explore.Complete -> ()
          | Sched.Explore.Exhausted { frontier; reason } ->
              stop_reason := Some reason;
              frontier_total := !frontier_total + List.length frontier;
-             List.iter
-               (fun path ->
-                 if !samples_left > 0 then begin
-                   decr samples_left;
-                   sample_path path
-                 end)
-               frontier)
+             if jobs > 1 then begin
+               let rec take k = function
+                 | path :: rest when k > 0 -> path :: take (k - 1) rest
+                 | _ -> []
+               in
+               let paths = take !samples_left frontier in
+               samples_left := !samples_left - List.length paths;
+               sample_parallel paths
+             end
+             else
+               List.iter
+                 (fun path ->
+                   if !samples_left > 0 then begin
+                     decr samples_left;
+                     sample_path path
+                   end)
+                 frontier)
        (Task.input_configurations task)
    with Stop -> ());
   let verdict =

@@ -137,6 +137,7 @@ val check_supervised :
   ?samples:int ->
   ?seed:int ->
   ?truncation:[ `Fail | `Warn ] ->
+  ?jobs:int ->
   unit ->
   'i verdict
 (** {!check_exhaustive} under a resource [budget] (default
@@ -152,7 +153,16 @@ val check_supervised :
     non-termination violation exactly like {!check_exhaustive}; [`Warn]
     counts it, records the first truncated schedule prefix, and degrades
     the verdict to [Verified_sampled] — for protocols whose tail is
-    legitimately unbounded rather than buggy. *)
+    legitimately unbounded rather than buggy.
+
+    [jobs] (default 1) fans the frontier sampling over a domain pool
+    ({!Sched.Par.run_units}): samples are independent completions, each
+    with an rng derived from [seed] and its sample index, and outcomes
+    fold back in sample order — the verdict is the same for any
+    [jobs > 1], regardless of worker scheduling. [jobs = 1] keeps the
+    original single-rng sampling stream byte-for-byte, so existing seeds
+    reproduce; the exhaustive pass itself is not parallelized (its budget
+    accounting is what partitions the frontier in the first place). *)
 
 val check_exhaustive :
   task:('i, 'o) Task.t ->

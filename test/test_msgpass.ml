@@ -296,6 +296,41 @@ let test_chaos_deterministic () =
       ("frontier violation", C.frontier (), 127);
     ]
 
+(* Parallel campaigns must be byte-identical to sequential ones: outcomes
+   are computed on worker domains but tallied on the main domain in seed
+   order, so the verdict, the totals, and the shrunk counterexample are
+   all invariant in [jobs]. *)
+let test_chaos_jobs_invariant () =
+  let module C = Msgpass.Chaos in
+  List.iter
+    (fun (label, config, seed, runs) ->
+      let campaign jobs = C.campaign ~jobs ~seed ~runs config in
+      let seq = campaign 1 in
+      let seq_pp = Format.asprintf "%a" C.pp_campaign seq in
+      List.iter
+        (fun jobs ->
+          let par = campaign jobs in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: jobs=%d renders identically" label jobs)
+            seq_pp
+            (Format.asprintf "%a" C.pp_campaign par);
+          Alcotest.(check int)
+            (Printf.sprintf "%s: jobs=%d same violations" label jobs)
+            seq.C.violations par.C.violations;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: jobs=%d same event total" label jobs)
+            seq.C.total_events par.C.total_events;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: jobs=%d same shrunk plan" label jobs)
+            true
+            (Option.map (fun f -> f.C.shrunk) seq.C.first
+            = Option.map (fun f -> f.C.shrunk) par.C.first))
+        [ 2; 4 ])
+    [
+      ("sound", C.sound (), 1, 50);
+      ("frontier violation", C.frontier (), 127, 10);
+    ]
+
 (* ABD + Interp over the complete network: baseline eps-agreement survives
    minority crashes. *)
 let test_abd_message_passing () =
@@ -528,6 +563,8 @@ let () =
             test_faults_drop_and_duplicate;
           Alcotest.test_case "chaos campaigns are seed-deterministic" `Quick
             test_chaos_deterministic;
+          Alcotest.test_case "parallel campaigns match sequential" `Quick
+            test_chaos_jobs_invariant;
         ] );
       ( "message-passing",
         [

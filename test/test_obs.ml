@@ -292,6 +292,30 @@ let test_hot_gating () =
     "hot: widths observed" true
     (M.observations width > 0)
 
+(* Domain-safety: metric cells take atomic updates, so concurrent tallies
+   from several domains lose nothing — the exact totals come back. *)
+let test_metrics_domain_safe () =
+  M.reset ();
+  let c = M.counter "par.domains.counter" in
+  let g = M.gauge "par.domains.gauge" in
+  let h = M.histogram ~bounds:[| 10; 100; 1_000 |] "par.domains.hist" in
+  let domains = 4 and per_domain = 25_000 in
+  let worker d () =
+    for i = 1 to per_domain do
+      M.inc c;
+      M.set_max g ((d * per_domain) + i);
+      M.observe h i
+    done
+  in
+  let spawned = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "no lost counter increments" (domains * per_domain)
+    (M.counter_value c);
+  Alcotest.(check int) "gauge holds the global max" (domains * per_domain)
+    (M.gauge_value g);
+  Alcotest.(check int) "no lost observations" (domains * per_domain)
+    (M.observations h)
+
 let test_explore_metrics_registry () =
   M.reset ();
   let r = Sched.Explore.explore ~init:workload (fun _ -> ()) in
@@ -325,6 +349,7 @@ let () =
           Alcotest.test_case "empty-max" `Quick
             test_empty_histogram_max_is_null;
           Alcotest.test_case "hot-gating" `Quick test_hot_gating;
+          Alcotest.test_case "domain-safety" `Quick test_metrics_domain_safe;
           Alcotest.test_case "explore-mirror" `Quick
             test_explore_metrics_registry;
         ] );

@@ -289,6 +289,46 @@ let prop_explore_differential =
       && (max_crashes > 0 || List.length !opt = List.length (set !opt))
       && opt_stats.Sched.Explore.nodes <= raw_stats.Sched.Explore.nodes)
 
+(* Domain-parallel engine: with reductions off the frontier fan-out
+   partitions the raw tree, so the merged stats record must equal the
+   sequential one field-for-field on random programs (tiny seed segments
+   force the parallel path even on small trees). *)
+let prop_par_raw_equals_seq =
+  QCheck.Test.make ~name:"par: raw parallel stats = sequential" ~count:40
+    (QCheck.make ~print:explore_print explore_gen)
+    (fun (n, max_crashes, progs) ->
+      let build ops =
+        let rec go ops acc =
+          match ops with
+          | [] -> Sched.Program.Return (List.rev acc)
+          | `W v :: rest -> Sched.Program.Write (v, fun () -> go rest acc)
+          | `R j :: rest ->
+              Sched.Program.Read (j, fun v -> go rest (v :: acc))
+        in
+        go ops []
+      in
+      let init () =
+        Sched.Scheduler.start
+          ~memory:
+            (Sched.Memory.create ~n ~budget:Bits.Width.Unbounded
+               ~measure:Bits.Width.unbounded ~init:0)
+          ~programs:(fun pid -> build progs.(pid))
+          ()
+      in
+      let seq =
+        Sched.Explore.explore ~max_crashes ~dedup:false ~por:false ~init
+          (fun _ -> ())
+      in
+      let par =
+        Sched.Par.explore ~max_crashes ~dedup:false ~por:false ~jobs:4
+          ~seed_nodes:8 ~init
+          ~fold:(fun _ k -> k + 1)
+          ~merge:( + ) 0
+      in
+      par.Sched.Par.stats = seq.Sched.Explore.stats
+      && par.Sched.Par.value = seq.Sched.Explore.stats.Sched.Explore.terminals
+      && par.Sched.Par.outcome = Sched.Explore.Complete)
+
 (* Trace replay: any random execution is reproduced exactly from its own
    schedule. *)
 let prop_trace_replay =
@@ -326,6 +366,7 @@ let () =
             prop_iis_agreement;
             prop_explore_count;
             prop_explore_differential;
+            prop_par_raw_equals_seq;
             prop_trace_replay;
           ] );
     ]

@@ -444,6 +444,125 @@ let test_frontier_of_string_rejects_garbage () =
   | Ok _ -> Alcotest.fail "empty path did not round-trip"
   | Error e -> Alcotest.fail e
 
+(* Domain-parallel exploration (Sched.Par). Tiny seed segments
+   ([seed_nodes]) force the frontier fan-out even on these small trees;
+   the visitor folds are pure (per-unit accumulators, list merge), as the
+   pool requires. *)
+
+let writers_init ~n ~len () =
+  let straight len : (int, string, unit) P.t =
+    let rec go k =
+      if k = 0 then P.return ()
+      else
+        let* () = P.write k in
+        go (k - 1)
+    in
+    go len
+  in
+  S.start ~memory:(make_memory ~n ()) ~programs:(fun _ -> straight len) ()
+
+let collect_fold s acc = terminal_signature s :: acc
+
+let test_par_differential_sets () =
+  let init = writers_3x4_init in
+  let naive = ref [] in
+  Sched.Explore.interleavings_naive ~init (fun s ->
+      naive := terminal_signature s :: !naive);
+  let seq = ref [] in
+  ignore
+    (Sched.Explore.explore ~init (fun s ->
+         seq := terminal_signature s :: !seq));
+  let par =
+    Sched.Par.explore ~jobs:4 ~seed_nodes:16 ~init ~fold:collect_fold
+      ~merge:( @ ) []
+  in
+  let set l = List.sort_uniq compare l in
+  Alcotest.(check bool) "went parallel" true (par.Sched.Par.units > 0);
+  Alcotest.(check bool) "complete" true
+    (par.Sched.Par.outcome = Sched.Explore.Complete);
+  Alcotest.(check bool) "parallel set = sequential set" true
+    (set par.Sched.Par.value = set !seq);
+  Alcotest.(check bool) "parallel set = naive set" true
+    (set par.Sched.Par.value = set !naive)
+
+let test_par_differential_crashes () =
+  (* 3 writers x 2 steps, up to 1 crash: small enough for the naive crash
+     walker, branchy enough to split across units. *)
+  let init = writers_init ~n:3 ~len:2 in
+  let naive = ref [] in
+  Sched.Explore.interleavings_with_crashes_naive ~max_crashes:1 ~init
+    (fun s -> naive := terminal_signature s :: !naive);
+  let seq = ref [] in
+  ignore
+    (Sched.Explore.explore ~max_crashes:1 ~init (fun s ->
+         seq := terminal_signature s :: !seq));
+  let par =
+    Sched.Par.explore ~max_crashes:1 ~jobs:4 ~seed_nodes:8 ~init
+      ~fold:collect_fold ~merge:( @ ) []
+  in
+  let set l = List.sort_uniq compare l in
+  Alcotest.(check bool) "went parallel" true (par.Sched.Par.units > 0);
+  Alcotest.(check bool) "parallel set = sequential set" true
+    (set par.Sched.Par.value = set !seq);
+  Alcotest.(check bool) "parallel set = naive set" true
+    (set par.Sched.Par.value = set !naive)
+
+let test_par_raw_partition_exact () =
+  (* Reductions off: the frontier partitions the raw tree, so the merged
+     stats record equals the sequential one field-for-field — nodes,
+     terminals, peak depth, all of it. *)
+  let init = writers_3x4_init in
+  let seq =
+    Sched.Explore.explore ~dedup:false ~por:false ~init (fun _ -> ())
+  in
+  let par =
+    Sched.Par.explore ~dedup:false ~por:false ~jobs:3 ~seed_nodes:64 ~init
+      ~fold:(fun _ k -> k + 1)
+      ~merge:( + ) 0
+  in
+  Alcotest.(check bool) "went parallel" true (par.Sched.Par.units > 0);
+  Alcotest.(check int) "exactly the naive schedule count" 34650
+    par.Sched.Par.value;
+  Alcotest.(check bool) "complete" true
+    (par.Sched.Par.outcome = Sched.Explore.Complete);
+  Alcotest.(check bool) "stats partition exactly" true
+    (par.Sched.Par.stats = seq.Sched.Explore.stats)
+
+let test_par_budget_resume () =
+  (* A node-capped parallel run exhausts with a merged frontier; draining
+     it through Par.explore again partitions the enumeration, exactly as
+     the sequential resume loop does. *)
+  let init = writers_3x4_init in
+  let full = ref [] in
+  ignore
+    (Sched.Explore.explore ~dedup:false ~por:false ~init (fun s ->
+         full := terminal_signature s :: !full));
+  let collected = ref [] in
+  let segments = ref 0 in
+  let rec drain resume =
+    incr segments;
+    if !segments > 64 then Alcotest.fail "resume loop did not converge";
+    let r =
+      Sched.Par.explore ~dedup:false ~por:false ~jobs:2 ~seed_nodes:64
+        ~budget:(Sched.Budget.make ~max_nodes:4_000 ())
+        ?resume ~init ~fold:collect_fold ~merge:( @ ) []
+    in
+    collected := r.Sched.Par.value @ !collected;
+    match r.Sched.Par.outcome with
+    | Sched.Explore.Complete -> ()
+    | Sched.Explore.Exhausted { frontier; reason = _ } ->
+        Alcotest.(check bool) "frontier nonempty" true (frontier <> []);
+        drain (Some frontier)
+  in
+  drain None;
+  Alcotest.(check bool)
+    (Printf.sprintf "budget forced several segments (%d)" !segments)
+    true (!segments > 1);
+  Alcotest.(check int) "segments partition the terminal count" 34650
+    (List.length !collected);
+  Alcotest.(check bool) "same multiset of terminal states" true
+    (List.sort compare !full = List.sort compare !collected)
+
 (* Double-collect snapshots: under concurrent writers, a returned snapshot
    was instantaneously present in memory. We check the weaker testable
    property: two sequential snapshots by the same process are ordered by
@@ -590,6 +709,17 @@ let () =
             test_visited_cap_degrades_not_stops;
           Alcotest.test_case "frontier parsing rejects garbage" `Quick
             test_frontier_of_string_rejects_garbage;
+        ] );
+      ( "par",
+        [
+          Alcotest.test_case "differential: same terminal set" `Quick
+            test_par_differential_sets;
+          Alcotest.test_case "differential under crashes" `Quick
+            test_par_differential_crashes;
+          Alcotest.test_case "raw stats partition exactly" `Quick
+            test_par_raw_partition_exact;
+          Alcotest.test_case "budget + resume through the pool" `Quick
+            test_par_budget_resume;
         ] );
       ( "snapshots",
         [ Alcotest.test_case "double collect" `Quick test_snapshot_clean ] );

@@ -116,6 +116,19 @@ let test_degraded_is_still_ok () =
   Alcotest.(check int) "all-pass exit code" 0
     (S.exit_code [ r; S.run_one (passing "T-OK") ])
 
+let test_jobs_threads_through_context () =
+  let seen = ref 0 in
+  let probe =
+    entry "T-JOBS" (fun ctx ppf ->
+        seen := ctx.Experiments.Ctx.jobs;
+        Format.fprintf ppf "pool width %d@." ctx.Experiments.Ctx.jobs)
+  in
+  let r = S.run_one ~jobs:3 probe in
+  Alcotest.(check bool) "probe passed" true (S.status_ok r.S.status);
+  Alcotest.(check int) "experiment saw the pool width" 3 !seen;
+  ignore (S.run_one probe);
+  Alcotest.(check int) "default is sequential" 1 !seen
+
 let test_summary_names_failures () =
   let results =
     S.run_all ~ppf:null_ppf
@@ -149,6 +162,8 @@ let () =
             test_seeded_double_crash_reports_first;
           Alcotest.test_case "degraded still passes" `Quick
             test_degraded_is_still_ok;
+          Alcotest.test_case "jobs threads through the context" `Quick
+            test_jobs_threads_through_context;
           Alcotest.test_case "summary names failures" `Quick
             test_summary_names_failures;
         ] );

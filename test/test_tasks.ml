@@ -337,6 +337,47 @@ let test_supervised_violation_found_while_sampling () =
   | H.Verified_exhaustive _ | H.Verified_sampled _ ->
       Alcotest.fail "sampling fallback missed the violation"
 
+let test_supervised_parallel_sampling () =
+  (* Frontier sampling over a domain pool: each sample derives its rng
+     from the seed and its global sample index, so the verdict and the
+     coverage counters are identical for any jobs > 1. A violation must
+     also still surface through the pool. *)
+  let k = 2 in
+  let task = Tasks.Eps_agreement.task ~n:2 ~k:(2 * k + 1) in
+  let algorithm = alg1_algorithm ~k in
+  let run jobs =
+    H.check_supervised ~task ~algorithm ~max_crashes:1
+      ~budget:(Sched.Budget.make ~max_nodes:50 ())
+      ~samples:32 ~seed:11 ~jobs ()
+  in
+  (match (run 2, run 4) with
+  | H.Verified_sampled (s2, c2), H.Verified_sampled (s4, c4) ->
+      Alcotest.(check int) "same sampled count" c2.H.sampled c4.H.sampled;
+      Alcotest.(check int) "same frontier size" c2.H.frontier c4.H.frontier;
+      Alcotest.(check bool) "same stop reason" true (c2.H.stop = c4.H.stop);
+      Alcotest.(check int) "same total runs" s2.H.runs s4.H.runs;
+      Alcotest.(check int) "same step bound" s2.H.max_process_steps
+        s4.H.max_process_steps
+  | _ -> Alcotest.fail "expected sampled verification at both widths");
+  let bad =
+    {
+      H.name = "stepping-bad-half";
+      memory = memory_1bit;
+      program =
+        (fun ~pid:_ ~input:_ ->
+          Sched.Program.Write (0, fun () -> Sched.Program.return (Q.make 1 2)));
+    }
+  in
+  match
+    H.check_supervised ~task:(Tasks.Eps_agreement.task ~n:2 ~k:2)
+      ~algorithm:bad
+      ~budget:(Sched.Budget.make ~max_nodes:1 ())
+      ~seed:5 ~jobs:2 ()
+  with
+  | H.Violation _ -> ()
+  | H.Verified_exhaustive _ | H.Verified_sampled _ ->
+      Alcotest.fail "parallel sampling missed the violation"
+
 let test_supervised_truncation_warn () =
   (* The spinner never decides: under ~truncation:`Warn the harness
      reports degraded coverage with the first truncated schedule prefix
@@ -411,6 +452,8 @@ let () =
             test_supervised_degrades_to_sampled;
           Alcotest.test_case "violation found while sampling" `Quick
             test_supervised_violation_found_while_sampling;
+          Alcotest.test_case "parallel sampling is jobs-invariant" `Quick
+            test_supervised_parallel_sampling;
           Alcotest.test_case "truncation warnings degrade the verdict"
             `Quick test_supervised_truncation_warn;
         ] );
