@@ -212,37 +212,47 @@ let benchmarks =
       Test.make ~name:"explore-3x4(raw-undo)" (Staged.stage run_explore_raw);
     ]
 
+(* Each row carries the OLS time estimate and the OLS minor-allocation
+   estimate (Bechamel's [minor_allocated] instance: [Gc.minor_words]
+   deltas around the timed runs), so the JSON snapshot tracks both the
+   speed and the per-call allocation of every hot path across PRs. *)
 let measure_benchmarks () =
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] benchmarks in
+  let raw =
+    Benchmark.all cfg
+      [ Instance.monotonic_clock; Instance.minor_allocated ]
+      benchmarks
+  in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimate_of results name =
+    match Hashtbl.find_opt results name with
+    | Some r -> (
+        match Analyze.OLS.estimates r with Some [ est ] -> est | _ -> nan)
+    | None -> nan
+  in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
   let rows = ref [] in
   Hashtbl.iter
-    (fun name ols_result ->
-      let ns =
-        match Analyze.OLS.estimates ols_result with
-        | Some [ est ] -> est
-        | _ -> nan
-      in
-      rows := (name, ns) :: !rows)
-    results;
-  List.sort (fun (a, _) (b, _) -> compare a b) !rows
+    (fun name _ -> rows := (name, estimate_of times name, estimate_of allocs name) :: !rows)
+    times;
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows
 
 let run_benchmarks () =
   Format.printf
     "------------------------------------------------------------------@\n\
-     Bechamel timings (monotonic clock, OLS estimate per call)@\n\
+     Bechamel timings (monotonic clock + minor words, OLS per call)@\n\
      ------------------------------------------------------------------@\n";
   measure_benchmarks ()
-  |> List.iter (fun (name, ns) ->
-         if ns >= 1e6 then
-           Format.printf "  %-45s %10.2f ms/call@\n" name (ns /. 1e6)
-         else if ns >= 1e3 then
-           Format.printf "  %-45s %10.2f us/call@\n" name (ns /. 1e3)
-         else Format.printf "  %-45s %10.0f ns/call@\n" name ns);
+  |> List.iter (fun (name, ns, words) ->
+         (if ns >= 1e6 then
+            Format.printf "  %-45s %10.2f ms/call" name (ns /. 1e6)
+          else if ns >= 1e3 then
+            Format.printf "  %-45s %10.2f us/call" name (ns /. 1e3)
+          else Format.printf "  %-45s %10.0f ns/call" name ns);
+         Format.printf "  %12.0f mw/call@\n" words);
   Format.printf "@\n"
 
 (* ------------------------------------------------------------------ *)
@@ -456,8 +466,11 @@ let write_json file rows =
   let b = Buffer.create 4096 in
   Printf.bprintf b "{\n  \"benchmarks\": [\n";
   List.iteri
-    (fun i (name, ns) ->
-      Printf.bprintf b "    {\"name\": %S, \"ns_per_call\": %.2f}%s\n" name ns
+    (fun i (name, ns, words) ->
+      Printf.bprintf b
+        "    {\"name\": %S, \"ns_per_call\": %.2f, \
+         \"minor_words_per_call\": %.2f}%s\n"
+        name ns words
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.bprintf b "  ],\n  \"explorer\": {\n";
@@ -496,7 +509,7 @@ let json_target () =
     if i >= Array.length argv then None
     else if argv.(i) = "--json" then
       if i + 1 < Array.length argv then Some argv.(i + 1)
-      else Some "BENCH_PR5.json"
+      else Some "BENCH_PR6.json"
     else scan (i + 1)
   in
   scan 1

@@ -1,0 +1,142 @@
+(* Allocation probe for the explorer hot loop: words and nanoseconds per
+   node of the fixed 3x4 workload, one line per engine variant. Run with
+   [dune exec bench/probe.exe]; the numbers here are what the bench gate
+   tracks in aggregate, broken out for quick iteration on the inner
+   loop. *)
+
+let workload () =
+  let straight len : (int, unit, unit) Sched.Program.t =
+    let rec go k =
+      if k = 0 then Sched.Program.return ()
+      else Sched.Program.Write (k, fun () -> go (k - 1))
+    in
+    go len
+  in
+  Sched.Scheduler.start
+    ~memory:
+      (Sched.Memory.create ~n:3 ~budget:Bits.Width.Unbounded
+         ~measure:Bits.Width.unbounded ~init:0)
+    ~programs:(fun _ -> straight 4)
+    ()
+
+let run ~name ~dedup ~por reps =
+  let nodes = ref 0 in
+  (* warm up + node count *)
+  let r = Sched.Explore.explore ~dedup ~por ~init:workload (fun _ -> ()) in
+  nodes := r.Sched.Explore.stats.Sched.Explore.nodes;
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore
+      (Sched.Explore.explore ~dedup ~por ~init:workload (fun _ -> ())
+        : Sched.Explore.result)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  Printf.printf
+    "%-12s nodes=%6d  %8.2f words/call  %6.2f words/node  %8.0f ns/node  \
+     %8.2f ms/call\n"
+    name !nodes
+    (dw /. float_of_int reps)
+    (dw /. float_of_int (reps * !nodes))
+    (dt *. 1e9 /. float_of_int (reps * !nodes))
+    (dt *. 1e3 /. float_of_int reps)
+
+(* Scheduler-only DFS (no engine): isolates journal+step+undo cost. *)
+let run_sched reps =
+  let state = workload () in
+  Sched.Scheduler.enable_journal state;
+  let nodes = ref 0 in
+  let rec walk () =
+    incr nodes;
+    let mask = Sched.Scheduler.running_mask state in
+    if mask land 1 <> 0 then begin
+      let m = Sched.Scheduler.journal_mark state in
+      Sched.Scheduler.step state 0;
+      walk ();
+      Sched.Scheduler.undo_to state m
+    end;
+    if mask land 2 <> 0 then begin
+      let m = Sched.Scheduler.journal_mark state in
+      Sched.Scheduler.step state 1;
+      walk ();
+      Sched.Scheduler.undo_to state m
+    end;
+    if mask land 4 <> 0 then begin
+      let m = Sched.Scheduler.journal_mark state in
+      Sched.Scheduler.step state 2;
+      walk ();
+      Sched.Scheduler.undo_to state m
+    end
+  in
+  walk ();
+  let n = !nodes in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    nodes := 0;
+    walk ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  Printf.printf
+    "%-12s nodes=%6d  %8.2f words/call  %6.2f words/node  %8.0f ns/node  \
+     %8.2f ms/call\n"
+    "sched-only" n
+    (dw /. float_of_int reps)
+    (dw /. float_of_int (reps * n))
+    (dt *. 1e9 /. float_of_int (reps * n))
+    (dt *. 1e3 /. float_of_int reps)
+
+(* Tightest loop: one write step + undo at the root, repeated. *)
+let run_pair reps =
+  let state = workload () in
+  Sched.Scheduler.enable_journal state;
+  let m = Sched.Scheduler.journal_mark state in
+  Sched.Scheduler.step state 0;
+  Sched.Scheduler.undo_to state m;
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    let m = Sched.Scheduler.journal_mark state in
+    Sched.Scheduler.step state 0;
+    Sched.Scheduler.undo_to state m
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  Printf.printf "%-12s %6.2f words/pair  %8.0f ns/pair\n" "step+undo"
+    (dw /. float_of_int reps)
+    (dt *. 1e9 /. float_of_int reps)
+
+(* One full pid-0 run (4 writes, settle to Decided) + rollback. *)
+let run_solo_cycle reps =
+  let state = workload () in
+  Sched.Scheduler.enable_journal state;
+  let cycle () =
+    let m = Sched.Scheduler.journal_mark state in
+    Sched.Scheduler.step state 0;
+    Sched.Scheduler.step state 0;
+    Sched.Scheduler.step state 0;
+    Sched.Scheduler.step state 0;
+    Sched.Scheduler.undo_to state m
+  in
+  cycle ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    cycle ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  Printf.printf "%-12s %6.2f words/cycle  %8.0f ns/cycle (4 steps + undo)\n"
+    "solo-cycle"
+    (dw /. float_of_int reps)
+    (dt *. 1e9 /. float_of_int reps)
+
+let () =
+  let reps = try int_of_string Sys.argv.(1) with _ -> 20 in
+  run ~name:"raw" ~dedup:false ~por:false reps;
+  run ~name:"dedup+por" ~dedup:true ~por:true reps;
+  run_sched reps;
+  run_pair (reps * 100_000);
+  run_solo_cycle (reps * 50_000)

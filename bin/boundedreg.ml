@@ -548,18 +548,30 @@ let explore_cmd =
             exit 1
     in
     let budget = Sched.Budget.make ?deadline ?max_nodes () in
-    (* The parallel driver with jobs=1 is exactly the sequential engine;
-       the fold merely mirrors the terminal count the stats already
-       carry, exercising the deterministic merge path. *)
+    (* The parallel driver with jobs=1 is exactly the sequential engine.
+       The fold mirrors the terminal count the stats already carry and
+       sums an order-insensitive digest over terminal-state signatures
+       (native-int wraparound addition commutes), so the printed digest
+       is independent of how the work was partitioned: any jobs width
+       must reproduce it byte-for-byte in raw mode. *)
+    let terminal_digest st =
+      Hashtbl.hash
+        ( Array.to_list (Sched.Scheduler.decisions st),
+          Array.to_list (Sched.Memory.contents (Sched.Scheduler.memory st)),
+          Sched.Scheduler.crashed st )
+    in
     let r =
       Sched.Par.explore ~max_crashes ~dedup:(not no_dedup) ~por:(not no_por)
         ~budget ?resume:resume_frontier ~jobs ~init
-        ~fold:(fun _ count -> count + 1)
-        ~merge:( + ) 0
+        ~fold:(fun st (count, digest) -> (count + 1, digest + terminal_digest st))
+        ~merge:(fun (c1, d1) (c2, d2) -> (c1 + c2, d1 + d2))
+        (0, 0)
     in
-    Format.printf "k=%d max_crashes=%d jobs=%d budget: %a@.%a@." k max_crashes
-      r.Sched.Par.jobs Sched.Budget.pp budget Sched.Explore.pp_stats
-      r.Sched.Par.stats;
+    let _, digest = r.Sched.Par.value in
+    Format.printf "k=%d max_crashes=%d jobs=%d budget: %a@.%a@.digest=0x%08x@."
+      k max_crashes r.Sched.Par.jobs Sched.Budget.pp budget
+      Sched.Explore.pp_stats r.Sched.Par.stats
+      (digest land 0xffffffff);
     match r.Sched.Par.outcome with
     | Sched.Explore.Complete ->
         Format.printf "outcome: complete — every terminal state visited@."

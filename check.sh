@@ -60,10 +60,13 @@ if [ "$QUICK" = 1 ]; then
 fi
 
 # Parallel smoke: the domain pool must be invisible in the output. With
-# reductions off the raw tree partitions exactly, so the stats line of a
-# jobs=2 exploration is byte-identical to jobs=1; a parallel chaos
-# campaign (outcomes computed on workers, tallied in seed order on the
-# main domain) must reproduce the sequential stdout byte-for-byte.
+# reductions off the raw tree partitions exactly, so the stats and
+# terminal-digest lines of a jobs=2 exploration are byte-identical to
+# jobs=1; a parallel chaos campaign (outcomes computed on workers,
+# tallied in seed order on the main domain) must reproduce the
+# sequential stdout byte-for-byte. The jobs=1 output (including the
+# digest) is echoed to the log so a mismatch can be read off the CI run
+# without reconstructing the tmp files.
 echo "== parallel smoke"
 tmp_seq=$(mktemp) && tmp_par=$(mktemp)
 trap 'rm -f "$tmp_seq" "$tmp_par"' EXIT
@@ -71,6 +74,8 @@ dune exec bin/boundedreg.exe -- explore -k 2 --no-dedup --no-por \
   --jobs 1 | sed 1d > "$tmp_seq"
 dune exec bin/boundedreg.exe -- explore -k 2 --no-dedup --no-por \
   --jobs 2 | sed 1d > "$tmp_par"
+echo "-- explore jobs=1 (reference, must match jobs=2):"
+cat "$tmp_seq"
 diff "$tmp_seq" "$tmp_par"
 dune exec bin/boundedreg.exe -- chaos --frontier --runs 5 --seed 127 \
   --jobs 1 --expect violation > "$tmp_seq"

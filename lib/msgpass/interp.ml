@@ -1,12 +1,20 @@
-module P = Sched.Program
+module C = Sched.Program.Compiled
 
 type ('v, 'i) cell = Coord of 'v | Input of 'i option
 
+(* The interpreter executes the step-compiled form of the protocol
+   ({!Sched.Program.Compiled}): the suspended program between ABD
+   operations is an int program counter, so advancing through a
+   completion is opcode dispatch + an array read, not a free-monad
+   constructor match. Each interpreter compiles its own code in
+   [create] (chaos campaigns build runs on worker domains, and compiled
+   code must not cross domains). *)
 type ('v, 'i, 'a) t = {
   n : int;
   me : int;
   abd : ('v, 'i) cell Abd.t;
-  mutable program : ('v, 'i, 'a) P.t;
+  code : ('v, 'i, 'a) C.code;
+  mutable pc : int;
   mutable decided : 'a option;
   mutable steps : int;
 }
@@ -14,19 +22,24 @@ type ('v, 'i, 'a) t = {
 (* Begin the ABD operation for the program's next shared-memory step;
    returns its broadcast ([] when the program just decided). *)
 let rec launch t =
-  match t.program with
-  | P.Return a ->
-      t.decided <- Some a;
-      []
-  | P.Output (a, k) ->
-      if t.decided = None then t.decided <- Some a;
-      t.program <- k ();
-      launch t
-  | P.Write (v, _) -> Abd.begin_write t.abd ~reg:t.me (Coord v)
-  | P.Read (j, _) -> Abd.begin_read t.abd ~reg:j
-  | P.Write_input (x, _) ->
-      Abd.begin_write t.abd ~reg:(t.n + t.me) (Input (Some x))
-  | P.Read_input (j, _) -> Abd.begin_read t.abd ~reg:(t.n + j)
+  let op = C.op t.code t.pc in
+  if op = C.op_return then begin
+    t.decided <- Some (C.decision t.code t.pc);
+    []
+  end
+  else if op = C.op_output then begin
+    if t.decided = None then t.decided <- Some (C.decision t.code t.pc);
+    t.pc <- C.next_unit t.code t.pc;
+    launch t
+  end
+  else if op = C.op_write then
+    Abd.begin_write t.abd ~reg:t.me (Coord (C.write_value t.code t.pc))
+  else if op = C.op_read then Abd.begin_read t.abd ~reg:(C.reg t.code t.pc)
+  else if op = C.op_write_input then
+    Abd.begin_write t.abd ~reg:(t.n + t.me)
+      (Input (Some (C.input_value t.code t.pc)))
+  else (* op_read_input *)
+    Abd.begin_read t.abd ~reg:(t.n + C.reg t.code t.pc)
 
 let create ~n ~t ~me ~init ~program =
   let init_cell reg = if reg < n then Coord init else Input None in
@@ -35,7 +48,8 @@ let create ~n ~t ~me ~init ~program =
       n;
       me;
       abd = Abd.create ~n ~t ~me ~registers:(2 * n) ~init:init_cell ();
-      program;
+      code = Sched.Program.compile program;
+      pc = C.root;
       decided = None;
       steps = 0;
     }
@@ -43,22 +57,20 @@ let create ~n ~t ~me ~init ~program =
   (interp, launch interp)
 
 let advance t completion =
-  let continue program =
+  let continue pc =
     t.steps <- t.steps + 1;
-    t.program <- program;
+    t.pc <- pc;
     launch t
   in
-  match (t.program, completion) with
-  | P.Write (_, k), Abd.Wrote -> continue (k ())
-  | P.Write_input (_, k), Abd.Wrote -> continue (k ())
-  | P.Read (_, k), Abd.Read_value (Coord v) -> continue (k v)
-  | P.Read_input (_, k), Abd.Read_value (Input x) -> continue (k x)
-  | P.Return _, _
-  | P.Output _, _
-  | P.Write (_, _), _
-  | P.Read (_, _), _
-  | P.Write_input (_, _), _
-  | P.Read_input (_, _), _ ->
+  let op = C.op t.code t.pc in
+  match completion with
+  | Abd.Wrote when op = C.op_write || op = C.op_write_input ->
+      continue (C.next_unit t.code t.pc)
+  | Abd.Read_value (Coord v) when op = C.op_read ->
+      continue (C.next_read t.code t.pc v)
+  | Abd.Read_value (Input x) when op = C.op_read_input ->
+      continue (C.next_read_input t.code t.pc x)
+  | Abd.Wrote | Abd.Read_value _ ->
       assert false (* completions match the op that launched them *)
 
 (* A decided process keeps serving quorum requests — stopping would count

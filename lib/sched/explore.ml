@@ -3,13 +3,19 @@
 
    - undo-based backtracking: instead of [Scheduler.copy] at every branch
      (memory copy + five array copies), a branch is [step]; recurse;
-     [undo_to] — O(1) allocation per branch.
+     [undo_to] — the journal is a flat arena, so a branch allocates
+     nothing at all in raw mode.
 
    - state deduplication: the canonical name of a state is the per-process
      observation history (which ops ran, and what every read returned).
      Programs are deterministic and registers are single-writer, so equal
      histories imply equal continuations, statuses, and memory — a revisited
-     canonical state's subtree is skipped.
+     canonical state's subtree is skipped. The hash of the canonical name
+     is maintained incrementally, Zobrist-style: each observation cell
+     contributes a pseudo-random word indexed by (pid, per-pid position,
+     value), XORed into one running hash — stepping and undoing are both
+     a single XOR, never a rehash of the histories. Exact structural
+     comparison inside each bucket remains the correctness backstop.
 
    - sleep-set partial-order reduction: after the subtree stepping process
      [p] is explored, sibling subtrees need not step [p] again until some
@@ -24,7 +30,14 @@
    S ⊆ T; otherwise the transitions in S \ T are re-expanded and the stored
    set shrinks to S ∩ T. The canonical crash order (increasing pid between
    steps) is tracked the same way: each visited state remembers the lowest
-   crash floor it was expanded with. See DESIGN.md "Exploration engine". *)
+   crash floor it was expanded with. See DESIGN.md "Exploration engine".
+
+   The raw walk (dedup and POR off) is the benchmark floor and the
+   differential baseline, so its inner loop is kept allocation-free:
+   enabled sets come from {!Scheduler.running_mask}, observation keys and
+   hashes are only maintained when dedup is on, conflict peeks only when
+   POR is on, and root-to-node choice paths are only consed when a budget
+   could trip and need them for the resumable frontier. *)
 
 type stats = {
   nodes : int;
@@ -128,13 +141,22 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
   if n >= Sys.int_size - 1 then
     invalid_arg "Explore.explore: sleep-set bitmasks need n < word size";
   let mem = Scheduler.memory state in
+  (* Per-pid observation histories (newest cell first), their lengths, and
+     the single running Zobrist hash over all of them. Maintained only
+     when [dedup] is on — the raw walk never touches them. *)
   let keys = Array.make n ([] : _ cell list) in
-  let phash = Array.make n 0 in
+  let pdepth = Array.make n 0 in
+  let zhash = ref 0 in
+  let crash_vh = Zobrist.value_hash C_crash in
   let visited : (int, (('v, 'i) cell list array * visited_entry) list ref)
       Hashtbl.t =
     Hashtbl.create 1024
   in
   let monitor = Budget.arm ?clock budget in
+  (* An unlimited budget can never trip: skip the per-node poll, and skip
+     consing root-to-node choice paths — they exist only to seed the
+     resumable frontier a trip would produce. *)
+  let track_budget = not (Budget.is_unlimited budget) in
   (* [quiet] marks an internal segment of a larger run (the parallel
      driver's seed passes and per-unit worker calls): no span, no
      budget-trip instant, no registry publication — the driver reports
@@ -159,14 +181,6 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
   let visited_count = ref 0 in
   let nodes = ref 0 and terminals = ref 0 and deduped = ref 0
   and pruned = ref 0 and truncated = ref 0 and peak_depth = ref 0 in
-  let combine h x = (h * 0x01000193) lxor x land max_int in
-  let state_hash () =
-    let h = ref 0 in
-    for pid = 0 to n - 1 do
-      h := combine !h phash.(pid)
-    done;
-    !h
-  in
   (* Does the next op of process [i] conflict with the next op of process
      [j]?  Only a read and a write of the same (SWMR) register do. *)
   let conflict a i b j =
@@ -195,25 +209,70 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
     | Scheduler.Op_read_input j -> C_read_input (Memory.read_input mem j)
     | Scheduler.Op_halted -> assert false
   in
+  (* Record one observation of process [p]: cons the cell, XOR its
+     Zobrist contribution into the running hash. Undo is the caller
+     restoring the saved list head, length, and hash word. *)
+  let push_obs p obs =
+    keys.(p) <- obs :: keys.(p);
+    zhash :=
+      !zhash
+      lxor Zobrist.cell ~pid:p ~pos:pdepth.(p) ~vhash:(Zobrist.value_hash obs);
+    pdepth.(p) <- pdepth.(p) + 1
+  in
   (* A crashed process's trailing reads are invisible: they wrote nothing
      and its decision is void, so crashing right away and crashing after a
      few more reads reach the same state. Canonicalizing the victim's key
      (drop the read suffix, then append the crash marker) merges them.
-     Reads that precede a write must stay — they determined its value. *)
-  let drop_read_suffix key =
-    let rec go = function
-      | (C_read _ | C_read_input _) :: rest -> go rest
-      | k -> k
-    in
-    go key
+     Reads that precede a write must stay — they determined its value.
+     Each dropped cell's Zobrist contribution is XORed back out, so the
+     canonicalization is O(dropped suffix), not O(history). *)
+  let rec strip_reads p key pos h =
+    match key with
+    | ((C_read _ | C_read_input _) as c) :: rest ->
+        strip_reads p rest (pos - 1)
+          (h lxor Zobrist.cell ~pid:p ~pos:(pos - 1)
+                 ~vhash:(Zobrist.value_hash c))
+    | _ -> (key, pos, h)
   in
-  let rehash key =
-    List.fold_left (fun h c -> combine h (Hashtbl.hash c)) 0 (List.rev key)
+  let push_crash_obs p =
+    let stripped, pos, h = strip_reads p keys.(p) pdepth.(p) !zhash in
+    keys.(p) <- C_crash :: stripped;
+    zhash := h lxor Zobrist.cell ~pid:p ~pos ~vhash:crash_vh;
+    pdepth.(p) <- pos + 1
+  in
+  (* Whenever a subtree has no dedup, no POR, no budget to poll, no trace
+     to journal and no crash budget left, it is a pure product walk:
+     hand it to the fused scheduler-level DFS, which keeps per-edge undo
+     data on the call stack instead of in the journal. This covers the
+     whole tree in raw mode, and the post-last-crash subtrees of a raw
+     crashy run. *)
+  let fused =
+    (not dedup) && (not por) && (not track_budget)
+    && not (Scheduler.recording_trace state)
+  in
+  let fused_visit state depth =
+    if !Obs.Metrics.hot then Obs.Metrics.observe h_terminal_depth depth;
+    visit state
   in
   let rec node ~sleep ~depth ~crashes ~floor ~path =
-    if !stop <> None then frontier := List.rev path :: !frontier
+    if fused && crashes >= max_crashes then begin
+      let nd, tm, tr, pk =
+        Scheduler.raw_dfs state ~depth ~max_depth:max_steps ~visit:fused_visit
+          ~on_truncated
+      in
+      nodes := !nodes + nd;
+      terminals := !terminals + tm;
+      truncated := !truncated + tr;
+      if pk > !peak_depth then peak_depth := pk
+    end
+    else if track_budget && !stop <> None then
+      frontier := List.rev path :: !frontier
     else
-      match Budget.stopped monitor ~nodes:!nodes ~terminals:!terminals with
+      match
+        if track_budget then
+          Budget.stopped monitor ~nodes:!nodes ~terminals:!terminals
+        else None
+      with
       | Some r ->
           stop := Some r;
           if not quiet then begin
@@ -231,32 +290,17 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
       | None -> begin
           incr nodes;
           if depth > !peak_depth then peak_depth := depth;
-          let enabled = ref 0 in
-          Scheduler.iter_running state (fun p ->
-              enabled := !enabled lor (1 lsl p));
-          let enabled = !enabled in
+          let enabled = Scheduler.running_mask state in
           let terminal = enabled = 0 in
           let sleep = if por then sleep land enabled else 0 in
-          let fresh () =
-            if terminal then begin
-              incr terminals;
-              if !Obs.Metrics.hot then
-                Obs.Metrics.observe h_terminal_depth depth;
-              visit state
-            end
-            else begin
-              pruned := !pruned + popcount sleep;
-              expand ~step_mask:(enabled land lnot sleep) ~covered:sleep
-                ~crash_lo:floor ~crash_hi:n ~depth ~crashes ~enabled ~path
-            end
-          in
           if (not terminal) && depth >= max_steps then begin
             incr truncated;
             on_truncated state
           end
-          else if not dedup then fresh ()
+          else if not dedup then
+            fresh ~sleep ~depth ~crashes ~floor ~enabled ~path
           else begin
-            let h = state_hash () in
+            let h = !zhash in
             let bucket =
               match Hashtbl.find_opt visited h with
               | Some b -> b
@@ -278,7 +322,7 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
                     :: !bucket;
                   incr visited_count
                 end;
-                fresh ()
+                fresh ~sleep ~depth ~crashes ~floor ~enabled ~path
             | Some (_, _) when terminal -> incr deduped
             | Some (_, e) ->
                 (* Transitions slept on every earlier visit but awake now
@@ -305,24 +349,37 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
                 end
           end
         end
+  and fresh ~sleep ~depth ~crashes ~floor ~enabled ~path =
+    if enabled = 0 then begin
+      incr terminals;
+      if !Obs.Metrics.hot then Obs.Metrics.observe h_terminal_depth depth;
+      visit state
+    end
+    else begin
+      if sleep <> 0 then pruned := !pruned + popcount sleep;
+      expand ~step_mask:(enabled land lnot sleep) ~covered:sleep
+        ~crash_lo:floor ~crash_hi:n ~depth ~crashes ~enabled ~path
+    end
   and expand ~step_mask ~covered ~crash_lo ~crash_hi ~depth ~crashes ~enabled
       ~path =
     let covered = ref covered in
     for p = 0 to n - 1 do
       if step_mask land (1 lsl p) <> 0 then begin
-        let op = Scheduler.peek state p in
-        let child_sleep = if por then indep_filter op p !covered else 0 in
-        let obs = observation p in
-        let old_key = keys.(p) and old_h = phash.(p) in
-        keys.(p) <- obs :: old_key;
-        phash.(p) <- combine old_h (Hashtbl.hash obs);
+        let child_sleep =
+          if por then indep_filter (Scheduler.peek state p) p !covered else 0
+        in
+        let old_key = keys.(p) and old_h = !zhash in
+        if dedup then push_obs p (observation p);
         let m = Scheduler.journal_mark state in
         Scheduler.step state p;
         node ~sleep:child_sleep ~depth:(depth + 1) ~crashes ~floor:0
-          ~path:(Budget.Step p :: path);
+          ~path:(if track_budget then Budget.Step p :: path else path);
         Scheduler.undo_to state m;
-        keys.(p) <- old_key;
-        phash.(p) <- old_h;
+        if dedup then begin
+          keys.(p) <- old_key;
+          pdepth.(p) <- pdepth.(p) - 1;
+          zhash := old_h
+        end;
         covered := !covered lor (1 lsl p)
       end
     done;
@@ -333,16 +390,19 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
              every other process's next op, so the whole covered set stays
              asleep in the crash subtree. *)
           let child_sleep = if por then !covered land lnot (1 lsl p) else 0 in
-          let old_key = keys.(p) and old_h = phash.(p) in
-          keys.(p) <- C_crash :: drop_read_suffix old_key;
-          phash.(p) <- rehash keys.(p);
+          let old_key = keys.(p) and old_h = !zhash and old_d = pdepth.(p) in
+          if dedup then push_crash_obs p;
           let m = Scheduler.journal_mark state in
           Scheduler.crash state p;
           node ~sleep:child_sleep ~depth ~crashes:(crashes + 1)
-            ~floor:(p + 1) ~path:(Budget.Crash p :: path);
+            ~floor:(p + 1)
+            ~path:(if track_budget then Budget.Crash p :: path else path);
           Scheduler.undo_to state m;
-          keys.(p) <- old_key;
-          phash.(p) <- old_h
+          if dedup then begin
+            keys.(p) <- old_key;
+            pdepth.(p) <- old_d;
+            zhash := old_h
+          end
         end
       done
   in
@@ -354,22 +414,21 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
   let run_prefix prefix =
     if !stop <> None then frontier := prefix :: !frontier
     else begin
-      let saved_keys = Array.copy keys and saved_phash = Array.copy phash in
+      let saved_keys = Array.copy keys
+      and saved_pdepth = Array.copy pdepth
+      and saved_zhash = !zhash in
       let m0 = Scheduler.journal_mark state in
       let depth = ref 0 and crashes = ref 0 and floor = ref 0 in
       List.iter
         (fun choice ->
           match choice with
           | Budget.Step p ->
-              let obs = observation p in
-              keys.(p) <- obs :: keys.(p);
-              phash.(p) <- combine phash.(p) (Hashtbl.hash obs);
+              if dedup then push_obs p (observation p);
               Scheduler.step state p;
               incr depth;
               floor := 0
           | Budget.Crash p ->
-              keys.(p) <- C_crash :: drop_read_suffix keys.(p);
-              phash.(p) <- rehash keys.(p);
+              if dedup then push_crash_obs p;
               Scheduler.crash state p;
               incr crashes;
               floor := p + 1)
@@ -378,7 +437,8 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
         ~path:(List.rev prefix);
       Scheduler.undo_to state m0;
       Array.blit saved_keys 0 keys 0 n;
-      Array.blit saved_phash 0 phash 0 n
+      Array.blit saved_pdepth 0 pdepth 0 n;
+      zhash := saved_zhash
     end
   in
   (* Visitors may abort the walk by raising ([find], the harness's early

@@ -16,6 +16,9 @@ type ('v, 'i) t = {
   n : int;
   budget : Bits.Width.budget;
   measure : 'v Bits.Width.measure;
+  untracked : bool;
+      (* Unbounded budget with the canonical zero measure: no width to
+         check, no maximum to bump, no histogram to feed. *)
   regs : 'v array;
   inputs : 'i option array;
   mutable reads : int;
@@ -25,10 +28,19 @@ type ('v, 'i) t = {
 
 let create ~n ~budget ~measure ~init =
   Bits.Width.check budget (measure init);
+  let untracked =
+    match budget with
+    | Bits.Width.Unbounded ->
+        (* [Bits.Width.unbounded] is a top-level constant closure, so
+           physical equality identifies the canonical zero measure. *)
+        measure == Bits.Width.unbounded
+    | Bits.Width.Bounded _ -> false
+  in
   {
     n;
     budget;
     measure;
+    untracked;
     regs = Array.make n init;
     inputs = Array.make n None;
     reads = 0;
@@ -38,8 +50,9 @@ let create ~n ~budget ~measure ~init =
 
 let n t = t.n
 let budget t = t.budget
+let is_untracked t = t.untracked
 
-let write t ~pid v =
+let write_tracked t pid v =
   let bits = t.measure v in
   Bits.Width.check t.budget bits;
   if bits > t.max_bits then t.max_bits <- bits;
@@ -50,12 +63,48 @@ let write t ~pid v =
     Obs.Metrics.observe width_hist bits
   end
 
+let[@inline] write t ~pid v =
+  if t.untracked && not !Obs.Metrics.hot then begin
+    t.regs.(pid) <- v;
+    t.writes <- t.writes + 1
+  end
+  else write_tracked t pid v
+
 let read t j =
   t.reads <- t.reads + 1;
   if !Obs.Metrics.hot then Obs.Metrics.inc m_reads;
   t.regs.(j)
 
-let peek t j = t.regs.(j)
+let[@inline] peek t j = t.regs.(j)
+
+(* [j] comes from the scheduler's fused walk (a running pid) — in range
+   by construction. *)
+let[@inline] peek_trusted t j = Array.unsafe_get t.regs j
+
+(* [poke]/[unpoke] pids come from the scheduler's fused walk, which only
+   steps pids it started — in range by construction. *)
+let[@inline] poke t ~pid v =
+  Array.unsafe_set t.regs pid v;
+  t.writes <- t.writes + 1
+
+let[@inline] unpoke t ~pid ~old =
+  Array.unsafe_set t.regs pid old;
+  t.writes <- t.writes - 1
+
+(* [poke_imm]/[unpoke_imm]: the caller has checked that both the stored
+   value and the value it overwrites are runtime immediates
+   ([Obj.is_int]), so the store needs no write barrier — neither the
+   remembered set (nothing young is being pointed at) nor the deletion
+   barrier (nothing white is being dropped) applies. The [int array] cast
+   is sound for the same reason: an array observed to hold an immediate
+   cannot be a flat float array. *)
+let[@inline] poke_imm t ~pid v =
+  Array.unsafe_set (Obj.magic t.regs : int array) pid (Obj.magic v : int);
+  t.writes <- t.writes + 1
+
+let[@inline] unpoke_imm t ~pid ~old =
+  Array.unsafe_set (Obj.magic t.regs : int array) pid (Obj.magic old : int);
+  t.writes <- t.writes - 1
 
 let write_input t ~pid v =
   (match t.inputs.(pid) with
@@ -73,17 +122,10 @@ let reads_performed t = t.reads
 let writes_performed t = t.writes
 let max_bits_written t = t.max_bits
 
-type ('v, 'i) undo =
-  | U_none
-  | U_write of { pid : int; old : 'v; old_max_bits : int }
-  | U_read
-  | U_write_input of int
+let[@inline] unwrite t ~pid ~old ~old_max_bits =
+  t.regs.(pid) <- old;
+  t.writes <- t.writes - 1;
+  t.max_bits <- old_max_bits
 
-let undo t = function
-  | U_none -> ()
-  | U_write { pid; old; old_max_bits } ->
-      t.regs.(pid) <- old;
-      t.writes <- t.writes - 1;
-      t.max_bits <- old_max_bits
-  | U_read -> t.reads <- t.reads - 1
-  | U_write_input pid -> t.inputs.(pid) <- None
+let[@inline] unread t = t.reads <- t.reads - 1
+let[@inline] unwrite_input t pid = t.inputs.(pid) <- None

@@ -50,20 +50,51 @@ val writes_performed : ('v, 'i) t -> int
 val max_bits_written : ('v, 'i) t -> int
 (** Largest measured width over all writes so far (0 if none). *)
 
+(** {1 Untracked fast path}
+
+    A memory is {e untracked} when its budget is [Unbounded] and its
+    measure is the canonical {!Bits.Width.unbounded}: every width is 0 by
+    construction, so there is no budget to check, no maximum to bump and
+    no histogram to feed. Hot loops that have hoisted the test (and the
+    metrics gate) may then write through {!poke}/{!unpoke} — a register
+    store and a counter bump, nothing else. *)
+
+val is_untracked : ('v, 'i) t -> bool
+
+val peek_trusted : ('v, 'i) t -> int -> 'v
+(** {!peek} without the bounds check — the index must be a valid pid. *)
+
+val poke : ('v, 'i) t -> pid:int -> 'v -> unit
+(** {!write} minus width accounting and metrics. Only sound on an
+    untracked memory with metrics cold. *)
+
+val unpoke : ('v, 'i) t -> pid:int -> old:'v -> unit
+(** Revert one {!poke}. *)
+
+val poke_imm : ('v, 'i) t -> pid:int -> 'v -> unit
+(** {!poke} without the write barrier. Only sound when both the stored
+    value and the register's current value are runtime immediates
+    ([Obj.is_int]) — the caller must check both. *)
+
+val unpoke_imm : ('v, 'i) t -> pid:int -> old:'v -> unit
+(** Revert one {!poke_imm}; same immediacy obligation. *)
+
 (** {1 Undo support}
 
-    One token per memory operation, built by {!Scheduler.step} when its undo
-    journal is enabled and applied in reverse order on backtrack. Reverting a
-    write restores both the register and the statistics counters, so a
-    backtracking search observes exactly the counters of the execution path
-    it is currently on. *)
+    Reverse operations, called by {!Scheduler.undo_to} when replaying its
+    journal backwards. Operands arrive as plain arguments (the journal
+    keeps them in flat arrays), so reverting allocates nothing. Reverting
+    a write restores both the register and the statistics counters, so a
+    backtracking search observes exactly the counters of the execution
+    path it is currently on. Calls must mirror the forward operations in
+    LIFO order. *)
 
-type ('v, 'i) undo =
-  | U_none  (** operations that left the memory untouched *)
-  | U_write of { pid : int; old : 'v; old_max_bits : int }
-  | U_read
-  | U_write_input of int
+val unwrite : ('v, 'i) t -> pid:int -> old:'v -> old_max_bits:int -> unit
+(** Revert one {!write}: restore the register's previous value, the write
+    counter, and the max-width statistic. *)
 
-val undo : ('v, 'i) t -> ('v, 'i) undo -> unit
-(** Revert one operation. Tokens must be applied in LIFO order with respect
-    to the operations they describe. *)
+val unread : ('v, 'i) t -> unit
+(** Revert one {!read} (the read counter). *)
+
+val unwrite_input : ('v, 'i) t -> int -> unit
+(** Revert one {!write_input}: the input register becomes empty again. *)

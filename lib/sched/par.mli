@@ -81,8 +81,12 @@ val explore :
     sequentially ([units = 0]).
 
     [fold] and [init] must be domain-safe: units run concurrently, each
-    with its own [init ()] state and its own accumulator. [fold] gets the
-    engine's usual journaled-state view (read, don't step/retain).
+    with its own [init ()] state and its own accumulator. In particular,
+    an [init] built on {!Scheduler.start} compiles the programs afresh
+    inside each unit — compiled code is mutable and single-domain, so
+    [init] must never close over a shared {!Program.Compiled.code} (use
+    {!Scheduler.start_compiled} only for sequential reuse). [fold] gets
+    the engine's usual journaled-state view (read, don't step/retain).
     [merge] needs no commutativity — the reduction order is fixed — but
     [zero] should be its identity, since every unit starts from [zero].
 

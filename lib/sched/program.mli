@@ -47,3 +47,71 @@ module Infix : sig
   val ( let* ) : ('v, 'i, 'a) t -> ('a -> ('v, 'i, 'b) t) -> ('v, 'i, 'b) t
   val ( let+ ) : ('v, 'i, 'a) t -> ('a -> 'b) -> ('v, 'i, 'b) t
 end
+
+(** {1 Step-compiled programs}
+
+    The free monad above is the authoring surface; {!Compiled} is the
+    execution surface. {!compile} lowers a program into flat parallel
+    arrays indexed by a program counter — opcode and register operand
+    as ints, continuations resolved to slot indices — so a scheduler's
+    inner loop dispatches on [op code pc] with {e zero} allocation per
+    atomic operation. Lowering is lazy and memoized: the first
+    execution of a position invokes the free-monad continuation once
+    (for reads, once per distinct value read, keyed by structural
+    equality — sound because protocol code is pure between steps) and
+    every later execution is an array read.
+
+    A compiled program is mutable (it grows as new positions are
+    reached). Sharing one across sequential runs, copies, and
+    undo-based backtracking is safe and is where the memoization pays;
+    sharing one across [Domain]s is not — parallel drivers give each
+    worker its own compilation (see {!Par}). *)
+
+module Compiled : sig
+  type ('v, 'i, 'a) code
+
+  val of_program : ('v, 'i, 'a) t -> ('v, 'i, 'a) code
+  (** Lower a program; only the root slot is materialized, the rest
+      compiles on first execution. *)
+
+  val root : int
+  (** The entry program counter of every compiled program. *)
+
+  val length : ('v, 'i, 'a) code -> int
+  (** Number of program positions materialized so far. *)
+
+  (** {2 Execution interface (used by {!Scheduler})}
+
+      Opcodes are dense small ints so the dispatch compiles to a jump
+      table. *)
+
+  val op_write : int
+  val op_read : int
+  val op_write_input : int
+  val op_read_input : int
+  val op_return : int
+  val op_output : int
+
+  val op : ('v, 'i, 'a) code -> int -> int
+  val reg : ('v, 'i, 'a) code -> int -> int
+
+  val write_value : ('v, 'i, 'a) code -> int -> 'v
+  val input_value : ('v, 'i, 'a) code -> int -> 'i
+  val decision : ('v, 'i, 'a) code -> int -> 'a
+
+  val decision_some : ('v, 'i, 'a) code -> int -> 'a option
+  (** The decision of a return / output slot as its compile-time [Some]
+      block — always [Some]; storing it announces the decision without
+      allocating per execution. *)
+
+  val next_unit : ('v, 'i, 'a) code -> int -> int
+  (** Continuation of a write / write_input / output slot. *)
+
+  val next_read : ('v, 'i, 'a) code -> int -> 'v -> int
+  (** Continuation of a read slot for the value just read. *)
+
+  val next_read_input : ('v, 'i, 'a) code -> int -> 'i option -> int
+end
+
+val compile : ('v, 'i, 'a) t -> ('v, 'i, 'a) Compiled.code
+(** Alias for {!Compiled.of_program}. *)

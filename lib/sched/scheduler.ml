@@ -1,33 +1,80 @@
 type 'a status = Running | Decided of 'a | Crashed
 
-(* One journal entry per {!step}/{!crash} when journaling is on. A step
-   changes at most: the process's program, its status/output (via [settle]),
-   the trace head, one memory cell and the memory counters, and the two step
-   counters — so reverting is O(1) regardless of system size. *)
-type ('v, 'i, 'a) undo_entry =
-  | U_step of {
-      pid : int;
-      old_prog : ('v, 'i, 'a) Program.t;
-      old_status : 'a status;
-      old_output : 'a option;
-      old_events : 'v Trace.event list;
-      mem_undo : ('v, 'i) Memory.undo;
-    }
-  | U_crash of { pid : int; old_events : 'v Trace.event list }
+module C = Program.Compiled
 
+(* Execution runs over the step-compiled form ({!Program.Compiled}): a
+   process's suspended program is an int program counter into its
+   compiled code, so a step is opcode dispatch plus a couple of array
+   stores — no constructor or closure allocation per atomic op. [start]
+   compiles the free-monad programs it is given; [start_compiled] reuses
+   code compiled earlier (single-domain reuse only — compiled code
+   memoizes in place).
+
+   The undo journal is a flat column arena rather than a list of entry
+   records: one slot per {!step}/{!crash} spread over parallel arrays
+   (kind, pid, old pc, old write value, old width statistic, old output,
+   old trace head). A mark is the arena cursor; undoing rewinds the
+   cursor, replaying slots in reverse. A step changes at most: the
+   process's pc, its status/output (via [settle]), the trace head, one
+   memory cell and the memory counters, and the two step counters — so
+   a slot is O(1) to write and to revert, and pushing one allocates
+   nothing (growth is amortized doubling). *)
+
+(* Statuses live in an int array ([s_running]/[s_decided]/[s_crashed]),
+   not an ['a status array]: the hot loop then never allocates a
+   [Decided] block or pays a [caml_modify] write barrier to flip a
+   status, and the public {!status} view is reconstructed on demand — a
+   decided process's pc still sits on its [Return] slot, so the decision
+   value is one payload read away. [running] caches the running-pid
+   bitmask ({!running_mask} is a field read); it is maintained by
+   [settle], [crash] and [undo_to] and meaningful for [pid < Sys.int_size]
+   like the mask itself. *)
 type ('v, 'i, 'a) state = {
   mem : ('v, 'i) Memory.t;
-  progs : ('v, 'i, 'a) Program.t array;
-  status : 'a status array;
-  outputs : 'a option array;
+  code : ('v, 'i, 'a) C.code array;  (* per pid; may share elements *)
+  pcs : int array;
+  status : int array;
+  mutable running : int;
+  (* Announced decisions, as the pc of the [Return]/[Output] slot whose
+     payload holds the value ([-1] = none yet). An int store per decide
+     instead of a [Some] store into an ['a option array] — no write
+     barrier on the explorer's final edges; the option view is
+     reconstructed on demand from the payload's compile-time [Some]
+     block, so reading allocates nothing either. *)
+  out_pcs : int array;
   step_counts : int array;
   mutable total_steps : int;
   mutable events : 'v Trace.event list;
   record_trace : bool;
   mutable journaling : bool;
-  mutable journal : ('v, 'i, 'a) undo_entry array;
-  mutable journal_len : int;
+  (* journal columns; all the same capacity, [j_len] slots live *)
+  mutable j_kind : int array;
+  mutable j_pid : int array;
+  mutable j_pc : int array;
+  mutable j_bits : int array;
+  mutable j_val : 'v array;
+  mutable j_events : 'v Trace.event list array;
+  mutable j_len : int;
 }
+
+let s_running = 0
+let s_decided = 1
+let s_crashed = 2
+
+(* Journal slot kinds, in the low bits of [j_kind]. [k_decided_bit] is
+   ORed in when the step's [settle] announced the process's decision
+   (outputs transition once, [-1] to a payload pc, so undoing such a step
+   just resets the slot's pid to [-1] — no old-output column needed).
+   The trace-head column [j_events] is only written and restored when
+   [record_trace] is on: an untraced run's event list is always [], and
+   skipping the store also skips its write barrier in the hot loop. *)
+let k_read = 0
+let k_write = 1
+let k_write_input = 2
+let k_read_input = 3
+let k_crash = 4
+let k_base_mask = 7
+let k_decided_bit = 8
 
 let m_steps = Obs.Metrics.counter "sched.steps"
 let m_crashes = Obs.Metrics.counter "sched.crashes"
@@ -64,41 +111,63 @@ let record_write t pid v =
 let record_read t pid j v =
   if t.record_trace || !Obs.Sink.active then record t pid (Trace.Read (j, v))
 
-(* [Return] and [Output] heads need no memory step: deciding is local. *)
-let rec settle t pid =
-  match t.progs.(pid) with
-  | Program.Return v ->
-      t.status.(pid) <- Decided v;
-      if t.outputs.(pid) = None then t.outputs.(pid) <- Some v;
-      if !Obs.Metrics.hot then Obs.Metrics.inc m_decides;
-      record t pid Trace.Decide
-  | Program.Output (v, k) ->
-      if t.outputs.(pid) = None then begin
-        t.outputs.(pid) <- Some v;
-        if !Obs.Metrics.hot then Obs.Metrics.inc m_decides;
-        record t pid Trace.Decide
-      end;
-      t.progs.(pid) <- k ();
-      settle t pid
-  | Program.Write _ | Program.Read _ | Program.Write_input _
-  | Program.Read_input _ ->
-      ()
+(* [Return] and [Output] heads need no memory step: deciding is local.
+   When the settled step is journaled (its slot is [j_len - 1] — [step]
+   pushes the slot before settling), a [None -> Some] output transition
+   marks that slot with [k_decided_bit] so undo can reset the output. *)
+let mark_decided t =
+  if t.journaling then begin
+    let l = t.j_len - 1 in
+    t.j_kind.(l) <- t.j_kind.(l) lor k_decided_bit
+  end
 
-let start ?(record_trace = false) ~memory ~programs () =
+let rec settle t pid =
+  let code = t.code.(pid) in
+  let pc = t.pcs.(pid) in
+  let op = C.op code pc in
+  if op = C.op_return then begin
+    t.status.(pid) <- s_decided;
+    t.running <- t.running land lnot (1 lsl pid);
+    if t.out_pcs.(pid) < 0 then begin
+      t.out_pcs.(pid) <- pc;
+      mark_decided t
+    end;
+    if !Obs.Metrics.hot then Obs.Metrics.inc m_decides;
+    if t.record_trace || !Obs.Sink.active then record t pid Trace.Decide
+  end
+  else if op = C.op_output then begin
+    if t.out_pcs.(pid) < 0 then begin
+      t.out_pcs.(pid) <- pc;
+      mark_decided t;
+      if !Obs.Metrics.hot then Obs.Metrics.inc m_decides;
+      if t.record_trace || !Obs.Sink.active then record t pid Trace.Decide
+    end;
+    t.pcs.(pid) <- C.next_unit code pc;
+    settle t pid
+  end
+
+let start_compiled ?(record_trace = false) ~memory ~programs () =
   let n = Memory.n memory in
   let t =
     {
       mem = memory;
-      progs = Array.init n programs;
-      status = Array.make n Running;
-      outputs = Array.make n None;
+      code = Array.init n programs;
+      pcs = Array.make n C.root;
+      status = Array.make n s_running;
+      running = (if n >= Sys.int_size then -1 else (1 lsl n) - 1);
+      out_pcs = Array.make n (-1);
       step_counts = Array.make n 0;
       total_steps = 0;
       events = [];
       record_trace;
       journaling = false;
-      journal = [||];
-      journal_len = 0;
+      j_kind = [||];
+      j_pid = [||];
+      j_pc = [||];
+      j_bits = [||];
+      j_val = [||];
+      j_events = [||];
+      j_len = 0;
     }
   in
   for pid = 0 to n - 1 do
@@ -106,79 +175,102 @@ let start ?(record_trace = false) ~memory ~programs () =
   done;
   t
 
+let start ?record_trace ~memory ~programs () =
+  start_compiled ?record_trace ~memory
+    ~programs:(fun pid -> Program.compile (programs pid))
+    ()
+
 let memory t = t.mem
 let n t = Memory.n t.mem
 
-let push_entry t e =
-  let cap = Array.length t.journal in
-  if t.journal_len = cap then begin
-    let grown = Array.make (if cap = 0 then 64 else 2 * cap) e in
-    Array.blit t.journal 0 grown 0 cap;
-    t.journal <- grown
-  end;
-  t.journal.(t.journal_len) <- e;
-  t.journal_len <- t.journal_len + 1
+(* Grow every journal column together. The value column needs a fill
+   element of type ['v]; any live register supplies one ([pid] indexes a
+   process that is mid-step, so the memory is nonempty). *)
+let grow_journal t pid =
+  let cap = Array.length t.j_kind in
+  let cap' = if cap = 0 then 256 else 2 * cap in
+  let extend a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  t.j_kind <- extend t.j_kind 0;
+  t.j_pid <- extend t.j_pid 0;
+  t.j_pc <- extend t.j_pc 0;
+  t.j_bits <- extend t.j_bits 0;
+  t.j_val <- extend t.j_val (Memory.peek t.mem pid);
+  t.j_events <- extend t.j_events []
 
 let step t pid =
-  (match t.status.(pid) with
-  | Running -> ()
-  | Decided _ | Crashed ->
-      invalid_arg (Printf.sprintf "Scheduler.step: process %d halted" pid));
+  if t.status.(pid) <> s_running then
+    invalid_arg (Printf.sprintf "Scheduler.step: process %d halted" pid);
+  let code = t.code.(pid) in
+  let pc = t.pcs.(pid) in
+  let op = C.op code pc in
   let journaling = t.journaling in
-  let old_prog = t.progs.(pid)
-  and old_output = t.outputs.(pid)
-  and old_events = t.events in
-  let mem_undo =
-    match t.progs.(pid) with
-    | Program.Return _ | Program.Output _ -> assert false (* settled away *)
-    | Program.Write (v, k) ->
-        let u =
-          if journaling then
-            Memory.U_write
-              {
-                pid;
-                old = Memory.peek t.mem pid;
-                old_max_bits = Memory.max_bits_written t.mem;
-              }
-          else Memory.U_none
-        in
-        Memory.write t.mem ~pid v;
-        record_write t pid v;
-        t.progs.(pid) <- k ();
-        u
-    | Program.Read (j, k) ->
-        let v = Memory.read t.mem j in
-        record_read t pid j v;
-        t.progs.(pid) <- k v;
-        if journaling then Memory.U_read else Memory.U_none
-    | Program.Write_input (v, k) ->
-        Memory.write_input t.mem ~pid v;
-        record t pid Trace.Write_input;
-        t.progs.(pid) <- k ();
-        if journaling then Memory.U_write_input pid else Memory.U_none
-    | Program.Read_input (j, k) ->
-        let v = Memory.read_input t.mem j in
-        record t pid (Trace.Read_input j);
-        t.progs.(pid) <- k v;
-        Memory.U_none
-  in
+  let l = t.j_len in
+  (* Journal-column writes at [l] use unsafe indexing: the grow check
+     just above guarantees [l < capacity], and every column shares that
+     capacity. [pid] was bounds-checked by the status guard. *)
+  if journaling then begin
+    if l = Array.length t.j_kind then grow_journal t pid;
+    Array.unsafe_set t.j_pid l pid;
+    Array.unsafe_set t.j_pc l pc;
+    if t.record_trace then t.j_events.(l) <- t.events;
+    t.j_len <- l + 1
+  end;
+  if op = C.op_write then begin
+    if journaling then begin
+      Array.unsafe_set t.j_kind l k_write;
+      t.j_val.(l) <- Memory.peek t.mem pid;
+      Array.unsafe_set t.j_bits l (Memory.max_bits_written t.mem)
+    end;
+    let v = C.write_value code pc in
+    Memory.write t.mem ~pid v;
+    record_write t pid v;
+    t.pcs.(pid) <- C.next_unit code pc
+  end
+  else if op = C.op_read then begin
+    if journaling then Array.unsafe_set t.j_kind l k_read;
+    let j = C.reg code pc in
+    let v = Memory.read t.mem j in
+    record_read t pid j v;
+    t.pcs.(pid) <- C.next_read code pc v
+  end
+  else if op = C.op_write_input then begin
+    if journaling then Array.unsafe_set t.j_kind l k_write_input;
+    Memory.write_input t.mem ~pid (C.input_value code pc);
+    record t pid Trace.Write_input;
+    t.pcs.(pid) <- C.next_unit code pc
+  end
+  else if op = C.op_read_input then begin
+    if journaling then Array.unsafe_set t.j_kind l k_read_input;
+    let j = C.reg code pc in
+    let v = Memory.read_input t.mem j in
+    record t pid (Trace.Read_input j);
+    t.pcs.(pid) <- C.next_read_input code pc v
+  end
+  else assert false (* Return/Output heads are settled away *);
   t.step_counts.(pid) <- t.step_counts.(pid) + 1;
   t.total_steps <- t.total_steps + 1;
   if !Obs.Metrics.hot then Obs.Metrics.inc m_steps;
-  settle t pid;
-  if journaling then
-    push_entry t
-      (U_step
-         { pid; old_prog; old_status = Running; old_output; old_events;
-           mem_undo })
+  (* [settle] only acts on [Return]/[Output] heads ([op >= op_return]);
+     checking here keeps non-final steps call-free. *)
+  if C.op code t.pcs.(pid) >= C.op_return then settle t pid
 
 let crash t pid =
-  (match t.status.(pid) with
-  | Running -> ()
-  | Decided _ | Crashed ->
-      invalid_arg (Printf.sprintf "Scheduler.crash: process %d halted" pid));
-  if t.journaling then push_entry t (U_crash { pid; old_events = t.events });
-  t.status.(pid) <- Crashed;
+  if t.status.(pid) <> s_running then
+    invalid_arg (Printf.sprintf "Scheduler.crash: process %d halted" pid);
+  if t.journaling then begin
+    let l = t.j_len in
+    if l = Array.length t.j_kind then grow_journal t pid;
+    t.j_kind.(l) <- k_crash;
+    t.j_pid.(l) <- pid;
+    if t.record_trace then t.j_events.(l) <- t.events;
+    t.j_len <- l + 1
+  end;
+  t.status.(pid) <- s_crashed;
+  t.running <- t.running land lnot (1 lsl pid);
   if !Obs.Metrics.hot then Obs.Metrics.inc m_crashes;
   record t pid Trace.Crash
 
@@ -187,27 +279,261 @@ let crash t pid =
 type journal_mark = int
 
 let enable_journal t = t.journaling <- true
-let journal_mark t = t.journal_len
+let journal_mark t = t.j_len
 
 let undo_to t m =
-  if m > t.journal_len || m < 0 then
+  if m > t.j_len || m < 0 then
     invalid_arg "Scheduler.undo_to: mark is not in the journal";
-  while t.journal_len > m do
-    t.journal_len <- t.journal_len - 1;
-    match t.journal.(t.journal_len) with
-    | U_step { pid; old_prog; old_status; old_output; old_events; mem_undo }
-      ->
-        t.progs.(pid) <- old_prog;
-        t.status.(pid) <- old_status;
-        t.outputs.(pid) <- old_output;
-        t.events <- old_events;
-        t.step_counts.(pid) <- t.step_counts.(pid) - 1;
-        t.total_steps <- t.total_steps - 1;
-        Memory.undo t.mem mem_undo
-    | U_crash { pid; old_events } ->
-        t.status.(pid) <- Running;
-        t.events <- old_events
+  (* Unsafe journal-column reads: [l < j_len <= capacity] throughout. *)
+  while t.j_len > m do
+    let l = t.j_len - 1 in
+    t.j_len <- l;
+    let pid = Array.unsafe_get t.j_pid l in
+    let kind = Array.unsafe_get t.j_kind l in
+    let base = kind land k_base_mask in
+    (* The status before any journaled step or crash is [s_running]. *)
+    if base = k_crash then begin
+      t.status.(pid) <- s_running;
+      t.running <- t.running lor (1 lsl pid);
+      if t.record_trace then t.events <- t.j_events.(l)
+    end
+    else begin
+      t.pcs.(pid) <- Array.unsafe_get t.j_pc l;
+      t.status.(pid) <- s_running;
+      t.running <- t.running lor (1 lsl pid);
+      (* Outputs transition once ([-1] -> a payload pc), so the decided
+         bit is a full inverse: the pre-step output was necessarily
+         unset. *)
+      if kind land k_decided_bit <> 0 then t.out_pcs.(pid) <- -1;
+      if t.record_trace then t.events <- t.j_events.(l);
+      t.step_counts.(pid) <- t.step_counts.(pid) - 1;
+      t.total_steps <- t.total_steps - 1;
+      if base = k_write then
+        Memory.unwrite t.mem ~pid ~old:(t.j_val.(l))
+          ~old_max_bits:(Array.unsafe_get t.j_bits l)
+      else if base = k_read then Memory.unread t.mem
+      else if base = k_write_input then Memory.unwrite_input t.mem pid
+    end
   done
+
+(* {2 Fused raw exploration}
+
+   The explorer's raw mode (no dedup, no POR, no budget, no trace, no
+   crash budget left) is a pure depth-first product walk: step, recurse,
+   undo. Driving it through {!step}/{!undo_to} pays the journal arena a
+   full slot of stores and loads per edge, plus cross-module calls, for
+   undo state that is only ever consumed by the matching undo one frame
+   up. [raw_dfs] fuses the walk: each frame keeps the undo data (old pc,
+   overwritten register value, width statistic, output transition) in
+   locals on the OCaml stack and reverts in place, so an edge touches no
+   journal at all. Journaling is suspended for the duration (the walk
+   pushes nothing, and [settle]'s decided-bit marking must not touch a
+   caller's older slots); any enclosing journal (e.g. a replayed parallel
+   prefix) is untouched and still undoable afterwards, because the walk
+   restores the state exactly.
+
+   Observable behavior matches the journaled walk: same visit order,
+   same counters and metrics, same sink events. Requires an untraced
+   state ([record_trace = false]) — the caller gates on
+   {!recording_trace}. *)
+
+let raw_dfs t ~depth ~max_depth ~visit ~on_truncated =
+  if t.record_trace then invalid_arg "Scheduler.raw_dfs: state records traces";
+  let terminals = ref 0 and truncated = ref 0 in
+  let peak = ref depth in
+  let n = Array.length t.status in
+  (* Metrics/sink gates are snapshotted once per walk (the journaled path
+     polls them per step): a walk is one uninterrupted call, and nothing
+     in this codebase toggles either mid-exploration. *)
+  let hot = !Obs.Metrics.hot in
+  let sink = !Obs.Sink.active in
+  (* Untracked memory with metrics cold: writes go through
+     {!Memory.poke} — the [is_untracked]/hot test is paid once here
+     instead of on every edge inside {!Memory.write}. *)
+  let fast = Memory.is_untracked t.mem && not hot in
+  (* The arrays below are immutable fields of [t] (only the journal
+     columns are ever replaced, and the walk does not touch them):
+     hoisting them drops a dependent field load from every access in
+     the loop. [running]/[total_steps] are mutable fields and stay
+     behind [t]. *)
+  let mem = t.mem in
+  let codes = t.code in
+  let pcs = t.pcs in
+  let status = t.status in
+  let out_pcs = t.out_pcs in
+  let steps = t.step_counts in
+  (* [acc] threads the node count through the recursion as a register
+     instead of a heap ref bumped per node. [peak] only needs updating at
+     leaves: the deepest node of any walk ends a path. *)
+  let rec go depth acc =
+    let mask = t.running in
+    if mask = 0 then begin
+      incr terminals;
+      if depth > !peak then peak := depth;
+      visit t depth;
+      acc + 1
+    end
+    else if depth >= max_depth then begin
+      incr truncated;
+      if depth > !peak then peak := depth;
+      on_truncated t;
+      acc + 1
+    end
+    else over mask 0 depth (acc + 1)
+  and over mask p depth acc =
+    if p >= n then acc
+    else
+      over mask (p + 1) depth
+        (if mask land (1 lsl p) <> 0 then child p depth acc else acc)
+  (* Execute process [p]'s next op, recurse ([descend]), revert — the
+     op's inverse operands live in this frame. Mirrors {!step} exactly
+     (including metrics and sink events), minus the journal pushes. *)
+  and child p depth acc =
+    let code = Array.unsafe_get codes p in
+    let pc = Array.unsafe_get pcs p in
+    let op = C.op code pc in
+    Array.unsafe_set steps p (Array.unsafe_get steps p + 1);
+    t.total_steps <- t.total_steps + 1;
+    if hot then Obs.Metrics.inc m_steps;
+    if op = C.op_write then begin
+      let old_v = Memory.peek_trusted mem p in
+      let v = C.write_value code pc in
+      (* When both the new and the overwritten value are immediates the
+         store (and its inverse below) can skip the write barrier — on
+         int-valued protocols that is every edge of the walk. *)
+      let imm =
+        fast && Obj.is_int (Obj.repr v) && Obj.is_int (Obj.repr old_v)
+      in
+      let old_bits = if imm then 0 else Memory.max_bits_written mem in
+      if imm then Memory.poke_imm mem ~pid:p v
+      else if fast then Memory.poke mem ~pid:p v
+      else Memory.write mem ~pid:p v;
+      if sink then record t p (Trace.Write v);
+      let nx = C.next_unit code pc in
+      Array.unsafe_set pcs p nx;
+      let acc = descend code nx p depth acc in
+      Array.unsafe_set pcs p pc;
+      if imm then Memory.unpoke_imm mem ~pid:p ~old:old_v
+      else if fast then Memory.unpoke mem ~pid:p ~old:old_v
+      else Memory.unwrite mem ~pid:p ~old:old_v ~old_max_bits:old_bits;
+      unstep p acc
+    end
+    else if op = C.op_read then begin
+      let j = C.reg code pc in
+      let v = Memory.read mem j in
+      if sink then record t p (Trace.Read (j, v));
+      let nx = C.next_read code pc v in
+      Array.unsafe_set pcs p nx;
+      let acc = descend code nx p depth acc in
+      Array.unsafe_set pcs p pc;
+      Memory.unread mem;
+      unstep p acc
+    end
+    else if op = C.op_write_input then begin
+      Memory.write_input mem ~pid:p (C.input_value code pc);
+      if sink then record t p Trace.Write_input;
+      let nx = C.next_unit code pc in
+      Array.unsafe_set pcs p nx;
+      let acc = descend code nx p depth acc in
+      Array.unsafe_set pcs p pc;
+      Memory.unwrite_input mem p;
+      unstep p acc
+    end
+    else begin
+      (* op_read_input: reads an input register, no memory counter *)
+      let j = C.reg code pc in
+      let v = Memory.read_input mem j in
+      if sink then record t p (Trace.Read_input j);
+      let nx = C.next_read_input code pc v in
+      Array.unsafe_set pcs p nx;
+      let acc = descend code nx p depth acc in
+      Array.unsafe_set pcs p pc;
+      unstep p acc
+    end
+  (* Revert the step-counter bump; tail position of every child branch. *)
+  and unstep p acc =
+    Array.unsafe_set steps p (Array.unsafe_get steps p - 1);
+    t.total_steps <- t.total_steps - 1;
+    acc
+  (* Recurse below a step that moved [p]'s pc to [nx]. A landing op
+     below [op_return] leaves [p] running, so that child node cannot be
+     terminal: only the depth gate applies before fanning out ([go]'s
+     mask test is dead there and skipped). Final edges settle first. *)
+  and descend code nx p depth acc =
+    let opn = C.op code nx in
+    if opn >= C.op_return then settled opn nx p depth acc
+    else begin
+      let d1 = depth + 1 in
+      if d1 >= max_depth then begin
+        incr truncated;
+        if d1 > !peak then peak := d1;
+        on_truncated t;
+        acc + 1
+      end
+      else over t.running 0 d1 (acc + 1)
+    end
+  (* The step landed on the Return/Output head [pc] (opcode [opn]):
+     settle the decision, recurse, revert. [settle] with journaling
+     suspended touches exactly: status, the running mask, outputs (once,
+     unset -> a payload pc), pc (over Output heads — covered by the
+     caller's pc restore), and metrics/sink. *)
+  and settled opn pc p depth acc =
+    let had_output = Array.unsafe_get out_pcs p >= 0 in
+    (* The landing head is a plain [Return] on every final edge of a
+       non-[Output] protocol; with telemetry cold its settle is three
+       stores, inlined here along with [go] on the already-known mask,
+       and the undo is unconditional (the status certainly flipped).
+       [Output] chains and live telemetry take the general [settle]
+       (journaling is off, so [mark_decided] is inert either way). *)
+    if opn = C.op_return && (not hot) && not sink then begin
+      let mask = t.running land lnot (1 lsl p) in
+      Array.unsafe_set status p s_decided;
+      t.running <- mask;
+      if not had_output then Array.unsafe_set out_pcs p pc;
+      let d1 = depth + 1 in
+      let acc =
+        if mask = 0 then begin
+          incr terminals;
+          if d1 > !peak then peak := d1;
+          visit t d1;
+          acc + 1
+        end
+        else if d1 >= max_depth then begin
+          incr truncated;
+          if d1 > !peak then peak := d1;
+          on_truncated t;
+          acc + 1
+        end
+        else over mask 0 d1 (acc + 1)
+      in
+      Array.unsafe_set status p s_running;
+      t.running <- t.running lor (1 lsl p);
+      if not had_output then Array.unsafe_set out_pcs p (-1);
+      acc
+    end
+    else begin
+      settle t p;
+      let acc = go (depth + 1) acc in
+      if Array.unsafe_get status p <> s_running then begin
+        Array.unsafe_set status p s_running;
+        t.running <- t.running lor (1 lsl p)
+      end;
+      (* [settle] on a Return/Output head with no prior output always
+         announces one, so [not had_output] pins the inverse. *)
+      if not had_output then Array.unsafe_set out_pcs p (-1);
+      acc
+    end
+  in
+  let journaling = t.journaling in
+  t.journaling <- false;
+  let nodes =
+    Fun.protect
+      ~finally:(fun () -> t.journaling <- journaling)
+      (fun () -> go depth 0)
+  in
+  (nodes, !terminals, !truncated, !peak)
+
+let recording_trace t = t.record_trace
 
 (* {2 Inspection} *)
 
@@ -219,70 +545,82 @@ type op_view =
   | Op_halted
 
 let peek t pid =
-  match t.status.(pid) with
-  | Decided _ | Crashed -> Op_halted
-  | Running -> (
-      match t.progs.(pid) with
-      | Program.Write _ -> Op_write
-      | Program.Read (j, _) -> Op_read j
-      | Program.Write_input _ -> Op_write_input
-      | Program.Read_input (j, _) -> Op_read_input j
-      | Program.Return _ | Program.Output _ -> assert false (* settled *))
+  if t.status.(pid) <> s_running then Op_halted
+  else begin
+    let code = t.code.(pid) in
+    let pc = t.pcs.(pid) in
+    let op = C.op code pc in
+    if op = C.op_write then Op_write
+    else if op = C.op_read then Op_read (C.reg code pc)
+    else if op = C.op_write_input then Op_write_input
+    else if op = C.op_read_input then Op_read_input (C.reg code pc)
+    else assert false (* settled *)
+  end
 
-let is_running t pid =
-  match t.status.(pid) with Running -> true | Decided _ | Crashed -> false
+let is_running t pid = t.status.(pid) = s_running
 
-let status t pid = t.status.(pid)
+(* Reconstruct the variant view: a decided process's pc rests on its
+   [Return] slot, whose payload is the decision. *)
+let status t pid =
+  let s = t.status.(pid) in
+  if s = s_running then Running
+  else if s = s_crashed then Crashed
+  else Decided (C.decision t.code.(pid) t.pcs.(pid))
 
 let iter_running t f =
   for pid = 0 to n t - 1 do
-    match t.status.(pid) with
-    | Running -> f pid
-    | Decided _ | Crashed -> ()
+    if t.status.(pid) = s_running then f pid
   done
+
+(* Bitmask of running pids: maintained incrementally (one bit flip per
+   decide, crash, or undo slot), so the explorer's per-node enabled-set
+   query is a field read. *)
+let running_mask t = t.running
 
 let running_count t =
   let c = ref 0 in
   for pid = 0 to n t - 1 do
-    match t.status.(pid) with
-    | Running -> incr c
-    | Decided _ | Crashed -> ()
+    if t.status.(pid) = s_running then incr c
   done;
   !c
 
 let running t =
   let acc = ref [] in
   for pid = n t - 1 downto 0 do
-    match t.status.(pid) with
-    | Running -> acc := pid :: !acc
-    | Decided _ | Crashed -> ()
+    if t.status.(pid) = s_running then acc := pid :: !acc
   done;
   !acc
 
 let all_halted t = running_count t = 0
 
-let decisions t = Array.copy t.outputs
+(* The option view of one announced decision: the payload's compile-time
+   [Some] block, so no allocation. *)
+let output t pid =
+  let o = t.out_pcs.(pid) in
+  if o < 0 then None else C.decision_some t.code.(pid) o
+
+let decisions t = Array.init (n t) (output t)
 
 let decided_values t =
-  Array.to_list t.outputs |> List.filter_map (fun o -> o)
+  let acc = ref [] in
+  for pid = n t - 1 downto 0 do
+    match output t pid with Some v -> acc := v :: !acc | None -> ()
+  done;
+  !acc
 
 (* Every non-crashed process has announced a decision (via [Return] or
    [Output]). *)
 let all_output t =
   let ok = ref true in
   for pid = 0 to n t - 1 do
-    match t.status.(pid) with
-    | Crashed -> ()
-    | Running | Decided _ -> if t.outputs.(pid) = None then ok := false
+    if t.status.(pid) <> s_crashed && t.out_pcs.(pid) < 0 then ok := false
   done;
   !ok
 
 let crashed t =
   let acc = ref [] in
   for pid = n t - 1 downto 0 do
-    match t.status.(pid) with
-    | Crashed -> acc := pid :: !acc
-    | Running | Decided _ -> ()
+    if t.status.(pid) = s_crashed then acc := pid :: !acc
   done;
   !acc
 
@@ -294,23 +632,27 @@ let copy t =
   {
     t with
     mem = Memory.copy t.mem;
-    progs = Array.copy t.progs;
+    (* Compiled code is shared, not copied: it is an append-only memo of
+       the programs themselves, identical for every fork, and sharing it
+       lets forks reuse positions the original already compiled. (Like
+       the original, a copy must stay within one domain.) *)
+    pcs = Array.copy t.pcs;
     status = Array.copy t.status;
-    outputs = Array.copy t.outputs;
+    out_pcs = Array.copy t.out_pcs;
     step_counts = Array.copy t.step_counts;
     (* The copy cannot rewind past its creation point, and sharing the
-       journal buffer would corrupt it on divergent pushes. *)
-    journal = [||];
-    journal_len = 0;
+       journal arena would corrupt it on divergent pushes. *)
+    j_kind = [||];
+    j_pid = [||];
+    j_pc = [||];
+    j_bits = [||];
+    j_val = [||];
+    j_events = [||];
+    j_len = 0;
   }
 
 let run_schedule t pids =
-  List.iter
-    (fun pid ->
-      match t.status.(pid) with
-      | Running -> step t pid
-      | Decided _ | Crashed -> ())
-    pids
+  List.iter (fun pid -> if t.status.(pid) = s_running then step t pid) pids
 
 let run_round_robin ?(max_steps = 1_000_000) t =
   let budget = ref max_steps in

@@ -22,7 +22,21 @@ val start :
   ('v, 'i, 'a) state
 (** One program per process id [0..n-1] where [n = Memory.n memory]. A
     program that decides without taking any memory step is immediately
-    [Decided]. Traces are off by default (they cost allocation per step). *)
+    [Decided]. Traces are off by default (they cost allocation per step).
+    Programs are lowered to their step-compiled form
+    ({!Program.Compiled}) on entry; execution never re-interprets the
+    free monad. *)
+
+val start_compiled :
+  ?record_trace:bool ->
+  memory:('v, 'i) Memory.t ->
+  programs:(int -> ('v, 'i, 'a) Program.Compiled.code) ->
+  unit ->
+  ('v, 'i, 'a) state
+(** Like {!start} but reusing already-compiled programs, so repeated runs
+    of the same protocol (harness sampling, benchmarks) skip re-lowering
+    and share the positions memoized by earlier runs. Compiled code is
+    mutable: states sharing it must stay within one domain. *)
 
 val memory : ('v, 'i, 'a) state -> ('v, 'i) Memory.t
 val n : ('v, 'i, 'a) state -> int
@@ -57,6 +71,35 @@ val undo_to : ('v, 'i, 'a) state -> journal_mark -> unit
     recorded trace. Marks must be used LIFO.
     @raise Invalid_argument if the mark is ahead of the journal. *)
 
+(** {1 Fused raw exploration} *)
+
+val raw_dfs :
+  ('v, 'i, 'a) state ->
+  depth:int ->
+  max_depth:int ->
+  visit:(('v, 'i, 'a) state -> int -> unit) ->
+  on_truncated:(('v, 'i, 'a) state -> unit) ->
+  int * int * int * int
+(** Depth-first walk of every schedule of the running processes from the
+    current state, visiting each terminal state ([visit state depth]) and
+    restoring the state exactly on return. Equivalent to the explorer's
+    raw mode (no dedup, no partial-order reduction, no crashes) driven
+    through {!step}/{!undo_to}, but each edge's undo data lives in the
+    recursion frame instead of the journal, so an edge costs no journal
+    traffic at all. Nodes at [depth >= max_depth] that are not terminal
+    are not expanded: [on_truncated state] fires instead. Returns
+    [(nodes, terminals, truncated, peak_depth)], counted as the explorer
+    counts them ([depth] is the starting node's depth).
+
+    Any enclosing journal is suspended during the walk and intact after
+    it; marks taken before the call remain valid.
+    @raise Invalid_argument on a [record_trace] state — the per-step
+    trace would have to be journaled, which this walk avoids; callers
+    gate on {!recording_trace}. *)
+
+val recording_trace : ('v, 'i, 'a) state -> bool
+(** Whether the state was started with [~record_trace:true]. *)
+
 (** {1 Inspection} *)
 
 type op_view =
@@ -85,6 +128,10 @@ val iter_running : ('v, 'i, 'a) state -> (int -> unit) -> unit
 val running_count : ('v, 'i, 'a) state -> int
 (** Number of running processes, allocation-free. *)
 
+val running_mask : ('v, 'i, 'a) state -> int
+(** Bitmask of running pids (bit [pid] set iff running), allocation-free —
+    the explorer's per-node enabled set. Requires [n <= Sys.int_size]. *)
+
 val all_halted : ('v, 'i, 'a) state -> bool
 
 val all_output : ('v, 'i, 'a) state -> bool
@@ -105,7 +152,9 @@ val trace : ('v, 'i, 'a) state -> 'v Trace.event list
 val copy : ('v, 'i, 'a) state -> ('v, 'i, 'a) state
 (** Independent copy (memory deep-copied). Programs must be pure between
     steps — all per-process state in the continuation — for the copy to be a
-    true fork; every protocol in this repository is. The copy starts with an
+    true fork; every protocol in this repository is. The copy shares the
+    original's compiled code (an append-only memo, identical for every
+    fork), so both must stay within one domain. The copy starts with an
     empty undo journal: it cannot be rewound past the copy point. *)
 
 (** {1 Drivers} *)

@@ -1,0 +1,68 @@
+(* Incremental state hashing for the explorer's dedup table.
+
+   The canonical name of an exploration state is the per-process
+   observation history; hashing it from scratch is O(depth), and the
+   engine names a state at {e every} node. Zobrist hashing makes the
+   name O(1) to maintain instead: each observation cell contributes one
+   pseudo-random word determined by (pid, position-in-history, cell
+   value), the state hash is the XOR of all contributions, and XOR is
+   its own inverse — stepping XORs a contribution in, undoing XORs the
+   same contribution out. Including the per-process position keeps the
+   hash order-sensitive (plain XOR over cells would cancel repeated
+   cells and ignore history order).
+
+   The table is seeded from a fixed constant, never from entropy:
+   explorations must stay byte-deterministic across runs and across
+   domains (the table is immutable after module initialization, so
+   sharing it between domains is safe).
+
+   Hash collisions route two states to the same dedup bucket; the
+   explorer still compares full observation keys structurally inside a
+   bucket, so a collision costs a comparison, never a wrongly merged
+   state. *)
+
+let table_bits = 12
+let table_size = 1 lsl table_bits
+let table_mask = table_size - 1
+
+(* splitmix64, the usual seed-expansion PRNG: one immutable stream of
+   well-mixed words from one fixed seed. *)
+let fixed_seed = 0x7f4a7c15_9e3779b9L
+
+let table =
+  let state = ref fixed_seed in
+  Array.init table_size (fun _ ->
+      state := Int64.add !state 0x9E3779B97F4A7C15L;
+      let z = !state in
+      let z =
+        Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+          0xBF58476D1CE4E5B9L
+      in
+      let z =
+        Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+          0x94D049BB133111EBL
+      in
+      Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31))
+      land max_int)
+
+(* A fast 63-bit finalizer (splitmix64's, on native ints): the table
+   word randomizes the position, the finalizer entangles it with the
+   value hash so swapping two cells' values across positions cannot
+   cancel. *)
+let[@inline] mix x =
+  let x = x * 0x9E3779B97F4A7C1 in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0xBF58476D1CE4E5B in
+  (x lxor (x lsr 32)) land max_int
+
+(* [Stdlib.Hashtbl.hash] stops after 10 meaningful nodes: two register
+   values that differ only past the tenth leaf hash identically, so deep
+   observation values all landed in one dedup bucket (the old explorer
+   hashed cells with it directly). 256 nodes of both kinds is deep
+   enough for every value this repository stores in a register while
+   staying O(1) per cell. *)
+let value_hash v = Hashtbl.hash_param 256 256 v
+
+let cell ~pid ~pos ~vhash =
+  let slot = table.(((pid lsl 7) + pos) land table_mask) in
+  mix (slot lxor vhash lxor ((pid * 0x1003F) + (pos lsl 20)))

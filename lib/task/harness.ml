@@ -180,20 +180,42 @@ let check_random ~task ~algorithm ?resilience ?(max_steps = 100_000) ~runs
   let configurations = Array.of_list (Task.input_configurations task) in
   if Array.length configurations = 0 then
     invalid_arg "Harness.check_random: task admits no input configuration";
+  (* Compiled-program cache, one slot per input configuration: the seeded
+     loop replays the same protocols up to [runs] times, and compiled
+     code both skips re-lowering and keeps the positions earlier runs
+     already memoized. Sound here because this loop is sequential;
+     [check_supervised]'s jobs>1 sampling compiles per worker instead
+     (compiled code must not cross domains). *)
+  let compiled = Array.make (Array.length configurations) None in
+  let start_cached ?record_trace ci =
+    let inputs = configurations.(ci) in
+    let codes =
+      match compiled.(ci) with
+      | Some codes -> codes
+      | None ->
+          let codes =
+            Array.init n (fun pid ->
+                Sched.Program.compile
+                  (algorithm.program ~pid ~input:inputs.(pid)))
+          in
+          compiled.(ci) <- Some codes;
+          codes
+    in
+    Scheduler.start_compiled ?record_trace
+      ~memory:(algorithm.memory ())
+      ~programs:(fun pid -> codes.(pid))
+      ()
+  in
   (* One seeded run; [record_trace] replays the identical rng stream with
      tracing on, which is how a failure's concrete schedule is recovered
      without paying trace allocation on the happy path. *)
   let seeded_run ?record_trace run_seed =
     let rng = Bits.Rng.make run_seed in
-    let inputs =
-      configurations.(Bits.Rng.int rng (Array.length configurations))
-    in
+    let ci = Bits.Rng.int rng (Array.length configurations) in
+    let inputs = configurations.(ci) in
     let crashes = random_crash_pattern rng ~n ~resilience in
-    let state =
-      run_once ?record_trace algorithm ~inputs
-        ~schedule:(`Random (rng, crashes))
-        ~max_steps ()
-    in
+    let state = start_cached ?record_trace ci in
+    Scheduler.run_random ~max_steps ~crashes ~until_outputs:true rng state;
     (inputs, crashes, state)
   in
   let extract_schedule run_seed state =

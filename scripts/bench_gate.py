@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Performance gate for the fused exploration hot path.
+
+Compares a freshly measured bench JSON against the committed baseline
+(BENCH_PR6.json) and fails if the raw exploration benchmark has
+regressed past the tolerance. CI runners are noisy and heterogeneous, so
+the gate is deliberately loose (1.5x by default): it catches "someone
+re-introduced per-edge allocation or journal traffic", not 5% drift.
+
+Also cross-checks, within the fresh run, that the parallel explorer's
+terminal digests are identical at every measured pool width — the
+determinism claim the bench records.
+
+Usage: bench_gate.py BASELINE.json FRESH.json [--key NAME] [--factor F]
+Exit status: 0 pass, 1 regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_KEY = "bounded-registers/explore-3x4(raw-undo)"
+
+
+def ns_per_call(doc, key):
+    for row in doc.get("benchmarks", []):
+        if row.get("name") == key:
+            return float(row["ns_per_call"])
+    raise KeyError(f"benchmark row {key!r} not found")
+
+
+def check_digests(doc):
+    rows = doc.get("parallel", {}).get("explore_raw_3x4", [])
+    digests = {row["jobs"]: row["digest"] for row in rows}
+    if len(set(digests.values())) > 1:
+        return f"parallel digests differ across pool widths: {digests}"
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--key", default=DEFAULT_KEY)
+    ap.add_argument("--factor", type=float, default=1.5)
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    try:
+        base_ns = ns_per_call(baseline, args.key)
+        fresh_ns = ns_per_call(fresh, args.key)
+    except KeyError as e:
+        print(f"bench gate: {e}", file=sys.stderr)
+        return 1
+
+    limit = args.factor * base_ns
+    verdict = "OK" if fresh_ns <= limit else "REGRESSION"
+    print(
+        f"bench gate: {args.key}\n"
+        f"  baseline {base_ns:12.2f} ns/call\n"
+        f"  fresh    {fresh_ns:12.2f} ns/call\n"
+        f"  limit    {limit:12.2f} ns/call ({args.factor}x)  -> {verdict}"
+    )
+    failed = fresh_ns > limit
+
+    digest_err = check_digests(fresh)
+    if digest_err:
+        print(f"bench gate: {digest_err}", file=sys.stderr)
+        failed = True
+    else:
+        print("bench gate: parallel digests identical at all pool widths")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

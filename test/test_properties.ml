@@ -329,6 +329,213 @@ let prop_par_raw_equals_seq =
       && par.Sched.Par.value = seq.Sched.Explore.stats.Sched.Explore.terminals
       && par.Sched.Par.outcome = Sched.Explore.Complete)
 
+(* Free-monad oracle: an interpreter over the [Program.t] constructors
+   themselves — no [Scheduler], no compiled code, no journal — enumerating
+   schedules exactly like the naive walker (steps in pid order, crashes
+   with an increasing-pid floor). The engine lowers programs into flat
+   step arrays and walks them with in-frame undo; this oracle pins that
+   compiled execution to the paper-level semantics of the monad. *)
+module Oracle = struct
+  type ('v, 'i, 'a) proc =
+    | Susp of ('v, 'i, 'a) Sched.Program.t  (* head is a memory op *)
+    | Halted
+
+  type ('v, 'i, 'a) st = {
+    regs : 'v array;
+    inputs : 'i option array;
+    procs : ('v, 'i, 'a) proc array;
+    decisions : 'a option array;
+    mutable crashed : int list;
+  }
+
+  (* [Return] records the first decision and halts; [Output] records and
+     continues — mirroring [Scheduler]'s settling of decision heads. *)
+  let rec settle st pid (p : _ Sched.Program.t) =
+    match p with
+    | Sched.Program.Return a ->
+        if st.decisions.(pid) = None then st.decisions.(pid) <- Some a;
+        st.procs.(pid) <- Halted
+    | Sched.Program.Output (a, k) ->
+        if st.decisions.(pid) = None then st.decisions.(pid) <- Some a;
+        settle st pid (k ())
+    | p -> st.procs.(pid) <- Susp p
+
+  let start ~n ~init programs =
+    let st =
+      {
+        regs = Array.make n init;
+        inputs = Array.make n None;
+        procs = Array.make n Halted;
+        decisions = Array.make n None;
+        crashed = [];
+      }
+    in
+    for pid = 0 to n - 1 do
+      settle st pid (programs pid)
+    done;
+    st
+
+  (* Programs are pure between steps, so sharing the suspended [Susp]
+     payloads across forks is a true fork — only the arrays are state. *)
+  let copy st =
+    {
+      st with
+      regs = Array.copy st.regs;
+      inputs = Array.copy st.inputs;
+      procs = Array.copy st.procs;
+      decisions = Array.copy st.decisions;
+    }
+
+  let step st pid =
+    match st.procs.(pid) with
+    | Susp (Sched.Program.Write (v, k)) ->
+        st.regs.(pid) <- v;
+        settle st pid (k ())
+    | Susp (Sched.Program.Read (j, k)) -> settle st pid (k st.regs.(j))
+    | Susp (Sched.Program.Write_input (x, k)) ->
+        st.inputs.(pid) <- Some x;
+        settle st pid (k ())
+    | Susp (Sched.Program.Read_input (j, k)) -> settle st pid (k st.inputs.(j))
+    | Susp (Sched.Program.Return _ | Sched.Program.Output _) | Halted ->
+        assert false
+
+  let running st =
+    let acc = ref [] in
+    for pid = Array.length st.procs - 1 downto 0 do
+      match st.procs.(pid) with
+      | Susp _ -> acc := pid :: !acc
+      | Halted -> ()
+    done;
+    !acc
+
+  let crash st pid =
+    st.procs.(pid) <- Halted;
+    st.crashed <- pid :: st.crashed
+
+  let interleavings ~max_crashes ~n ~init programs visit =
+    let rec go st crashes floor =
+      match running st with
+      | [] -> visit st
+      | procs ->
+          List.iter
+            (fun pid ->
+              let f = copy st in
+              step f pid;
+              go f crashes 0)
+            procs;
+          if crashes < max_crashes then
+            List.iter
+              (fun pid ->
+                if pid >= floor then begin
+                  let f = copy st in
+                  crash f pid;
+                  go f (crashes + 1) (pid + 1)
+                end)
+              procs
+    in
+    go (start ~n ~init programs) 0 0
+
+  let signature st =
+    ( Array.to_list st.decisions,
+      Array.to_list st.regs,
+      List.sort compare st.crashed )
+end
+
+let prop_compiled_equals_free_monad =
+  QCheck.Test.make ~name:"explore: compiled engine = free-monad oracle"
+    ~count:60
+    (QCheck.make ~print:explore_print explore_gen)
+    (fun (n, max_crashes, progs) ->
+      let build ops =
+        let rec go ops acc =
+          match ops with
+          | [] -> Sched.Program.Return (List.rev acc)
+          | `W v :: rest -> Sched.Program.Write (v, fun () -> go rest acc)
+          | `R j :: rest ->
+              Sched.Program.Read (j, fun v -> go rest (v :: acc))
+        in
+        go ops []
+      in
+      let init () =
+        Sched.Scheduler.start
+          ~memory:
+            (Sched.Memory.create ~n ~budget:Bits.Width.Unbounded
+               ~measure:Bits.Width.unbounded ~init:0)
+          ~programs:(fun pid -> build progs.(pid))
+          ()
+      in
+      let sched_sig st =
+        ( Array.to_list (Sched.Scheduler.decisions st),
+          Array.to_list (Sched.Memory.contents (Sched.Scheduler.memory st)),
+          Sched.Scheduler.crashed st )
+      in
+      let oracle = ref [] in
+      Oracle.interleavings ~max_crashes ~n ~init:0
+        (fun pid -> build progs.(pid))
+        (fun st -> oracle := Oracle.signature st :: !oracle);
+      let engine = ref [] in
+      let stats =
+        (Sched.Explore.explore ~max_crashes ~dedup:false ~por:false ~init
+           (fun st -> engine := sched_sig st :: !engine))
+          .Sched.Explore.stats
+      in
+      let sorted l = List.sort compare l in
+      (* reductions off: one visit per schedule, same multiset as the
+         monad-level enumeration *)
+      sorted !engine = sorted !oracle
+      && stats.Sched.Explore.terminals = List.length !oracle
+      (* dedup + POR: exactly the oracle's reachable terminal-state set *)
+      &&
+      let opt = ref [] in
+      ignore
+        (Sched.Explore.explore ~max_crashes ~init (fun st ->
+             opt := sched_sig st :: !opt)
+          : Sched.Explore.result);
+      List.sort_uniq compare !opt = List.sort_uniq compare !oracle)
+
+(* Parallel digests: an order-insensitive digest of the terminal
+   signatures (native-int wraparound sum of deep structural hashes, as
+   the bench and the CLI compute it) must be identical at every pool
+   width, with and without crashes. *)
+let prop_par_digest_width_invariant =
+  QCheck.Test.make ~name:"par: terminal digest invariant across jobs"
+    ~count:20
+    (QCheck.make ~print:explore_print explore_gen)
+    (fun (n, max_crashes, progs) ->
+      let build ops =
+        let rec go ops acc =
+          match ops with
+          | [] -> Sched.Program.Return (List.rev acc)
+          | `W v :: rest -> Sched.Program.Write (v, fun () -> go rest acc)
+          | `R j :: rest ->
+              Sched.Program.Read (j, fun v -> go rest (v :: acc))
+        in
+        go ops []
+      in
+      let init () =
+        Sched.Scheduler.start
+          ~memory:
+            (Sched.Memory.create ~n ~budget:Bits.Width.Unbounded
+               ~measure:Bits.Width.unbounded ~init:0)
+          ~programs:(fun pid -> build progs.(pid))
+          ()
+      in
+      let fold st acc =
+        acc
+        + Sched.Zobrist.value_hash
+            ( Array.to_list (Sched.Scheduler.decisions st),
+              Array.to_list
+                (Sched.Memory.contents (Sched.Scheduler.memory st)),
+              Sched.Scheduler.crashed st )
+      in
+      let digest jobs =
+        (Sched.Par.explore ~max_crashes ~dedup:false ~por:false ~jobs
+           ~seed_nodes:4 ~init ~fold ~merge:( + ) 0)
+          .Sched.Par.value
+      in
+      let d1 = digest 1 in
+      d1 = digest 2)
+
 (* Trace replay: any random execution is reproduced exactly from its own
    schedule. *)
 let prop_trace_replay =
@@ -367,6 +574,8 @@ let () =
             prop_explore_count;
             prop_explore_differential;
             prop_par_raw_equals_seq;
+            prop_compiled_equals_free_monad;
+            prop_par_digest_width_invariant;
             prop_trace_replay;
           ] );
     ]

@@ -661,6 +661,180 @@ let test_adversary_rejects_bad_pick () =
     (Invalid_argument "Adversary.run: pid 7 is not running") (fun () ->
       Sched.Adversary.run (fun _ -> 7) s)
 
+(* {2 Compiled programs: dedup hashing, journal arena, code sharing} *)
+
+let untracked_memory n =
+  M.create ~n ~budget:Bits.Width.Unbounded ~measure:Bits.Width.unbounded
+    ~init:0
+
+let signature st =
+  ( Array.to_list (S.decisions st),
+    Array.to_list (M.contents (S.memory st)),
+    S.crashed st )
+
+(* The dedup key used to be [Hashtbl.hash] over the per-process
+   observation histories. The default hash inspects at most 10
+   meaningful nodes, so histories deeper than a handful of cells all
+   collide — and a hash-keyed visited set then merges distinct states
+   silently. The explorer now folds every cell into a Zobrist hash, with
+   [Zobrist.value_hash] ([Hashtbl.hash_param 256 256]) for cell values;
+   this pins the difference at the value level. *)
+let test_zobrist_beats_hash_truncation () =
+  let deep tail = [ 9; 9; 9; 9; 9; 9; 9; 9; 9; 9; 9; tail ] in
+  let h1 = deep 1 and h2 = deep 2 in
+  Alcotest.(check bool) "histories differ" false (h1 = h2);
+  Alcotest.(check int) "Hashtbl.hash truncates: deep histories collide"
+    (Hashtbl.hash h1) (Hashtbl.hash h2);
+  Alcotest.(check bool) "Zobrist value hash sees past the 10th node" false
+    (Sched.Zobrist.value_hash h1 = Sched.Zobrist.value_hash h2)
+
+(* End to end: proc 0's observation history is 12 cells deep, so a
+   10-node-truncated hash of the combined histories never reaches the
+   cell where proc 1 recorded its read — under the old key, all 13
+   distinct terminal states (one per snapshot proc 1 can observe) hash
+   alike. The deduped engine must still report exactly the raw terminal
+   set. *)
+let test_dedup_distinguishes_deep_histories () =
+  let writer =
+    let rec go k =
+      if k > 12 then P.Return (-1) else P.Write (k, fun () -> go (k + 1))
+    in
+    go 1
+  in
+  let reader = P.Read (0, fun v -> P.Return v) in
+  let init () =
+    S.start ~memory:(untracked_memory 2)
+      ~programs:(fun pid -> if pid = 0 then writer else reader)
+      ()
+  in
+  let raw = ref [] in
+  ignore
+    (Sched.Explore.explore ~dedup:false ~por:false ~init (fun st ->
+         raw := signature st :: !raw)
+      : Sched.Explore.result);
+  let opt = ref [] in
+  ignore
+    (Sched.Explore.explore ~init (fun st -> opt := signature st :: !opt)
+      : Sched.Explore.result);
+  let set l = List.sort_uniq compare l in
+  Alcotest.(check int) "reader observes 13 distinct snapshots" 13
+    (List.length (set !raw));
+  Alcotest.(check bool) "dedup+por terminal set = raw" true
+    (set !opt = set !raw)
+
+(* The journal's flat columns start at 256 slots; a path longer than that
+   exercises [grow_journal] mid-path, and [undo_to] back to the root must
+   still restore program, memory and statistics exactly. *)
+let test_journal_grows_and_rewinds () =
+  let n_writes = 600 in
+  let prog =
+    let rec go k =
+      if k = 0 then P.Return () else P.Write (k, fun () -> go (k - 1))
+    in
+    go n_writes
+  in
+  let s = S.start ~memory:(make_memory ~n:1 ()) ~programs:(fun _ -> prog) () in
+  S.enable_journal s;
+  let mark = S.journal_mark s in
+  while S.status s 0 = S.Running do
+    S.step s 0
+  done;
+  Alcotest.(check int) "all steps taken" n_writes (S.steps_taken s);
+  Alcotest.(check int) "register holds the last write" 1
+    (M.peek (S.memory s) 0);
+  S.undo_to s mark;
+  Alcotest.(check int) "steps rewound" 0 (S.steps_taken s);
+  Alcotest.(check int) "register restored" 0 (M.peek (S.memory s) 0);
+  Alcotest.(check int) "write counter restored" 0
+    (M.writes_performed (S.memory s));
+  Alcotest.(check int) "max-width statistic restored" 0
+    (M.max_bits_written (S.memory s));
+  Alcotest.(check bool) "process running again" true (S.status s 0 = S.Running);
+  (* the rewound state is live: replaying decides again *)
+  while S.status s 0 = S.Running do
+    S.step s 0
+  done;
+  Alcotest.(check bool) "replay decides" true (S.all_output s)
+
+(* One compiled artifact, many runs: [start_compiled] over the same
+   [Program.Compiled.code] must explore exactly like compiling afresh,
+   and after one full exploration the position memo is complete — later
+   runs resolve no new slots. *)
+let test_compiled_code_shared_across_runs () =
+  let prog pid =
+    let other = 1 - pid in
+    P.Write (pid + 1, fun () -> P.Read (other, fun v -> P.Return v))
+  in
+  let codes = Array.init 2 (fun pid -> P.compile (prog pid)) in
+  let explore_with init =
+    let acc = ref [] in
+    let stats =
+      (Sched.Explore.explore ~dedup:false ~por:false ~init (fun st ->
+           acc := signature st :: !acc))
+        .Sched.Explore.stats
+    in
+    (List.sort compare !acc, stats)
+  in
+  let fresh () =
+    S.start ~memory:(untracked_memory 2) ~programs:prog ()
+  in
+  let shared () =
+    S.start_compiled ~memory:(untracked_memory 2)
+      ~programs:(fun pid -> codes.(pid))
+      ()
+  in
+  let sigs_fresh, stats_fresh = explore_with fresh in
+  let sigs_shared, stats_shared = explore_with shared in
+  Alcotest.(check bool) "shared code, same terminal multiset" true
+    (sigs_shared = sigs_fresh);
+  Alcotest.(check bool) "shared code, same stats" true
+    (stats_shared = stats_fresh);
+  let len_after_first = P.Compiled.length codes.(0) + P.Compiled.length codes.(1) in
+  let sigs_again, stats_again = explore_with shared in
+  Alcotest.(check bool) "second shared run identical" true
+    (sigs_again = sigs_fresh && stats_again = stats_fresh);
+  Alcotest.(check int) "memo complete: no new slots on reuse" len_after_first
+    (P.Compiled.length codes.(0) + P.Compiled.length codes.(1))
+
+(* The fused in-frame walk ([Scheduler.raw_dfs]) and the journaled
+   general path must be observationally identical. [record_trace] forces
+   the engine off the fused path, so the same protocol run both ways is
+   a direct differential — stats field-for-field, terminals as
+   multisets, with and without crash branching. *)
+let test_fused_equals_journaled () =
+  let prog pid =
+    let other = 1 - pid in
+    P.Write (1, fun () ->
+        P.Read (other, fun v ->
+            P.Write (v + 2, fun () ->
+                P.Read (other, fun w -> P.Return (v, w)))))
+  in
+  let init ~record_trace () =
+    S.start ~record_trace ~memory:(untracked_memory 2) ~programs:prog ()
+  in
+  List.iter
+    (fun max_crashes ->
+      let run record_trace =
+        let acc = ref [] in
+        let stats =
+          (Sched.Explore.explore ~max_crashes ~dedup:false ~por:false
+             ~init:(init ~record_trace) (fun st ->
+               acc := signature st :: !acc))
+            .Sched.Explore.stats
+        in
+        (List.sort compare !acc, stats)
+      in
+      let sigs_fused, stats_fused = run false in
+      let sigs_journaled, stats_journaled = run true in
+      let label s = Printf.sprintf "%s (max_crashes=%d)" s max_crashes in
+      Alcotest.(check bool)
+        (label "fused = journaled terminal multiset")
+        true
+        (sigs_fused = sigs_journaled);
+      Alcotest.(check bool) (label "fused = journaled stats") true
+        (stats_fused = stats_journaled))
+    [ 0; 1 ]
+
 let () =
   Alcotest.run "sched"
     [
@@ -730,5 +904,18 @@ let () =
           Alcotest.test_case "solo-then" `Quick test_adversary_solo_then;
           Alcotest.test_case "invalid pick rejected" `Quick
             test_adversary_rejects_bad_pick;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "Zobrist hashing beats 10-node truncation"
+            `Quick test_zobrist_beats_hash_truncation;
+          Alcotest.test_case "dedup distinguishes deep histories" `Quick
+            test_dedup_distinguishes_deep_histories;
+          Alcotest.test_case "journal arena grows and rewinds" `Quick
+            test_journal_grows_and_rewinds;
+          Alcotest.test_case "compiled code shared across runs" `Quick
+            test_compiled_code_shared_across_runs;
+          Alcotest.test_case "fused walk = journaled walk" `Quick
+            test_fused_equals_journaled;
         ] );
     ]
