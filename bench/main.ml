@@ -454,6 +454,34 @@ let parallel_stats b =
     (chaos_sec_of 1 /. chaos_sec_of 4)
     deterministic
 
+(* Fleet counters: a short deterministic coverage-guided campaign on the
+   frontier configuration (fixed seed, fixed generation count, in-memory
+   corpus). mutant_new_signals is the dead-mutator guard the bench gate
+   checks: mutated corpus plans must keep moving coverage signals, or the
+   mutation engine has silently stopped contributing. *)
+let fleet_stats b =
+  let module F = Msgpass.Fleet in
+  let module C = Msgpass.Chaos in
+  let t0 = Unix.gettimeofday () in
+  let r = F.campaign ~generations:150 ~batch:16 ~seed:9 (C.frontier ()) in
+  let sec = Unix.gettimeofday () -. t0 in
+  let min_deliveries =
+    List.fold_left
+      (fun m (w : F.witness) -> min m w.F.deliveries)
+      max_int r.F.witnesses
+  in
+  Printf.bprintf b
+    "    \"frontier_g150\": {\"seed\": %d, \"generations\": %d, \"runs\": \
+     %d, \"violations\": %d, \"witness_classes\": %d, \
+     \"min_witness_deliveries\": %d, \"new_signals\": %d, \
+     \"mutant_new_signals\": %d, \"distinct_terminals\": %d, \
+     \"corpus_plans\": %d, \"runs_per_sec\": %.0f}\n"
+    r.F.seed r.F.generations r.F.runs r.F.violations
+    (List.length r.F.witnesses)
+    (if min_deliveries = max_int then 0 else min_deliveries)
+    r.F.signals r.F.mutant_signals r.F.distinct_terminals r.F.corpus_size
+    (float_of_int r.F.runs /. sec)
+
 let write_json file rows =
   (* The embedded metrics snapshot covers the deterministic counter
      workloads below (explorer variants, chaos campaigns, supervision) —
@@ -489,6 +517,8 @@ let write_json file rows =
   supervision_stats b;
   Printf.bprintf b "  },\n  \"parallel\": {\n";
   parallel_stats b;
+  Printf.bprintf b "  },\n  \"fleet\": {\n";
+  fleet_stats b;
   Printf.bprintf b "  },\n  \"meta\": {\n";
   Printf.bprintf b "    \"ocaml_version\": %S,\n" Sys.ocaml_version;
   Printf.bprintf b "    \"recommended_domain_count\": %d,\n"

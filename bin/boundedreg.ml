@@ -464,6 +464,171 @@ let chaos_cmd =
       $ max_events_arg $ chaos_seed_arg $ plan_arg $ expect_arg
       $ chaos_deadline_arg $ jobs_arg $ telemetry_term)
 
+let fleet_cmd =
+  let doc =
+    "Run a coverage-guided chaos fleet: generations of fresh seeded runs \
+     and corpus-plan mutants, every coverage-moving plan fed back into the \
+     corpus, every NONLINEARIZABLE run shrunk, deduplicated by violation \
+     class and published as a replayable witness."
+  in
+  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N") in
+  let t_arg = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T") in
+  let quorum_arg =
+    Arg.(value & opt (some int) None & info [ "quorum" ] ~docv:"Q")
+  in
+  let frontier_arg =
+    Arg.(
+      value & flag
+      & info [ "frontier" ]
+          ~doc:
+            "Use the t = n/2 frontier preset (disjoint quorums, the E13 \
+             configuration).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Persist the corpus ($(docv)/corpus.jsonl) and witnesses \
+             ($(docv)/witness-<class>.json). An existing corpus resumes: \
+             ids continue and published witness classes stay deduplicated.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Fill $(docv) of wall clock with generations (checked between \
+             generations, like the chaos deadline).")
+  in
+  let generations_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "generations" ] ~docv:"G"
+          ~doc:
+            "Run exactly $(docv) generations — the fully deterministic \
+             mode (default 10 when no --budget is given).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "batch" ] ~docv:"RUNS" ~doc:"Runs per generation.")
+  in
+  let no_swarm_arg =
+    Arg.(
+      value & flag
+      & info [ "no-swarm" ]
+          ~doc:
+            "Disable swarm testing: every generation keeps the preset's \
+             fault profile instead of re-rolling a random feature mix.")
+  in
+  let max_events_arg =
+    Arg.(value & opt (some int) None & info [ "max-events" ] ~docv:"E")
+  in
+  let fleet_seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED")
+  in
+  let expect_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("pass", `Pass); ("witness", `Witness) ])) None
+      & info [ "expect" ] ~docv:"VERDICT"
+          ~doc:
+            "Exit non-zero unless the fleet outcome matches: $(b,pass) \
+             means no witness, $(b,witness) means at least one (CI smoke \
+             gate).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Instead of running a fleet, replay the witness file and exit \
+             non-zero unless it reproduces bit-for-bit (same verdict, \
+             terminal hash, event and delivery counts).")
+  in
+  let run n t quorum frontier corpus budget generations batch no_swarm
+      max_events seed expect replay jobs tel =
+    with_telemetry tel @@ fun () ->
+    match replay with
+    | Some file -> (
+        match Msgpass.Fleet.replay_file file with
+        | Error e ->
+            Format.eprintf "%s@." e;
+            exit 1
+        | Ok r ->
+            Format.printf
+              "witness %s: n=%d quorum=%d, %d action(s), %d deliveries@."
+              file r.Msgpass.Fleet.config.Msgpass.Chaos.n
+              (Option.value r.Msgpass.Fleet.config.Msgpass.Chaos.quorum
+                 ~default:
+                   (r.Msgpass.Fleet.config.Msgpass.Chaos.n
+                   - r.Msgpass.Fleet.config.Msgpass.Chaos.t))
+              (List.length r.Msgpass.Fleet.witness_plan)
+              r.Msgpass.Fleet.stored_deliveries;
+            Format.printf "replay: %a@."
+              (Check.Linearize.pp_verdict Format.pp_print_int)
+              r.Msgpass.Fleet.outcome.Msgpass.Chaos.verdict;
+            if r.Msgpass.Fleet.bit_for_bit then
+              Format.printf "bit-for-bit: reproduced@."
+            else begin
+              Format.eprintf
+                "bit-for-bit: MISMATCH (stored events=%d deliveries=%d \
+                 hash=%016x)@."
+                r.Msgpass.Fleet.stored_events
+                r.Msgpass.Fleet.stored_deliveries
+                r.Msgpass.Fleet.stored_terminal_hash;
+              exit 1
+            end)
+    | None ->
+        let config =
+          if frontier then Msgpass.Chaos.frontier ~n ()
+          else
+            let c = Msgpass.Chaos.sound ~n ~t () in
+            {
+              c with
+              Msgpass.Chaos.quorum =
+                Option.fold ~none:c.Msgpass.Chaos.quorum ~some:Option.some
+                  quorum;
+            }
+        in
+        let config =
+          match max_events with
+          | Some e -> { config with Msgpass.Chaos.max_events = e }
+          | None -> config
+        in
+        Format.printf "fleet: n=%d t=%d quorum=%d batch=%d swarm=%b@."
+          config.Msgpass.Chaos.n config.Msgpass.Chaos.t
+          (Option.value config.Msgpass.Chaos.quorum
+             ~default:(config.Msgpass.Chaos.n - config.Msgpass.Chaos.t))
+          batch (not no_swarm);
+        let r =
+          Msgpass.Fleet.campaign ?budget ?generations ~jobs ~batch
+            ~swarm:(not no_swarm) ?corpus_dir:corpus ~seed config
+        in
+        Format.printf "%a@." Msgpass.Fleet.pp_report r;
+        let witnesses = List.length r.Msgpass.Fleet.witnesses in
+        (match expect with
+        | Some `Pass when witnesses > 0 ->
+            Format.eprintf "expected a clean fleet, found %d witness(es)@."
+              witnesses;
+            exit 1
+        | Some `Witness when witnesses = 0 ->
+            Format.eprintf "expected the fleet to find a witness@.";
+            exit 1
+        | _ -> ())
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(
+      const run $ n_arg $ t_arg $ quorum_arg $ frontier_arg $ corpus_arg
+      $ budget_arg $ generations_arg $ batch_arg $ no_swarm_arg
+      $ max_events_arg $ fleet_seed_arg $ expect_arg $ replay_arg $ jobs_arg
+      $ telemetry_term)
+
 let explore_cmd =
   let doc =
     "Budgeted exhaustive exploration of Algorithm 1's interleavings with \
@@ -702,4 +867,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; alg1_cmd; fast_cmd; pipeline_cmd; search_cmd;
-            labelling_cmd; chaos_cmd; explore_cmd; trace_cmd; dot_cmd ]))
+            labelling_cmd; chaos_cmd; fleet_cmd; explore_cmd; trace_cmd;
+            dot_cmd ]))

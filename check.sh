@@ -83,4 +83,34 @@ dune exec bin/boundedreg.exe -- chaos --frontier --runs 5 --seed 127 \
   --jobs 2 --expect violation > "$tmp_par"
 diff "$tmp_seq" "$tmp_par"
 
+# Fleet smoke: the coverage-guided chaos fleet. Generations mode pins the
+# workload, so a jobs=2 fleet must reproduce the jobs=1 report, corpus
+# and witness files byte-for-byte; the witness must then replay
+# bit-for-bit. Afterwards a budgeted fleet (20 s in --quick, a short
+# deterministic one otherwise) fills ci-fleet-corpus/ for the CI
+# artifact upload, --expect witness gating that the frontier stale-read
+# class was rediscovered.
+echo "== fleet smoke"
+fleet_j1=$(mktemp -d) && fleet_j2=$(mktemp -d)
+trap 'rm -f "$tmp_seq" "$tmp_par"; rm -rf "$fleet_j1" "$fleet_j2"' EXIT
+dune exec bin/boundedreg.exe -- fleet --frontier --generations 60 --seed 9 \
+  --corpus "$fleet_j1" --jobs 1 --expect witness > "$tmp_seq"
+dune exec bin/boundedreg.exe -- fleet --frontier --generations 60 --seed 9 \
+  --corpus "$fleet_j2" --jobs 2 --expect witness > "$tmp_par"
+# The corpus path echoed in the report is the only legitimate difference.
+sed "s|$fleet_j2|$fleet_j1|" "$tmp_par" | diff "$tmp_seq" -
+diff "$fleet_j1/corpus.jsonl" "$fleet_j2/corpus.jsonl"
+for w in "$fleet_j1"/witness-*.json; do
+  diff "$w" "$fleet_j2/$(basename "$w")"
+  dune exec bin/boundedreg.exe -- fleet --replay "$w"
+done
+rm -rf ci-fleet-corpus
+if [ "$QUICK" = 1 ]; then
+  dune exec bin/boundedreg.exe -- fleet --frontier --budget 20 --seed 1 \
+    --corpus ci-fleet-corpus --expect witness
+else
+  dune exec bin/boundedreg.exe -- fleet --frontier --generations 120 --seed 1 \
+    --corpus ci-fleet-corpus --expect witness
+fi
+
 echo "check.sh: OK"

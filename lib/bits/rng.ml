@@ -2,6 +2,8 @@ type t = { mutable state : int64 }
 
 let make seed = { state = Int64.of_int seed }
 let copy t = { state = t.state }
+let state t = t.state
+let of_state state = { state }
 
 (* splitmix64: fast, well-distributed, and trivially reproducible. *)
 let next t =

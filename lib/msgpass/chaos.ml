@@ -67,6 +67,11 @@ let frontier ?(n = 4) () =
     max_events = 4_000;
   }
 
+type rng_point = {
+  rng_state : int64;
+  crash_at : (int * int) list;
+}
+
 type outcome = {
   verdict : int L.verdict;
   history : int L.event list;
@@ -74,6 +79,8 @@ type outcome = {
   events : int;
   deliveries : int;
   completed : int;
+  hop_mask : int;
+  rng_point : rng_point option;
 }
 
 let failed o =
@@ -159,7 +166,7 @@ let build config =
   in
   (net, finalize)
 
-let outcome_of ft finalize =
+let outcome_of ?rng_point ft finalize =
   let history = finalize () in
   let plan = Faults.plan ft in
   {
@@ -174,6 +181,8 @@ let outcome_of ft finalize =
       List.fold_left
         (fun k (e : int L.event) -> if e.res <> None then k + 1 else k)
         0 history;
+    hop_mask = Net.hop_mask (Faults.net ft);
+    rng_point;
   }
 
 let random_crashes rng config =
@@ -185,16 +194,23 @@ let random_crashes rng config =
   List.init how_many (fun i ->
       (pids.(i), Bits.Rng.int rng (max 1 (config.max_events / 4))))
 
-let run_random ~seed config =
-  let rng = Bits.Rng.make seed in
-  let crash_at = random_crashes rng config in
+(* The replay point is taken after the crash pattern has been rolled:
+   resuming from it re-runs exactly the fault-injection loop, without
+   re-rolling the crash-derivation prefix of the stream. *)
+let run_at point config =
+  let rng = Bits.Rng.of_state point.rng_state in
   let profile =
-    { config.profile with crash_at = config.profile.crash_at @ crash_at }
+    { config.profile with crash_at = config.profile.crash_at @ point.crash_at }
   in
   let net, finalize = build config in
   let ft = Faults.wrap net in
   Faults.run_random ~rng ~profile ~max_events:config.max_events ft;
-  outcome_of ft finalize
+  outcome_of ~rng_point:point ft finalize
+
+let run_random ~seed config =
+  let rng = Bits.Rng.make seed in
+  let crash_at = random_crashes rng config in
+  run_at { rng_state = Bits.Rng.state rng; crash_at } config
 
 let run_plan config plan =
   let net, finalize = build config in
@@ -267,16 +283,33 @@ let campaign ?deadline ?(jobs = 1) ~seed ~runs config =
   let tally s o =
     Obs.Metrics.inc m_runs;
     if failed o then Obs.Metrics.inc m_violations;
+    (* Each run's instant carries its resolved RNG point (state after the
+       crash-pattern prefix, plus the crash schedule itself): a single
+       mid-campaign run replays from the trace via [run_at], without
+       re-rolling the campaign prefix. *)
     Obs.Span.instant ~cat:"chaos"
       ~args:
-        [
-          ("seed", Obs.Json.Int s);
-          ( "verdict",
-            Obs.Json.Str
-              (if failed o then "nonlinearizable" else "linearizable") );
-          ("events", Obs.Json.Int o.events);
-          ("completed", Obs.Json.Int o.completed);
-        ]
+        ([
+           ("seed", Obs.Json.Int s);
+           ( "verdict",
+             Obs.Json.Str
+               (if failed o then "nonlinearizable" else "linearizable") );
+           ("events", Obs.Json.Int o.events);
+           ("completed", Obs.Json.Int o.completed);
+         ]
+        @
+        match o.rng_point with
+        | None -> []
+        | Some p ->
+            [
+              ("rng_state", Obs.Json.Str (Int64.to_string p.rng_state));
+              ( "crash_at",
+                Obs.Json.List
+                  (List.map
+                     (fun (pid, at) ->
+                       Obs.Json.List [ Obs.Json.Int pid; Obs.Json.Int at ])
+                     p.crash_at) );
+            ])
       "chaos.run";
     let c = !acc in
     let first =

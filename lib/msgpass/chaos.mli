@@ -39,6 +39,16 @@ val frontier : ?n:int -> unit -> config
 (** The E13 configuration: quorum [n / 2], no crashes, delivery faults
     only — the campaign that must find a stale read. *)
 
+type rng_point = {
+  rng_state : int64;
+      (** the {!Bits.Rng} stream state at the start of the fault loop —
+          after the crash pattern was rolled *)
+  crash_at : (int * int) list;  (** the crash schedule that roll produced *)
+}
+(** The resolved randomness of one run: everything {!run_at} needs to
+    re-execute a single mid-campaign run without re-rolling the prefix
+    of the stream that led to it. *)
+
 type outcome = {
   verdict : int Check.Linearize.verdict;
   history : int Check.Linearize.event list;
@@ -46,6 +56,12 @@ type outcome = {
   events : int;  (** fault-layer actions executed *)
   deliveries : int;
   completed : int;  (** operations that got a response *)
+  hop_mask : int;
+      (** {!Net.hop_mask} of the run's network: which hop-latency buckets
+          its deliveries occupied — a fleet coverage signal *)
+  rng_point : rng_point option;
+      (** [Some] for randomized runs ({!run_random}, {!run_at});
+          [None] for scripted replays ({!run_plan}) *)
 }
 
 val failed : outcome -> bool
@@ -54,6 +70,14 @@ val run_random : seed:int -> config -> outcome
 (** One seeded campaign run: random crash pattern (at most
     [config.crashes], never more than [config.t] processes), then
     {!Faults.run_random} until quiescence or [config.max_events]. *)
+
+val run_at : rng_point -> config -> outcome
+(** Re-execute one randomized run from its recorded {!rng_point} —
+    bit-for-bit: [run_at (Option.get o.rng_point) config] for an
+    [o = run_random ~seed config] reproduces [o]'s plan, history and
+    verdict without re-rolling the crash-derivation prefix. The per-run
+    trace instants ([chaos.run]) carry the point's fields, so any single
+    run of a traced campaign is replayable from the trace alone. *)
 
 val run_plan : config -> Faults.plan -> outcome
 (** Deterministic replay of a plan against a fresh network — bit-for-bit:

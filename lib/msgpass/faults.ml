@@ -28,6 +28,83 @@ let deliveries plan =
     (fun k -> function Deliver _ -> k + 1 | _ -> k)
     0 plan
 
+(* {2 Plan codecs}
+
+   The corpus files of the chaos fleet must be human-editable, so the
+   serialized form of an action is exactly what [pp_action] prints —
+   the grammar quoted in EXPERIMENTS.md — and a plan is either the
+   ";"-separated rendering of [pp_plan] or a JSON array of action
+   strings (one corpus line). Parsing accepts any whitespace where the
+   pretty-printer may break a line. *)
+
+let action_to_string a = Format.asprintf "%a" pp_action a
+
+let action_of_string s =
+  let s = String.trim s in
+  let fail () = Error (Printf.sprintf "cannot parse action %S" s) in
+  match String.index_opt s ' ' with
+  | None -> fail ()
+  | Some i -> (
+      let kw = String.sub s 0 i in
+      let rest = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+      let channel k =
+        match String.index_opt rest '>' with
+        | None -> fail ()
+        | Some j -> (
+            let src = String.trim (String.sub rest 0 j) in
+            let dst =
+              String.trim (String.sub rest (j + 1) (String.length rest - j - 1))
+            in
+            match (int_of_string_opt src, int_of_string_opt dst) with
+            | Some src, Some dst -> Ok (k { src; dst })
+            | _ -> fail ())
+      in
+      match kw with
+      | "deliver" -> channel (fun ch -> Deliver ch)
+      | "drop" -> channel (fun ch -> Drop ch)
+      | "dup" -> channel (fun ch -> Duplicate ch)
+      | "defer" -> channel (fun ch -> Defer ch)
+      | "crash" -> (
+          match int_of_string_opt rest with
+          | Some pid -> Ok (Crash pid)
+          | None -> fail ())
+      | _ -> fail ())
+
+let plan_of_string text =
+  String.split_on_char ';' text
+  |> List.filter (fun seg -> String.trim seg <> "")
+  |> List.fold_left
+       (fun acc seg ->
+         match acc with
+         | Error _ as e -> e
+         | Ok actions -> (
+             match action_of_string seg with
+             | Ok a -> Ok (a :: actions)
+             | Error _ as e -> e))
+       (Ok [])
+  |> Result.map List.rev
+
+let plan_to_json plan =
+  Obs.Json.List (List.map (fun a -> Obs.Json.Str (action_to_string a)) plan)
+
+let plan_of_json j =
+  match Obs.Json.to_list j with
+  | None -> Error "plan is not a JSON array"
+  | Some items ->
+      List.fold_left
+        (fun acc item ->
+          match acc with
+          | Error _ as e -> e
+          | Ok actions -> (
+              match Obs.Json.to_str item with
+              | None -> Error "plan element is not a string"
+              | Some s -> (
+                  match action_of_string s with
+                  | Ok a -> Ok (a :: actions)
+                  | Error _ as e -> e)))
+        (Ok []) items
+      |> Result.map List.rev
+
 type profile = {
   drop : float;
   duplicate : float;

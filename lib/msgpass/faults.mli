@@ -37,6 +37,27 @@ val pp_plan : Format.formatter -> plan -> unit
 val deliveries : plan -> int
 (** Number of [Deliver] actions — the size metric for shrunk plans. *)
 
+(** {1 Plan codecs}
+
+    The chaos-fleet corpus persists plans on disk in a human-editable
+    form: every action serializes to exactly what {!pp_action} prints,
+    and the parsers below invert {!pp_action}/{!pp_plan} (accepting any
+    whitespace where the pretty-printer breaks lines). *)
+
+val action_to_string : action -> string
+val action_of_string : string -> (action, string) result
+(** Inverse of {!action_to_string}; [Error] names the offending text. *)
+
+val plan_of_string : string -> (plan, string) result
+(** Parse a ";"-separated action list — the {!pp_plan} rendering. Empty
+    segments are skipped, so a trailing ";" is fine. *)
+
+val plan_to_json : plan -> Obs.Json.t
+(** A JSON array of action strings — one corpus line's [plan] field. *)
+
+val plan_of_json : Obs.Json.t -> (plan, string) result
+(** Inverse of {!plan_to_json}. *)
+
 type profile = {
   drop : float;  (** per-event probability of losing the chosen head *)
   duplicate : float;

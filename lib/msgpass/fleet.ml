@@ -1,0 +1,821 @@
+(* Coverage-guided chaos fleet: corpus-backed, mutation-driven fault
+   campaigns with deduplicated, shrunk, replayable witnesses.
+
+   One fleet run is a sequence of *generations*. Each generation draws a
+   batch of jobs — fresh seeded runs (under swarm-randomized fault
+   feature mixes) and mutants/crossovers of corpus plans — executes the
+   batch (optionally fanned over a domain pool), then folds the outcomes
+   on the calling domain in batch-index order: coverage signals decide
+   which executed plans join the corpus, and every NONLINEARIZABLE run is
+   ddmin-shrunk, deduplicated by the class key of its shrunk plan, and
+   recorded as a replayable witness. All randomness flows from
+   generation-indexed splitmix streams and all folding is sequential in a
+   deterministic order, so a fixed seed gives identical reports, corpora
+   and witnesses at any jobs width. *)
+
+module L = Check.Linearize
+
+let m_runs = Obs.Metrics.counter "fleet.runs"
+let m_violations = Obs.Metrics.counter "fleet.violations"
+let m_witnesses = Obs.Metrics.counter "fleet.witnesses"
+let m_signals = Obs.Metrics.counter "fleet.new_signals"
+let m_mutant_signals = Obs.Metrics.counter "fleet.mutant_signals"
+let m_generations = Obs.Metrics.counter "fleet.generations"
+let g_corpus = Obs.Metrics.gauge "fleet.corpus_size"
+
+(* ------------------------------------------------------------------ *)
+(* Coverage signals                                                    *)
+
+type signature = {
+  terminal_hash : int;
+  hop_mask : int;
+  verdict_class : int;
+  depth_bucket : int;
+}
+
+(* floor(log2 v) + 1: the power-of-two bucket of the run's event depth —
+   "deeper interleavings" as a coarse monotone signal. *)
+let depth_bucket_of v =
+  let rec go b v = if v = 0 then b else go (b + 1) (v lsr 1) in
+  go 0 v
+
+let signature_of (o : Chaos.outcome) =
+  let terminal_hash =
+    (* The terminal state of a chaos run is its recorded history: hash
+       every event through the explorer's Zobrist machinery so distinct
+       interleaving outcomes get distinct names (no 10-node truncation). *)
+    List.fold_left
+      (fun h (e : int L.event) ->
+        Sched.Zobrist.combine h
+          (Sched.Zobrist.value_hash (e.L.proc, e.L.reg, e.L.op, e.L.inv, e.L.res)))
+      0 o.Chaos.history
+  in
+  {
+    terminal_hash;
+    hop_mask = o.Chaos.hop_mask;
+    verdict_class = (if Chaos.failed o then 1 else 0);
+    depth_bucket = depth_bucket_of o.Chaos.events;
+  }
+
+type coverage = {
+  terminals : (int, unit) Hashtbl.t;
+  mutable hops : int;
+  mutable verdicts : int;
+  mutable depth : int;
+}
+
+let coverage_create () =
+  { terminals = Hashtbl.create 256; hops = 0; verdicts = 0; depth = 0 }
+
+(* Fold one signature into the accumulated coverage; [true] iff any
+   observable signal moved — a new terminal-state hash, a hop-latency
+   bucket never occupied before, a new verdict class, or a deeper
+   event depth than any prior run. *)
+let coverage_observe cov s =
+  let new_hash = not (Hashtbl.mem cov.terminals s.terminal_hash) in
+  if new_hash then Hashtbl.replace cov.terminals s.terminal_hash ();
+  let new_hop = s.hop_mask land lnot cov.hops <> 0 in
+  cov.hops <- cov.hops lor s.hop_mask;
+  let vbit = 1 lsl s.verdict_class in
+  let new_verdict = cov.verdicts land vbit = 0 in
+  cov.verdicts <- cov.verdicts lor vbit;
+  let new_depth = s.depth_bucket > cov.depth in
+  if new_depth then cov.depth <- s.depth_bucket;
+  new_hash || new_hop || new_verdict || new_depth
+
+(* ------------------------------------------------------------------ *)
+(* Plan mutation                                                       *)
+
+let random_channel rng n =
+  { Faults.src = Bits.Rng.int rng n; dst = Bits.Rng.int rng n }
+
+let random_action rng n =
+  match Bits.Rng.int rng 8 with
+  | 0 | 1 | 2 | 3 -> Faults.Deliver (random_channel rng n)
+  | 4 -> Faults.Drop (random_channel rng n)
+  | 5 -> Faults.Duplicate (random_channel rng n)
+  | 6 -> Faults.Defer (random_channel rng n)
+  | _ -> Faults.Crash (Bits.Rng.int rng n)
+
+let rekind rng n = function
+  | Faults.Deliver _ -> Faults.Deliver (random_channel rng n)
+  | Faults.Drop _ -> Faults.Drop (random_channel rng n)
+  | Faults.Duplicate _ -> Faults.Duplicate (random_channel rng n)
+  | Faults.Defer _ -> Faults.Defer (random_channel rng n)
+  | Faults.Crash _ -> Faults.Crash (Bits.Rng.int rng n)
+
+(* Every generated pid and channel endpoint is drawn in [0, n), so a
+   mutated plan can never make [Faults.replay] raise: out-of-range
+   channels are impossible by construction, and every in-range action on
+   an empty channel (or dead process) is a recorded no-op the fault layer
+   skips silently. *)
+let mutate rng ~n plan =
+  let a = ref (Array.of_list plan) in
+  let len () = Array.length !a in
+  let remove start k =
+    a :=
+      Array.append (Array.sub !a 0 start)
+        (Array.sub !a (start + k) (len () - start - k))
+  in
+  let insert at seg =
+    a :=
+      Array.concat [ Array.sub !a 0 at; seg; Array.sub !a at (len () - at) ]
+  in
+  let run_at rng =
+    let start = Bits.Rng.int rng (len ()) in
+    let k = 1 + Bits.Rng.int rng (min 8 (len () - start)) in
+    (start, k)
+  in
+  let rounds = 1 + Bits.Rng.int rng 3 in
+  for _ = 1 to rounds do
+    match Bits.Rng.int rng 6 with
+    (* splice a run out *)
+    | 0 when len () > 0 ->
+        let start, k = run_at rng in
+        remove start k
+    (* duplicate a run elsewhere *)
+    | 1 when len () > 0 ->
+        let start, k = run_at rng in
+        let seg = Array.sub !a start k in
+        insert (Bits.Rng.int rng (len () + 1)) seg
+    (* move a run *)
+    | 2 when len () > 1 ->
+        let start, k = run_at rng in
+        let seg = Array.sub !a start k in
+        remove start k;
+        insert (Bits.Rng.int rng (len () + 1)) seg
+    (* perturb one action: same kind, fresh endpoints / crash pid *)
+    | 3 when len () > 0 ->
+        let i = Bits.Rng.int rng (len ()) in
+        !a.(i) <- rekind rng n !a.(i)
+    (* perturb a crash index: retarget and reposition one crash *)
+    | 4 when len () > 0 -> (
+        let crashes = ref [] in
+        Array.iteri
+          (fun i act ->
+            match act with
+            | Faults.Crash _ -> crashes := i :: !crashes
+            | _ -> ())
+          !a;
+        match !crashes with
+        | [] ->
+            (* no crash to perturb: inject one at a random index *)
+            insert
+              (Bits.Rng.int rng (len () + 1))
+              [| Faults.Crash (Bits.Rng.int rng n) |]
+        | idxs ->
+            let i = Bits.Rng.pick rng idxs in
+            remove i 1;
+            insert
+              (Bits.Rng.int rng (len () + 1))
+              [| Faults.Crash (Bits.Rng.int rng n) |])
+    (* insert fresh random actions *)
+    | _ ->
+        let seg =
+          Array.init (1 + Bits.Rng.int rng 4) (fun _ -> random_action rng n)
+        in
+        insert (Bits.Rng.int rng (len () + 1)) seg
+  done;
+  Array.to_list !a
+
+let crossover rng p1 p2 =
+  let a = Array.of_list p1 and b = Array.of_list p2 in
+  if Array.length a = 0 then p2
+  else if Array.length b = 0 then p1
+  else begin
+    let i = Bits.Rng.int rng (Array.length a + 1) in
+    let j = Bits.Rng.int rng (Array.length b + 1) in
+    Array.to_list
+      (Array.append (Array.sub a 0 i) (Array.sub b j (Array.length b - j)))
+  end
+
+(* The exact identity of a shrunk plan: its action sequence with pids
+   renamed by order of first appearance, so two minimal plans that
+   differ only in which (symmetric) process they exercise canonicalize
+   to the same key. *)
+let plan_key plan =
+  let names = Hashtbl.create 8 in
+  let rename p =
+    match Hashtbl.find_opt names p with
+    | Some q -> q
+    | None ->
+        let q = Hashtbl.length names in
+        Hashtbl.replace names p q;
+        q
+  in
+  List.fold_left
+    (fun h a ->
+      let code =
+        match a with
+        | Faults.Deliver { src; dst } -> (0, rename src, rename dst)
+        | Faults.Drop { src; dst } -> (1, rename src, rename dst)
+        | Faults.Duplicate { src; dst } -> (2, rename src, rename dst)
+        | Faults.Defer { src; dst } -> (3, rename src, rename dst)
+        | Faults.Crash pid -> (4, rename pid, 0)
+      in
+      Sched.Zobrist.combine h (Sched.Zobrist.value_hash code))
+    0 plan
+
+(* Digit runs collapse to '#': "read by p1 over [2,6] returned 0" and
+   "read by p2 over [3,7] returned 0" are the same failure shape. *)
+let scrub s =
+  let b = Buffer.create (String.length s) in
+  let in_digits = ref false in
+  String.iter
+    (fun c ->
+      if c >= '0' && c <= '9' then begin
+        if not !in_digits then Buffer.add_char b '#';
+        in_digits := true
+      end
+      else begin
+        in_digits := false;
+        Buffer.add_char b c
+      end)
+    s;
+  Buffer.contents b
+
+(* The violation class: which register failed and the shape of the
+   checker's explanation, with concrete pids, timestamps and values
+   abstracted away. ddmin from different originals converges on
+   different 1-minimal plans of the same underlying violation; keying
+   the dedup on the failure shape (rather than the plan) is what makes
+   the fleet report the frontier's stale-read class exactly once. *)
+let violation_class ~reg ~reason =
+  Sched.Zobrist.combine
+    (Sched.Zobrist.combine 0 (Sched.Zobrist.value_hash reg))
+    (Sched.Zobrist.value_hash (scrub reason))
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                              *)
+
+type entry = { id : int; origin : string; plan : Faults.plan }
+
+let entry_to_json e =
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.Int e.id);
+      ("origin", Obs.Json.Str e.origin);
+      ("plan", Faults.plan_to_json e.plan);
+    ]
+
+let entry_of_json j =
+  match
+    ( Obs.Json.member_int "id" j,
+      Obs.Json.member_str "origin" j,
+      Obs.Json.member "plan" j )
+  with
+  | Some id, Some origin, Some pj ->
+      Result.map (fun plan -> { id; origin; plan }) (Faults.plan_of_json pj)
+  | _ -> Error "corpus entry needs id, origin and plan fields"
+
+let corpus_file dir = Filename.concat dir "corpus.jsonl"
+
+let load_corpus dir =
+  let file = corpus_file dir in
+  if not (Sys.file_exists file) then Ok []
+  else
+    In_channel.with_open_text file In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.fold_left
+         (fun acc line ->
+           match acc with
+           | Error _ as e -> e
+           | Ok entries -> (
+               match Obs.Json.of_string line with
+               | Error e -> Error (Printf.sprintf "%s: %s" file e)
+               | Ok j -> (
+                   match entry_of_json j with
+                   | Ok e -> Ok (e :: entries)
+                   | Error e -> Error (Printf.sprintf "%s: %s" file e))))
+         (Ok [])
+    |> Result.map List.rev
+
+(* Oldest first, newest at [size - 1] — matching the JSONL on disk. A
+   growable array, not a list: generation planning picks parents by
+   index, and a 60 s fleet grows the corpus to tens of thousands of
+   plans. *)
+type corpus = {
+  dir : string option;
+  mutable arr : entry array;
+  mutable size : int;
+  mutable next_id : int;
+  mutable added : int;  (** entries appended by this campaign *)
+}
+
+let dummy_entry = { id = -1; origin = ""; plan = [] }
+
+let corpus_open dir =
+  match dir with
+  | None -> Ok { dir; arr = [||]; size = 0; next_id = 0; added = 0 }
+  | Some d ->
+      if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+      Result.map
+        (fun loaded ->
+          let arr = Array.of_list loaded in
+          {
+            dir;
+            arr;
+            size = Array.length arr;
+            next_id = Array.fold_left (fun m e -> max m (e.id + 1)) 0 arr;
+            added = 0;
+          })
+        (load_corpus d)
+
+let corpus_add corpus ~origin plan =
+  let e = { id = corpus.next_id; origin; plan } in
+  corpus.next_id <- corpus.next_id + 1;
+  if corpus.size = Array.length corpus.arr then begin
+    let grown =
+      Array.make (max 64 (2 * Array.length corpus.arr)) dummy_entry
+    in
+    Array.blit corpus.arr 0 grown 0 corpus.size;
+    corpus.arr <- grown
+  end;
+  corpus.arr.(corpus.size) <- e;
+  corpus.size <- corpus.size + 1;
+  corpus.added <- corpus.added + 1;
+  Obs.Metrics.set g_corpus corpus.size;
+  (match corpus.dir with
+  | None -> ()
+  | Some d ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 (corpus_file d) in
+      output_string oc (Obs.Json.to_string (entry_to_json e));
+      output_char oc '\n';
+      close_out oc);
+  e
+
+(* Max of two uniform draws: biased toward the newest entries, where the
+   coverage frontier is. *)
+let corpus_pick rng corpus =
+  let i = max (Bits.Rng.int rng corpus.size) (Bits.Rng.int rng corpus.size) in
+  corpus.arr.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Witnesses                                                           *)
+
+type witness = {
+  class_key : int;
+  origin : string;
+  found_gen : int;
+  reg : int;
+  file : string option;
+  mutable plan : Faults.plan;  (** smallest shrunk plan seen for the class *)
+  mutable plan_key : int;
+  mutable deliveries : int;
+  mutable events : int;
+  mutable terminal_hash : int;
+  mutable reason : string;
+  mutable shrink_tests : int;
+  mutable duplicates : int;
+}
+
+let config_to_json (c : Chaos.config) =
+  Obs.Json.Obj
+    [
+      ("n", Obs.Json.Int c.Chaos.n);
+      ("t", Obs.Json.Int c.Chaos.t);
+      ( "quorum",
+        match c.Chaos.quorum with
+        | Some q -> Obs.Json.Int q
+        | None -> Obs.Json.Null );
+      ("writes", Obs.Json.Int c.Chaos.writes);
+      ("readers", Obs.Json.Int c.Chaos.readers);
+      ("reads", Obs.Json.Int c.Chaos.reads);
+      ("max_events", Obs.Json.Int c.Chaos.max_events);
+    ]
+
+(* Witness replay is plan-driven — no dice are rolled — so the profile
+   is irrelevant and the reliable profile stands in for it. *)
+let config_of_json j =
+  match
+    ( Obs.Json.member_int "n" j,
+      Obs.Json.member_int "t" j,
+      Obs.Json.member_int "writes" j,
+      Obs.Json.member_int "readers" j,
+      Obs.Json.member_int "reads" j,
+      Obs.Json.member_int "max_events" j )
+  with
+  | Some n, Some t, Some writes, Some readers, Some reads, Some max_events ->
+      Ok
+        {
+          Chaos.n;
+          t;
+          quorum = Obs.Json.member_int "quorum" j;
+          writes;
+          readers;
+          reads;
+          crashes = 0;
+          profile = Faults.reliable;
+          max_events;
+        }
+  | _ -> Error "witness config needs n, t, writes, readers, reads, max_events"
+
+let witness_to_json ~seed ~config w =
+  Obs.Json.Obj
+    [
+      ("class", Obs.Json.Str (Printf.sprintf "%016x" w.class_key));
+      ("plan_key", Obs.Json.Str (Printf.sprintf "%016x" w.plan_key));
+      ("fleet_seed", Obs.Json.Int seed);
+      ("found_gen", Obs.Json.Int w.found_gen);
+      ("origin", Obs.Json.Str w.origin);
+      ("config", config_to_json config);
+      ("plan", Faults.plan_to_json w.plan);
+      ("deliveries", Obs.Json.Int w.deliveries);
+      ("events", Obs.Json.Int w.events);
+      ("terminal_hash", Obs.Json.Int w.terminal_hash);
+      ("reg", Obs.Json.Int w.reg);
+      ("reason", Obs.Json.Str w.reason);
+      ("shrink_tests", Obs.Json.Int w.shrink_tests);
+    ]
+
+let witness_file dir key = Filename.concat dir (Printf.sprintf "witness-%016x.json" key)
+
+(* Witness classes already on disk: a fleet resumed over the same corpus
+   dir reports only classes it has not published before. *)
+let load_witness_classes dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun f ->
+         match Scanf.sscanf_opt f "witness-%16x.json" (fun k -> k) with
+         | Some k when Filename.check_suffix f ".json" -> Some k
+         | _ -> None)
+
+type replay = {
+  witness_plan : Faults.plan;
+  config : Chaos.config;
+  outcome : Chaos.outcome;
+  stored_terminal_hash : int;
+  stored_events : int;
+  stored_deliveries : int;
+  stored_reason : string;
+  bit_for_bit : bool;
+}
+
+let replay_file file =
+  if not (Sys.file_exists file) then
+    Error (Printf.sprintf "no such witness file: %s" file)
+  else
+    match
+      Obs.Json.of_string
+        (In_channel.with_open_text file In_channel.input_all)
+    with
+    | Error e -> Error (Printf.sprintf "%s: %s" file e)
+    | Ok j -> (
+        match
+          ( Obs.Json.member "config" j,
+            Obs.Json.member "plan" j,
+            Obs.Json.member_int "terminal_hash" j,
+            Obs.Json.member_int "events" j,
+            Obs.Json.member_int "deliveries" j,
+            Obs.Json.member_str "reason" j )
+        with
+        | Some cj, Some pj, Some th, Some ev, Some dl, Some reason -> (
+            match (config_of_json cj, Faults.plan_of_json pj) with
+            | Error e, _ | _, Error e -> Error (Printf.sprintf "%s: %s" file e)
+            | Ok config, Ok plan ->
+                let outcome = Chaos.run_plan config plan in
+                let sg = signature_of outcome in
+                let fresh_reason =
+                  match outcome.Chaos.verdict with
+                  | L.Nonlinearizable { reason; _ } -> reason
+                  | L.Linearizable _ -> ""
+                in
+                Ok
+                  {
+                    witness_plan = plan;
+                    config;
+                    outcome;
+                    stored_terminal_hash = th;
+                    stored_events = ev;
+                    stored_deliveries = dl;
+                    stored_reason = reason;
+                    bit_for_bit =
+                      Chaos.failed outcome
+                      && sg.terminal_hash = th
+                      && outcome.Chaos.events = ev
+                      && outcome.Chaos.deliveries = dl
+                      && fresh_reason = reason;
+                  })
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "%s: witness needs config, plan, terminal_hash, events, \
+                  deliveries, reason"
+                 file))
+
+(* ------------------------------------------------------------------ *)
+(* The fleet campaign                                                  *)
+
+type job =
+  | Fresh of { seed : int; profile : Faults.profile; crashes : int }
+  | Mutant of { plan : Faults.plan; origin : string }
+
+let job_origin = function
+  | Fresh { seed; _ } -> Printf.sprintf "seed:%d" seed
+  | Mutant { origin; _ } -> origin
+
+(* Swarm diversity: each generation runs under a random feature mix —
+   every fault knob of the profile independently toggled and scaled, the
+   crash budget independently switched. The draws happen in a fixed
+   order whatever the toggles, so the stream stays aligned. *)
+let swarm_roll rng (c : Chaos.config) =
+  let p = c.Chaos.profile in
+  let roll v =
+    let on = Bits.Rng.bool rng in
+    let f = 0.5 +. (1.5 *. Bits.Rng.float rng) in
+    if on then Float.min 0.9 (v *. f) else 0.
+  in
+  let drop = roll p.Faults.drop in
+  let duplicate = roll p.Faults.duplicate in
+  let defer = roll p.Faults.defer in
+  let delay = roll p.Faults.delay in
+  let crashes = if Bits.Rng.bool rng then c.Chaos.crashes else 0 in
+  ({ p with Faults.drop; duplicate; defer; delay }, crashes)
+
+type report = {
+  seed : int;
+  generations : int;
+  runs : int;
+  violations : int;
+  witnesses : witness list;  (** discovery order *)
+  corpus_size : int;
+  corpus_added : int;
+  signals : int;
+  mutant_signals : int;
+  distinct_terminals : int;
+  hop_mask : int;
+  verdict_mask : int;
+  max_depth_bucket : int;
+  degraded : bool;
+  elapsed : float;
+}
+
+(* Generation-indexed randomness: every generation's stream is derived
+   from (seed, generation) alone, never from wall time or pool
+   scheduling, so a fleet is resumable and jobs-invariant. *)
+let gen_rng seed g =
+  Bits.Rng.make (Sched.Zobrist.combine (Sched.Zobrist.combine 0 seed) g)
+
+let exec chaos job =
+  match job with
+  | Fresh { seed; profile; crashes } ->
+      Chaos.run_random ~seed { chaos with Chaos.profile; crashes }
+  | Mutant { plan; _ } -> Chaos.run_plan chaos plan
+
+let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
+    ?corpus_dir ~seed chaos =
+  let generations =
+    match (generations, budget) with
+    | Some g, _ -> Some g
+    | None, Some _ -> None
+    | None, None -> Some 10
+  in
+  let corpus =
+    match corpus_open corpus_dir with
+    | Ok c -> c
+    | Error e -> invalid_arg (Printf.sprintf "Fleet.campaign: %s" e)
+  in
+  Obs.Metrics.set g_corpus corpus.size;
+  let cov = coverage_create () in
+  let witnesses = Hashtbl.create 8 in
+  let witness_order = ref [] in
+  (* Classes published by earlier fleets over this corpus stay
+     deduplicated across invocations. *)
+  (match corpus_dir with
+  | None -> ()
+  | Some d ->
+      List.iter (fun k -> Hashtbl.replace witnesses k None)
+        (load_witness_classes d));
+  Obs.Span.begin_ ~cat:"fleet"
+    ~args:
+      [
+        ("seed", Obs.Json.Int seed);
+        ("batch", Obs.Json.Int batch);
+        ("jobs", Obs.Json.Int jobs);
+        ("corpus", Obs.Json.Int corpus.size);
+      ]
+    "fleet.campaign";
+  let monitor = Sched.Budget.arm (Sched.Budget.make ?deadline:budget ()) in
+  let over_budget () =
+    match budget with
+    | None -> false
+    | Some b -> Sched.Budget.elapsed monitor >= b
+  in
+  let runs = ref 0 in
+  let violations = ref 0 in
+  let signals = ref 0 in
+  let mutant_signals = ref 0 in
+  let gen = ref 0 in
+  let degraded = ref false in
+  let write_witness w =
+    match w.file with
+    | None -> ()
+    | Some f ->
+        Out_channel.with_open_text f (fun oc ->
+            output_string oc
+              (Obs.Json.to_string (witness_to_json ~seed ~config:chaos w));
+            output_char oc '\n')
+  in
+  let triage ~g ~origin (o : Chaos.outcome) =
+    let shrunk, shrink_tests = Chaos.shrink chaos o.Chaos.plan in
+    (* The shrunk replay's verdict names the class. *)
+    let replay = Chaos.run_plan chaos shrunk in
+    let reg, reason =
+      match replay.Chaos.verdict with
+      | L.Nonlinearizable { reg; reason } -> (reg, reason)
+      | L.Linearizable _ -> (-1, "shrunk plan no longer fails (flaky?)")
+    in
+    let key = violation_class ~reg ~reason in
+    match Hashtbl.find_opt witnesses key with
+    | Some (Some w) ->
+        w.duplicates <- w.duplicates + 1;
+        (* ddmin converges on different 1-minimal plans from different
+           originals; keep (and republish) the smallest per class. *)
+        if replay.Chaos.deliveries < w.deliveries then begin
+          w.plan <- shrunk;
+          w.plan_key <- plan_key shrunk;
+          w.deliveries <- replay.Chaos.deliveries;
+          w.events <- replay.Chaos.events;
+          w.terminal_hash <- (signature_of replay).terminal_hash;
+          w.reason <- reason;
+          w.shrink_tests <- shrink_tests;
+          write_witness w
+        end
+    | Some None -> ()  (* published by an earlier fleet over this corpus *)
+    | None ->
+        let w =
+          {
+            class_key = key;
+            plan = shrunk;
+            plan_key = plan_key shrunk;
+            origin;
+            found_gen = g;
+            deliveries = replay.Chaos.deliveries;
+            events = replay.Chaos.events;
+            terminal_hash = (signature_of replay).terminal_hash;
+            reg;
+            reason;
+            shrink_tests;
+            file = Option.map (fun d -> witness_file d key) corpus.dir;
+            duplicates = 0;
+          }
+        in
+        write_witness w;
+        Hashtbl.replace witnesses key (Some w);
+        witness_order := w :: !witness_order;
+        Obs.Metrics.inc m_witnesses;
+        Obs.Span.instant ~cat:"fleet"
+          ~args:
+            [
+              ("class", Obs.Json.Str (Printf.sprintf "%016x" key));
+              ("deliveries", Obs.Json.Int w.deliveries);
+              ("generation", Obs.Json.Int g);
+            ]
+          "fleet.witness";
+        (* The shrunk witness joins the corpus: its mutants probe the
+           boundary of the violation class. *)
+        ignore
+          (corpus_add corpus ~origin:(Printf.sprintf "witness:%016x" key)
+             shrunk)
+  in
+  let run_generation g =
+    let rng = gen_rng seed g in
+    let profile, crashes =
+      if swarm then swarm_roll rng chaos
+      else (chaos.Chaos.profile, chaos.Chaos.crashes)
+    in
+    let jobs_arr =
+      Array.init batch (fun _ ->
+          if corpus.size = 0 || Bits.Rng.float rng < 0.25 then
+            Fresh { seed = Bits.Rng.int rng 0x3FFFFFFF; profile; crashes }
+          else begin
+            let parent = corpus_pick rng corpus in
+            if corpus.size >= 2 && Bits.Rng.float rng < 0.2 then begin
+              let other = corpus_pick rng corpus in
+              Mutant
+                {
+                  plan = crossover rng parent.plan other.plan;
+                  origin = Printf.sprintf "xover:%d+%d@g%d" parent.id other.id g;
+                }
+            end
+            else
+              Mutant
+                {
+                  plan = mutate rng ~n:chaos.Chaos.n parent.plan;
+                  origin = Printf.sprintf "mut:%d@g%d" parent.id g;
+                }
+          end)
+    in
+    let outcomes =
+      if jobs <= 1 then Array.map (exec chaos) jobs_arr
+      else Sched.Par.run_units ~jobs ~units:jobs_arr (exec chaos)
+    in
+    let gen_signals = ref 0 in
+    Array.iteri
+      (fun i o ->
+        incr runs;
+        Obs.Metrics.inc m_runs;
+        let interesting = coverage_observe cov (signature_of o) in
+        if interesting then begin
+          incr signals;
+          incr gen_signals;
+          Obs.Metrics.inc m_signals;
+          (match jobs_arr.(i) with
+          | Mutant _ ->
+              incr mutant_signals;
+              Obs.Metrics.inc m_mutant_signals
+          | Fresh _ -> ());
+          (* The *executed* plan joins the corpus: for mutants that is
+             the effective action sequence (no-ops already dropped), so
+             corpus plans stay tight and replayable. *)
+          ignore (corpus_add corpus ~origin:(job_origin jobs_arr.(i)) o.Chaos.plan)
+        end;
+        if Chaos.failed o then begin
+          incr violations;
+          Obs.Metrics.inc m_violations;
+          triage ~g ~origin:(job_origin jobs_arr.(i)) o
+        end)
+      outcomes;
+    Obs.Metrics.inc m_generations;
+    Obs.Span.instant ~cat:"fleet"
+      ~args:
+        [
+          ("generation", Obs.Json.Int g);
+          ("new_signals", Obs.Json.Int !gen_signals);
+          ("corpus", Obs.Json.Int corpus.size);
+        ]
+      "fleet.generation"
+  in
+  (try
+     let continue () =
+       match generations with
+       | Some g when !gen >= g -> false
+       | _ ->
+           if over_budget () then begin
+             if generations <> None then degraded := true;
+             raise Exit
+           end;
+           true
+     in
+     while continue () do
+       run_generation !gen;
+       incr gen
+     done
+   with Exit -> ());
+  let witnesses_found = List.rev !witness_order in
+  Obs.Span.end_ ~cat:"fleet"
+    ~args:
+      [
+        ("generations", Obs.Json.Int !gen);
+        ("runs", Obs.Json.Int !runs);
+        ("violations", Obs.Json.Int !violations);
+        ("witnesses", Obs.Json.Int (List.length witnesses_found));
+        ("new_signals", Obs.Json.Int !signals);
+      ]
+    "fleet.campaign";
+  {
+    seed;
+    generations = !gen;
+    runs = !runs;
+    violations = !violations;
+    witnesses = witnesses_found;
+    corpus_size = corpus.size;
+    corpus_added = corpus.added;
+    signals = !signals;
+    mutant_signals = !mutant_signals;
+    distinct_terminals = Hashtbl.length cov.terminals;
+    hop_mask = cov.hops;
+    verdict_mask = cov.verdicts;
+    max_depth_bucket = cov.depth;
+    degraded = !degraded;
+    elapsed = Sched.Budget.elapsed monitor;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let pp_witness ppf w =
+  Format.fprintf ppf
+    "class %016x (gen %d, via %s): %d deliveries, %d events, reg %d — %s@ \
+     (%d shrink replays, %d duplicate run(s) deduplicated%s)"
+    w.class_key w.found_gen w.origin w.deliveries w.events w.reg w.reason
+    w.shrink_tests w.duplicates
+    (match w.file with Some f -> "; " ^ f | None -> "")
+
+(* Deliberately excludes [elapsed]: everything printed here is
+   byte-deterministic for a fixed seed and generation count, at any jobs
+   width — the property check.sh diffs. *)
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>fleet seed %d: %d generation(s), %d runs, %d violating run(s)%s@ \
+     coverage: %d distinct terminal states, hop-mask %#x, verdict-mask %#x, \
+     depth<=2^%d@ corpus: %d plan(s) (%d added)@ witnesses: %d class(es)"
+    r.seed r.generations r.runs r.violations
+    (if r.degraded then " (budget: stopped early)" else "")
+    r.distinct_terminals r.hop_mask r.verdict_mask r.max_depth_bucket
+    r.corpus_size r.corpus_added
+    (List.length r.witnesses);
+  List.iter
+    (fun w -> Format.fprintf ppf "@   @[<hov>%a@]" pp_witness w)
+    r.witnesses;
+  Format.fprintf ppf "@]"

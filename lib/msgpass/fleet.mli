@@ -1,0 +1,173 @@
+(** Coverage-guided chaos fleet: corpus-backed, mutation-driven fault
+    campaigns with deduplicated, shrunk, replayable witnesses.
+
+    {!Chaos} answers "does a batch of seeded runs violate atomicity?";
+    the fleet answers the stronger campaign question "keep looking, and
+    make every find durable". A fleet {!campaign} runs in {e generations}:
+    each generation draws a batch of jobs — fresh seeded runs under
+    swarm-randomized fault feature mixes, and mutants/crossovers of plans
+    already in the {e corpus} — executes the batch (optionally over a
+    {!Sched.Par} domain pool), and folds the outcomes in batch-index
+    order:
+
+    - every run is condensed to a {!signature} of observable signals
+      (terminal-state Zobrist hash of the recorded history, the network's
+      hop-latency bucket mask, the verdict class, the event-depth
+      bucket); a run that moves any signal is {e interesting} and its
+      executed plan joins the corpus, to be mutated in later generations;
+    - every NONLINEARIZABLE run is ddmin-shrunk ({!Chaos.shrink}),
+      deduplicated by the {!class_key} of its shrunk plan, and — first
+      time only — recorded as a {!witness} (replayed once more for its
+      stored deliveries/events/terminal hash) and published to the corpus
+      directory as [witness-<class>.json].
+
+    All randomness is derived from [(seed, generation)] splitmix streams
+    and all mutation/tallying/shrinking happens on the calling domain in
+    a deterministic order, so a fixed seed gives byte-identical reports,
+    corpora and witnesses at any [jobs] width. The corpus persists as
+    human-editable JSONL; reopening the same directory resumes the
+    campaign — corpus ids continue, and witness classes already published
+    stay deduplicated across invocations. *)
+
+(** {1 Coverage signatures} *)
+
+type signature = {
+  terminal_hash : int;
+      (** order-sensitive {!Sched.Zobrist.combine} fold over the recorded
+          history's events — the run's terminal-state name *)
+  hop_mask : int;  (** {!Net.hop_mask}: hop-latency buckets occupied *)
+  verdict_class : int;  (** 0 linearizable, 1 nonlinearizable *)
+  depth_bucket : int;  (** power-of-two bucket of fault events executed *)
+}
+
+val signature_of : Chaos.outcome -> signature
+
+(** {1 Plan mutation}
+
+    All generated pids and channel endpoints are drawn in [0, n), and
+    {!Faults.replay} skips ineffective actions silently — so every
+    mutant replays without raising, whatever the splicing did. *)
+
+val mutate : Bits.Rng.t -> n:int -> Faults.plan -> Faults.plan
+(** 1–3 rounds of: splice a run of actions out, duplicate a run, move a
+    run, re-roll one action's endpoints, retarget/reposition a crash, or
+    insert fresh random actions. Deterministic in the rng stream. *)
+
+val crossover : Bits.Rng.t -> Faults.plan -> Faults.plan -> Faults.plan
+(** Single-point crossover: a prefix of the first parent spliced to a
+    suffix of the second. *)
+
+val plan_key : Faults.plan -> int
+(** The exact identity of a (shrunk) plan: a {!Sched.Zobrist} sequence
+    hash of its actions with pids renamed in order of first appearance,
+    so two plans differing only in which symmetric process they exercise
+    share a key. *)
+
+val violation_class : reg:int -> reason:string -> int
+(** The dedup key of a violation: which register failed plus the shape
+    of the checker's explanation (digit runs — pids, timestamps, values —
+    scrubbed). ddmin from different failing runs converges on different
+    1-minimal plans of the same underlying violation; classing by failure
+    shape is what makes a fleet report the frontier's stale-read class
+    exactly once. *)
+
+(** {1 Corpus} *)
+
+type entry = { id : int; origin : string; plan : Faults.plan }
+
+val load_corpus : string -> (entry list, string) result
+(** Parse [<dir>/corpus.jsonl], oldest first. [Ok []] when the file does
+    not exist; [Error] names the file and the offending line's problem
+    (the corpus is human-editable, so failures are loud, not skipped). *)
+
+(** {1 Witnesses} *)
+
+type witness = {
+  class_key : int;  (** {!violation_class} of the shrunk replay's verdict *)
+  origin : string;  (** the job that first found the class *)
+  found_gen : int;
+  reg : int;
+  file : string option;  (** [witness-<class>.json], when a corpus dir is set *)
+  mutable plan : Faults.plan;
+      (** the smallest shrunk plan seen for this class — a same-class find
+          with fewer deliveries replaces the plan (and republishes the
+          witness file), so the witness only ever improves *)
+  mutable plan_key : int;
+  mutable deliveries : int;
+  mutable events : int;
+  mutable terminal_hash : int;
+  mutable reason : string;
+  mutable shrink_tests : int;  (** replays ddmin spent on the kept plan *)
+  mutable duplicates : int;
+      (** later violating runs that shrank into this same class *)
+}
+
+type replay = {
+  witness_plan : Faults.plan;
+  config : Chaos.config;
+  outcome : Chaos.outcome;  (** fresh replay of the stored plan *)
+  stored_terminal_hash : int;
+  stored_events : int;
+  stored_deliveries : int;
+  stored_reason : string;
+  bit_for_bit : bool;
+      (** the fresh replay still fails and reproduces the stored terminal
+          hash, event and delivery counts, and failure reason exactly *)
+}
+
+val replay_file : string -> (replay, string) result
+(** Load a [witness-<class>.json] file and re-execute its plan against a
+    freshly built network of its stored configuration. *)
+
+(** {1 Campaigns} *)
+
+type report = {
+  seed : int;
+  generations : int;  (** generations actually completed *)
+  runs : int;
+  violations : int;  (** violating runs, including deduplicated ones *)
+  witnesses : witness list;  (** distinct classes, discovery order *)
+  corpus_size : int;
+  corpus_added : int;  (** entries this campaign appended *)
+  signals : int;  (** runs that moved some coverage signal *)
+  mutant_signals : int;  (** ... of which were mutants or crossovers *)
+  distinct_terminals : int;
+  hop_mask : int;  (** union over all runs *)
+  verdict_mask : int;
+  max_depth_bucket : int;
+  degraded : bool;
+      (** a [budget] stopped the campaign before its requested
+          [generations] *)
+  elapsed : float;  (** wall-clock seconds (not printed by {!pp_report}) *)
+}
+
+val campaign :
+  ?budget:float ->
+  ?generations:int ->
+  ?jobs:int ->
+  ?batch:int ->
+  ?swarm:bool ->
+  ?corpus_dir:string ->
+  seed:int ->
+  Chaos.config ->
+  report
+(** Run a fleet. [generations] fixes the generation count (fully
+    deterministic end to end); [budget] (wall-clock seconds, checked
+    between generations like the chaos deadline — overshoot is at most
+    one generation) fills a time box instead; given neither, 10
+    generations run; given both, the budget can degrade the fixed count.
+    [batch] (default 16) is runs per generation, [swarm] (default true)
+    re-rolls a random fault feature mix each generation, [jobs]
+    (default 1) fans a generation's batch over {!Sched.Par.run_units} —
+    job planning, coverage, corpus growth and shrinking stay on the
+    calling domain in batch order, so the report, corpus and witnesses
+    are byte-identical at any width. [corpus_dir] persists the corpus
+    ([corpus.jsonl]) and witnesses; omitted, the campaign is in-memory.
+
+    @raise Invalid_argument when [corpus_dir] exists but fails to parse. *)
+
+val pp_witness : Format.formatter -> witness -> unit
+
+val pp_report : Format.formatter -> report -> unit
+(** Deliberately excludes [elapsed]: the rendering is byte-deterministic
+    for a fixed seed in [generations] mode, at any [jobs] width. *)

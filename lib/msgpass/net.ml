@@ -10,9 +10,18 @@ let m_sends = Obs.Metrics.counter "net.sends"
    network has no wall clock — deliveries are its only notion of time —
    so this is the message-passing analogue of the scheduler's logical
    step clock, and it is replay-stable. *)
-let h_hop_latency =
-  Obs.Metrics.histogram ~bounds:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 |]
-    "net.hop_latency"
+let hop_bounds = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 |]
+let h_hop_latency = Obs.Metrics.histogram ~bounds:hop_bounds "net.hop_latency"
+
+(* Index of the hop-latency bucket [hops] lands in (last = overflow) —
+   the same bucketing the registry histogram applies, computed locally so
+   each network can report which buckets its own deliveries occupied. *)
+let hop_bucket hops =
+  let rec go i =
+    if i >= Array.length hop_bounds || hops <= hop_bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
 
 type 'm node = {
   on_start : unit -> (int * 'm) list;
@@ -26,6 +35,7 @@ type 'm t = {
   channels : (int * 'm) Queue.t array array;  (** [channels.(src).(dst)] *)
   alive : bool array;
   mutable delivered : int;
+  mutable hop_mask : int;  (** bit [b] set: some delivery hit bucket [b] *)
 }
 
 let enqueue t ~src sends =
@@ -46,6 +56,7 @@ let create ~n ~nodes =
       channels = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
       alive = Array.make n true;
       delivered = 0;
+      hop_mask = 0;
     }
   in
   for pid = 0 to n - 1 do
@@ -84,6 +95,7 @@ let deliver t ~src ~dst =
     let stamp, m = Queue.pop t.channels.(src).(dst) in
     let hops = t.delivered - stamp in
     t.delivered <- t.delivered + 1;
+    t.hop_mask <- t.hop_mask lor (1 lsl hop_bucket hops);
     Obs.Metrics.inc m_deliveries;
     Obs.Metrics.observe h_hop_latency hops;
     if Obs.Sink.enabled () then
@@ -155,6 +167,7 @@ let crashed t =
 
 let quiescent t = deliverable t = []
 let deliveries t = t.delivered
+let hop_mask t = t.hop_mask
 
 let run_random ~rng ?(max_events = 1_000_000) ?(until = fun () -> false) t =
   let rec loop budget =

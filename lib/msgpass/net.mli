@@ -68,6 +68,18 @@ val quiescent : 'm t -> bool
 
 val deliveries : 'm t -> int
 
+val hop_bounds : int array
+(** Bucket upper bounds of the hop-latency histogram (logical hops
+    between a message's enqueue and its delivery; last bucket implicit
+    overflow) — the bounds of the [net.hop_latency] registry metric. *)
+
+val hop_mask : 'm t -> int
+(** Bitmask of the hop-latency buckets this network's deliveries have
+    occupied: bit [b] is set iff some delivery fell in bucket [b] of
+    {!hop_bounds}. The per-run, replay-stable view of the registry's
+    cumulative [net.hop_latency] histogram — a coverage signal for the
+    chaos fleet. *)
+
 val run_random :
   rng:Bits.Rng.t -> ?max_events:int -> ?until:(unit -> bool) -> 'm t -> unit
 (** Deliver until quiescent, [until ()] holds, or [max_events] (default

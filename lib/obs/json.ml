@@ -67,6 +67,13 @@ let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
 
+let to_int = function Int i -> Some i | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function List vs -> Some vs | _ -> None
+let member_int key j = Option.bind (member key j) to_int
+let member_str key j = Option.bind (member key j) to_str
+let member_list key j = Option.bind (member key j) to_list
+
 (* {2 Parsing} *)
 
 exception Parse_error of string

@@ -22,6 +22,17 @@ val to_string : t -> string
 val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] on missing fields and non-objects. *)
 
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option
+(** Constructor projections; [None] on any other constructor. *)
+
+val member_int : string -> t -> int option
+val member_str : string -> t -> string option
+val member_list : string -> t -> t list option
+(** [member] composed with the matching projection — the accessors the
+    corpus and witness readers (fleet, trace summary) are built from. *)
+
 val of_string : string -> (t, string) result
 (** Full JSON parser (objects, arrays, strings with escapes, numbers,
     literals). [Error] carries a position-tagged message. *)

@@ -66,3 +66,9 @@ let value_hash v = Hashtbl.hash_param 256 256 v
 let cell ~pid ~pos ~vhash =
   let slot = table.(((pid lsl 7) + pos) land table_mask) in
   mix (slot lxor vhash lxor ((pid * 0x1003F) + (pos lsl 20)))
+
+(* Sequence hashing for consumers outside the explorer (the chaos fleet
+   names run outcomes with this): fold [combine] over the element hashes.
+   Multiplying the accumulator before XORing the next element keeps the
+   result order-sensitive, unlike the self-inverse per-cell XOR above. *)
+let combine acc h = mix ((acc * 0x100002B) lxor h)

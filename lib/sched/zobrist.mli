@@ -23,3 +23,10 @@ val value_hash : 'a -> int
 
 val table_size : int
 (** Size of the seeded contribution table (a power of two). *)
+
+val combine : int -> int -> int
+(** [combine acc h] folds one element hash into a sequence hash —
+    order-sensitive (unlike the explorer's self-inverse per-cell XOR) and
+    deterministic across runs, processes and domains. The chaos fleet
+    names terminal run states by folding {!value_hash}es of their history
+    events through this; start from [0]. Non-negative. *)

@@ -37,6 +37,26 @@ def check_digests(doc):
     return None
 
 
+def check_fleet(doc):
+    """Dead-mutator guard: the fleet smoke recorded in the fresh bench run
+    must attribute at least one new coverage signal to a mutated (or
+    crossed-over) corpus plan. Fresh seeded runs finding coverage while
+    mutants find none means the mutation engine has silently died — the
+    corpus would still grow, witnesses might still appear, and nothing
+    else would notice."""
+    fleet = doc.get("fleet", {}).get("frontier_g150")
+    if fleet is None:
+        return "fleet section missing from fresh bench JSON"
+    if fleet.get("new_signals", 0) <= 0:
+        return "fleet smoke found zero new coverage signals on the seed corpus"
+    if fleet.get("mutant_new_signals", 0) <= 0:
+        return (
+            "dead mutator: fleet smoke attributed zero new coverage signals "
+            "to mutated corpus plans"
+        )
+    return None
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -73,6 +93,13 @@ def main():
         failed = True
     else:
         print("bench gate: parallel digests identical at all pool widths")
+
+    fleet_err = check_fleet(fresh)
+    if fleet_err:
+        print(f"bench gate: {fleet_err}", file=sys.stderr)
+        failed = True
+    else:
+        print("bench gate: fleet mutator is alive (mutant coverage signals > 0)")
 
     return 1 if failed else 0
 

@@ -331,6 +331,182 @@ let test_chaos_jobs_invariant () =
       ("frontier violation", C.frontier (), 127, 10);
     ]
 
+(* A single mid-campaign run must be replayable from its recorded
+   rng_point alone — the resolved RNG state plus the crash schedule it
+   rolled — without re-running the seeds that preceded it. *)
+let test_chaos_rng_point_replay () =
+  let module C = Msgpass.Chaos in
+  List.iter
+    (fun (label, config, seed) ->
+      let a = C.run_random ~seed config in
+      let point =
+        match a.C.rng_point with
+        | Some p -> p
+        | None -> Alcotest.failf "%s: randomized run recorded no rng_point" label
+      in
+      let b = C.run_at point config in
+      Alcotest.(check bool) (label ^ ": same plan") true (a.C.plan = b.C.plan);
+      Alcotest.(check bool)
+        (label ^ ": same history")
+        true (a.C.history = b.C.history);
+      Alcotest.(check int) (label ^ ": same events") a.C.events b.C.events;
+      Alcotest.(check bool)
+        (label ^ ": same verdict")
+        true
+        (C.failed a = C.failed b))
+    [
+      ("sound", C.sound (), 3);
+      ("frontier violation", C.frontier (), 127);
+    ]
+
+(* ----- chaos fleet ----- *)
+
+let fault_plan_gen =
+  let open QCheck.Gen in
+  let chan k =
+    map2 (fun src dst -> k { Msgpass.Faults.src; dst }) (int_bound 9)
+      (int_bound 9)
+  in
+  list_size (int_bound 40)
+    (oneof
+       [
+         chan (fun ch -> Msgpass.Faults.Deliver ch);
+         chan (fun ch -> Msgpass.Faults.Drop ch);
+         chan (fun ch -> Msgpass.Faults.Duplicate ch);
+         chan (fun ch -> Msgpass.Faults.Defer ch);
+         map (fun pid -> Msgpass.Faults.Crash pid) (int_bound 9);
+       ])
+
+let fault_plan_arbitrary =
+  QCheck.make ~print:(Format.asprintf "%a" Msgpass.Faults.pp_plan)
+    fault_plan_gen
+
+(* The corpus on disk is human-editable: the serialized form of a plan is
+   exactly what pp_plan prints, and both codecs invert it. *)
+let prop_plan_codec_roundtrip =
+  QCheck.Test.make ~name:"fault-plan codecs round-trip random plans"
+    ~count:200 fault_plan_arbitrary (fun plan ->
+      let text = Format.asprintf "%a" Msgpass.Faults.pp_plan plan in
+      Msgpass.Faults.plan_of_string text = Ok plan
+      && Msgpass.Faults.plan_of_json (Msgpass.Faults.plan_to_json plan)
+         = Ok plan)
+
+let test_plan_codec_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Msgpass.Faults.plan_of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parsed %S" text)
+    [ "deliver"; "deliver 0-1"; "crash x"; "teleport 0>1"; "deliver 0>1; zap" ]
+
+(* Mutation is a pure function of the rng stream: same corpus plan + same
+   seed give byte-identical children. *)
+let test_fleet_mutator_deterministic () =
+  let module C = Msgpass.Chaos in
+  let module F = Msgpass.Fleet in
+  let config = C.frontier () in
+  let base = (C.run_random ~seed:11 config).C.plan in
+  let children seed =
+    let rng = Bits.Rng.make seed in
+    List.init 32 (fun _ -> F.mutate rng ~n:config.C.n base)
+  in
+  Alcotest.(check bool) "same seed: byte-identical children" true
+    (children 5 = children 5);
+  Alcotest.(check bool) "different seed: different children" true
+    (children 5 <> children 6);
+  let cross seed =
+    let rng = Bits.Rng.make seed in
+    let other = (C.run_random ~seed:12 config).C.plan in
+    List.init 32 (fun _ -> F.crossover rng base other)
+  in
+  Alcotest.(check bool) "crossover deterministic too" true (cross 5 = cross 5)
+
+(* Every mutant stays well-formed: endpoints are drawn in [0, n), and
+   ineffective actions are skipped, so replay never raises — however the
+   splicing mangled the plan. *)
+let prop_fleet_mutants_replay =
+  let module C = Msgpass.Chaos in
+  let module F = Msgpass.Fleet in
+  let config = C.frontier () in
+  QCheck.Test.make ~name:"mutants replay without Invalid_argument" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Bits.Rng.make seed in
+      let base = (C.run_random ~seed:(seed land 31) config).C.plan in
+      let m = F.mutate rng ~n:config.C.n base in
+      let x = F.crossover rng m base in
+      ignore (C.run_plan config m);
+      ignore (C.run_plan config x);
+      true)
+
+(* Fleet reports are a pure function of the seed at any pool width: job
+   planning, coverage, corpus growth and shrinking all happen on the
+   calling domain in batch order. *)
+let test_fleet_jobs_invariant () =
+  let module C = Msgpass.Chaos in
+  let module F = Msgpass.Fleet in
+  let report jobs =
+    Format.asprintf "%a" F.pp_report
+      (F.campaign ~generations:12 ~batch:8 ~jobs ~seed:9 (C.frontier ()))
+  in
+  let seq = report 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d renders identically" jobs)
+        seq (report jobs))
+    [ 2; 4 ]
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* End to end on the frontier configuration: the fleet rediscovers the
+   known stale-read violation class exactly once (every later find
+   deduplicates into it), the witness replays bit-for-bit from its file,
+   the corpus round-trips through its JSONL, and a second fleet resumed
+   over the same corpus does not republish the class. *)
+let test_fleet_witness_dedup_and_replay () =
+  let module C = Msgpass.Chaos in
+  let module F = Msgpass.Fleet in
+  let config = C.frontier () in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "boundedreg-fleet-test"
+  in
+  rm_rf dir;
+  let r = F.campaign ~generations:60 ~batch:16 ~seed:9 ~corpus_dir:dir config in
+  Alcotest.(check bool) "found violating runs" true (r.F.violations > 0);
+  Alcotest.(check int) "exactly one witness class" 1
+    (List.length r.F.witnesses);
+  let w = List.hd r.F.witnesses in
+  Alcotest.(check int) "every later find deduplicated" (r.F.violations - 1)
+    w.F.duplicates;
+  Alcotest.(check bool) "witness plan still fails" true
+    (C.failed (C.run_plan config w.F.plan));
+  (match F.replay_file (Option.get w.F.file) with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+      Alcotest.(check bool) "witness file replays bit-for-bit" true
+        rep.F.bit_for_bit);
+  (match F.load_corpus dir with
+  | Error e -> Alcotest.fail e
+  | Ok entries ->
+      Alcotest.(check int) "corpus JSONL round-trips every entry"
+        r.F.corpus_size (List.length entries));
+  let r2 =
+    F.campaign ~generations:10 ~batch:8 ~seed:77 ~corpus_dir:dir config
+  in
+  Alcotest.(check int) "resumed fleet continues corpus ids"
+    (r.F.corpus_size + r2.F.corpus_added)
+    r2.F.corpus_size;
+  Alcotest.(check int) "resumed fleet does not republish the class" 0
+    (List.length r2.F.witnesses);
+  rm_rf dir
+
 (* ABD + Interp over the complete network: baseline eps-agreement survives
    minority crashes. *)
 let test_abd_message_passing () =
@@ -563,6 +739,18 @@ let () =
             test_faults_drop_and_duplicate;
           Alcotest.test_case "chaos campaigns are seed-deterministic" `Quick
             test_chaos_deterministic;
+          Alcotest.test_case "rng_point replays a mid-campaign run" `Quick
+            test_chaos_rng_point_replay;
+          QCheck_alcotest.to_alcotest prop_plan_codec_roundtrip;
+          Alcotest.test_case "plan parser rejects garbage" `Quick
+            test_plan_codec_rejects_garbage;
+          Alcotest.test_case "fleet mutator is seed-deterministic" `Quick
+            test_fleet_mutator_deterministic;
+          QCheck_alcotest.to_alcotest prop_fleet_mutants_replay;
+          Alcotest.test_case "fleet reports are jobs-invariant" `Quick
+            test_fleet_jobs_invariant;
+          Alcotest.test_case "fleet dedups, replays and resumes witnesses"
+            `Quick test_fleet_witness_dedup_and_replay;
           Alcotest.test_case "parallel campaigns match sequential" `Quick
             test_chaos_jobs_invariant;
         ] );
