@@ -111,7 +111,9 @@ let run_abd_ops () =
           ~program:(if me = 0 then program else Sched.Program.return (-1)))
   in
   let net =
-    Msgpass.Net.create ~n ~nodes:(fun pid -> Msgpass.Interp.node interps.(pid))
+    Msgpass.Net.create ~n
+      ~nodes:(fun pid -> Msgpass.Interp.node interps.(pid))
+      ()
   in
   Msgpass.Net.run_random ~rng:(Bits.Rng.make 9) net
 
@@ -482,6 +484,46 @@ let fleet_stats b =
     r.F.signals r.F.mutant_signals r.F.distinct_terminals r.F.corpus_size
     (float_of_int r.F.runs /. sec)
 
+(* Churn counters: the dynamic-membership emulation (Dynreg) under a
+   sound churn schedule — slack covers the rate, so every seeded run
+   must stay linearizable — and the churn-frontier preset on its
+   published counterexample seed, where above-bound churn with
+   unwidened quorums must surface a stale read and shrink it to a
+   replayable plan. bench_gate.py fails the build if either side
+   flips. *)
+let churn_stats b =
+  let module C = Msgpass.Chaos in
+  let t0 = Unix.gettimeofday () in
+  let sound = C.campaign ~seed:1 ~runs:50 (C.churn ()) in
+  let sound_s = Unix.gettimeofday () -. t0 in
+  Printf.bprintf b
+    "    \"sound\": {\"runs\": %d, \"violations\": %d, \"fault_events\": %d, \
+     \"completed_ops\": %d, \"events_per_sec\": %.0f},\n"
+    sound.C.runs sound.C.violations sound.C.total_events
+    sound.C.total_completed
+    (float_of_int sound.C.total_events /. sound_s);
+  let frontier = C.campaign ~seed:29 ~runs:1 (C.churn_frontier ()) in
+  match frontier.C.first with
+  | None ->
+      Printf.bprintf b
+        "    \"frontier\": {\"runs\": %d, \"violations\": %d}\n"
+        frontier.C.runs frontier.C.violations
+  | Some f ->
+      Printf.bprintf b
+        "    \"frontier\": {\"seed\": %d, \"violations\": %d, \
+         \"plan_events\": %d, \"shrunk_events\": %d, \
+         \"shrunk_churn_actions\": %d, \"shrink_replays\": %d}\n"
+        f.C.seed frontier.C.violations
+        (List.length f.C.original.C.plan)
+        (List.length f.C.shrunk)
+        (List.length
+           (List.filter
+              (function
+                | Msgpass.Faults.Enter _ | Msgpass.Faults.Leave _ -> true
+                | _ -> false)
+              f.C.shrunk))
+        f.C.shrink_tests
+
 let write_json file rows =
   (* The embedded metrics snapshot covers the deterministic counter
      workloads below (explorer variants, chaos campaigns, supervision) —
@@ -519,6 +561,8 @@ let write_json file rows =
   parallel_stats b;
   Printf.bprintf b "  },\n  \"fleet\": {\n";
   fleet_stats b;
+  Printf.bprintf b "  },\n  \"churn\": {\n";
+  churn_stats b;
   Printf.bprintf b "  },\n  \"meta\": {\n";
   Printf.bprintf b "    \"ocaml_version\": %S,\n" Sys.ocaml_version;
   Printf.bprintf b "    \"recommended_domain_count\": %d,\n"

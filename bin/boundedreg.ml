@@ -357,12 +357,152 @@ let labelling_cmd =
   in
   Cmd.v (Cmd.info "labelling" ~doc) Term.(const run $ rounds_arg)
 
+(* ----- dynamic-membership flags shared by chaos and fleet ----- *)
+
+type churn_opts = {
+  co_churn : bool;
+  co_frontier : bool;
+  co_seed_members : int option;
+  co_rate : int option;
+  co_window : int option;
+  co_slack : int option;
+  co_width_bits : int option;
+}
+
+let churn_term =
+  let churn_arg =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:
+            "Dynamic-membership mode: Dynreg peers over a churning \
+             membership (the sound preset — quorums widened by the churn \
+             rate). Implied by any other --churn-* option.")
+  in
+  let churn_frontier_arg =
+    Arg.(
+      value & flag
+      & info [ "churn-frontier" ]
+          ~doc:
+            "Above-bound churn with zero quorum slack under the frontier \
+             delay/reorder profile — the dynamic campaign that must find a \
+             reconfiguration-induced stale read.")
+  in
+  let seed_members_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed-members" ] ~docv:"M"
+          ~doc:"Slots 0..$(docv)-1 are present at start; the rest join.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "churn-rate" ] ~docv:"R"
+          ~doc:
+            "Max churn (enter/leave) events per window; 0 disables churn.")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "churn-window" ] ~docv:"W"
+          ~doc:"Churn window length, in fault-layer events.")
+  in
+  let slack_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "churn-slack" ] ~docv:"S"
+          ~doc:
+            "Quorum widening handed to the emulation — sound when at least \
+             the churn rate; 0 exposes the departing-acker hazard.")
+  in
+  let width_bits_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "width-bits" ] ~docv:"B"
+          ~doc:
+            "Bound Dynreg timestamps to $(docv) bits (wrapping mod 2^B) — \
+             the bounded-register knob E17 sweeps.")
+  in
+  Term.(
+    const (fun co_churn co_frontier co_seed_members co_rate co_window co_slack
+               co_width_bits ->
+        { co_churn; co_frontier; co_seed_members; co_rate; co_window;
+          co_slack; co_width_bits })
+    $ churn_arg $ churn_frontier_arg $ seed_members_arg $ rate_arg
+    $ window_arg $ slack_arg $ width_bits_arg)
+
+(* [Some config] when any churn flag asks for the dynamic fleet. The
+   frontier preset's knobs are still overridable by the explicit
+   options (e.g. --churn-frontier --churn-slack 12 to verify the slack
+   repairs the frontier's violation). *)
+let dyn_config ?n (o : churn_opts) =
+  let open Msgpass.Chaos in
+  let implied =
+    o.co_seed_members <> None || o.co_rate <> None || o.co_window <> None
+    || o.co_slack <> None || o.co_width_bits <> None
+  in
+  if not (o.co_churn || o.co_frontier || implied) then None
+  else if o.co_frontier then
+    let base = churn_frontier ?n ?seed_members:o.co_seed_members () in
+    let membership =
+      Option.map
+        (fun d ->
+          {
+            d with
+            churn_rate = Option.value o.co_rate ~default:d.churn_rate;
+            churn_window = Option.value o.co_window ~default:d.churn_window;
+            churn_slack = Option.value o.co_slack ~default:d.churn_slack;
+            width_bits =
+              (match o.co_width_bits with Some b -> Some b | None -> d.width_bits);
+          })
+        base.membership
+    in
+    Some { base with membership }
+  else
+    Some
+      (churn ?n ?seed_members:o.co_seed_members ?rate:o.co_rate
+         ?window:o.co_window ?slack:o.co_slack ?width_bits:o.co_width_bits ())
+
+(* Fail fast with a readable message instead of the campaign's
+   [Invalid_argument]; warnings are left to the campaign, which prints
+   them once. *)
+let check_config config =
+  match Msgpass.Chaos.validate config with
+  | Ok _ -> ()
+  | Error e ->
+      Format.eprintf "invalid configuration: %s@." e;
+      exit 1
+
+let pp_config_line tag config =
+  let open Msgpass.Chaos in
+  match config.membership with
+  | Some d ->
+      Format.printf
+        "%s: n=%d dyn seed-members=%d churn=%d/%d slack=%d width=%s@." tag
+        config.n d.seed_members d.churn_rate d.churn_window d.churn_slack
+        (match d.width_bits with
+        | None -> "unbounded"
+        | Some b -> Printf.sprintf "%db" b)
+  | None ->
+      Format.printf "%s: n=%d t=%d quorum=%d writes=%d readers=%dx%d@." tag
+        config.n config.t
+        (Option.value config.quorum ~default:(config.n - config.t))
+        config.writes config.readers config.reads
+
 let chaos_cmd =
   let doc =
-    "Run a fault-injection campaign against the ABD register emulation and \
+    "Run a fault-injection campaign against the ABD register emulation \
+     (or, with --churn, the dynamic-membership Dynreg emulation) and \
      machine-check linearizability of every run."
   in
-  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N") in
+  let n_arg =
+    Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N")
+  in
   let t_arg = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T") in
   let quorum_arg =
     Arg.(value & opt (some int) None & info [ "quorum" ] ~docv:"Q")
@@ -411,8 +551,8 @@ let chaos_cmd =
             "Campaign base seed. When omitted, one is auto-picked and \
              echoed — a reported violation is replayable either way.")
   in
-  let run n t quorum frontier runs max_events seed print_plan expect deadline
-      jobs tel =
+  let run n t quorum frontier copts runs max_events seed print_plan expect
+      deadline jobs tel =
     with_telemetry tel @@ fun () ->
     (* Always echo the resolved seed: a violation found under an
        auto-picked seed must be replayable from the console output. *)
@@ -425,22 +565,21 @@ let chaos_cmd =
     in
     Format.printf "seed: %d%s@." seed picked;
     let config =
-      if frontier then Msgpass.Chaos.frontier ~n ()
-      else
-        let c = Msgpass.Chaos.sound ~n ~t () in
-        { c with Msgpass.Chaos.quorum = Option.fold ~none:c.Msgpass.Chaos.quorum ~some:Option.some quorum }
+      match dyn_config ?n copts with
+      | Some c -> c
+      | None ->
+          if frontier then Msgpass.Chaos.frontier ?n ()
+          else
+            let c = Msgpass.Chaos.sound ?n ~t () in
+            { c with Msgpass.Chaos.quorum = Option.fold ~none:c.Msgpass.Chaos.quorum ~some:Option.some quorum }
     in
     let config =
       match max_events with
       | Some e -> { config with Msgpass.Chaos.max_events = e }
       | None -> config
     in
-    Format.printf "chaos: n=%d t=%d quorum=%d writes=%d readers=%dx%d@."
-      config.Msgpass.Chaos.n config.Msgpass.Chaos.t
-      (Option.value config.Msgpass.Chaos.quorum
-         ~default:(config.Msgpass.Chaos.n - config.Msgpass.Chaos.t))
-      config.Msgpass.Chaos.writes config.Msgpass.Chaos.readers
-      config.Msgpass.Chaos.reads;
+    check_config config;
+    pp_config_line "chaos" config;
     let c = Msgpass.Chaos.campaign ?deadline ~jobs ~seed ~runs config in
     Format.printf "@[<v>%a@]@." Msgpass.Chaos.pp_campaign c;
     (match (print_plan, c.Msgpass.Chaos.first) with
@@ -460,8 +599,8 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
-      const run $ n_arg $ t_arg $ quorum_arg $ frontier_arg $ runs_arg
-      $ max_events_arg $ chaos_seed_arg $ plan_arg $ expect_arg
+      const run $ n_arg $ t_arg $ quorum_arg $ frontier_arg $ churn_term
+      $ runs_arg $ max_events_arg $ chaos_seed_arg $ plan_arg $ expect_arg
       $ chaos_deadline_arg $ jobs_arg $ telemetry_term)
 
 let fleet_cmd =
@@ -471,7 +610,9 @@ let fleet_cmd =
      corpus, every NONLINEARIZABLE run shrunk, deduplicated by violation \
      class and published as a replayable witness."
   in
-  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N") in
+  let n_arg =
+    Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N")
+  in
   let t_arg = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T") in
   let quorum_arg =
     Arg.(value & opt (some int) None & info [ "quorum" ] ~docv:"Q")
@@ -551,7 +692,7 @@ let fleet_cmd =
              non-zero unless it reproduces bit-for-bit (same verdict, \
              terminal hash, event and delivery counts).")
   in
-  let run n t quorum frontier corpus budget generations batch no_swarm
+  let run n t quorum frontier copts corpus budget generations batch no_swarm
       max_events seed expect replay jobs tel =
     with_telemetry tel @@ fun () ->
     match replay with
@@ -561,15 +702,24 @@ let fleet_cmd =
             Format.eprintf "%s@." e;
             exit 1
         | Ok r ->
-            Format.printf
-              "witness %s: n=%d quorum=%d, %d action(s), %d deliveries@."
-              file r.Msgpass.Fleet.config.Msgpass.Chaos.n
-              (Option.value r.Msgpass.Fleet.config.Msgpass.Chaos.quorum
-                 ~default:
-                   (r.Msgpass.Fleet.config.Msgpass.Chaos.n
-                   - r.Msgpass.Fleet.config.Msgpass.Chaos.t))
-              (List.length r.Msgpass.Fleet.witness_plan)
-              r.Msgpass.Fleet.stored_deliveries;
+            let cfg = r.Msgpass.Fleet.config in
+            (match cfg.Msgpass.Chaos.membership with
+            | Some d ->
+                Format.printf
+                  "witness %s: n=%d dyn seed-members=%d slack=%d, %d \
+                   action(s), %d deliveries@."
+                  file cfg.Msgpass.Chaos.n d.Msgpass.Chaos.seed_members
+                  d.Msgpass.Chaos.churn_slack
+                  (List.length r.Msgpass.Fleet.witness_plan)
+                  r.Msgpass.Fleet.stored_deliveries
+            | None ->
+                Format.printf
+                  "witness %s: n=%d quorum=%d, %d action(s), %d deliveries@."
+                  file cfg.Msgpass.Chaos.n
+                  (Option.value cfg.Msgpass.Chaos.quorum
+                     ~default:(cfg.Msgpass.Chaos.n - cfg.Msgpass.Chaos.t))
+                  (List.length r.Msgpass.Fleet.witness_plan)
+                  r.Msgpass.Fleet.stored_deliveries);
             Format.printf "replay: %a@."
               (Check.Linearize.pp_verdict Format.pp_print_int)
               r.Msgpass.Fleet.outcome.Msgpass.Chaos.verdict;
@@ -586,26 +736,27 @@ let fleet_cmd =
             end)
     | None ->
         let config =
-          if frontier then Msgpass.Chaos.frontier ~n ()
-          else
-            let c = Msgpass.Chaos.sound ~n ~t () in
-            {
-              c with
-              Msgpass.Chaos.quorum =
-                Option.fold ~none:c.Msgpass.Chaos.quorum ~some:Option.some
-                  quorum;
-            }
+          match dyn_config ?n copts with
+          | Some c -> c
+          | None ->
+              if frontier then Msgpass.Chaos.frontier ?n ()
+              else
+                let c = Msgpass.Chaos.sound ?n ~t () in
+                {
+                  c with
+                  Msgpass.Chaos.quorum =
+                    Option.fold ~none:c.Msgpass.Chaos.quorum ~some:Option.some
+                      quorum;
+                }
         in
         let config =
           match max_events with
           | Some e -> { config with Msgpass.Chaos.max_events = e }
           | None -> config
         in
-        Format.printf "fleet: n=%d t=%d quorum=%d batch=%d swarm=%b@."
-          config.Msgpass.Chaos.n config.Msgpass.Chaos.t
-          (Option.value config.Msgpass.Chaos.quorum
-             ~default:(config.Msgpass.Chaos.n - config.Msgpass.Chaos.t))
-          batch (not no_swarm);
+        check_config config;
+        pp_config_line "fleet" config;
+        Format.printf "fleet: batch=%d swarm=%b@." batch (not no_swarm);
         let r =
           Msgpass.Fleet.campaign ?budget ?generations ~jobs ~batch
             ~swarm:(not no_swarm) ?corpus_dir:corpus ~seed config
@@ -624,8 +775,8 @@ let fleet_cmd =
   in
   Cmd.v (Cmd.info "fleet" ~doc)
     Term.(
-      const run $ n_arg $ t_arg $ quorum_arg $ frontier_arg $ corpus_arg
-      $ budget_arg $ generations_arg $ batch_arg $ no_swarm_arg
+      const run $ n_arg $ t_arg $ quorum_arg $ frontier_arg $ churn_term
+      $ corpus_arg $ budget_arg $ generations_arg $ batch_arg $ no_swarm_arg
       $ max_events_arg $ fleet_seed_arg $ expect_arg $ replay_arg $ jobs_arg
       $ telemetry_term)
 

@@ -41,6 +41,21 @@ fi
 dune exec bin/boundedreg.exe -- chaos --frontier --runs 1 --seed 127 \
   --expect violation
 
+# Churn smoke: the dynamic-membership emulation (lib/msgpass/dynreg.ml).
+# A sound churn campaign — slack covers the churn rate — must stay
+# linearizable on every seeded run; the churn-frontier preset
+# (above-bound churn, unwidened quorums) must find and shrink the
+# stale-read counterexample. Seed 29 is the published first violating
+# seed, inside the 40-run sweep from seed 1.
+echo "== churn smoke"
+if [ "$QUICK" = 1 ]; then
+  dune exec bin/boundedreg.exe -- chaos --churn --runs 10 --seed 1 --expect pass
+else
+  dune exec bin/boundedreg.exe -- chaos --churn --runs 50 --seed 1 --expect pass
+fi
+dune exec bin/boundedreg.exe -- chaos --churn-frontier --runs 40 --seed 1 \
+  --expect violation
+
 # Trace smoke: a budgeted exploration captured to JSONL must validate —
 # parseable events, balanced spans — via the trace summarizer; metrics go
 # to a JSON file CI archives. Runs in both modes (it is a fraction of a
@@ -82,6 +97,13 @@ dune exec bin/boundedreg.exe -- chaos --frontier --runs 5 --seed 127 \
 dune exec bin/boundedreg.exe -- chaos --frontier --runs 5 --seed 127 \
   --jobs 2 --expect violation > "$tmp_par"
 diff "$tmp_seq" "$tmp_par"
+# Churn campaigns draw enter/leave schedules from per-run streams, so
+# the worker split must be invisible there too.
+dune exec bin/boundedreg.exe -- chaos --churn-frontier --runs 40 --seed 1 \
+  --jobs 1 --expect violation > "$tmp_seq"
+dune exec bin/boundedreg.exe -- chaos --churn-frontier --runs 40 --seed 1 \
+  --jobs 2 --expect violation > "$tmp_par"
+diff "$tmp_seq" "$tmp_par"
 
 # Fleet smoke: the coverage-guided chaos fleet. Generations mode pins the
 # workload, so a jobs=2 fleet must reproduce the jobs=1 report, corpus
@@ -91,8 +113,8 @@ diff "$tmp_seq" "$tmp_par"
 # artifact upload, --expect witness gating that the frontier stale-read
 # class was rediscovered.
 echo "== fleet smoke"
-fleet_j1=$(mktemp -d) && fleet_j2=$(mktemp -d)
-trap 'rm -f "$tmp_seq" "$tmp_par"; rm -rf "$fleet_j1" "$fleet_j2"' EXIT
+fleet_j1=$(mktemp -d) && fleet_j2=$(mktemp -d) && fleet_churn=$(mktemp -d)
+trap 'rm -f "$tmp_seq" "$tmp_par"; rm -rf "$fleet_j1" "$fleet_j2" "$fleet_churn"' EXIT
 dune exec bin/boundedreg.exe -- fleet --frontier --generations 60 --seed 9 \
   --corpus "$fleet_j1" --jobs 1 --expect witness > "$tmp_seq"
 dune exec bin/boundedreg.exe -- fleet --frontier --generations 60 --seed 9 \
@@ -102,6 +124,15 @@ sed "s|$fleet_j2|$fleet_j1|" "$tmp_par" | diff "$tmp_seq" -
 diff "$fleet_j1/corpus.jsonl" "$fleet_j2/corpus.jsonl"
 for w in "$fleet_j1"/witness-*.json; do
   diff "$w" "$fleet_j2/$(basename "$w")"
+  dune exec bin/boundedreg.exe -- fleet --replay "$w"
+done
+# Churn fleet: witness files for dynamic-membership configs embed the
+# membership block (seed members, churn rate/window/slack, width), so a
+# dyn witness must round-trip through --replay bit-for-bit too. The
+# 1-bit width under sound churn is the fastest reliable witness class.
+dune exec bin/boundedreg.exe -- fleet --churn --width-bits 1 --generations 5 \
+  --batch 16 --seed 1 --corpus "$fleet_churn" --expect witness
+for w in "$fleet_churn"/witness-*.json; do
   dune exec bin/boundedreg.exe -- fleet --replay "$w"
 done
 rm -rf ci-fleet-corpus

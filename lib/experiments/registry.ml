@@ -113,6 +113,13 @@ let all =
       seeded = true;
       run = Exp_chaos.run;
     };
+    {
+      id = "E17";
+      slug = "churn-feasibility";
+      paper = "Bounded registers under dynamic membership (ACEKW adversary)";
+      seeded = true;
+      run = Exp_churn.run;
+    };
   ]
 
 let find key =

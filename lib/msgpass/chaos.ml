@@ -3,6 +3,15 @@ module L = Check.Linearize
 let m_runs = Obs.Metrics.counter "chaos.runs"
 let m_violations = Obs.Metrics.counter "chaos.violations"
 
+type dyn = {
+  seed_members : int;
+  churn_rate : int;
+  churn_window : int;
+  churn_slack : int;
+  width_bits : int option;
+  joiner_reads : int;
+}
+
 type config = {
   n : int;
   t : int;
@@ -13,6 +22,7 @@ type config = {
   crashes : int;
   profile : Faults.profile;
   max_events : int;
+  membership : dyn option;
 }
 
 let default_profile =
@@ -37,6 +47,7 @@ let sound ?(n = 4) ?(t = 1) () =
     crashes = t;
     profile = default_profile;
     max_events = 4_000;
+    membership = None;
   }
 
 let frontier ?(n = 4) () =
@@ -65,11 +76,108 @@ let frontier ?(n = 4) () =
         max_channel_drops = 4;
       };
     max_events = 4_000;
+    membership = None;
   }
+
+(* Below-bound churn: one join-or-leave per 60-event window, quorums
+   widened by exactly that rate. The writer and one reader churn among
+   the seed members; the remaining slots are late joiners that run their
+   read scripts after activating. No crashes — churn and crashes are
+   separate budgets, and this preset isolates the churn axis. *)
+let churn ?(n = 8) ?(seed_members = 5) ?(rate = 1) ?(window = 60) ?slack
+    ?width_bits () =
+  {
+    n;
+    t = 0;
+    quorum = None;
+    writes = 2;
+    readers = 2;
+    reads = 3;
+    crashes = 0;
+    profile = default_profile;
+    max_events = 4_000;
+    membership =
+      Some
+        {
+          seed_members;
+          churn_rate = rate;
+          churn_window = window;
+          churn_slack = Option.value slack ~default:rate;
+          width_bits;
+          joiner_reads = 2;
+        };
+  }
+
+(* Above-bound churn with unwidened quorums: departures are rapid-fire
+   (spacing ~2 events) while slack 0 sizes quorums as plain majorities
+   of whatever view each node has — a write acknowledged partly by
+   members about to leave can then be invisible to a read majority of
+   the survivors. Delay bursts and reordering (the static frontier's
+   mix) stretch the window in which the two quorums miss each other.
+   The small seed group (4 of 8) maximizes how much of the write quorum
+   the leavers can take with them. *)
+let churn_frontier ?(n = 8) ?(seed_members = 4) () =
+  let base = frontier ~n () in
+  {
+    base with
+    quorum = None;
+    membership =
+      Some
+        {
+          seed_members;
+          churn_rate = 6;
+          churn_window = 12;
+          churn_slack = 0;
+          width_bits = None;
+          joiner_reads = 2;
+        };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Config validation *)
+
+let validate config =
+  let err fmt = Printf.ksprintf (fun e -> Error e) fmt in
+  if config.n <= 0 then err "n must be positive (got %d)" config.n
+  else if config.t < 0 then err "t must be non-negative (got %d)" config.t
+  else
+    match config.quorum with
+    | Some q when q < 1 || q > config.n ->
+        err "quorum %d outside 1..n (n = %d): unsatisfiable or vacuous" q
+          config.n
+    | _ -> (
+        match config.membership with
+        | Some d when d.seed_members < 1 || d.seed_members > config.n ->
+            err "seed_members %d outside 1..n (n = %d)" d.seed_members config.n
+        | Some d when d.churn_rate < 0 ->
+            err "churn_rate must be non-negative (got %d)" d.churn_rate
+        | Some d when d.churn_window < 1 ->
+            err "churn_window must be positive (got %d)" d.churn_window
+        | Some d when d.churn_slack < 0 ->
+            err "churn_slack must be non-negative (got %d)" d.churn_slack
+        | Some { width_bits = Some b; _ } when b < 1 || b > 30 ->
+            err "width_bits %d outside 1..30" b
+        | Some d when d.joiner_reads < 0 ->
+            err "joiner_reads must be non-negative (got %d)" d.joiner_reads
+        | _ ->
+            (* Soft problem: more crashes than the tolerance the quorum
+               was sized for. The campaign would silently clamp at the
+               crash roll; clamp loudly here instead. *)
+            if config.crashes > config.t then
+              Ok
+                ( { config with crashes = config.t },
+                  [
+                    Printf.sprintf
+                      "crashes %d exceeds fault tolerance t = %d: clamped to \
+                       %d (a quorum of n - t survives at most t crashes)"
+                      config.crashes config.t config.t;
+                  ] )
+            else Ok (config, []))
 
 type rng_point = {
   rng_state : int64;
   crash_at : (int * int) list;
+  churn : Membership.churn;
 }
 
 type outcome = {
@@ -90,7 +198,7 @@ let failed o =
    recording invocation/response events on a shared logical clock. Every
    inv/res gets a fresh stamp, so the recorded real-time order is exactly
    the callback order of the simulation. *)
-let build config =
+let build_static config =
   let n = config.n in
   let abds =
     Array.init n (fun me ->
@@ -148,9 +256,10 @@ let build config =
           | Some c ->
               complete me c;
               outs @ start_next me);
+      on_leave = (fun () -> []);
     }
   in
-  let net = Net.create ~n ~nodes:node in
+  let net = Net.create ~n ~nodes:node () in
   let finalize () =
     let tail = ref [] in
     Array.iteri
@@ -165,6 +274,117 @@ let build config =
     List.rev_append !history !tail
   in
   (net, finalize)
+
+(* The dynamic client fleet: Dynreg peers over a churning membership.
+   Slots [0 .. seed_members - 1] are seeded (writer 0, readers 1..);
+   the rest are late joiners whose read scripts start on [Activated].
+   A leaver's pending operation stays pending — finalize records it
+   incomplete, and the checker treats it as may-or-may-not have taken
+   effect, which is exactly the semantics of departing mid-operation. *)
+let build_dyn config dyn =
+  let n = config.n in
+  let initial = Membership.initial dyn.seed_members in
+  let regs =
+    Array.init n (fun me ->
+        Dynreg.create ~n ~me ~slack:dyn.churn_slack ?width_bits:dyn.width_bits
+          ~registers:1
+          ~init:(fun _ -> 0)
+          ~initial ())
+  in
+  let stamp = ref 0 in
+  let now () =
+    incr stamp;
+    !stamp
+  in
+  let history = ref [] in
+  let pending : (int * [ `W of int | `R ]) option array = Array.make n None in
+  let scripts =
+    Array.init n (fun me ->
+        if me = 0 then ref (List.init config.writes (fun i -> `W (i + 1)))
+        else if me < dyn.seed_members && me <= config.readers then
+          ref (List.init config.reads (fun _ -> `R))
+        else if me >= dyn.seed_members then
+          ref (List.init dyn.joiner_reads (fun _ -> `R))
+        else ref [])
+  in
+  let start_next me =
+    match !(scripts.(me)) with
+    | [] -> []
+    | op :: rest ->
+        scripts.(me) := rest;
+        pending.(me) <- Some (now (), op);
+        (match op with
+        | `W v -> Dynreg.begin_write regs.(me) ~reg:0 v
+        | `R -> Dynreg.begin_read regs.(me) ~reg:0)
+  in
+  let complete me c =
+    match pending.(me) with
+    | None -> ()
+    | Some (inv, kind) ->
+        pending.(me) <- None;
+        let op =
+          match (c, kind) with
+          | Dynreg.Wrote, `W v -> L.Write v
+          | Dynreg.Read_value v, `R -> L.Read v
+          | Dynreg.Wrote, `R -> L.Read 0
+          | Dynreg.Read_value v, `W _ -> L.Write v
+          | Dynreg.Activated, `W v -> L.Write v
+          | Dynreg.Activated, `R -> L.Read 0
+        in
+        history :=
+          { L.proc = me; reg = 0; op; inv; res = Some (now ()) } :: !history
+  in
+  let node me =
+    {
+      Net.on_start =
+        (fun () ->
+          let outs = Dynreg.start regs.(me) in
+          if Dynreg.is_active regs.(me) then outs @ start_next me else outs);
+      on_message =
+        (fun ~from m ->
+          let outs = Dynreg.handle regs.(me) ~from m in
+          match Dynreg.take_completion regs.(me) with
+          | None -> outs
+          | Some Dynreg.Activated -> outs @ start_next me
+          | Some c ->
+              complete me c;
+              outs @ start_next me);
+      on_leave = (fun () -> Dynreg.farewell regs.(me));
+    }
+  in
+  let net =
+    Net.create ~present:(fun pid -> pid < dyn.seed_members) ~n ~nodes:node ()
+  in
+  let finalize () =
+    let tail = ref [] in
+    Array.iteri
+      (fun me p ->
+        match p with
+        | Some (inv, `W v) ->
+            tail :=
+              { L.proc = me; reg = 0; op = L.Write v; inv; res = None } :: !tail
+        | Some (inv, `R) ->
+            tail :=
+              { L.proc = me; reg = 0; op = L.Read 0; inv; res = None } :: !tail
+        | None -> ())
+      pending;
+    List.rev_append !history !tail
+  in
+  (net, finalize)
+
+(* The static and dynamic fleets speak different message types; the
+   drivers below only ever wrap the network in the fault layer and call
+   the finalizer, so the type packs away. *)
+type built = Built : 'm Net.t * (unit -> int L.event list) -> built
+
+let build config =
+  match config.membership with
+  | None ->
+      let net, finalize = build_static config in
+      Built (net, finalize)
+  | Some dyn ->
+      let net, finalize = build_dyn config dyn in
+      Built (net, finalize)
 
 let outcome_of ?rng_point ft finalize =
   let history = finalize () in
@@ -194,15 +414,37 @@ let random_crashes rng config =
   List.init how_many (fun i ->
       (pids.(i), Bits.Rng.int rng (max 1 (config.max_events / 4))))
 
-(* The replay point is taken after the crash pattern has been rolled:
-   resuming from it re-runs exactly the fault-injection loop, without
-   re-rolling the crash-derivation prefix of the stream. *)
+(* The α-bounded churn roll. Joiners are the unseeded slots, in pid
+   order; leavers are seed members other than the writer (pid 0 keeps
+   the write script alive — a departed writer would make most runs
+   trivially linearizable). Static configs draw nothing, so their rng
+   stream — and every published seed — is untouched. *)
+let random_churn rng config =
+  match config.membership with
+  | None -> Membership.no_churn
+  | Some d ->
+      Membership.random rng
+        ~joiners:
+          (List.init (config.n - d.seed_members) (fun i -> d.seed_members + i))
+        ~leavers:(List.init (d.seed_members - 1) (fun i -> i + 1))
+        ~rate:d.churn_rate ~window:d.churn_window
+        ~span:(max 1 (config.max_events / 4))
+
+(* The replay point is taken after the crash and churn patterns have
+   been rolled: resuming from it re-runs exactly the fault-injection
+   loop, without re-rolling the schedule-derivation prefix of the
+   stream. *)
 let run_at point config =
   let rng = Bits.Rng.of_state point.rng_state in
   let profile =
-    { config.profile with crash_at = config.profile.crash_at @ point.crash_at }
+    {
+      config.profile with
+      crash_at = config.profile.crash_at @ point.crash_at;
+      enter_at = config.profile.enter_at @ point.churn.Membership.enter_at;
+      leave_at = config.profile.leave_at @ point.churn.Membership.leave_at;
+    }
   in
-  let net, finalize = build config in
+  let (Built (net, finalize)) = build config in
   let ft = Faults.wrap net in
   Faults.run_random ~rng ~profile ~max_events:config.max_events ft;
   outcome_of ~rng_point:point ft finalize
@@ -210,10 +452,11 @@ let run_at point config =
 let run_random ~seed config =
   let rng = Bits.Rng.make seed in
   let crash_at = random_crashes rng config in
-  run_at { rng_state = Bits.Rng.state rng; crash_at } config
+  let churn = random_churn rng config in
+  run_at { rng_state = Bits.Rng.state rng; crash_at; churn } config
 
 let run_plan config plan =
-  let net, finalize = build config in
+  let (Built (net, finalize)) = build config in
   let ft = Faults.wrap net in
   Faults.replay ft plan;
   outcome_of ft finalize
@@ -241,19 +484,46 @@ type campaign = {
 }
 
 let campaign ?deadline ?(jobs = 1) ~seed ~runs config =
+  (* Construction-time validation: hard errors raise here rather than
+     letting an unsatisfiable quorum silently run; soft problems (more
+     crashes than t) clamp with a warning — printed once per campaign,
+     not per run, so ddmin's replay storm stays quiet. *)
+  let config =
+    match validate config with
+    | Error e -> invalid_arg (Printf.sprintf "Chaos.campaign: %s" e)
+    | Ok (config, warnings) ->
+        List.iter
+          (fun w -> Printf.eprintf "chaos: warning: %s\n%!" w)
+          warnings;
+        config
+  in
   (* The campaign span carries the resolved seed: a violation reported
      from a trace is replayable without the console output. *)
   Obs.Span.begin_ ~cat:"chaos"
     ~args:
-      [
-        ("seed", Obs.Json.Int seed);
-        ("runs", Obs.Json.Int runs);
-        ("n", Obs.Json.Int config.n);
-        ("t", Obs.Json.Int config.t);
-        ( "quorum",
-          Obs.Json.Int
-            (Option.value config.quorum ~default:(config.n - config.t)) );
-      ]
+      ([
+         ("seed", Obs.Json.Int seed);
+         ("runs", Obs.Json.Int runs);
+         ("n", Obs.Json.Int config.n);
+         ("t", Obs.Json.Int config.t);
+         ( "quorum",
+           Obs.Json.Int
+             (Option.value config.quorum ~default:(config.n - config.t)) );
+       ]
+      @
+      match config.membership with
+      | None -> []
+      | Some d ->
+          [
+            ("seed_members", Obs.Json.Int d.seed_members);
+            ("churn_rate", Obs.Json.Int d.churn_rate);
+            ("churn_window", Obs.Json.Int d.churn_window);
+            ("churn_slack", Obs.Json.Int d.churn_slack);
+            ( "width_bits",
+              match d.width_bits with
+              | Some b -> Obs.Json.Int b
+              | None -> Obs.Json.Null );
+          ])
     "chaos.campaign";
   let monitor =
     Sched.Budget.arm (Sched.Budget.make ?deadline ())
@@ -301,15 +571,24 @@ let campaign ?deadline ?(jobs = 1) ~seed ~runs config =
         match o.rng_point with
         | None -> []
         | Some p ->
+            let pid_at entries =
+              Obs.Json.List
+                (List.map
+                   (fun (pid, at) ->
+                     Obs.Json.List [ Obs.Json.Int pid; Obs.Json.Int at ])
+                   entries)
+            in
             [
               ("rng_state", Obs.Json.Str (Int64.to_string p.rng_state));
-              ( "crash_at",
-                Obs.Json.List
-                  (List.map
-                     (fun (pid, at) ->
-                       Obs.Json.List [ Obs.Json.Int pid; Obs.Json.Int at ])
-                     p.crash_at) );
-            ])
+              ("crash_at", pid_at p.crash_at);
+            ]
+            @
+            if p.churn = Membership.no_churn then []
+            else
+              [
+                ("enter_at", pid_at p.churn.Membership.enter_at);
+                ("leave_at", pid_at p.churn.Membership.leave_at);
+              ])
       "chaos.run";
     let c = !acc in
     let first =

@@ -16,7 +16,25 @@
     fault-plan actions while replaying ({!run_plan}) keeps the verdict,
     converging on a 1-minimal plan — for the frontier configuration,
     around 17 delivery events: one write-request delivery, one read served
-    by fresh copies, one read served by stale ones. *)
+    by fresh copies, one read served by stale ones.
+
+    With [membership] set, the fleet is dynamic instead: {!Dynreg} peers
+    over a churning membership, with an α-bounded schedule of
+    enter/leave events rolled per run (the ACEKW adversary) and quorums
+    sized against gossiped views widened by [churn_slack]. The same
+    checker, shrinker and replay machinery applies — churn events are
+    ordinary plan actions. *)
+
+type dyn = {
+  seed_members : int;  (** slots [0..seed_members-1] present at start *)
+  churn_rate : int;  (** α: max churn events per window; [0] = no churn *)
+  churn_window : int;  (** window length, in fault events *)
+  churn_slack : int;
+      (** quorum widening handed to {!Dynreg.create} — sound when at
+          least the churn rate *)
+  width_bits : int option;  (** timestamp width; [None] = unbounded *)
+  joiner_reads : int;  (** reads each joiner runs after activating *)
+}
 
 type config = {
   n : int;
@@ -28,6 +46,10 @@ type config = {
   crashes : int;  (** up to this many seeded random crash injections *)
   profile : Faults.profile;
   max_events : int;
+  membership : dyn option;
+      (** [None]: the static ABD fleet. [Some]: the dynamic {!Dynreg}
+          fleet ([t] and [quorum] are then unused — quorums come from
+          views). *)
 }
 
 val sound : ?n:int -> ?t:int -> unit -> config
@@ -39,11 +61,40 @@ val frontier : ?n:int -> unit -> config
 (** The E13 configuration: quorum [n / 2], no crashes, delivery faults
     only — the campaign that must find a stale read. *)
 
+val churn :
+  ?n:int ->
+  ?seed_members:int ->
+  ?rate:int ->
+  ?window:int ->
+  ?slack:int ->
+  ?width_bits:int ->
+  unit ->
+  config
+(** The sound dynamic configuration: default [n = 8] slots, 5 seeded,
+    one churn event per 60-event window, quorums widened by the rate
+    ([slack] defaults to [rate]). No crashes — the preset isolates the
+    churn axis. [width_bits] additionally bounds Dynreg timestamps. *)
+
+val churn_frontier : ?n:int -> ?seed_members:int -> unit -> config
+(** Above-bound churn with zero slack under the static frontier's
+    delay/reorder profile — the campaign that must find a stale read
+    caused by reconfiguration: a write acknowledged partly by members
+    about to leave, then invisible to a plain majority of survivors. *)
+
+val validate : config -> (config * string list, string) result
+(** Construction-time validation. [Error] for unsatisfiable or vacuous
+    settings (quorum outside [1..n], bad churn parameters); [Ok] pairs a
+    possibly-clamped config with human-readable warnings (today:
+    [crashes > t] clamps to [t]). {!campaign} applies this itself —
+    hard errors raise [Invalid_argument], warnings print to stderr once
+    per campaign. *)
+
 type rng_point = {
   rng_state : int64;
       (** the {!Bits.Rng} stream state at the start of the fault loop —
-          after the crash pattern was rolled *)
+          after the crash and churn patterns were rolled *)
   crash_at : (int * int) list;  (** the crash schedule that roll produced *)
+  churn : Membership.churn;  (** the churn schedule ditto *)
 }
 (** The resolved randomness of one run: everything {!run_at} needs to
     re-execute a single mid-campaign run without re-rolling the prefix

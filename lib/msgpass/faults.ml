@@ -6,6 +6,8 @@ type action =
   | Duplicate of channel
   | Defer of channel
   | Crash of int
+  | Enter of int
+  | Leave of int
 
 type plan = action list
 
@@ -15,6 +17,8 @@ let pp_action ppf = function
   | Duplicate { src; dst } -> Format.fprintf ppf "dup %d>%d" src dst
   | Defer { src; dst } -> Format.fprintf ppf "defer %d>%d" src dst
   | Crash pid -> Format.fprintf ppf "crash %d" pid
+  | Enter pid -> Format.fprintf ppf "enter %d" pid
+  | Leave pid -> Format.fprintf ppf "leave %d" pid
 
 let pp_plan ppf plan =
   Format.fprintf ppf "@[<hov>%a@]"
@@ -41,15 +45,15 @@ let action_to_string a = Format.asprintf "%a" pp_action a
 
 let action_of_string s =
   let s = String.trim s in
-  let fail () = Error (Printf.sprintf "cannot parse action %S" s) in
+  let fail fmt = Printf.ksprintf (fun e -> Error e) fmt in
   match String.index_opt s ' ' with
-  | None -> fail ()
+  | None -> fail "cannot parse action %S: expected \"keyword arg\"" s
   | Some i -> (
       let kw = String.sub s 0 i in
       let rest = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
       let channel k =
         match String.index_opt rest '>' with
-        | None -> fail ()
+        | None -> fail "bad channel %S after %S: expected src>dst" rest kw
         | Some j -> (
             let src = String.trim (String.sub rest 0 j) in
             let dst =
@@ -57,32 +61,41 @@ let action_of_string s =
             in
             match (int_of_string_opt src, int_of_string_opt dst) with
             | Some src, Some dst -> Ok (k { src; dst })
-            | _ -> fail ())
+            | None, _ -> fail "bad channel source %S after %S" src kw
+            | _, None -> fail "bad channel destination %S after %S" dst kw)
+      in
+      let pid k =
+        match int_of_string_opt rest with
+        | Some p -> Ok (k p)
+        | None -> fail "bad pid %S after %S" rest kw
       in
       match kw with
       | "deliver" -> channel (fun ch -> Deliver ch)
       | "drop" -> channel (fun ch -> Drop ch)
       | "dup" -> channel (fun ch -> Duplicate ch)
       | "defer" -> channel (fun ch -> Defer ch)
-      | "crash" -> (
-          match int_of_string_opt rest with
-          | Some pid -> Ok (Crash pid)
-          | None -> fail ())
-      | _ -> fail ())
+      | "crash" -> pid (fun p -> Crash p)
+      | "enter" -> pid (fun p -> Enter p)
+      | "leave" -> pid (fun p -> Leave p)
+      | _ -> fail "unknown action keyword %S in %S" kw s)
 
 let plan_of_string text =
-  String.split_on_char ';' text
-  |> List.filter (fun seg -> String.trim seg <> "")
-  |> List.fold_left
-       (fun acc seg ->
-         match acc with
-         | Error _ as e -> e
-         | Ok actions -> (
-             match action_of_string seg with
-             | Ok a -> Ok (a :: actions)
-             | Error _ as e -> e))
-       (Ok [])
-  |> Result.map List.rev
+  (* Walk the ";"-splits keeping the absolute character offset, so a
+     parse failure names the offending action's index (among non-empty
+     segments) and where in the input it starts — corpus lines are
+     hand-edited, and "action 37" beats re-counting semicolons. *)
+  let rec go idx offset acc = function
+    | [] -> Ok (List.rev acc)
+    | seg :: rest -> (
+        let next = offset + String.length seg + 1 in
+        if String.trim seg = "" then go idx next acc rest
+        else
+          match action_of_string seg with
+          | Ok a -> go (idx + 1) next (a :: acc) rest
+          | Error e ->
+              Error (Printf.sprintf "action %d (at char %d): %s" idx offset e))
+  in
+  go 0 0 [] (String.split_on_char ';' text)
 
 let plan_to_json plan =
   Obs.Json.List (List.map (fun a -> Obs.Json.Str (action_to_string a)) plan)
@@ -92,18 +105,20 @@ let plan_of_json j =
   | None -> Error "plan is not a JSON array"
   | Some items ->
       List.fold_left
-        (fun acc item ->
-          match acc with
-          | Error _ as e -> e
-          | Ok actions -> (
-              match Obs.Json.to_str item with
-              | None -> Error "plan element is not a string"
-              | Some s -> (
-                  match action_of_string s with
-                  | Ok a -> Ok (a :: actions)
-                  | Error _ as e -> e)))
-        (Ok []) items
-      |> Result.map List.rev
+        (fun (i, acc) item ->
+          ( i + 1,
+            match acc with
+            | Error _ as e -> e
+            | Ok actions -> (
+                match Obs.Json.to_str item with
+                | None -> Error (Printf.sprintf "plan element %d is not a string" i)
+                | Some s -> (
+                    match action_of_string s with
+                    | Ok a -> Ok (a :: actions)
+                    | Error e ->
+                        Error (Printf.sprintf "plan element %d: %s" i e))) ))
+        (0, Ok []) items
+      |> snd |> Result.map List.rev
 
 type profile = {
   drop : float;
@@ -113,6 +128,8 @@ type profile = {
   delay_span : int;
   max_channel_drops : int;
   crash_at : (int * int) list;
+  enter_at : (int * int) list;
+  leave_at : (int * int) list;
 }
 
 let reliable =
@@ -124,6 +141,8 @@ let reliable =
     delay_span = 0;
     max_channel_drops = max_int;
     crash_at = [];
+    enter_at = [];
+    leave_at = [];
   }
 
 type 'm t = {
@@ -166,6 +185,8 @@ let apply t action =
           true
         end
         else false
+    | Enter pid -> Net.enter t.net pid
+    | Leave pid -> Net.leave t.net pid
   in
   if effective then begin
     t.recorded <- action :: t.recorded;
@@ -174,6 +195,20 @@ let apply t action =
   effective
 
 let step_random rng profile t =
+  (* Due schedule entries fire before the event roll: enters first (a
+     joiner must exist before the same step can crash or depart it),
+     then leaves, then crashes. [apply] refuses and records nothing when
+     an entry already fired, so re-checking every step is idempotent. *)
+  List.iter
+    (fun (pid, at) ->
+      if t.events >= at && not (Net.is_present t.net pid) then
+        ignore (apply t (Enter pid)))
+    profile.enter_at;
+  List.iter
+    (fun (pid, at) ->
+      if t.events >= at && Net.is_present t.net pid then
+        ignore (apply t (Leave pid)))
+    profile.leave_at;
   List.iter
     (fun (pid, at) ->
       if t.events >= at && Net.alive t.net pid then

@@ -26,12 +26,15 @@ type action =
   | Duplicate of channel  (** re-enqueue a copy of the head at the tail *)
   | Defer of channel  (** move the head behind the tail: reordering *)
   | Crash of int
+  | Enter of int  (** churn: an absent slot joins ({!Net.enter}) *)
+  | Leave of int  (** churn: a present slot departs ({!Net.leave}) *)
 
 type plan = action list
 
 val pp_action : Format.formatter -> action -> unit
-(** [deliver 0>2], [drop 0>2], [dup 0>2], [defer 0>2], [crash 3] — the
-    fault-plan grammar quoted in EXPERIMENTS.md. *)
+(** [deliver 0>2], [drop 0>2], [dup 0>2], [defer 0>2], [crash 3],
+    [enter 3], [leave 3] — the fault-plan grammar quoted in
+    EXPERIMENTS.md. *)
 
 val pp_plan : Format.formatter -> plan -> unit
 val deliveries : plan -> int
@@ -46,11 +49,14 @@ val deliveries : plan -> int
 
 val action_to_string : action -> string
 val action_of_string : string -> (action, string) result
-(** Inverse of {!action_to_string}; [Error] names the offending text. *)
+(** Inverse of {!action_to_string}; [Error] names the offending token
+    (unknown keyword, malformed channel, non-integer pid). *)
 
 val plan_of_string : string -> (plan, string) result
 (** Parse a ";"-separated action list — the {!pp_plan} rendering. Empty
-    segments are skipped, so a trailing ";" is fine. *)
+    segments are skipped, so a trailing ";" is fine. [Error] reports the
+    offending action's index and character offset in the input, plus the
+    token-level diagnosis from {!action_of_string}. *)
 
 val plan_to_json : plan -> Obs.Json.t
 (** A JSON array of action strings — one corpus line's [plan] field. *)
@@ -66,6 +72,8 @@ type profile = {
   delay_span : int;  (** freeze length, in events *)
   max_channel_drops : int;  (** drop budget per channel ([max_int] = none) *)
   crash_at : (int * int) list;  (** (pid, crash at this event index) *)
+  enter_at : (int * int) list;  (** (pid, enter at this event index) *)
+  leave_at : (int * int) list;  (** (pid, leave at this event index) *)
 }
 
 val reliable : profile
@@ -90,9 +98,10 @@ val apply : 'm t -> action -> bool
     what lets {!Check.Shrink.ddmin} delete plan elements freely. *)
 
 val step_random : Bits.Rng.t -> profile -> 'm t -> bool
-(** One randomized event: fire due [crash_at] entries, pick a deliverable
-    channel (skipping frozen ones unless all are frozen), roll the fault
-    dice, apply. [false] when the network is quiescent. *)
+(** One randomized event: fire due schedule entries ([enter_at], then
+    [leave_at], then [crash_at]), pick a deliverable channel (skipping
+    frozen ones unless all are frozen), roll the fault dice, apply.
+    [false] when the network is quiescent. *)
 
 val run_random :
   rng:Bits.Rng.t ->

@@ -89,27 +89,37 @@ let coverage_observe cov s =
 let random_channel rng n =
   { Faults.src = Bits.Rng.int rng n; dst = Bits.Rng.int rng n }
 
-let random_action rng n =
-  match Bits.Rng.int rng 8 with
+(* The churn flag widens the action grammar with enter/leave. It is off
+   for static-membership configs so their mutation rng streams — and
+   hence every published fleet report and corpus — are untouched by the
+   grammar's existence. *)
+let random_action rng ~churn n =
+  match Bits.Rng.int rng (if churn then 10 else 8) with
   | 0 | 1 | 2 | 3 -> Faults.Deliver (random_channel rng n)
   | 4 -> Faults.Drop (random_channel rng n)
   | 5 -> Faults.Duplicate (random_channel rng n)
   | 6 -> Faults.Defer (random_channel rng n)
-  | _ -> Faults.Crash (Bits.Rng.int rng n)
+  | 7 -> Faults.Crash (Bits.Rng.int rng n)
+  | 8 -> Faults.Enter (Bits.Rng.int rng n)
+  | _ -> Faults.Leave (Bits.Rng.int rng n)
 
+(* Kind-preserving, so static plans (which never contain enter/leave)
+   draw exactly as before. *)
 let rekind rng n = function
   | Faults.Deliver _ -> Faults.Deliver (random_channel rng n)
   | Faults.Drop _ -> Faults.Drop (random_channel rng n)
   | Faults.Duplicate _ -> Faults.Duplicate (random_channel rng n)
   | Faults.Defer _ -> Faults.Defer (random_channel rng n)
   | Faults.Crash _ -> Faults.Crash (Bits.Rng.int rng n)
+  | Faults.Enter _ -> Faults.Enter (Bits.Rng.int rng n)
+  | Faults.Leave _ -> Faults.Leave (Bits.Rng.int rng n)
 
 (* Every generated pid and channel endpoint is drawn in [0, n), so a
    mutated plan can never make [Faults.replay] raise: out-of-range
    channels are impossible by construction, and every in-range action on
    an empty channel (or dead process) is a recorded no-op the fault layer
    skips silently. *)
-let mutate rng ~n plan =
+let mutate rng ~n ?(churn = false) plan =
   let a = ref (Array.of_list plan) in
   let len () = Array.length !a in
   let remove start k =
@@ -172,7 +182,9 @@ let mutate rng ~n plan =
     (* insert fresh random actions *)
     | _ ->
         let seg =
-          Array.init (1 + Bits.Rng.int rng 4) (fun _ -> random_action rng n)
+          Array.init
+            (1 + Bits.Rng.int rng 4)
+            (fun _ -> random_action rng ~churn n)
         in
         insert (Bits.Rng.int rng (len () + 1)) seg
   done;
@@ -212,6 +224,8 @@ let plan_key plan =
         | Faults.Duplicate { src; dst } -> (2, rename src, rename dst)
         | Faults.Defer { src; dst } -> (3, rename src, rename dst)
         | Faults.Crash pid -> (4, rename pid, 0)
+        | Faults.Enter pid -> (5, rename pid, 0)
+        | Faults.Leave pid -> (6, rename pid, 0)
       in
       Sched.Zobrist.combine h (Sched.Zobrist.value_hash code))
     0 plan
@@ -372,18 +386,67 @@ type witness = {
 
 let config_to_json (c : Chaos.config) =
   Obs.Json.Obj
-    [
-      ("n", Obs.Json.Int c.Chaos.n);
-      ("t", Obs.Json.Int c.Chaos.t);
-      ( "quorum",
-        match c.Chaos.quorum with
-        | Some q -> Obs.Json.Int q
-        | None -> Obs.Json.Null );
-      ("writes", Obs.Json.Int c.Chaos.writes);
-      ("readers", Obs.Json.Int c.Chaos.readers);
-      ("reads", Obs.Json.Int c.Chaos.reads);
-      ("max_events", Obs.Json.Int c.Chaos.max_events);
-    ]
+    ([
+       ("n", Obs.Json.Int c.Chaos.n);
+       ("t", Obs.Json.Int c.Chaos.t);
+       ( "quorum",
+         match c.Chaos.quorum with
+         | Some q -> Obs.Json.Int q
+         | None -> Obs.Json.Null );
+       ("writes", Obs.Json.Int c.Chaos.writes);
+       ("readers", Obs.Json.Int c.Chaos.readers);
+       ("reads", Obs.Json.Int c.Chaos.reads);
+       ("max_events", Obs.Json.Int c.Chaos.max_events);
+     ]
+    @
+    (* Only dynamic-membership witnesses carry the extra object, so
+       every witness file published before churn existed stays valid
+       and byte-identical. *)
+    match c.Chaos.membership with
+    | None -> []
+    | Some d ->
+        [
+          ( "membership",
+            Obs.Json.Obj
+              [
+                ("seed_members", Obs.Json.Int d.Chaos.seed_members);
+                ("churn_rate", Obs.Json.Int d.Chaos.churn_rate);
+                ("churn_window", Obs.Json.Int d.Chaos.churn_window);
+                ("churn_slack", Obs.Json.Int d.Chaos.churn_slack);
+                ( "width_bits",
+                  match d.Chaos.width_bits with
+                  | Some b -> Obs.Json.Int b
+                  | None -> Obs.Json.Null );
+                ("joiner_reads", Obs.Json.Int d.Chaos.joiner_reads);
+              ] );
+        ])
+
+let membership_of_json j =
+  match
+    ( Obs.Json.member_int "seed_members" j,
+      Obs.Json.member_int "churn_rate" j,
+      Obs.Json.member_int "churn_window" j,
+      Obs.Json.member_int "churn_slack" j,
+      Obs.Json.member_int "joiner_reads" j )
+  with
+  | ( Some seed_members,
+      Some churn_rate,
+      Some churn_window,
+      Some churn_slack,
+      Some joiner_reads ) ->
+      Ok
+        {
+          Chaos.seed_members;
+          churn_rate;
+          churn_window;
+          churn_slack;
+          width_bits = Obs.Json.member_int "width_bits" j;
+          joiner_reads;
+        }
+  | _ ->
+      Error
+        "witness membership needs seed_members, churn_rate, churn_window, \
+         churn_slack, joiner_reads"
 
 (* Witness replay is plan-driven — no dice are rolled — so the profile
    is irrelevant and the reliable profile stands in for it. *)
@@ -396,8 +459,8 @@ let config_of_json j =
       Obs.Json.member_int "reads" j,
       Obs.Json.member_int "max_events" j )
   with
-  | Some n, Some t, Some writes, Some readers, Some reads, Some max_events ->
-      Ok
+  | Some n, Some t, Some writes, Some readers, Some reads, Some max_events -> (
+      let base =
         {
           Chaos.n;
           t;
@@ -408,7 +471,15 @@ let config_of_json j =
           crashes = 0;
           profile = Faults.reliable;
           max_events;
+          membership = None;
         }
+      in
+      match Obs.Json.member "membership" j with
+      | None | Some Obs.Json.Null -> Ok base
+      | Some mj ->
+          Result.map
+            (fun d -> { base with Chaos.membership = Some d })
+            (membership_of_json mj))
   | _ -> Error "witness config needs n, t, writes, readers, reads, max_events"
 
 let witness_to_json ~seed ~config w =
@@ -701,7 +772,10 @@ let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
             else
               Mutant
                 {
-                  plan = mutate rng ~n:chaos.Chaos.n parent.plan;
+                  plan =
+                    mutate rng ~n:chaos.Chaos.n
+                      ~churn:(chaos.Chaos.membership <> None)
+                      parent.plan;
                   origin = Printf.sprintf "mut:%d@g%d" parent.id g;
                 }
           end)

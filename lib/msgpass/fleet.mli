@@ -48,10 +48,14 @@ val signature_of : Chaos.outcome -> signature
     {!Faults.replay} skips ineffective actions silently — so every
     mutant replays without raising, whatever the splicing did. *)
 
-val mutate : Bits.Rng.t -> n:int -> Faults.plan -> Faults.plan
+val mutate : Bits.Rng.t -> n:int -> ?churn:bool -> Faults.plan -> Faults.plan
 (** 1–3 rounds of: splice a run of actions out, duplicate a run, move a
     run, re-roll one action's endpoints, retarget/reposition a crash, or
-    insert fresh random actions. Deterministic in the rng stream. *)
+    insert fresh random actions. Deterministic in the rng stream.
+    [churn] (default false) admits [enter]/[leave] among the freshly
+    inserted actions; off, the rng stream is exactly the pre-churn one,
+    so static-membership corpora and reports are unaffected by the wider
+    grammar. *)
 
 val crossover : Bits.Rng.t -> Faults.plan -> Faults.plan -> Faults.plan
 (** Single-point crossover: a prefix of the first parent spliced to a

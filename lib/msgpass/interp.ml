@@ -95,4 +95,5 @@ let node (t, initial) =
             sends
         | None -> []);
     on_message = (fun ~from msg -> handle t ~from msg);
+    on_leave = (fun () -> []);
   }

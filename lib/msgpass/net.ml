@@ -3,6 +3,8 @@ let m_drops = Obs.Metrics.counter "net.drops"
 let m_duplicates = Obs.Metrics.counter "net.duplicates"
 let m_defers = Obs.Metrics.counter "net.defers"
 let m_crashes = Obs.Metrics.counter "net.crashes"
+let m_enters = Obs.Metrics.counter "net.enters"
+let m_leaves = Obs.Metrics.counter "net.leaves"
 let m_sends = Obs.Metrics.counter "net.sends"
 
 (* Delivery latency in logical hops: the number of network deliveries
@@ -26,20 +28,28 @@ let hop_bucket hops =
 type 'm node = {
   on_start : unit -> (int * 'm) list;
   on_message : from:int -> 'm -> (int * 'm) list;
+  on_leave : unit -> (int * 'm) list;
 }
 
-(* Each queued message carries the delivery-clock stamp of its enqueue. *)
+(* Each queued message carries the delivery-clock stamp of its enqueue.
+   Membership is three booleans per slot: [present] (entered and not yet
+   departed), [left] (departed gracefully — unlike a crash, a leave runs
+   the node's [on_leave] farewell first), and [alive] (not crashed). A
+   slot that never entered is simply not yet present; its [on_start]
+   runs at entry instead of at creation. *)
 type 'm t = {
   size : int;
   nodes : 'm node array;
   channels : (int * 'm) Queue.t array array;  (** [channels.(src).(dst)] *)
   alive : bool array;
+  present : bool array;
+  left : bool array;
   mutable delivered : int;
   mutable hop_mask : int;  (** bit [b] set: some delivery hit bucket [b] *)
 }
 
 let enqueue t ~src sends =
-  if t.alive.(src) then
+  if t.alive.(src) && t.present.(src) then
     List.iter
       (fun (dst, m) ->
         if dst < 0 || dst >= t.size then
@@ -48,19 +58,21 @@ let enqueue t ~src sends =
         Queue.add (t.delivered, m) t.channels.(src).(dst))
       sends
 
-let create ~n ~nodes =
+let create ?(present = fun _ -> true) ~n ~nodes () =
   let t =
     {
       size = n;
       nodes = Array.init n nodes;
       channels = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
       alive = Array.make n true;
+      present = Array.init n present;
+      left = Array.make n false;
       delivered = 0;
       hop_mask = 0;
     }
   in
   for pid = 0 to n - 1 do
-    enqueue t ~src:pid (t.nodes.(pid).on_start ())
+    if t.present.(pid) then enqueue t ~src:pid (t.nodes.(pid).on_start ())
   done;
   t
 
@@ -70,8 +82,10 @@ let deliverable t =
   let acc = ref [] in
   for src = t.size - 1 downto 0 do
     for dst = t.size - 1 downto 0 do
-      if t.alive.(dst) && not (Queue.is_empty t.channels.(src).(dst)) then
-        acc := (src, dst) :: !acc
+      if
+        t.alive.(dst) && t.present.(dst)
+        && not (Queue.is_empty t.channels.(src).(dst))
+      then acc := (src, dst) :: !acc
     done
   done;
   !acc
@@ -90,7 +104,10 @@ let channel_args ~src = [ ("src", Obs.Json.Int src) ]
 
 let deliver t ~src ~dst =
   check_channel t ~src ~dst;
-  if (not t.alive.(dst)) || Queue.is_empty t.channels.(src).(dst) then false
+  if
+    (not t.alive.(dst)) || (not t.present.(dst))
+    || Queue.is_empty t.channels.(src).(dst)
+  then false
   else begin
     let stamp, m = Queue.pop t.channels.(src).(dst) in
     let hops = t.delivered - stamp in
@@ -164,6 +181,50 @@ let alive t pid = t.alive.(pid)
 
 let crashed t =
   List.init t.size (fun i -> i) |> List.filter (fun i -> not t.alive.(i))
+
+(* {2 Dynamic membership}
+
+   [enter] brings a never-before-present slot into the computation: its
+   [on_start] runs now (a join protocol's opening broadcast, typically).
+   [leave] is the graceful counterpart of [crash]: the node's [on_leave]
+   farewell is enqueued while the process is still allowed to send, then
+   the slot stops delivering. Both are idempotent no-ops ([false]) when
+   ineffective, so fault replay can skip them freely. A departed slot
+   never re-enters — fresh arrivals are fresh slots, as in the
+   dynamic-membership model (ACEKW). *)
+
+let enter t pid =
+  if pid < 0 || pid >= t.size then invalid_arg "Net: pid out of range";
+  if t.present.(pid) || t.left.(pid) || not t.alive.(pid) then false
+  else begin
+    t.present.(pid) <- true;
+    Obs.Metrics.inc m_enters;
+    if Obs.Sink.enabled () then
+      Obs.Span.instant ~cat:"net" ~track:pid "node-enter";
+    enqueue t ~src:pid (t.nodes.(pid).on_start ());
+    true
+  end
+
+let leave t pid =
+  if pid < 0 || pid >= t.size then invalid_arg "Net: pid out of range";
+  if (not t.present.(pid)) || not t.alive.(pid) then false
+  else begin
+    (* Farewell first: the process may still send while departing. *)
+    enqueue t ~src:pid (t.nodes.(pid).on_leave ());
+    t.present.(pid) <- false;
+    t.left.(pid) <- true;
+    Obs.Metrics.inc m_leaves;
+    if Obs.Sink.enabled () then
+      Obs.Span.instant ~cat:"net" ~track:pid "node-leave";
+    true
+  end
+
+let is_present t pid =
+  if pid < 0 || pid >= t.size then invalid_arg "Net: pid out of range";
+  t.present.(pid)
+
+let departed t =
+  List.init t.size (fun i -> i) |> List.filter (fun i -> t.left.(i))
 
 let quiescent t = deliverable t = []
 let deliveries t = t.delivered

@@ -9,15 +9,21 @@
 
 type 'm node = {
   on_start : unit -> (int * 'm) list;
-      (** messages to send when the process first runs *)
+      (** messages to send when the process first runs (at creation for
+          initially-present slots, at {!enter} for late joiners) *)
   on_message : from:int -> 'm -> (int * 'm) list;
+  on_leave : unit -> (int * 'm) list;
+      (** farewell messages sent when the process departs gracefully via
+          {!leave}; never called on {!crash} *)
 }
 
 type 'm t
 
-val create : n:int -> nodes:(int -> 'm node) -> 'm t
-(** [on_start] callbacks run immediately, in pid order. Processes may send
-    to themselves. *)
+val create : ?present:(int -> bool) -> n:int -> nodes:(int -> 'm node) -> unit -> 'm t
+(** [on_start] callbacks run immediately, in pid order, for every slot
+    where [present pid] holds (default: all). Slots that start absent are
+    future joiners: their [on_start] runs when {!enter} brings them in.
+    Processes may send to themselves. *)
 
 val n : 'm t -> int
 
@@ -62,6 +68,35 @@ val defer : 'm t -> src:int -> dst:int -> bool
 val crash : 'm t -> int -> unit
 val alive : 'm t -> int -> bool
 val crashed : 'm t -> int list
+
+(** {1 Dynamic membership}
+
+    The fixed [n] slots are a {e universe} of potential processes; at any
+    moment a slot is present (participating), absent-not-yet-entered (a
+    future joiner), or departed. Entering and leaving are fault-layer
+    events like {!crash} — the ABD substrate never calls them — and both
+    return [false] when ineffective so replay can skip them. *)
+
+val enter : 'm t -> int -> bool
+(** Bring an absent slot into the computation: marks it present and runs
+    its [on_start]. [false] if already present, already departed, or
+    crashed — a departed slot never re-enters (fresh arrivals are fresh
+    slots, as in the dynamic-membership model).
+    @raise Invalid_argument if the pid is out of range. *)
+
+val leave : 'm t -> int -> bool
+(** Graceful departure: enqueue the node's [on_leave] farewell (sent
+    while still present), then mark the slot departed. Pending messages
+    to it are never delivered. [false] if absent or crashed.
+    @raise Invalid_argument if the pid is out of range. *)
+
+val is_present : 'm t -> int -> bool
+(** The slot has entered and not yet left. Crashing does not clear
+    presence — a crashed member is a faulty member, not a departed one.
+    @raise Invalid_argument if the pid is out of range. *)
+
+val departed : 'm t -> int list
+(** Slots that left gracefully, ascending. *)
 
 val quiescent : 'm t -> bool
 (** No deliverable messages remain. *)

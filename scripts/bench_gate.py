@@ -57,6 +57,36 @@ def check_fleet(doc):
     return None
 
 
+def check_churn(doc):
+    """Churn gate: the dynamic-membership rows must show the sound churn
+    campaign (slack covers the rate) staying linearizable on every seeded
+    run, and the churn-frontier preset still finding and shrinking its
+    pinned stale-read counterexample. A sound violation means the
+    slack-widened quorum intersection regressed; a missing frontier
+    violation means the churn adversary (or the checker's view of it)
+    silently lost its teeth."""
+    churn = doc.get("churn")
+    if churn is None:
+        return "churn section missing from fresh bench JSON"
+    sound = churn.get("sound", {})
+    if sound.get("violations", -1) != 0:
+        return (
+            "sound churn campaign reported violations "
+            f"(expected 0): {sound}"
+        )
+    frontier = churn.get("frontier", {})
+    if frontier.get("violations", 0) < 1:
+        return "churn-frontier pinned seed produced no violation"
+    if frontier.get("shrunk_events", 0) <= 0:
+        return "churn-frontier witness did not shrink to a replayable plan"
+    if frontier.get("shrunk_churn_actions", 0) <= 0:
+        return (
+            "churn-frontier shrunk plan retains no enter/leave action — "
+            "the violation no longer depends on membership churn"
+        )
+    return None
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -100,6 +130,16 @@ def main():
         failed = True
     else:
         print("bench gate: fleet mutator is alive (mutant coverage signals > 0)")
+
+    churn_err = check_churn(fresh)
+    if churn_err:
+        print(f"bench gate: {churn_err}", file=sys.stderr)
+        failed = True
+    else:
+        print(
+            "bench gate: churn rows sound (0 sound violations, "
+            "frontier witness shrinks with churn actions)"
+        )
 
     return 1 if failed else 0
 

@@ -165,7 +165,9 @@ let two_node_net received =
           (fun ~from:_ m ->
             received := !received @ [ m ];
             []);
+        on_leave = (fun () -> []);
       })
+    ()
 
 let test_net_scripted_delivery () =
   let received = ref [] in
@@ -215,7 +217,9 @@ let prop_net_random_fifo =
                 (fun ~from:_ m ->
                   received.(pid) <- m :: received.(pid);
                   []);
+              on_leave = (fun () -> []);
             })
+          ()
       in
       Msgpass.Net.run_random ~rng:(Bits.Rng.make seed) net;
       (* Per (receiver, sender): sequence numbers strictly increase. *)
@@ -294,6 +298,8 @@ let test_chaos_deterministic () =
     [
       ("sound", C.sound (), 7);
       ("frontier violation", C.frontier (), 127);
+      ("churn", C.churn (), 7);
+      ("churn frontier violation", C.churn_frontier (), 29);
     ]
 
 (* Parallel campaigns must be byte-identical to sequential ones: outcomes
@@ -329,6 +335,8 @@ let test_chaos_jobs_invariant () =
     [
       ("sound", C.sound (), 1, 50);
       ("frontier violation", C.frontier (), 127, 10);
+      ("churn", C.churn (), 1, 30);
+      ("churn frontier violation", C.churn_frontier (), 29, 5);
     ]
 
 (* A single mid-campaign run must be replayable from its recorded
@@ -357,7 +365,153 @@ let test_chaos_rng_point_replay () =
     [
       ("sound", C.sound (), 3);
       ("frontier violation", C.frontier (), 127);
+      ("churn", C.churn (), 3);
+      ("churn frontier violation", C.churn_frontier (), 29);
     ]
+
+(* ----- dynamic membership ----- *)
+
+(* View algebra: activation (not mere entry) is what feeds the quorum,
+   leaving wins over entering, and merge is the join of everything both
+   sides know. *)
+let test_membership_views () =
+  let module M = Msgpass.Membership in
+  let v = M.initial 3 in
+  Alcotest.(check int) "initial cardinal" 3 (M.cardinal v);
+  Alcotest.(check int) "initial quorum" 2 (M.quorum v);
+  let v = M.enter v 5 in
+  Alcotest.(check bool) "entered joiner is current" true (M.mem v 5);
+  Alcotest.(check int) "joiner not active: quorum base unchanged" 2
+    (M.quorum v);
+  let v = M.activate v 5 in
+  Alcotest.(check int) "activation widens the quorum base" 3 (M.quorum v);
+  let v = M.leave v 0 in
+  Alcotest.(check bool) "leaver is gone" false (M.mem v 0);
+  Alcotest.(check int) "leaver out of the quorum base" 2 (M.quorum v);
+  let w = M.leave (M.initial 3) 2 in
+  let m = M.merge v w in
+  Alcotest.(check bool) "merge commutes" true (m = M.merge w v);
+  Alcotest.(check bool) "merge is idempotent" true (M.merge m m = m);
+  Alcotest.(check bool) "merge includes both sides" true
+    (M.includes m v && M.includes m w);
+  Alcotest.(check bool) "leave wins over enter" false (M.mem m 2);
+  Alcotest.(check int) "slack widens the quorum" 3 (M.quorum ~slack:1 v);
+  Alcotest.(check int) "slack is capped at the active set" 2
+    (M.quorum ~slack:9 (M.initial 2))
+
+(* The schedule generator's contract: however the jitter rolls, no
+   window-length stretch of the run ever sees more churn than the
+   configured rate. *)
+let prop_churn_schedule_rate_bounded =
+  QCheck.Test.make ~name:"random churn schedules respect the window bound"
+    ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let module M = Msgpass.Membership in
+      let rng = Bits.Rng.make seed in
+      let c =
+        M.random rng ~joiners:[ 5; 6; 7 ] ~leavers:[ 1; 2; 3; 4 ] ~rate:4
+          ~window:16 ~span:400
+      in
+      M.max_in_window ~window:16 c <= 4)
+
+(* Dynreg under a faultless FIFO transport: the join protocol activates
+   a late arrival, a seeded writer's value reaches a joiner's read, and
+   the emulation keeps answering after a departure. *)
+let test_dynreg_join_read_write () =
+  let module D = Msgpass.Dynreg in
+  let n = 4 in
+  let initial = Msgpass.Membership.initial 3 in
+  let peers =
+    Array.init n (fun me ->
+        D.create ~n ~me ~registers:1 ~init:(fun _ -> 0) ~initial ())
+  in
+  let q = Queue.create () in
+  let send from msgs =
+    List.iter (fun (dst, m) -> Queue.add (from, dst, m) q) msgs
+  in
+  let drain () =
+    while not (Queue.is_empty q) do
+      let from, dst, m = Queue.pop q in
+      send dst (D.handle peers.(dst) ~from m)
+    done
+  in
+  Alcotest.(check bool) "seeded member starts active" true
+    (D.is_active peers.(0));
+  Alcotest.(check bool) "joiner starts inactive" false (D.is_active peers.(3));
+  send 3 (D.start peers.(3));
+  drain ();
+  Alcotest.(check bool) "joiner activated" true (D.is_active peers.(3));
+  Alcotest.(check bool) "activation completion" true
+    (D.take_completion peers.(3) = Some D.Activated);
+  send 0 (D.begin_write peers.(0) ~reg:0 42);
+  drain ();
+  Alcotest.(check bool) "write completed" true
+    (D.take_completion peers.(0) = Some D.Wrote);
+  send 3 (D.begin_read peers.(3) ~reg:0);
+  drain ();
+  (match D.take_completion peers.(3) with
+  | Some (D.Read_value v) -> Alcotest.(check int) "joiner reads the write" 42 v
+  | _ -> Alcotest.fail "joiner's read did not complete");
+  send 1 (D.farewell peers.(1));
+  drain ();
+  Alcotest.(check bool) "leaver deactivated" false (D.is_active peers.(1));
+  send 2 (D.begin_read peers.(2) ~reg:0);
+  drain ();
+  match D.take_completion peers.(2) with
+  | Some (D.Read_value v) ->
+      Alcotest.(check int) "read survives the departure" 42 v
+  | _ -> Alcotest.fail "post-departure read did not complete"
+
+(* Construction-time validation: unsatisfiable settings are errors,
+   crashes > t clamps with a warning. *)
+let test_chaos_validate () =
+  let module C = Msgpass.Chaos in
+  (match C.validate (C.sound ()) with
+  | Ok (_, []) -> ()
+  | Ok (_, w) -> Alcotest.failf "sound preset warned: %s" (String.concat "; " w)
+  | Error e -> Alcotest.failf "sound preset rejected: %s" e);
+  (match C.validate { (C.sound ()) with C.crashes = 5 } with
+  | Ok (c, [ _ ]) -> Alcotest.(check int) "crashes clamped to t" c.C.t c.C.crashes
+  | Ok (_, w) -> Alcotest.failf "expected one warning, got %d" (List.length w)
+  | Error e -> Alcotest.failf "clampable config rejected: %s" e);
+  List.iter
+    (fun (label, config) ->
+      match C.validate config with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "validate accepted %s" label)
+    [
+      ("quorum 0", { (C.sound ()) with C.quorum = Some 0 });
+      ("quorum > n", { (C.sound ()) with C.quorum = Some 9 });
+      ("n = 0", { (C.sound ()) with C.n = 0 });
+      ("seed_members > n", C.churn ~n:4 ~seed_members:5 ());
+      ("negative rate", C.churn ~rate:(-1) ());
+      ("window 0", C.churn ~window:0 ());
+      ("width 31", C.churn ~width_bits:31 ());
+    ]
+
+(* The churn mutation grammar is opt-in (static fleets must keep their
+   published rng streams) and deterministic under it. *)
+let test_fleet_churn_mutants () =
+  let module C = Msgpass.Chaos in
+  let module F = Msgpass.Fleet in
+  let config = C.churn_frontier () in
+  let base = (C.run_random ~seed:29 config).C.plan in
+  let children churn seed =
+    let rng = Bits.Rng.make seed in
+    List.init 64 (fun _ -> F.mutate rng ~n:config.C.n ~churn base)
+  in
+  Alcotest.(check bool) "churn mutants are seed-deterministic" true
+    (children true 5 = children true 5);
+  let has_churn p =
+    List.exists
+      (function Msgpass.Faults.Enter _ | Msgpass.Faults.Leave _ -> true | _ -> false)
+      p
+  in
+  Alcotest.(check bool) "churn grammar is reachable" true
+    (List.exists has_churn (children true 5));
+  List.iter (fun m -> ignore (C.run_plan config m)) (children true 7);
+  List.iter (fun m -> ignore (C.run_plan config m)) (children false 7)
 
 (* ----- chaos fleet ----- *)
 
@@ -375,6 +529,8 @@ let fault_plan_gen =
          chan (fun ch -> Msgpass.Faults.Duplicate ch);
          chan (fun ch -> Msgpass.Faults.Defer ch);
          map (fun pid -> Msgpass.Faults.Crash pid) (int_bound 9);
+         map (fun pid -> Msgpass.Faults.Enter pid) (int_bound 9);
+         map (fun pid -> Msgpass.Faults.Leave pid) (int_bound 9);
        ])
 
 let fault_plan_arbitrary =
@@ -397,7 +553,36 @@ let test_plan_codec_rejects_garbage () =
       match Msgpass.Faults.plan_of_string text with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "parsed %S" text)
-    [ "deliver"; "deliver 0-1"; "crash x"; "teleport 0>1"; "deliver 0>1; zap" ]
+    [
+      "deliver"; "deliver 0-1"; "crash x"; "teleport 0>1"; "deliver 0>1; zap";
+      "enter"; "leave 1>2";
+    ]
+
+(* A rejected plan names the offending action and where it sits, so a
+   hand-edited corpus line fails with something greppable instead of a
+   bare "parse error". *)
+let test_plan_parse_errors_are_positional () =
+  let contains hay needle =
+    let h = String.length hay and n = String.length needle in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (text, fragments) ->
+      match Msgpass.Faults.plan_of_string text with
+      | Ok _ -> Alcotest.failf "parsed %S" text
+      | Error e ->
+          List.iter
+            (fun frag ->
+              if not (contains e frag) then
+                Alcotest.failf "error for %S lacks %S: %s" text frag e)
+            fragments)
+    [
+      ("deliver 0>1; zap 3", [ "action 1"; "char 12"; "zap" ]);
+      ("deliver 0>1; deliver 2>3; crash x", [ "action 2"; "char 25"; "x" ]);
+      ("enter 0; leave y", [ "action 1"; "leave"; "y" ]);
+      ("deliver 9", [ "action 0"; "char 0"; "src>dst" ]);
+    ]
 
 (* Mutation is a pure function of the rng stream: same corpus plan + same
    seed give byte-identical children. *)
@@ -523,8 +708,9 @@ let test_abd_message_passing () =
                  ~input:inputs.(me)))
     in
     let net =
-      Msgpass.Net.create ~n ~nodes:(fun pid ->
-          Msgpass.Interp.node interps.(pid))
+      Msgpass.Net.create ~n
+        ~nodes:(fun pid -> Msgpass.Interp.node interps.(pid))
+        ()
     in
     let crash_pid = if Bits.Rng.bool rng then Some (Bits.Rng.int rng n) else None in
     let crash_at = Bits.Rng.int rng 300 in
@@ -588,8 +774,9 @@ let test_abd_atomicity () =
                else Sched.Program.return []))
     in
     let net =
-      Msgpass.Net.create ~n ~nodes:(fun pid ->
-          Msgpass.Interp.node interps.(pid))
+      Msgpass.Net.create ~n
+        ~nodes:(fun pid -> Msgpass.Interp.node interps.(pid))
+        ()
     in
     Msgpass.Net.run_random ~rng:(Bits.Rng.make (400 + seed)) net;
     (* Per-reader monotonicity: the sequence of values each reader returns
@@ -636,9 +823,10 @@ let test_router_flooding () =
               delivered := (pid, e.body) :: !delivered)
             deliveries;
           forwards);
+      on_leave = (fun () -> []);
     }
   in
-  let net = Msgpass.Net.create ~n ~nodes in
+  let net = Msgpass.Net.create ~n ~nodes () in
   (* Crash two consecutive intermediate nodes. *)
   Msgpass.Net.crash net 1;
   Msgpass.Net.crash net 2;
@@ -744,6 +932,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_plan_codec_roundtrip;
           Alcotest.test_case "plan parser rejects garbage" `Quick
             test_plan_codec_rejects_garbage;
+          Alcotest.test_case "plan parse errors are positional" `Quick
+            test_plan_parse_errors_are_positional;
           Alcotest.test_case "fleet mutator is seed-deterministic" `Quick
             test_fleet_mutator_deterministic;
           QCheck_alcotest.to_alcotest prop_fleet_mutants_replay;
@@ -753,6 +943,17 @@ let () =
             `Quick test_fleet_witness_dedup_and_replay;
           Alcotest.test_case "parallel campaigns match sequential" `Quick
             test_chaos_jobs_invariant;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "view algebra and quorum rule" `Quick
+            test_membership_views;
+          QCheck_alcotest.to_alcotest prop_churn_schedule_rate_bounded;
+          Alcotest.test_case "dynreg join, read, write, departure" `Quick
+            test_dynreg_join_read_write;
+          Alcotest.test_case "config validation" `Quick test_chaos_validate;
+          Alcotest.test_case "churn mutation grammar is opt-in and \
+                              deterministic" `Quick test_fleet_churn_mutants;
         ] );
       ( "message-passing",
         [
