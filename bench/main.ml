@@ -178,6 +178,15 @@ let run_explore_raw () =
        (fun _ -> ())
       : Sched.Explore.result)
 
+(* Same workload with the flight recorder disarmed: the delta between
+   this row and the always-on one is the recorder's whole cost on the
+   hot path, and bench_gate.py caps it at 3%. *)
+let run_explore_raw_recorder_off () =
+  Obs.Recorder.armed := false;
+  Fun.protect
+    ~finally:(fun () -> Obs.Recorder.armed := true)
+    run_explore_raw
+
 let run_labelling_value () =
   (* Closed-form pruned-path position at R = 20 (3^20-scale complex). *)
   let label =
@@ -212,6 +221,8 @@ let benchmarks =
       Test.make ~name:"explore-3x4(dedup+por)"
         (Staged.stage run_explore_engine);
       Test.make ~name:"explore-3x4(raw-undo)" (Staged.stage run_explore_raw);
+      Test.make ~name:"explore-3x4(raw-undo,recorder-off)"
+        (Staged.stage run_explore_raw_recorder_off);
     ]
 
 (* Each row carries the OLS time estimate and the OLS minor-allocation

@@ -8,6 +8,7 @@ type telemetry = {
   trace : string option;
   trace_format : [ `Jsonl | `Catapult ];
   metrics : string option;
+  wall : bool;
 }
 
 let telemetry_term =
@@ -40,9 +41,34 @@ let telemetry_term =
              gauges, histograms from the process-wide registry) to $(docv); \
              bare $(b,--metrics) or '-' prints it to stdout.")
   in
+  let wall_arg =
+    Arg.(
+      value & flag
+      & info [ "wall" ]
+          ~doc:
+            "Stamp every trace event with a wall-clock $(b,wall_s) argument \
+             and add rate/ETA fields to the periodic health instants. Off by \
+             default: wall time makes traces non-reproducible byte-for-byte.")
+  in
   Term.(
-    const (fun trace trace_format metrics -> { trace; trace_format; metrics })
-    $ trace_arg $ format_arg $ metrics_arg)
+    const (fun trace trace_format metrics wall ->
+        { trace; trace_format; metrics; wall })
+    $ trace_arg $ format_arg $ metrics_arg $ wall_arg)
+
+(* Resolved run parameters as the trace's first event, so a trace file
+   is self-describing for replay: which seed, how wide a pool, which
+   compiler. (Witness files already carry this; traces didn't.) *)
+let emit_meta ?seed ~jobs () =
+  Obs.Span.instant ~cat:"meta"
+    ~args:
+      ((match seed with
+       | Some s -> [ ("seed", Obs.Json.Int s) ]
+       | None -> [])
+      @ [
+          ("jobs", Obs.Json.Int jobs);
+          ("ocaml_version", Obs.Json.Str Sys.ocaml_version);
+        ])
+    "meta"
 
 (* Installs the requested sink around [f]. Subcommands call [exit] on
    their failure paths, which does not unwind the stack — so teardown is
@@ -50,6 +76,7 @@ let telemetry_term =
    catapult trace gets its closing bracket whatever the exit path. *)
 let with_telemetry tel f =
   Obs.Span.reset ();
+  Obs.Span.set_wall_clock (if tel.wall then Some Unix.gettimeofday else None);
   (* Per-operation tallies (scheduler steps, register widths) only count
      while someone is going to read them. *)
   if tel.metrics <> None then Obs.Metrics.hot := true;
@@ -82,7 +109,31 @@ let with_telemetry tel f =
       end
   in
   at_exit teardown;
-  Fun.protect ~finally:teardown f
+  (* A killed or crashing run still leaves its black box. SIGINT/SIGTERM
+     dump the flight rings and exit through [at_exit], so the trace gets
+     its closing bracket too; an escaping exception dumps after teardown
+     and re-raises. *)
+  let flight reason =
+    match Obs.Recorder.dump ~reason () with
+    | Some file -> Printf.eprintf "flight recorder: wrote %s\n%!" file
+    | None -> ()
+  in
+  let handler name code =
+    Sys.Signal_handle
+      (fun _ ->
+        flight name;
+        exit code)
+  in
+  (try Sys.set_signal Sys.sigint (handler "sigint" 130)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm (handler "sigterm" 143)
+   with Invalid_argument _ | Sys_error _ -> ());
+  match Fun.protect ~finally:teardown f with
+  | v -> v
+  | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      flight "exception";
+      Printexc.raise_with_backtrace exn bt
 
 (* Shared by run/chaos/explore: the width of the domain pool their
    parallelizable work fans out over. *)
@@ -140,6 +191,7 @@ let run_cmd =
   in
   let run keys deadline max_states jobs tel =
     with_telemetry tel @@ fun () ->
+    emit_meta ~jobs ();
     let selected =
       if List.exists (fun k -> String.lowercase_ascii k = "all") keys then
         Ok Experiments.Registry.all
@@ -564,6 +616,7 @@ let chaos_cmd =
           (Random.int 0x3FFFFFF, " (auto-picked)")
     in
     Format.printf "seed: %d%s@." seed picked;
+    emit_meta ~seed ~jobs ();
     let config =
       match dyn_config ?n copts with
       | Some c -> c
@@ -757,6 +810,7 @@ let fleet_cmd =
         check_config config;
         pp_config_line "fleet" config;
         Format.printf "fleet: batch=%d swarm=%b@." batch (not no_swarm);
+        emit_meta ~seed ~jobs ();
         let r =
           Msgpass.Fleet.campaign ?budget ?generations ~jobs ~batch
             ~swarm:(not no_swarm) ?corpus_dir:corpus ~seed config
@@ -838,6 +892,7 @@ let explore_cmd =
   let run k max_crashes max_nodes deadline checkpoint resume no_dedup no_por
       jobs tel =
     with_telemetry tel @@ fun () ->
+    emit_meta ~jobs ();
     let algorithm = Core.Alg1_one_bit.algorithm ~k in
     let init () =
       Sched.Scheduler.start
@@ -953,6 +1008,24 @@ let trace_cmd =
                  | Error e -> fail "line %d unparseable (%s)" (i + 1) e
                  | Ok j -> event_of_json j)
       in
+      (* Every event must belong to a known subsystem category — a typo'd
+         cat would otherwise slip through every downstream consumer
+         silently. This list is the single CLI-side registry; extend it
+         when a subsystem starts emitting a new category. *)
+      let known_categories =
+        [
+          "app"; "chaos"; "dynreg"; "experiment"; "explore"; "fleet";
+          "harness"; "membership"; "meta"; "net"; "sched";
+        ]
+      in
+      let cat_counts = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Obs.Sink.event) ->
+          if not (List.mem e.cat known_categories) then
+            fail "unknown event category %S (event %S)" e.cat e.name;
+          Hashtbl.replace cat_counts e.cat
+            (1 + Option.value (Hashtbl.find_opt cat_counts e.cat) ~default:0))
+        events;
       (* Spans must nest: every End matches the innermost open Begin on
          its track. The console summarizer reports totals; unbalanced
          files fail the validation. *)
@@ -971,6 +1044,12 @@ let trace_cmd =
         (fun track d ->
           if d > 0 then fail "%d unclosed span(s) on track %d" d track)
         depth;
+      if Hashtbl.length cat_counts > 0 then begin
+        Format.printf "categories:@.";
+        Hashtbl.fold (fun cat n acc -> (cat, n) :: acc) cat_counts []
+        |> List.sort compare
+        |> List.iter (fun (cat, n) -> Format.printf "  %-12s %6d@." cat n)
+      end;
       let sink = Obs.Sink.console Format.std_formatter in
       List.iter sink.Obs.Sink.emit events;
       sink.Obs.Sink.flush ();
@@ -979,6 +1058,114 @@ let trace_cmd =
     Cmd.v (Cmd.info "summary" ~doc) Term.(const run $ file_arg)
   in
   Cmd.group (Cmd.info "trace" ~doc) [ summary_cmd ]
+
+let report_cmd =
+  let doc =
+    "Render a self-contained health report from telemetry artifacts: a \
+     trace (jsonl, catapult, or a flight-recorder dump), a --metrics \
+     snapshot, and/or a BENCH_*.json — event-category counts, span \
+     rollups, verdicts, witness inventory, coverage-over-time curves and \
+     histogram percentiles, as Markdown or HTML."
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file written by --trace.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Metrics snapshot written by --metrics.")
+  in
+  let bench_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench" ] ~docv:"FILE" ~doc:"A BENCH_*.json document.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the report to $(docv); '-' prints to stdout.")
+  in
+  let html_arg =
+    Arg.(
+      value & flag
+      & info [ "html" ] ~doc:"Render HTML (inline SVG curves) instead of \
+                              Markdown.")
+  in
+  let run trace metrics bench out html =
+    if trace = None && metrics = None && bench = None then begin
+      Format.eprintf
+        "nothing to report on: pass a trace file, --metrics or --bench@.";
+      exit 1
+    end;
+    let read_file what file =
+      try In_channel.with_open_text file In_channel.input_all
+      with Sys_error e ->
+        Format.eprintf "cannot read %s: %s@." what e;
+        exit 1
+    in
+    let events =
+      match trace with
+      | None -> []
+      | Some file ->
+          let text = read_file "trace" file in
+          let fail fmt =
+            Format.kasprintf
+              (fun m ->
+                Format.eprintf "invalid trace %s: %s@." file m;
+                exit 1)
+              fmt
+          in
+          let event_of_json j =
+            match Obs.Sink.event_of_json j with
+            | Some e -> e
+            | None ->
+                fail "object is not a trace event: %s" (Obs.Json.to_string j)
+          in
+          let trimmed = String.trim text in
+          if trimmed = "" then []
+          else if trimmed.[0] = '[' then
+            match Obs.Json.of_string trimmed with
+            | Error e -> fail "unparseable catapult array (%s)" e
+            | Ok (Obs.Json.List items) -> List.map event_of_json items
+            | Ok _ -> fail "expected a top-level array"
+          else
+            String.split_on_char '\n' text
+            |> List.filter (fun l -> String.trim l <> "")
+            |> List.mapi (fun i line ->
+                   match Obs.Json.of_string line with
+                   | Error e -> fail "line %d unparseable (%s)" (i + 1) e
+                   | Ok j -> event_of_json j)
+    in
+    let parse_json what file =
+      match Obs.Json.of_string (read_file what file) with
+      | Ok j -> j
+      | Error e ->
+          Format.eprintf "unparseable %s %s (%s)@." what file e;
+          exit 1
+    in
+    let metrics = Option.map (parse_json "metrics snapshot") metrics in
+    let bench = Option.map (parse_json "bench JSON") bench in
+    let blocks = Obs.Report.of_sources ?metrics ?bench events in
+    let rendered =
+      if html then Obs.Report.to_html blocks
+      else Obs.Report.to_markdown blocks
+    in
+    match out with
+    | "-" -> print_string rendered
+    | file ->
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc rendered)
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ trace_arg $ metrics_arg $ bench_arg $ out_arg $ html_arg)
 
 let dot_cmd =
   let doc =
@@ -1019,4 +1206,4 @@ let () =
        (Cmd.group info
           [ list_cmd; run_cmd; alg1_cmd; fast_cmd; pipeline_cmd; search_cmd;
             labelling_cmd; chaos_cmd; fleet_cmd; explore_cmd; trace_cmd;
-            dot_cmd ]))
+            report_cmd; dot_cmd ]))

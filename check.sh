@@ -66,6 +66,15 @@ dune exec bin/boundedreg.exe -- explore -k 2 --max-nodes 2000 \
   --trace ci-smoke.trace.jsonl --metrics ci-metrics.json
 dune exec bin/boundedreg.exe -- trace summary ci-smoke.trace.jsonl
 
+# Report smoke: the health-report renderer must consume the trace and
+# metrics the step above just wrote. Both renderings are CI artifacts.
+echo "== report smoke"
+dune exec bin/boundedreg.exe -- report ci-smoke.trace.jsonl \
+  --metrics ci-metrics.json -o ci-report.md
+dune exec bin/boundedreg.exe -- report ci-smoke.trace.jsonl \
+  --metrics ci-metrics.json --html -o ci-report.html
+grep -q "boundedreg health report" ci-report.md
+
 if [ "$QUICK" = 1 ]; then
   # Supervised smoke: the whole experiment registry under a tight
   # per-experiment budget. Experiments degrade to sampled coverage
@@ -97,6 +106,25 @@ dune exec bin/boundedreg.exe -- chaos --frontier --runs 5 --seed 127 \
 dune exec bin/boundedreg.exe -- chaos --frontier --runs 5 --seed 127 \
   --jobs 2 --expect violation > "$tmp_par"
 diff "$tmp_seq" "$tmp_par"
+# Traced parallel runs: worker-domain events drain through private
+# buffers in unit-index order, so up to the echoed jobs value the
+# jobs=1 and jobs=2 traces are byte-identical — and the jobs=2 trace
+# must actually contain the workers' per-run net events. The first
+# violation also dumps the flight recorder post-mortem.
+rm -f flight-nonlinearizable.jsonl
+dune_trace_seq=$(mktemp) && dune_trace_par=$(mktemp)
+dune exec bin/boundedreg.exe -- chaos --frontier --runs 5 --seed 127 \
+  --jobs 1 --expect violation --trace "$dune_trace_seq" > /dev/null
+dune exec bin/boundedreg.exe -- chaos --frontier --runs 5 --seed 127 \
+  --jobs 2 --expect violation --trace "$dune_trace_par" > /dev/null
+sed 's/"jobs":[0-9]*/"jobs":_/' "$dune_trace_seq" > "$tmp_seq"
+sed 's/"jobs":[0-9]*/"jobs":_/' "$dune_trace_par" > "$tmp_par"
+diff "$tmp_seq" "$tmp_par"
+grep -q '"cat":"net"' "$dune_trace_par"
+rm -f "$dune_trace_seq" "$dune_trace_par"
+test -s flight-nonlinearizable.jsonl
+grep -q '"dom"' flight-nonlinearizable.jsonl
+rm -f flight-nonlinearizable.jsonl
 # Churn campaigns draw enter/leave schedules from per-run streams, so
 # the worker split must be invisible there too.
 dune exec bin/boundedreg.exe -- chaos --churn-frontier --runs 40 --seed 1 \

@@ -133,6 +133,19 @@ let run_one ?deadline ?(budget = Sched.Budget.unlimited) ?(jobs = 1)
           ("seconds", Obs.Json.Float result.seconds);
         ])
     e.id;
+  (* Post-mortem for a tripped watchdog or a crash that survived the
+     retry: the flight rings hold the last events of the dying run —
+     its campaign/exploration boundaries and verdict instants — without
+     the user having traced. *)
+  (let dump reason =
+     match Obs.Recorder.dump ~reason () with
+     | Some f -> Format.eprintf "flight recorder: wrote %s@." f
+     | None -> ()
+   in
+   match result.status with
+   | Timed_out _ -> dump "watchdog"
+   | Crashed _ -> dump "exception"
+   | Passed | Degraded _ -> ());
   result
 
 let run_all ?deadline ?budget ?jobs ?(ppf = Format.std_formatter)

@@ -595,7 +595,7 @@ let campaign ?deadline ?(jobs = 1) ~seed ~runs config =
       match (c.first, failed o) with
       | None, true ->
           let shrunk, shrink_tests = shrink config o.plan in
-          Some
+          let found =
             {
               seed = s;
               original = o;
@@ -603,6 +603,14 @@ let campaign ?deadline ?(jobs = 1) ~seed ~runs config =
               shrunk_outcome = run_plan config shrunk;
               shrink_tests;
             }
+          in
+          (* First NONLINEARIZABLE verdict: dump the flight recorder.
+             The rings now hold the failing run's chaos.run instant
+             (rng point, crash/churn schedule) and the shrink replays —
+             enough to reproduce without having traced. Best-effort and
+             silent: campaigns run inside tests too. *)
+          ignore (Obs.Recorder.dump ~reason:"nonlinearizable" () : string option);
+          Some found
       | first, _ -> first
     in
     acc :=
@@ -635,17 +643,25 @@ let campaign ?deadline ?(jobs = 1) ~seed ~runs config =
           semantics, so only a deadline can make jobs counts differ. *)
        let seeds = Array.init runs (fun i -> seed + i) in
        let results =
-         Sched.Par.run_units ~jobs ~units:seeds (fun s ->
+         Sched.Par.run_units_ev ~jobs ~units:seeds (fun s ->
              if over_deadline () then None
              else Some (run_random ~seed:s config))
        in
+       (* Replay each unit's captured events immediately before its
+          tally — run events then run instant, run events then run
+          instant — exactly the interleaving the sequential loop
+          emits, so a traced campaign is byte-identical at any [jobs].
+          Events of runs past the first deadline skip are dropped; the
+          sequential loop never ran those runs at all. *)
        Array.iteri
-         (fun i r ->
+         (fun i (r, events) ->
            match r with
            | None ->
                acc := { !acc with degraded = true };
                raise Exit
-           | Some o -> tally seeds.(i) o)
+           | Some o ->
+               Obs.Span.replay events;
+               tally seeds.(i) o)
          results
      end
    with Exit -> ());

@@ -136,6 +136,13 @@ let farewell t =
    reply — including from members since departed — is deliberate: it is
    exactly the hazard the [slack] widening absorbs, and what a
    zero-slack configuration exposes under churn. *)
+(* Phase-completion instants, guarded like the network's: the protocol
+   steps are driven per delivery, so a traced churn run shows each
+   slot's join/query/update milestones on its own track. *)
+let milestone t name args =
+  if Obs.Sink.enabled () then
+    Obs.Span.instant ~cat:"dynreg" ~track:t.me ~args name
+
 let advance t =
   let q = quorum t in
   match t.phase with
@@ -146,6 +153,7 @@ let advance t =
       t.view <- Membership.activate t.view t.me;
       t.phase <- Idle;
       t.done_ <- Some Activated;
+      milestone t "activated" [ ("quorum", Obs.Json.Int q) ];
       []
   | Querying { op; reg; replies; best; intent }
     when Membership.popcount replies >= q ->
@@ -157,10 +165,31 @@ let advance t =
       in
       adopt t reg data;
       t.phase <- Updating { op; reg; acks = 0; data; return };
+      milestone t "query-quorum"
+        [
+          ("op", Obs.Json.Int op);
+          ("reg", Obs.Json.Int reg);
+          ( "intent",
+            Obs.Json.Str
+              (match intent with
+              | Read_intent -> "read"
+              | Write_intent _ -> "write") );
+        ];
       everyone t (Update { reg; op; data })
-  | Updating { acks; return; _ } when Membership.popcount acks >= q ->
+  | Updating { op; reg; acks; return; _ } when Membership.popcount acks >= q ->
       t.phase <- Idle;
       t.done_ <- Some return;
+      milestone t "op-complete"
+        [
+          ("op", Obs.Json.Int op);
+          ("reg", Obs.Json.Int reg);
+          ( "result",
+            Obs.Json.Str
+              (match return with
+              | Activated -> "activated"
+              | Wrote -> "wrote"
+              | Read_value _ -> "read") );
+        ];
       []
   | Joining _ | Idle | Querying _ | Updating _ -> []
 

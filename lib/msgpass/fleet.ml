@@ -678,6 +678,16 @@ let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
   let mutant_signals = ref 0 in
   let gen = ref 0 in
   let degraded = ref false in
+  let flight_dumped = ref false in
+  (* Churn activity for the health instants, as campaign-relative deltas
+     of the network's enter/leave counters. The counters are global and
+     all runs have joined by the time a generation's health is sampled,
+     so the deltas are identical at any [jobs]. *)
+  let c_enters = Obs.Metrics.counter "net.enters" in
+  let c_leaves = Obs.Metrics.counter "net.leaves" in
+  let enters0 = Obs.Metrics.counter_value c_enters in
+  let leaves0 = Obs.Metrics.counter_value c_leaves in
+  let health = Obs.Progress.create ~cat:"fleet" "fleet.health" in
   let write_witness w =
     match w.file with
     | None -> ()
@@ -789,6 +799,22 @@ let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
       (fun i o ->
         incr runs;
         Obs.Metrics.inc m_runs;
+        (* One instant per run, always constructed: in a trace it maps
+           runs to origins and verdicts; in a flight dump it is the
+           replay handle for the last runs before death. *)
+        Obs.Span.instant ~cat:"fleet"
+          ~args:
+            [
+              ("generation", Obs.Json.Int g);
+              ("index", Obs.Json.Int i);
+              ("origin", Obs.Json.Str (job_origin jobs_arr.(i)));
+              ( "verdict",
+                Obs.Json.Str
+                  (if Chaos.failed o then "nonlinearizable"
+                   else "linearizable") );
+              ("events", Obs.Json.Int o.Chaos.events);
+            ]
+          "fleet.run";
         let interesting = coverage_observe cov (signature_of o) in
         if interesting then begin
           incr signals;
@@ -807,7 +833,16 @@ let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
         if Chaos.failed o then begin
           incr violations;
           Obs.Metrics.inc m_violations;
-          triage ~g ~origin:(job_origin jobs_arr.(i)) o
+          triage ~g ~origin:(job_origin jobs_arr.(i)) o;
+          if not !flight_dumped then begin
+            (* First violating run of the campaign: dump the flight
+               rings once, after triage, so the dump carries the
+               fleet.run replay handle and the witness class. *)
+            flight_dumped := true;
+            ignore
+              (Obs.Recorder.dump ~reason:"nonlinearizable" ()
+                : string option)
+          end
         end)
       outcomes;
     Obs.Metrics.inc m_generations;
@@ -818,7 +853,39 @@ let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
           ("new_signals", Obs.Json.Int !gen_signals);
           ("corpus", Obs.Json.Int corpus.size);
         ]
-      "fleet.generation"
+      "fleet.generation";
+    (* The deterministic health sample: cumulative campaign state, plus
+       wall-derived rate and budget ETA only when the user opted into
+       wall time (rates would otherwise break trace byte-determinism). *)
+    Obs.Progress.tick health (fun () ->
+        [
+          ("generation", Obs.Json.Int g);
+          ("runs", Obs.Json.Int !runs);
+          ("violations", Obs.Json.Int !violations);
+          ("witnesses", Obs.Json.Int (List.length !witness_order));
+          ("corpus", Obs.Json.Int corpus.size);
+          ("signals", Obs.Json.Int !signals);
+          ("new_signals", Obs.Json.Int !gen_signals);
+          ( "enters",
+            Obs.Json.Int (Obs.Metrics.counter_value c_enters - enters0) );
+          ( "leaves",
+            Obs.Json.Int (Obs.Metrics.counter_value c_leaves - leaves0) );
+        ]
+        @
+        if not (Obs.Span.wall_enabled ()) then []
+        else
+          let dt = Sched.Budget.elapsed monitor in
+          [ ("elapsed_s", Obs.Json.Float dt) ]
+          @ (if dt > 0. then
+               [
+                 ( "runs_per_s",
+                   Obs.Json.Float (float_of_int !runs /. dt) );
+               ]
+             else [])
+          @
+          match budget with
+          | Some b -> [ ("eta_s", Obs.Json.Float (Float.max 0. (b -. dt))) ]
+          | None -> [])
   in
   (try
      let continue () =

@@ -200,7 +200,7 @@ let enter t pid =
     t.present.(pid) <- true;
     Obs.Metrics.inc m_enters;
     if Obs.Sink.enabled () then
-      Obs.Span.instant ~cat:"net" ~track:pid "node-enter";
+      Obs.Span.instant ~cat:"membership" ~track:pid "node-enter";
     enqueue t ~src:pid (t.nodes.(pid).on_start ());
     true
   end
@@ -215,7 +215,7 @@ let leave t pid =
     t.left.(pid) <- true;
     Obs.Metrics.inc m_leaves;
     if Obs.Sink.enabled () then
-      Obs.Span.instant ~cat:"net" ~track:pid "node-leave";
+      Obs.Span.instant ~cat:"membership" ~track:pid "node-leave";
     true
   end
 

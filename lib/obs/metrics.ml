@@ -14,7 +14,17 @@
    are rare; they serialize on a [Mutex] so a domain registering a new
    metric cannot race a snapshot's fold over the hashtable. *)
 
-type counter = { c_name : string; count : int Atomic.t }
+(* Counters are sharded: [shards] independent cells, a domain picking
+   its cell by domain id. Parallel fan-outs (a fleet generation at
+   [--jobs 8]) would otherwise serialize every tally on one contended
+   cache line; sharding makes concurrent increments land on (mostly)
+   distinct cells, and reads sum the shards. Gauges and histograms stay
+   single-cell — gauges are last-writer/max semantics where sharding
+   has nothing to merge, and histogram updates touch several fields
+   anyway. *)
+let shards = 8 (* power of two, cell picked by [domain_id land (shards-1)] *)
+
+type counter = { c_name : string; cells : int Atomic.t array }
 type gauge = { g_name : string; value : int Atomic.t }
 
 type histogram = {
@@ -67,7 +77,8 @@ let kind_error name want =
 let counter name =
   match
     register name
-      (fun () -> `C { c_name = name; count = Atomic.make 0 })
+      (fun () ->
+        `C { c_name = name; cells = Array.init shards (fun _ -> Atomic.make 0) })
       (function Counter c -> `C c | _ -> kind_error name "non-counter")
   with
   | `C c -> c
@@ -119,9 +130,15 @@ let histogram ?(bounds = default_bounds) name =
   | `H h -> h
   | _ -> assert false
 
-let inc c = ignore (Atomic.fetch_and_add c.count 1)
-let add c n = ignore (Atomic.fetch_and_add c.count n)
-let counter_value c = Atomic.get c.count
+let shard cells =
+  Array.unsafe_get cells ((Domain.self () :> int) land (shards - 1))
+
+let inc c = ignore (Atomic.fetch_and_add (shard c.cells) 1)
+let add c n = ignore (Atomic.fetch_and_add (shard c.cells) n)
+
+let counter_value c =
+  Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
+
 let counter_name c = c.c_name
 let set g v = Atomic.set g.value v
 
@@ -158,7 +175,7 @@ let reset () =
   locked (fun () ->
       Hashtbl.iter
         (fun _ -> function
-          | Counter c -> Atomic.set c.count 0
+          | Counter c -> Array.iter (fun cell -> Atomic.set cell 0) c.cells
           | Gauge g -> Atomic.set g.value 0
           | Histogram h ->
               Array.iter (fun b -> Atomic.set b 0) h.buckets;
@@ -171,13 +188,44 @@ let bucket_label bounds i =
   if i < Array.length bounds then Printf.sprintf "le_%d" bounds.(i)
   else "inf"
 
+(* Percentiles from bucket counts: walk the cumulative distribution to
+   the bucket containing the rank-[ceil(p/100 * n)] observation and
+   report that bucket's upper bound (the overflow bucket reports the
+   exact max seen). An upper bound, not an interpolation — with integer
+   buckets "p99 <= 8 hops" is the honest statement the data supports. *)
+let percentile h p =
+  let total = Atomic.get h.observations in
+  if total = 0 || p <= 0. || p > 100. then None
+  else begin
+    let rank =
+      max 1 (int_of_float (ceil (p /. 100. *. float_of_int total)))
+    in
+    let n = Array.length h.buckets in
+    let rec walk i cum =
+      if i >= n then Some (Atomic.get h.max_seen)
+      else
+        let cum = cum + Atomic.get h.buckets.(i) in
+        if cum >= rank then
+          if i < Array.length h.bounds then Some h.bounds.(i)
+          else Some (Atomic.get h.max_seen)
+        else walk (i + 1) cum
+    in
+    walk 0 0
+  end
+
 let histogram_json h =
   let count = Atomic.get h.observations in
+  let pct p =
+    match percentile h p with None -> Json.Null | Some v -> Json.Int v
+  in
   Json.Obj
     [
       ("count", Json.Int count);
       ("sum", Json.Int (Atomic.get h.sum));
       ("max", if count = 0 then Json.Null else Json.Int (Atomic.get h.max_seen));
+      ("p50", pct 50.);
+      ("p90", pct 90.);
+      ("p99", pct 99.);
       ( "buckets",
         Json.Obj
           (List.init (Array.length h.buckets) (fun i ->
@@ -189,7 +237,7 @@ let sorted_fields section =
       Hashtbl.fold
         (fun name m acc ->
           match (section, m) with
-          | `Counters, Counter c -> (name, Json.Int (Atomic.get c.count)) :: acc
+          | `Counters, Counter c -> (name, Json.Int (counter_value c)) :: acc
           | `Gauges, Gauge g -> (name, Json.Int (Atomic.get g.value)) :: acc
           | `Histograms, Histogram h -> (name, histogram_json h) :: acc
           | _ -> acc)
@@ -219,3 +267,51 @@ let pp_snapshot ppf () =
   section "counters" (sorted_fields `Counters);
   section "gauges" (sorted_fields `Gauges);
   section "histograms" (sorted_fields `Histograms)
+
+(* Interval arithmetic over two snapshot JSONs: what happened {e
+   between} them. Counters and histogram counts/sums/buckets subtract;
+   gauges, maxima and percentiles are point-in-time readings with no
+   meaningful difference, so the [after] value passes through. Metrics
+   present only in [after] (registered mid-interval) diff against an
+   implicit zero. *)
+let delta ~before ~after =
+  let int_minus b a =
+    match (b, a) with
+    | Some (Json.Int b), Json.Int a -> Json.Int (a - b)
+    | _, a -> a
+  in
+  let hist_minus b a =
+    match (b, a) with
+    | Some bj, Json.Obj afields ->
+        Json.Obj
+          (List.map
+             (fun (k, av) ->
+               match k with
+               | "count" | "sum" -> (k, int_minus (Json.member k bj) av)
+               | "buckets" -> (
+                   match (Json.member "buckets" bj, av) with
+                   | Some bb, Json.Obj ab ->
+                       ( k,
+                         Json.Obj
+                           (List.map
+                              (fun (bk, bv) ->
+                                (bk, int_minus (Json.member bk bb) bv))
+                              ab) )
+                   | _ -> (k, av))
+               | _ -> (k, av))
+             afields)
+    | _, a -> a
+  in
+  let section name minus =
+    let b = Option.value (Json.member name before) ~default:(Json.Obj []) in
+    match Json.member name after with
+    | Some (Json.Obj fields) ->
+        Json.Obj (List.map (fun (k, av) -> (k, minus (Json.member k b) av)) fields)
+    | _ -> Json.Obj []
+  in
+  Json.Obj
+    [
+      ("counters", section "counters" int_minus);
+      ("gauges", section "gauges" (fun _ a -> a));
+      ("histograms", section "histograms" hist_minus);
+    ]

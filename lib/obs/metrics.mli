@@ -17,10 +17,13 @@
     Domain-safe: cells are [Atomic]-backed, so concurrent domains (the
     parallel exploration workers) tally into the same registry without
     losing increments, and registration/reset/snapshot serialize on a
-    mutex. Histograms update their fields independently, so a snapshot
-    taken {e while} another domain observes may see a bucket incremented
-    before the observation count — quiescent snapshots (after workers
-    join, which is how every consumer in this repo snapshots) are exact. *)
+    mutex. Counters are additionally {e sharded} per domain — concurrent
+    increments land on distinct cells instead of one contended cache
+    line, and reads merge the shards. Histograms update their fields
+    independently, so a snapshot taken {e while} another domain observes
+    may see a bucket incremented before the observation count —
+    quiescent snapshots (after workers join, which is how every consumer
+    in this repo snapshots) are exact. *)
 
 type counter
 type gauge
@@ -64,6 +67,12 @@ val observe : histogram -> int -> unit
 val observations : histogram -> int
 val bucket_counts : histogram -> int array
 
+val percentile : histogram -> float -> int option
+(** [percentile h p] (for [0 < p <= 100]) reports an upper bound on the
+    value at the [p]th percentile: the bucket bound containing the
+    rank-[ceil(p/100*n)] observation, or the exact maximum when that
+    rank falls in the overflow bucket. [None] on an empty histogram. *)
+
 val reset : unit -> unit
 (** Zero every registered cell, keeping the registrations (and the cells
     hot paths already hold) valid. Benchmarks and tests scope a
@@ -71,7 +80,15 @@ val reset : unit -> unit
 
 val snapshot : unit -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] with
-    name-sorted fields — equal registry contents give byte-equal JSON. *)
+    name-sorted fields — equal registry contents give byte-equal JSON.
+    Histogram objects carry [count]/[sum]/[max]/[p50]/[p90]/[p99] and
+    the per-bucket counts. *)
 
 val snapshot_string : unit -> string
 val pp_snapshot : Format.formatter -> unit -> unit
+
+val delta : before:Json.t -> after:Json.t -> Json.t
+(** Interval difference of two {!snapshot} values: counters and
+    histogram counts/sums/buckets subtract ([after - before]); gauges,
+    maxima and percentiles are point-in-time readings, so the [after]
+    value passes through unchanged. *)

@@ -1,0 +1,29 @@
+(* Deterministic periodic sampling: a counter-driven cadence that emits
+   a timeline instant every [every]th tick. Driven by logical progress
+   (nodes explored, generations finished), never by wall time, so a
+   replayed run emits the same health instants at the same stamps —
+   traces stay byte-identical. Args are built lazily: a tick that does
+   not fire costs an increment and a compare. *)
+
+type t = {
+  name : string;
+  cat : string;
+  every : int;
+  mutable ticks : int;
+  mutable emitted : int;
+}
+
+let create ?(every = 1) ~cat name =
+  { name; cat; every = max 1 every; ticks = 0; emitted = 0 }
+
+let fire t args =
+  t.emitted <- t.emitted + 1;
+  Span.instant ~cat:t.cat ~args:(args ()) t.name
+
+let tick t args =
+  t.ticks <- t.ticks + 1;
+  if t.ticks mod t.every = 0 then fire t args
+
+let force = fire
+let ticks t = t.ticks
+let emitted t = t.emitted

@@ -1,0 +1,27 @@
+(** Deterministic periodic sampler for progress/health instants.
+
+    A cadence counter driven by logical progress (nodes explored,
+    generations finished) — never wall time — emitting a timeline
+    instant every [every]th {!tick}. Because the cadence is a function
+    of the workload alone, a replayed run emits identical instants at
+    identical stamps and the byte-determinism of traces is preserved.
+    Rate and ETA fields belong in the lazily-built args, gated on
+    {!Span.wall_enabled} by the caller. *)
+
+type t
+
+val create : ?every:int -> cat:string -> string -> t
+(** [create ~cat name] makes a sampler emitting [name] instants in
+    category [cat] every [every]th tick (default 1 — every tick). *)
+
+val tick : t -> (unit -> (string * Json.t) list) -> unit
+(** Advance the cadence; on every [every]th call, emit an instant with
+    the (lazily built) args. A non-firing tick costs an increment and a
+    compare. *)
+
+val force : t -> (unit -> (string * Json.t) list) -> unit
+(** Emit unconditionally (a final sample at shutdown), without
+    advancing the cadence. *)
+
+val ticks : t -> int
+val emitted : t -> int

@@ -1,0 +1,30 @@
+(** Health-report rendering over telemetry artifacts.
+
+    Folds a trace's events plus (optionally) a {!Metrics} snapshot and a
+    bench JSON into a small block document, rendered as Markdown or
+    self-contained HTML: per-category event counts, span rollups,
+    chaos-run verdicts, the fleet's witness inventory, coverage-over-time
+    curves (from [fleet.health] / [explore.progress] instants), histogram
+    percentiles, and benchmark rows. Pure and deterministic: fixed inputs
+    give byte-identical output. The [boundedreg report] subcommand is a
+    thin wrapper over this module. *)
+
+type table = { headers : string list; rows : string list list }
+type curve = { title : string; points : (int * float) list }
+
+type block =
+  | Heading of int * string
+  | Para of string
+  | Table of table
+  | Curve of curve
+
+val of_sources : ?metrics:Json.t -> ?bench:Json.t -> Sink.event list -> block list
+(** Build the report document. [metrics] is a {!Metrics.snapshot} value;
+    [bench] a [BENCH_*.json] document. Sections for absent inputs are
+    omitted. *)
+
+val to_markdown : block list -> string
+(** Curves render as unicode sparklines. *)
+
+val to_html : block list -> string
+(** Curves render as inline SVG polylines; no external assets. *)

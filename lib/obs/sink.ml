@@ -3,7 +3,21 @@
    trace_event array, an in-memory list, a console summary). One global
    sink is consulted by every site: the default [nil] sink makes disabled
    tracing cost a single load-and-compare branch, because sites guard
-   event construction with {!enabled}. *)
+   event construction with {!enabled}.
+
+   Routing is per-domain. Each domain carries a small mode word:
+
+   - [Pass] (the default): events go to the global sink, and only from
+     the main domain — sinks are single-consumer (a Buffer, an
+     out_channel), so worker domains must not write into them.
+   - [Capture]: events go to a domain-private buffer installed by
+     {!captured}. This is how {!Sched.Par} workers stop being
+     observability black holes: each unit's events are captured where
+     they happen and drained on the main domain, in unit-index order,
+     after the pool joins.
+   - [Mute]: events are dropped ({!muted} / {!quiesce}) — internal
+     segments of a larger run whose telemetry the driver reports as a
+     whole. *)
 
 type kind = Begin | End | Instant
 
@@ -26,7 +40,7 @@ let tee sinks =
     flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
   }
 
-(* {2 The global sink} *)
+(* {2 The global sink and the per-domain mode} *)
 
 (* [active] mirrors [!current != nil] as a bare bool ref: hot
    instrumentation sites read [!active] directly — a load and a branch,
@@ -34,26 +48,61 @@ let tee sinks =
 let current = ref nil
 let active = ref false
 
-(* Sinks are single-consumer (a Buffer, an out_channel): only the main
-   domain may emit. [enabled] short-circuits on [!active], so the
-   disabled cost stays one load-and-branch; the domain check only runs
-   while a sink is installed. Worker domains additionally run under
-   {!quiesce}, which silences the [!active]-guarded hot sites too. *)
-let enabled () = !active && Domain.is_main_domain ()
+type mode = Pass | Capture | Mute
+type local = { mutable sink : t; mutable mode : mode }
 
-(* Silence the global sink for the duration of [f]: parallel phases wrap
-   their fan-out in this so per-unit work — on workers or on the main
-   domain taking units from the same queue — emits nothing, and the trace
-   stays a deterministic main-domain-only stream. *)
-let quiesce f =
-  let previous = !current and was = !active in
-  current := nil;
-  active := false;
+let local_key = Domain.DLS.new_key (fun () -> { sink = nil; mode = Pass })
+
+(* [enabled] short-circuits on [!active], so the disabled cost stays one
+   load-and-branch; the per-domain mode is only consulted while a sink is
+   installed. Under [Capture] any domain may construct and emit (into its
+   private buffer); under [Pass] only the main domain may. *)
+let enabled () =
+  !active
+  &&
+  match (Domain.DLS.get local_key).mode with
+  | Pass -> Domain.is_main_domain ()
+  | Capture -> true
+  | Mute -> false
+
+let emit e =
+  let l = Domain.DLS.get local_key in
+  match l.mode with
+  | Pass -> !current.emit e
+  | Capture -> l.sink.emit e
+  | Mute -> ()
+
+let memory () =
+  let acc = ref [] in
+  ( { emit = (fun e -> acc := e :: !acc); flush = ignore },
+    fun () -> List.rev !acc )
+
+let with_mode mode sink f =
+  let l = Domain.DLS.get local_key in
+  let saved_mode = l.mode and saved_sink = l.sink in
+  l.mode <- mode;
+  l.sink <- sink;
   Fun.protect
     ~finally:(fun () ->
-      current := previous;
-      active := was)
+      l.mode <- saved_mode;
+      l.sink <- saved_sink)
     f
+
+(* Capture the calling domain's emissions into a private buffer. Events
+   keep the stamps of the capturing domain's logical clock — a consumer
+   re-emitting them on the main domain re-stamps via {!Span.replay}, so
+   the published trace stays a single monotone main-domain stream. *)
+let captured f =
+  let sink, events = memory () in
+  let r = with_mode Capture sink f in
+  (r, events ())
+
+let muted f = with_mode Mute nil f
+
+(* Historical name for [muted]: silences the calling domain for the
+   duration of [f]. Kept because "quiesce" is what the parallel drivers
+   have called this since PR 5. *)
+let quiesce f = muted f
 
 let set s =
   current := s;
@@ -64,7 +113,6 @@ let clear () =
   current := nil;
   active := false
 
-let emit e = !current.emit e
 let flush () = !current.flush ()
 
 let with_sink s f =
@@ -162,11 +210,6 @@ let catapult write =
           write "\n]\n"
         end);
   }
-
-let memory () =
-  let acc = ref [] in
-  ( { emit = (fun e -> acc := e :: !acc); flush = ignore },
-    fun () -> List.rev !acc )
 
 (* The console summarizer: per-(name, kind) event counts plus total
    logical-clock time inside spans, printed on flush. Span durations pair

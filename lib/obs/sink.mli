@@ -5,14 +5,20 @@
     guarded by it pays one load-and-compare for the whole feature. Event
     timestamps are logical (see {!Span}); the JSONL and catapult writers
     render them as-is, so a fixed schedule and seed produce byte-identical
-    output run over run. *)
+    output run over run.
+
+    Routing is per-domain. By default ([Pass]) events reach the global
+    sink from the main domain only — sinks are single-consumer. A worker
+    domain participates by running under {!captured}, which buffers its
+    emissions privately for the pool driver to drain on the main domain
+    (in deterministic order) after join; {!muted} drops them instead. *)
 
 type kind = Begin | End | Instant
 
 type event = {
   kind : kind;
   name : string;
-  cat : string;  (** subsystem, e.g. ["sched"], ["net"], ["chaos"] *)
+  cat : string;  (** subsystem, e.g. ["sched"], ["net"], ["fleet"] *)
   track : int;  (** pid / lane; rendered as the catapult [tid] *)
   ts : int;  (** logical clock stamp ({!Span.now}) *)
   args : (string * Json.t) list;
@@ -28,21 +34,38 @@ val tee : t list -> t
 (** {2 The global sink} *)
 
 val enabled : unit -> bool
-(** [false] when the installed sink is {!nil} — and always [false] off
-    the main domain: sinks are single-consumer, so worker domains never
-    emit. Guard event construction with this:
+(** Whether the calling domain should construct and emit events. [false]
+    when the installed sink is {!nil}; with a sink installed it depends
+    on the calling domain's mode: [true] on the main domain (and inside
+    {!captured} on any domain), [false] on bare worker domains and
+    inside {!muted}. Guard event construction with this:
     [if Sink.enabled () then Sink.emit {...}]. *)
 
+val captured : (unit -> 'a) -> 'a * event list
+(** [captured f] runs [f] with the calling domain's emissions redirected
+    into a private in-memory buffer and returns them alongside [f]'s
+    result. {!enabled} is [true] inside, on any domain — this is how
+    parallel workers trace: capture where the work runs, drain on the
+    main domain in a deterministic order via {!Span.replay}. Captured
+    events carry the capturing domain's clock stamps; replay re-stamps
+    them. If [f] raises, the exception propagates and the buffered
+    events are dropped (the flight {!Recorder} still holds them). *)
+
+val muted : (unit -> 'a) -> 'a
+(** Run [f] with the calling domain's emissions dropped, restoring the
+    previous mode afterwards even on exceptions. For internal segments
+    of a larger run whose telemetry the driver reports as a whole. *)
+
 val quiesce : (unit -> 'a) -> 'a
-(** Run [f] with the global sink silenced ({!nil} installed, {!active}
-    false), restoring the previous sink afterwards even on exceptions.
-    Parallel drivers wrap their fan-out in this so per-unit work emits
-    nothing regardless of which domain executes it. *)
+(** Historical alias of {!muted}. Note it now silences only the {e
+    calling} domain, not the global sink — other domains (in particular
+    the main one) keep tracing. *)
 
 val active : bool ref
-(** The same truth as {!enabled}, as a bare ref for per-operation hot
-    paths where a call-free [!active] guard matters. Read-only outside
-    this module — install sinks via {!set}/{!clear}/{!with_sink}. *)
+(** [true] iff a sink other than {!nil} is installed, as a bare ref for
+    per-operation hot paths where a call-free [!active] guard matters
+    (it over-approximates {!enabled}: mode is not consulted). Read-only
+    outside this module — install sinks via {!set}/{!clear}/{!with_sink}. *)
 
 val set : t -> unit
 
@@ -50,6 +73,10 @@ val clear : unit -> unit
 (** Flush the installed sink and restore {!nil}. *)
 
 val emit : event -> unit
+(** Route an event per the calling domain's mode: global sink ([Pass],
+    main-domain callers), private buffer (inside {!captured}), or
+    dropped (inside {!muted}). *)
+
 val flush : unit -> unit
 
 val with_sink : t -> (unit -> 'a) -> 'a
@@ -58,12 +85,17 @@ val with_sink : t -> (unit -> 'a) -> 'a
 
 (** {2 Serialization} *)
 
+val event_fields : event -> (string * Json.t) list
+(** The fields of {!event_json}, exposed so writers that prepend their
+    own fields (the flight {!Recorder}'s [dom]) stay in one format. *)
+
 val event_json : event -> Json.t
 (** Chrome [trace_event] object: [name]/[cat]/[ph]/[ts]/[pid]/[tid],
     [s:"t"] on instants, [args] when non-empty. *)
 
 val event_of_json : Json.t -> event option
-(** Inverse of {!event_json}; [None] when [name]/[ph] are missing. *)
+(** Inverse of {!event_json}; [None] when [name]/[ph] are missing.
+    Unknown fields (e.g. a flight dump's [dom]) are ignored. *)
 
 val kind_to_string : kind -> string
 

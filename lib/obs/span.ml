@@ -1,17 +1,26 @@
 (* The logical clock and the span/instant emission helpers. Timestamps are
-   sequence numbers ticked per emitted event, not wall time: a replayed
-   schedule (same init, same choices, same seed) emits the same events in
-   the same order and therefore the same stamps — traces are deterministic
-   and diffable. Wall time, when a caller wants it, rides along as an
-   event argument instead of replacing the clock. *)
+   sequence numbers ticked per constructed event, not wall time: a replayed
+   schedule (same init, same choices, same seed) constructs the same events
+   in the same order and therefore the same stamps — traces are
+   deterministic and diffable. Wall time, when a caller wants it, rides
+   along as an event argument instead of replacing the clock.
 
-let clock = ref 0
+   The clock is per-domain: parallel workers stamp their captured events
+   on private clocks (scratch stamps — {!replay} re-stamps on the main
+   clock when draining), so no cross-domain ordering ever leaks into a
+   trace. Every constructed event also feeds the flight {!Recorder}
+   unless it is disarmed, which is why construction is gated on
+   [traced || armed] rather than on tracing alone. *)
+
+let clock_key = Domain.DLS.new_key (fun () -> ref 0)
 let wall_clock : (unit -> float) option ref = ref None
 
-let reset () = clock := 0
+let reset () = Domain.DLS.get clock_key := 0
 let set_wall_clock c = wall_clock := c
+let wall_enabled () = !wall_clock <> None
 
 let now () =
+  let clock = Domain.DLS.get clock_key in
   incr clock;
   !clock
 
@@ -20,23 +29,24 @@ let stamp_args args =
   | None -> args
   | Some c -> ("wall_s", Json.Float (c ())) :: args
 
+let publish kind ~cat ~track ~args name =
+  let traced = Sink.enabled () in
+  if traced || !Recorder.armed then begin
+    let e =
+      { Sink.kind; name; cat; track; ts = now (); args = stamp_args args }
+    in
+    if traced then Sink.emit e;
+    if !Recorder.armed then Recorder.record e
+  end
+
 let instant ?(cat = "app") ?(track = 0) ?(args = []) name =
-  if Sink.enabled () then
-    Sink.emit
-      { Sink.kind = Instant; name; cat; track; ts = now ();
-        args = stamp_args args }
+  publish Sink.Instant ~cat ~track ~args name
 
 let begin_ ?(cat = "app") ?(track = 0) ?(args = []) name =
-  if Sink.enabled () then
-    Sink.emit
-      { Sink.kind = Begin; name; cat; track; ts = now ();
-        args = stamp_args args }
+  publish Sink.Begin ~cat ~track ~args name
 
 let end_ ?(cat = "app") ?(track = 0) ?(args = []) name =
-  if Sink.enabled () then
-    Sink.emit
-      { Sink.kind = End; name; cat; track; ts = now ();
-        args = stamp_args args }
+  publish Sink.End ~cat ~track ~args name
 
 let span ?cat ?track ?args name f =
   begin_ ?cat ?track ?args name;
@@ -48,3 +58,22 @@ let span ?cat ?track ?args name f =
       end_ ?cat ?track ~args:[ ("exn", Json.Str (Printexc.to_string exn)) ]
         name;
       raise exn
+
+(* Run [f] on a fresh clock, restoring the caller's count after. Worker
+   domains have private clocks already; this exists for the main domain
+   executing its own share of captured units — without it those scratch
+   constructions would advance the main clock and shift every re-stamped
+   tick, making the trace depend on how units were divided. *)
+let scratched f =
+  let clock = Domain.DLS.get clock_key in
+  let saved = !clock in
+  clock := 0;
+  Fun.protect ~finally:(fun () -> clock := saved) f
+
+(* Drain captured worker events into the live trace, re-stamped on the
+   calling domain's clock so the published stream stays monotone. Sink
+   only, never back into the recorder: the originating domain's ring
+   already holds these events. *)
+let replay events =
+  if Sink.enabled () then
+    List.iter (fun (e : Sink.event) -> Sink.emit { e with ts = now () }) events

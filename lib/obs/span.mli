@@ -1,24 +1,38 @@
 (** Structured spans and instant events on a {e logical} clock.
 
-    Timestamps are sequence numbers ticked per emitted event. A replayed
-    execution (same init, same schedule, same seed) emits the same event
-    sequence, so its trace is byte-identical — the property the trace
-    determinism tests pin down. Wall time is opt-in and travels as a
-    [wall_s] argument, never as the timestamp.
+    Timestamps are sequence numbers ticked per constructed event. A
+    replayed execution (same init, same schedule, same seed) constructs
+    the same event sequence, so its trace is byte-identical — the
+    property the trace determinism tests pin down. Wall time is opt-in
+    and travels as a [wall_s] argument, never as the timestamp.
 
-    Every emission helper is a no-op (and does not tick the clock) while
-    {!Sink.enabled} is [false]. *)
+    The clock is per-domain. Parallel workers capturing events (see
+    {!Sink.captured}) stamp them on private clocks; {!replay} re-stamps
+    on the drain domain's clock, so a published trace is one monotone
+    main-domain stream.
+
+    Emission helpers construct an event when the calling domain is
+    traced ({!Sink.enabled}) {e or} the flight {!Recorder} is armed (the
+    default) — so the clock ticks exactly when an event is constructed.
+    With the recorder disarmed and tracing off, a helper call is a no-op
+    and does not tick the clock. *)
 
 val now : unit -> int
-(** Tick and read the logical clock. *)
+(** Tick and read the calling domain's logical clock. *)
 
 val reset : unit -> unit
-(** Rewind the clock to 0 — the start of a fresh capture. *)
+(** Rewind the calling domain's clock to 0 — the start of a fresh
+    capture. *)
 
 val set_wall_clock : (unit -> float) option -> unit
 (** Install (or remove, with [None]) a wall-time source; when set, every
     emitted event carries a [wall_s] argument. Off by default — wall time
     breaks byte-level determinism. *)
+
+val wall_enabled : unit -> bool
+(** Whether a wall-time source is installed. Samplers use this to gate
+    rate/ETA fields, which are only meaningful (and only deterministic
+    to omit) when the user opted into wall time. *)
 
 val instant :
   ?cat:string -> ?track:int -> ?args:(string * Json.t) list -> string -> unit
@@ -39,3 +53,17 @@ val span :
 (** [span name f] brackets [f ()] in a [Begin]/[End] pair; an escaping
     exception still closes the span (with an [exn] argument) before
     re-raising. *)
+
+val scratched : (unit -> 'a) -> 'a
+(** Run [f] on a fresh clock, restoring the caller's count afterwards.
+    Pool drivers wrap main-domain execution of captured units in this so
+    scratch constructions never advance the clock that {!replay} stamps
+    with — otherwise the published stamps would depend on which domain
+    happened to execute which unit. *)
+
+val replay : Sink.event list -> unit
+(** Re-emit captured events into the calling domain's live trace,
+    re-stamping each on this domain's clock (capture-time stamps are
+    scratch). Emits to the sink only — never back into the recorder, the
+    originating domain's ring already holds them. No-op when
+    {!Sink.enabled} is [false]. *)

@@ -289,6 +289,19 @@ let explore ?(max_steps = 10_000) ?(max_crashes = 0) ?(dedup = true)
           frontier := List.rev path :: !frontier
       | None -> begin
           incr nodes;
+          (* Periodic progress sample, cadenced on the node count so the
+             instants replay identically; [quiet] internal segments (and
+             the fused raw walk, which never reaches this function per
+             node) emit none. *)
+          if (not quiet) && !nodes land 4095 = 0 then
+            Obs.Span.instant ~cat:"explore"
+              ~args:
+                [
+                  ("nodes", Obs.Json.Int !nodes);
+                  ("terminals", Obs.Json.Int !terminals);
+                  ("peak_depth", Obs.Json.Int !peak_depth);
+                ]
+              "explore.progress";
           if depth > !peak_depth then peak_depth := depth;
           let enabled = Scheduler.running_mask state in
           let terminal = enabled = 0 in

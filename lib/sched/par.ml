@@ -42,15 +42,31 @@ type 'r result = {
    domains than there are units. *)
 let max_jobs = 64
 
-let run_units ~jobs ~units f =
+let run_units_ev ~jobs ~units f =
   let n = Array.length units in
   if n = 0 then [||]
   else begin
     let jobs = max 1 (min (min jobs n) max_jobs) in
+    (* Decide once, on the main domain, whether units trace. Each unit
+       then runs under [Sink.captured] — events buffered privately on
+       whichever domain executes it — or [Sink.muted] when the caller
+       isn't tracing. Sinks are single-consumer, so even the main
+       domain's own units capture rather than emitting directly: the
+       caller drains the buffers in unit-index order after the join,
+       which is what keeps traces byte-identical at any pool width. *)
+    let capture = Obs.Sink.enabled () in
     let results = Array.make n None in
     let errors = Array.make n None in
     let next = Atomic.make 0 in
     let failed = Atomic.make false in
+    let exec u =
+      if capture then
+        (* Scratch clock: a unit executing on the main domain must not
+           advance the clock [replay] will stamp the drained events
+           with, or stamps would depend on the unit-to-domain split. *)
+        Obs.Span.scratched (fun () -> Obs.Sink.captured (fun () -> f u))
+      else (Obs.Sink.muted (fun () -> f u), [])
+    in
     (* Workers claim unit indices from one atomic counter; result and
        error slots are per-index, so writes from distinct domains never
        alias. A failed unit flips [failed] and the pool drains: in-flight
@@ -59,7 +75,7 @@ let run_units ~jobs ~units f =
       if not (Atomic.get failed) then begin
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (match f units.(i) with
+          (match exec units.(i) with
           | r -> results.(i) <- Some r
           | exception exn ->
               errors.(i) <- Some (exn, Printexc.get_raw_backtrace ());
@@ -68,13 +84,16 @@ let run_units ~jobs ~units f =
         end
       end
     in
-    (* The whole pool phase runs with the trace sink silenced: sinks are
-       single-consumer, and the main domain participates in the pool, so
-       even its per-unit work must not interleave events into the trace. *)
-    Obs.Sink.quiesce (fun () ->
-        let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-        worker ();
-        List.iter Domain.join spawned);
+    let spawned =
+      List.init (jobs - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              (* Fold the dying domain's flight-recorder ring into the
+                 shared graveyard: pools spawn fresh domains per call,
+                 and a long fleet run must not accumulate dead rings. *)
+              Fun.protect ~finally:Obs.Recorder.retire worker))
+    in
+    worker ();
+    List.iter Domain.join spawned;
     Array.iter
       (function
         | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
@@ -86,6 +105,14 @@ let run_units ~jobs ~units f =
         | None -> invalid_arg "Par.run_units: unit skipped after failure")
       results
   end
+
+let run_units ~jobs ~units f =
+  let pairs = run_units_ev ~jobs ~units f in
+  (* Drain captured events into the live trace in unit-index order —
+     the same order a sequential pass over [units] would have emitted
+     them — re-stamped on the main domain's clock. *)
+  Array.iter (fun (_, events) -> Obs.Span.replay events) pairs;
+  Array.map fst pairs
 
 (* {2 The parallel exploration driver} *)
 
@@ -189,10 +216,41 @@ let explore ?max_steps ?max_crashes ?(dedup = true) ?(por = true)
         terminals_done := !terminals_done + r.Explore.stats.Explore.terminals;
         r.Explore.outcome
       in
+      (* One progress instant per seed segment: logical-clock driven, so
+         the cadence replays identically run over run. Rate fields only
+         appear when the user opted into wall time. *)
+      let progress = Obs.Progress.create ~cat:"explore" "explore.progress" in
+      let progress_args phase extra () =
+        [
+          ("phase", Obs.Json.Str phase);
+          ("nodes", Obs.Json.Int !nodes_done);
+          ("terminals", Obs.Json.Int !terminals_done);
+        ]
+        @ extra
+        @
+        if Obs.Span.wall_enabled () then
+          let dt = Budget.elapsed monitor in
+          [ ("elapsed_s", Obs.Json.Float dt) ]
+          @
+          if dt > 0. then
+            [
+              ( "nodes_per_s",
+                Obs.Json.Float (float_of_int !nodes_done /. dt) );
+            ]
+          else []
+        else []
+      in
       let rec grow resume round =
         match segment resume with
         | Explore.Complete -> `Seed_complete
         | Explore.Exhausted { frontier; reason } ->
+            Obs.Progress.tick progress
+              (progress_args "seed"
+                 [
+                   ("round", Obs.Json.Int round);
+                   ( "frontier",
+                     Obs.Json.Int (Budget.frontier_size frontier) );
+                 ]);
             if budget_spent (remaining ()) then `Spent (frontier, reason)
             else if
               Budget.frontier_size frontier >= target || round >= grow_rounds
@@ -285,6 +343,11 @@ let explore ?max_steps ?max_crashes ?(dedup = true) ?(por = true)
               in
               Explore.Exhausted { frontier = leftovers; reason }
           in
+          nodes_done := Atomic.get nodes_a;
+          terminals_done := Atomic.get terminals_a;
+          Obs.Progress.force progress
+            (progress_args "merged"
+               [ ("units", Obs.Json.Int (Array.length units)) ]);
           finish ~units:(Array.length units) ~stats:!stats ~value:!value
             ~outcome ~aborted:false
     in

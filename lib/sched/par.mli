@@ -12,9 +12,12 @@
       together with the seed pass, cover the whole tree; fresh per-worker
       dedup/sleep sets only ever make a unit explore {e more} below its
       root, never less.
-    - {b race-free telemetry}: metrics cells are atomic, and the whole
-      pool phase runs under {!Obs.Sink.quiesce}, so traces remain a
-      main-domain-only stream.
+    - {b race-free telemetry}: metrics cells are atomic, and each unit's
+      trace events are captured privately on the executing domain
+      ({!Obs.Sink.captured}) and drained into the trace on the main
+      domain in unit-index order after the join — worker spans and
+      instants appear in traces, yet the published stream stays a single
+      main-domain stream.
     - {b deterministic output}: stats, visitor values and leftover
       frontiers reduce in unit-index order — fixed workload and seed give
       byte-identical merged results regardless of worker scheduling.
@@ -40,14 +43,31 @@ val run_units : jobs:int -> units:'a array -> ('a -> 'b) -> 'b array
 (** Run [f] over every element of [units] on a pool of [jobs] domains
     (clamped to [1 .. min (Array.length units) 64]; the calling domain
     participates, so [jobs - 1] domains are spawned). Results come back
-    indexed like [units]. The pool phase runs under {!Obs.Sink.quiesce}:
-    unit work never emits trace events, whichever domain runs it. If a
-    unit raises, the pool stops claiming new units, in-flight units
+    indexed like [units].
+
+    When the caller is tracing ({!Obs.Sink.enabled} at entry), each
+    unit's events are captured on the executing domain and replayed into
+    the trace in unit-index order after the join ({!Obs.Span.replay}) —
+    the trace therefore does not depend on [jobs]. When not tracing,
+    units run muted. Worker domains fold their flight-recorder rings
+    into the graveyard as they exit ({!Obs.Recorder.retire}).
+
+    If a unit raises, the pool stops claiming new units, in-flight units
     finish, and the lowest-index exception is re-raised on the caller
-    (with its backtrace) after all domains join.
+    (with its backtrace) after all domains join; captured events of a
+    failed pool are dropped.
 
     [f] must be domain-safe: it runs off the main domain and concurrently
     with itself on other units. *)
+
+val run_units_ev :
+  jobs:int -> units:'a array -> ('a -> 'b) -> ('b * Obs.Sink.event list) array
+(** Like {!run_units} but hands each unit's captured events back to the
+    caller instead of replaying them, for drivers that interleave their
+    own per-unit telemetry with the replay (see {!Msgpass.Chaos}). The
+    event lists are empty when the caller was not tracing at entry.
+    Captured stamps are scratch — emit them via {!Obs.Span.replay},
+    which re-stamps on the draining domain's clock. *)
 
 val explore :
   ?max_steps:int ->

@@ -57,6 +57,30 @@ def check_fleet(doc):
     return None
 
 
+RECORDER_OFF_KEY = "bounded-registers/explore-3x4(raw-undo,recorder-off)"
+RECORDER_FACTOR = 1.03
+
+
+def check_recorder(doc):
+    """Recorder-overhead guard: the always-on flight recorder must cost
+    under 3% on the raw exploration hot path. Both rows come from the
+    same fresh run, so machine noise cancels — this is a genuine on/off
+    delta, not a cross-run comparison."""
+    try:
+        on_ns = ns_per_call(doc, DEFAULT_KEY)
+        off_ns = ns_per_call(doc, RECORDER_OFF_KEY)
+    except KeyError as e:
+        return f"recorder check: {e}"
+    limit = RECORDER_FACTOR * off_ns
+    if on_ns > limit:
+        return (
+            f"flight recorder overhead too high: on {on_ns:.2f} ns/call vs "
+            f"off {off_ns:.2f} ns/call (limit {limit:.2f}, "
+            f"{RECORDER_FACTOR}x)"
+        )
+    return None
+
+
 def check_churn(doc):
     """Churn gate: the dynamic-membership rows must show the sound churn
     campaign (slack covers the rate) staying linearizable on every seeded
@@ -130,6 +154,13 @@ def main():
         failed = True
     else:
         print("bench gate: fleet mutator is alive (mutant coverage signals > 0)")
+
+    recorder_err = check_recorder(fresh)
+    if recorder_err:
+        print(f"bench gate: {recorder_err}", file=sys.stderr)
+        failed = True
+    else:
+        print("bench gate: flight recorder overhead within 3% on raw explore")
 
     churn_err = check_churn(fresh)
     if churn_err:

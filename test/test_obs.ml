@@ -46,6 +46,28 @@ let test_json_errors () =
   | Ok v -> Alcotest.failf "misparsed: %s" (J.to_string v)
   | Error e -> Alcotest.failf "rejected valid JSON: %s" e
 
+(* Error diagnostics are part of the CLI contract: `trace summary` and
+   `report` surface them verbatim, so the position prefix and the
+   message shape are pinned here. *)
+let test_json_error_positions () =
+  let expect input message =
+    match J.of_string input with
+    | Ok v ->
+        Alcotest.failf "parser accepted %S as %s" input (J.to_string v)
+    | Error e ->
+        Alcotest.(check string) (Printf.sprintf "error for %S" input)
+          message e
+  in
+  expect "[1,]" "at 3: bad number \"\"";
+  expect "\"\\q\"" "at 2: bad escape 'q'";
+  (* Truncated objects and arrays report the delimiter they ran out of
+     input waiting for, at the position where it should have been. *)
+  expect "{\"a\": 1" "at 7: expected '}'";
+  expect "{\"a\"" "at 4: expected ':'";
+  expect "[1, 2" "at 5: expected ']'";
+  expect "\"unterminated" "at 13: unterminated string";
+  expect "truexx" "at 4: trailing garbage"
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
 
@@ -114,6 +136,74 @@ let test_histogram_bucketing () =
             (Option.map to_string
                (Option.bind (member "buckets" hj) (member "inf"))))
 
+(* Boundary values: an observation equal to a bucket bound lands in that
+   bucket (le semantics), zero and negatives fall in the first bucket,
+   and the first value past the last bound overflows. *)
+let test_histogram_boundary_values () =
+  M.reset ();
+  let case name value expected =
+    let h =
+      M.histogram ~bounds:[| 1; 2; 4 |] (Printf.sprintf "test.bound_%s" name)
+    in
+    M.observe h value;
+    Alcotest.(check (array int))
+      (Printf.sprintf "%s -> bucket" name)
+      expected (M.bucket_counts h)
+  in
+  case "exact_first" 1 [| 1; 0; 0; 0 |];
+  case "exact_mid" 2 [| 0; 1; 0; 0 |];
+  case "exact_last" 4 [| 0; 0; 1; 0 |];
+  case "zero" 0 [| 1; 0; 0; 0 |];
+  case "negative" (-3) [| 1; 0; 0; 0 |];
+  case "just_over" 5 [| 0; 0; 0; 1 |]
+
+let test_percentiles () =
+  M.reset ();
+  let h = M.histogram ~bounds:[| 1; 2; 4 |] "test.percentiles" in
+  Alcotest.(check (option int)) "empty histogram" None (M.percentile h 50.);
+  for _ = 1 to 50 do M.observe h 1 done;
+  for _ = 1 to 40 do M.observe h 2 done;
+  for _ = 1 to 10 do M.observe h 100 done;
+  (* 50 of 100 observations are <= 1, 90 are <= 2; the last decile sits
+     in the overflow bucket, whose only upper bound is the recorded max. *)
+  Alcotest.(check (option int)) "p50" (Some 1) (M.percentile h 50.);
+  Alcotest.(check (option int)) "p90" (Some 2) (M.percentile h 90.);
+  Alcotest.(check (option int)) "p99 hits overflow -> max seen" (Some 100)
+    (M.percentile h 99.)
+
+let test_metrics_delta () =
+  M.reset ();
+  let c = M.counter "test.delta_ops" in
+  let g = M.gauge "test.delta_depth" in
+  let h = M.histogram ~bounds:[| 1; 2 |] "test.delta_hist" in
+  M.add c 3;
+  M.set g 7;
+  M.observe h 1;
+  let before = M.snapshot () in
+  M.add c 5;
+  M.set g 2;
+  M.observe h 2;
+  M.observe h 2;
+  let after = M.snapshot () in
+  let d = M.delta ~before ~after in
+  let counter_of j name =
+    Option.bind (J.member "counters" j) (J.member name)
+  in
+  Alcotest.(check (option string))
+    "counter difference" (Some "5")
+    (Option.map J.to_string (counter_of d "test.delta_ops"));
+  Alcotest.(check (option string))
+    "gauge is a point-in-time reading (after wins)" (Some "2")
+    (Option.map J.to_string
+       (Option.bind (J.member "gauges" d) (J.member "test.delta_depth")));
+  let hist = Option.bind (J.member "histograms" d) (J.member "test.delta_hist") in
+  Alcotest.(check (option string))
+    "histogram count difference" (Some "2")
+    (Option.map J.to_string (Option.bind hist (J.member "count")));
+  Alcotest.(check (option string))
+    "histogram sum difference" (Some "4")
+    (Option.map J.to_string (Option.bind hist (J.member "sum")))
+
 let test_empty_histogram_max_is_null () =
   M.reset ();
   let h = M.histogram ~bounds:[| 1 |] "test.empty_hist" in
@@ -134,10 +224,15 @@ let test_empty_histogram_max_is_null () =
 (* Sinks and the logical clock                                         *)
 
 let test_logical_clock_gating () =
+  (* The clock ticks exactly when an event is constructed, and with the
+     flight recorder armed (the default) every emission constructs one.
+     Disarm it to observe pure sink gating. *)
+  Obs.Recorder.armed := false;
+  Fun.protect ~finally:(fun () -> Obs.Recorder.armed := true) @@ fun () ->
   let sink, events = S.memory () in
   Obs.Span.reset ();
   Obs.Span.instant "dropped-before";
-  (* nil sink: no tick *)
+  (* nil sink + disarmed recorder: nothing constructed, no tick *)
   S.with_sink sink (fun () ->
       Obs.Span.instant "a";
       Obs.Span.begin_ "b";
@@ -146,6 +241,91 @@ let test_logical_clock_gating () =
   let ts = List.map (fun (e : S.event) -> e.ts) (events ()) in
   Alcotest.(check (list int))
     "disabled emissions do not tick the clock" [ 1; 2; 3 ] ts
+
+(* The recorder keeps the last [capacity] events per domain, untraced
+   runs included, and dumps them as JSONL with a "dom" field. *)
+let test_recorder_ring () =
+  Obs.Recorder.clear ();
+  Obs.Span.reset ();
+  let extra = 10 in
+  (* No sink installed: these are untraced, yet the armed recorder sees
+     each constructed event (which is also why the clock advances). *)
+  for i = 1 to Obs.Recorder.capacity + extra do
+    Obs.Span.instant ~cat:"app" ~args:[ ("i", J.Int i) ] "tick"
+  done;
+  let evs = List.map snd (Obs.Recorder.events ()) in
+  Alcotest.(check int)
+    "ring holds exactly capacity events" Obs.Recorder.capacity
+    (List.length evs);
+  (match evs with
+  | first :: _ ->
+      Alcotest.(check (option string))
+        "oldest surviving event is capacity back from the newest"
+        (Some (string_of_int (extra + 1)))
+        (Option.map J.to_string (List.assoc_opt "i" first.S.args))
+  | [] -> Alcotest.fail "ring is empty");
+  let dir = Filename.get_temp_dir_name () in
+  (match Obs.Recorder.dump ~dir ~reason:"test" () with
+  | None -> Alcotest.fail "dump returned no path"
+  | Some path ->
+      Alcotest.(check string) "dump file name"
+        (Filename.concat dir "flight-test.jsonl") path;
+      let lines =
+        In_channel.with_open_text path In_channel.input_lines
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "one line per recorded event"
+        Obs.Recorder.capacity (List.length lines);
+      List.iter
+        (fun line ->
+          match J.of_string line with
+          | Error e -> Alcotest.failf "unparseable dump line: %s" e
+          | Ok j -> (
+              match J.member "dom" j with
+              | Some (J.Int _) -> ()
+              | _ -> Alcotest.failf "dump line lacks a dom field: %s" line))
+        lines;
+      Sys.remove path);
+  Obs.Recorder.clear ();
+  Alcotest.(check int) "clear empties the rings" 0
+    (List.length (Obs.Recorder.events ()))
+
+(* Worker-domain events surface on the main domain: each parallel unit's
+   captured events replay after join in unit-index order, re-stamped by
+   the main domain's clock — the trace is identical at any --jobs. *)
+let test_worker_event_drain () =
+  let sink, events = S.memory () in
+  Obs.Span.reset ();
+  S.with_sink sink (fun () ->
+      let units = [| 0; 1; 2; 3; 4; 5 |] in
+      let out =
+        Sched.Par.run_units ~jobs:2 ~units (fun u ->
+            Obs.Span.instant ~cat:"sched" ~args:[ ("unit", J.Int u) ] "unit";
+            u * 10)
+      in
+      Alcotest.(check (array int))
+        "results in unit order" [| 0; 10; 20; 30; 40; 50 |] out);
+  let evs =
+    List.filter (fun (e : S.event) -> e.S.name = "unit") (events ())
+  in
+  let units_seen =
+    List.filter_map
+      (fun (e : S.event) ->
+        match List.assoc_opt "unit" e.S.args with
+        | Some (J.Int u) -> Some u
+        | _ -> None)
+      evs
+  in
+  Alcotest.(check (list int))
+    "worker events drain in unit-index order" [ 0; 1; 2; 3; 4; 5 ]
+    units_seen;
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool)
+    "replayed stamps are strictly increasing main-domain ticks" true
+    (increasing (List.map (fun (e : S.event) -> e.S.ts) evs))
 
 let test_span_closes_on_exception () =
   let sink, events = S.memory () in
@@ -341,11 +521,17 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "error-positions" `Quick
+            test_json_error_positions;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "registry" `Quick test_registry;
           Alcotest.test_case "bucketing" `Quick test_histogram_bucketing;
+          Alcotest.test_case "bucket-boundaries" `Quick
+            test_histogram_boundary_values;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "delta" `Quick test_metrics_delta;
           Alcotest.test_case "empty-max" `Quick
             test_empty_histogram_max_is_null;
           Alcotest.test_case "hot-gating" `Quick test_hot_gating;
@@ -360,6 +546,8 @@ let () =
             test_span_closes_on_exception;
           Alcotest.test_case "event-roundtrip" `Quick
             test_event_json_roundtrip;
+          Alcotest.test_case "recorder-ring" `Quick test_recorder_ring;
+          Alcotest.test_case "worker-drain" `Quick test_worker_event_drain;
         ] );
       ( "trace",
         [
