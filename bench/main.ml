@@ -198,44 +198,41 @@ let run_labelling_value () =
   in
   ignore (Core.Ring_sim.value ~delta:2 ~rounds:20 label)
 
-let benchmarks =
-  Test.make_grouped ~name:"bounded-registers"
-    [
-      Test.make ~name:"alg1-eps-agreement(k=256)"
-        (Staged.stage (run_alg1 ~k:256));
-      Test.make ~name:"fast-agreement(R=16,6-bit)"
-        (Staged.stage (run_fast ~rounds:16));
-      Test.make ~name:"baseline-unbounded(R=16)"
-        (Staged.stage (run_baseline ~rounds:16));
-      Test.make ~name:"bg-snapshot-round(n=3)" (Staged.stage run_bg_round);
-      Test.make ~name:"one-bit-sim(n=2,2-rounds)"
-        (Staged.stage run_one_bit_sim);
-      Test.make ~name:"alt-bit-128-bytes" (Staged.stage run_alt_bit_transfer);
-      Test.make ~name:"abd-write+read(n=5)" (Staged.stage run_abd_ops);
-      Test.make ~name:"chaos-run(sound,n=4)" (Staged.stage run_chaos_sound);
-      Test.make ~name:"linearize-check(24-ops)"
-        (Staged.stage run_linearize_check);
-      Test.make ~name:"bmz-plan(eps-grid-k=4)" (Staged.stage run_bmz_plan);
-      Test.make ~name:"pruned-path-value(R=20)"
-        (Staged.stage run_labelling_value);
-      Test.make ~name:"explore-3x4(dedup+por)"
-        (Staged.stage run_explore_engine);
-      Test.make ~name:"explore-3x4(raw-undo)" (Staged.stage run_explore_raw);
-      Test.make ~name:"explore-3x4(raw-undo,recorder-off)"
-        (Staged.stage run_explore_raw_recorder_off);
-    ]
+let bench_rows : (string * (unit -> unit)) list =
+  [
+    ("alg1-eps-agreement(k=256)", run_alg1 ~k:256);
+    ("fast-agreement(R=16,6-bit)", run_fast ~rounds:16);
+    ("baseline-unbounded(R=16)", run_baseline ~rounds:16);
+    ("bg-snapshot-round(n=3)", run_bg_round);
+    ("one-bit-sim(n=2,2-rounds)", run_one_bit_sim);
+    ("alt-bit-128-bytes", run_alt_bit_transfer);
+    ("abd-write+read(n=5)", run_abd_ops);
+    ("chaos-run(sound,n=4)", run_chaos_sound);
+    ("linearize-check(24-ops)", run_linearize_check);
+    ("bmz-plan(eps-grid-k=4)", run_bmz_plan);
+    ("pruned-path-value(R=20)", run_labelling_value);
+    ("explore-3x4(dedup+por)", run_explore_engine);
+    ("explore-3x4(raw-undo)", run_explore_raw);
+    ("explore-3x4(raw-undo,recorder-off)", run_explore_raw_recorder_off);
+  ]
 
 (* Each row carries the OLS time estimate and the OLS minor-allocation
    estimate (Bechamel's [minor_allocated] instance: [Gc.minor_words]
    deltas around the timed runs), so the JSON snapshot tracks both the
-   speed and the per-call allocation of every hot path across PRs. *)
+   speed and the per-call allocation of every hot path across PRs.
+
+   Rows are measured one at a time, each behind its own warmup, and in a
+   seeded-shuffled order rather than declaration order. Declaration-order
+   measurement is how BENCH_PR9 recorded explore(raw-undo,recorder-off)
+   as *slower* than the recorder-on row it follows: the earlier row paid
+   the row's warmup (page faults, branch training, heap shape) on behalf
+   of the later one. Warming each row before sampling removes the shared
+   state, and decorrelating the order keeps any residual drift from
+   systematically favoring whichever row happens to run second — so
+   bench_gate.py check_recorder compares like with like. The shuffle seed
+   is fixed: runs stay reproducible, just not declaration-ordered. *)
 let measure_benchmarks () =
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw =
-    Benchmark.all cfg
-      [ Instance.monotonic_clock; Instance.minor_allocated ]
-      benchmarks
-  in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
   in
@@ -245,12 +242,32 @@ let measure_benchmarks () =
         match Analyze.OLS.estimates r with Some [ est ] -> est | _ -> nan)
     | None -> nan
   in
-  let times = Analyze.all ols Instance.monotonic_clock raw in
-  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let order = Array.of_list bench_rows in
+  Bits.Rng.shuffle (Bits.Rng.make 0xB10C) order;
   let rows = ref [] in
-  Hashtbl.iter
-    (fun name _ -> rows := (name, estimate_of times name, estimate_of allocs name) :: !rows)
-    times;
+  Array.iter
+    (fun (name, fn) ->
+      let t0 = Unix.gettimeofday () in
+      while Unix.gettimeofday () -. t0 < 0.05 do
+        fn ()
+      done;
+      let test =
+        Test.make_grouped ~name:"bounded-registers"
+          [ Test.make ~name (Staged.stage fn) ]
+      in
+      let raw =
+        Benchmark.all cfg
+          [ Instance.monotonic_clock; Instance.minor_allocated ]
+          test
+      in
+      let times = Analyze.all ols Instance.monotonic_clock raw in
+      let allocs = Analyze.all ols Instance.minor_allocated raw in
+      Hashtbl.iter
+        (fun key _ ->
+          rows :=
+            (key, estimate_of times key, estimate_of allocs key) :: !rows)
+        times)
+    order;
   List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows
 
 let run_benchmarks () =
@@ -324,7 +341,7 @@ let json_chaos b =
          \"shrunk_events\": %d, \"shrunk_deliveries\": %d, \
          \"shrink_replays\": %d, \"find_and_shrink_sec\": %.2f}\n"
         f.C.seed
-        (List.length f.C.original.C.plan)
+        (Msgpass.Faults.compiled_length f.C.original.C.plan)
         (List.length f.C.shrunk)
         (Msgpass.Faults.deliveries f.C.shrunk)
         f.C.shrink_tests frontier_s
@@ -488,12 +505,45 @@ let fleet_stats b =
      %d, \"violations\": %d, \"witness_classes\": %d, \
      \"min_witness_deliveries\": %d, \"new_signals\": %d, \
      \"mutant_new_signals\": %d, \"distinct_terminals\": %d, \
-     \"corpus_plans\": %d, \"runs_per_sec\": %.0f}\n"
+     \"corpus_plans\": %d, \"cache_lookups\": %d, \"cache_hits\": %d, \
+     \"runs_per_sec\": %.0f},\n"
     r.F.seed r.F.generations r.F.runs r.F.violations
     (List.length r.F.witnesses)
     (if min_deliveries = max_int then 0 else min_deliveries)
     r.F.signals r.F.mutant_signals r.F.distinct_terminals r.F.corpus_size
-    (float_of_int r.F.runs /. sec)
+    r.F.cache_lookups r.F.cache_hits
+    (float_of_int r.F.runs /. sec);
+  (* Cache-effectiveness leg: a corpus-backed base campaign, then a
+     second campaign resumed over the same directory. The resume
+     re-executes every corpus plan once to pre-fill the run cache, so
+     mutants that reproduce known content answer from the cache —
+     bench_gate.py's cache-liveness guard reads this row. A fresh
+     in-memory campaign (the row above) legitimately records zero hits:
+     with duplicate-class shrinks skipped there are no confirmation
+     replays left to hit, so liveness is only observable on a resume. *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bench-fleet-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  ignore
+    (F.campaign ~generations:60 ~batch:16 ~seed:9 ~corpus_dir:dir
+       (C.frontier ())
+      : F.report);
+  let rr =
+    F.campaign ~generations:20 ~batch:16 ~seed:11 ~corpus_dir:dir
+      (C.frontier ())
+  in
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Sys.rmdir dir;
+  Printf.bprintf b
+    "    \"resume_g20\": {\"seed\": %d, \"generations\": %d, \"runs\": %d, \
+     \"corpus_plans\": %d, \"cache_lookups\": %d, \"cache_hits\": %d}\n"
+    rr.F.seed rr.F.generations rr.F.runs rr.F.corpus_size rr.F.cache_lookups
+    rr.F.cache_hits
 
 (* Churn counters: the dynamic-membership emulation (Dynreg) under a
    sound churn schedule — slack covers the rate, so every seeded run
@@ -525,7 +575,7 @@ let churn_stats b =
          \"plan_events\": %d, \"shrunk_events\": %d, \
          \"shrunk_churn_actions\": %d, \"shrink_replays\": %d}\n"
         f.C.seed frontier.C.violations
-        (List.length f.C.original.C.plan)
+        (Msgpass.Faults.compiled_length f.C.original.C.plan)
         (List.length f.C.shrunk)
         (List.length
            (List.filter

@@ -154,6 +154,18 @@ for w in "$fleet_j1"/witness-*.json; do
   diff "$w" "$fleet_j2/$(basename "$w")"
   dune exec bin/boundedreg.exe -- fleet --replay "$w"
 done
+# Cache-effectiveness smoke: a second fleet resumed over the (fixed-seed,
+# hence byte-deterministic) corpus re-executes every corpus plan once to
+# seed coverage and the content-addressed run cache, so mutants that
+# reproduce known content must answer from the cache — at least one hit,
+# or the content addressing has silently stopped working.
+dune exec bin/boundedreg.exe -- fleet --frontier --generations 20 --seed 11 \
+  --corpus "$fleet_j1" > "$tmp_par"
+grep 'cache: ' "$tmp_par"
+if grep -q 'cache: 0 hit(s)' "$tmp_par"; then
+  echo "check.sh: fleet run cache recorded no hits on the corpus re-fill smoke" >&2
+  exit 1
+fi
 # Churn fleet: witness files for dynamic-membership configs embed the
 # membership block (seed members, churn rate/window/slack, width), so a
 # dyn witness must round-trip through --replay bit-for-bit too. The

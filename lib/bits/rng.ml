@@ -1,31 +1,62 @@
-type t = { mutable state : int64 }
+(* The state is eight little-endian bytes rather than a mutable [int64]
+   record field: storing into a boxed-[int64] field allocates a fresh box
+   per draw (measured 6-8 minor words), which the chaos and fleet hot
+   paths cannot afford. [Bytes.get_int64_le]/[set_int64_le] compile to
+   unboxed loads/stores, and each draw function performs the whole
+   splitmix64 step locally so every intermediate stays in registers; the
+   emitted stream is bit-identical to the historical record-based
+   implementation. *)
+type t = Bytes.t
 
-let make seed = { state = Int64.of_int seed }
-let copy t = { state = t.state }
-let state t = t.state
-let of_state state = { state }
+let of_state state =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 state;
+  b
+
+let make seed = of_state (Int64.of_int seed)
+let copy t = Bytes.copy t
+let state t = Bytes.get_int64_le t 0
 
 (* splitmix64: fast, well-distributed, and trivially reproducible. *)
 let next t =
   let open Int64 in
-  t.state <- add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let s = add (Bytes.get_int64_le t 0) 0x9E3779B97F4A7C15L in
+  Bytes.set_int64_le t 0 s;
+  let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
-let split t = { state = next t }
+let split t = of_state (next t)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
-  let v = Int64.to_int (Int64.shift_right_logical (next t) 1) land max_int in
-  v mod bound
+  let open Int64 in
+  let s = add (Bytes.get_int64_le t 0) 0x9E3779B97F4A7C15L in
+  Bytes.set_int64_le t 0 s;
+  let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  (Int64.to_int (shift_right_logical z 1) land Stdlib.max_int) mod bound
 
-let bool t = Int64.logand (next t) 1L = 1L
+let bool t =
+  let open Int64 in
+  let s = add (Bytes.get_int64_le t 0) 0x9E3779B97F4A7C15L in
+  Bytes.set_int64_le t 0 s;
+  let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  Int64.to_int z land 1 = 1
 
-let float t =
-  let v = Int64.to_int (Int64.shift_right_logical (next t) 11) land max_int in
-  float_of_int v /. float_of_int (1 lsl 53)
+let bits53 t =
+  let open Int64 in
+  let s = add (Bytes.get_int64_le t 0) 0x9E3779B97F4A7C15L in
+  Bytes.set_int64_le t 0 s;
+  let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  Int64.to_int (shift_right_logical z 11) land Stdlib.max_int
+
+let float t = float_of_int (bits53 t) /. float_of_int (1 lsl 53)
 
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"

@@ -33,6 +33,14 @@ val bool : t -> bool
 val float : t -> float
 (** Uniform in [0, 1). *)
 
+val bits53 : t -> int
+(** The integer numerator of {!float}: uniform in [0 .. 2^53 - 1], from
+    the same single stream step, returned unboxed. [float t] equals
+    [float_of_int (bits53 t) /. 2. ** 53.] exactly (division by a power
+    of two is exact), so a caller comparing [float t < p] can instead
+    compare [float_of_int (bits53 t) < p *. 9007199254740992.] — same
+    verdict on the same stream, with no boxed float allocated. *)
+
 val pick : t -> 'a list -> 'a
 (** Uniform element of a non-empty list. @raise Invalid_argument on []. *)
 

@@ -183,7 +183,7 @@ type rng_point = {
 type outcome = {
   verdict : int L.verdict;
   history : int L.event list;
-  plan : Faults.plan;
+  plan : Faults.compiled;
   events : int;
   deliveries : int;
   completed : int;
@@ -386,9 +386,339 @@ let build config =
       let net, finalize = build_dyn config dyn in
       Built (net, finalize)
 
+(* ------------------------------------------------------------------ *)
+(* The packed static fleet.
+
+   [build_static] above allocates a fresh boxed fleet per run — Abd
+   records, closure lists, message constructors — which dominates the
+   campaign hot path. This builder is its allocation-free twin for the
+   static (no-membership) configuration: the entire ABD protocol state
+   lives in flat int arrays indexed by pid (and [pid * n + reg] for the
+   register copies), messages are {!Pack}ed immediate ints pushed
+   straight into the arena network, and the history is recorded in
+   growable int columns. Instances are pooled per domain and per config:
+   a run is [reset] (fill the arrays, rewind the recorder, re-run the
+   start scripts) rather than a rebuild, so the steady-state cost of a
+   chaos run is the fault loop itself.
+
+   Observable equivalence with [build_static] is exact and is what the
+   differential tests in test_msgpass pin down: same send orders (a
+   handler's replies before the completion-triggered next script op, as
+   the boxed [outs @ start_next me] enqueued), same logical-clock
+   stamps, same history — including the quorum tie-break, where the
+   boxed fold over the newest-first reply list keeps the latest-arrived
+   reply among maximal timestamps, reproduced here by the incremental
+   [ts >= best_ts] replacement rule. *)
+
+(* Growable parallel int columns holding completed operations in
+   completion order: (proc, write?, value, inv stamp, res stamp). *)
+type hist = {
+  mutable h_len : int;
+  mutable h_proc : int array;
+  mutable h_wr : int array;
+  mutable h_val : int array;
+  mutable h_inv : int array;
+  mutable h_res : int array;
+}
+
+let hist_append h proc wr value inv res =
+  if h.h_len = Array.length h.h_proc then begin
+    let g a =
+      let b = Array.make (2 * Array.length a) 0 in
+      Array.blit a 0 b 0 h.h_len;
+      b
+    in
+    h.h_proc <- g h.h_proc;
+    h.h_wr <- g h.h_wr;
+    h.h_val <- g h.h_val;
+    h.h_inv <- g h.h_inv;
+    h.h_res <- g h.h_res
+  end;
+  let i = h.h_len in
+  h.h_proc.(i) <- proc;
+  h.h_wr.(i) <- wr;
+  h.h_val.(i) <- value;
+  h.h_inv.(i) <- inv;
+  h.h_res.(i) <- res;
+  h.h_len <- i + 1
+
+type packed = {
+  q_ft : int Faults.t;
+  q_reset : unit -> unit;
+  q_finalize : unit -> int L.event list;
+}
+
+(* Phase codes, mirroring [Abd.phase]. *)
+let ph_idle = 0
+let ph_writing = 1
+let ph_collecting = 2
+let ph_writing_back = 3
+
+let packed_create config =
+  (* The same construction-time validation [Abd.create] performs, with
+     the same error, so swapping builders never changes what raises. *)
+  (match config.quorum with
+  | Some _ -> ()
+  | None ->
+      if config.t < 0 || 2 * config.t >= config.n then
+        invalid_arg "Abd.create: need 0 <= t < n/2");
+  let n = config.n in
+  let quorum = Option.value config.quorum ~default:(n - config.t) in
+  let nn = n * n in
+  (* Protocol state: copies/[my_ts] are per (pid, reg); the rest per pid.
+     [ph_cnt] is the ack count in Writing/Writing_back and the reply
+     count in Collecting; [ph_ts]/[ph_val] track the running best reply
+     while Collecting, and [ph_val] then carries the read-back value
+     through Writing_back. *)
+  let copies_ts = Array.make nn 0 and copies_val = Array.make nn 0 in
+  let my_ts = Array.make nn 0 in
+  let next_op = Array.make n 0 in
+  let phase = Array.make n ph_idle in
+  let ph_op = Array.make n 0 and ph_reg = Array.make n 0 in
+  let ph_cnt = Array.make n 0 in
+  let ph_ts = Array.make n 0 and ph_val = Array.make n 0 in
+  let done_kind = Array.make n 0 (* 0 none, 1 Wrote, 2 Read_value *) in
+  let done_val = Array.make n 0 in
+  (* Scripts: pid 0 writes values [1..writes]; pids [1..readers] read.
+     [pend_kind]: -1 none, 0 pending read, v >= 1 pending write of v. *)
+  let writes_started = ref 0 in
+  let reads_left = Array.make n 0 in
+  let init_reads () =
+    for i = 0 to n - 1 do
+      reads_left.(i) <-
+        (if i >= 1 && i <= config.readers then config.reads else 0)
+    done
+  in
+  init_reads ();
+  let pend_inv = Array.make n (-1) and pend_kind = Array.make n (-1) in
+  let stamp = ref 0 in
+  let h =
+    {
+      h_len = 0;
+      h_proc = Array.make 64 0;
+      h_wr = Array.make 64 0;
+      h_val = Array.make 64 0;
+      h_inv = Array.make 64 0;
+      h_res = Array.make 64 0;
+    }
+  in
+  let nodes ~send me =
+    let base = me * n in
+    let start_next () =
+      if me = 0 then begin
+        if !writes_started < config.writes then begin
+          incr writes_started;
+          let v = !writes_started in
+          incr stamp;
+          pend_inv.(0) <- !stamp;
+          pend_kind.(0) <- v;
+          next_op.(0) <- next_op.(0) + 1;
+          my_ts.(base) <- my_ts.(base) + 1;
+          phase.(0) <- ph_writing;
+          ph_op.(0) <- next_op.(0);
+          ph_cnt.(0) <- 0;
+          let m =
+            Pack.write_req ~reg:0 ~ts:my_ts.(base) ~value:v ~op:next_op.(0)
+          in
+          for j = 0 to n - 1 do
+            send ~dst:j m
+          done
+        end
+      end
+      else if me <= config.readers && reads_left.(me) > 0 then begin
+        reads_left.(me) <- reads_left.(me) - 1;
+        incr stamp;
+        pend_inv.(me) <- !stamp;
+        pend_kind.(me) <- 0;
+        next_op.(me) <- next_op.(me) + 1;
+        phase.(me) <- ph_collecting;
+        ph_op.(me) <- next_op.(me);
+        ph_reg.(me) <- 0;
+        ph_cnt.(me) <- 0;
+        let m = Pack.read_req ~reg:0 ~op:next_op.(me) in
+        for j = 0 to n - 1 do
+          send ~dst:j m
+        done
+      end
+    in
+    (* A completion only ever arises from a Write_ack (as in [Abd]); the
+       boxed node then records the operation and starts the next script
+       entry — response stamp before the next invocation stamp. *)
+    let complete_and_continue () =
+      let dk = done_kind.(me) in
+      if dk <> 0 then begin
+        done_kind.(me) <- 0;
+        let inv = pend_inv.(me) in
+        if inv >= 0 then begin
+          let kind = pend_kind.(me) in
+          pend_inv.(me) <- -1;
+          pend_kind.(me) <- -1;
+          incr stamp;
+          if kind >= 1 then
+            hist_append h me 1 (if dk = 1 then kind else done_val.(me)) inv !stamp
+          else hist_append h me 0 (if dk = 1 then 0 else done_val.(me)) inv !stamp
+        end;
+        start_next ()
+      end
+    in
+    let p_message ~from m =
+      let tag = Pack.tag m in
+      if tag = Pack.t_write_req then begin
+        let reg = Pack.reg m in
+        let ts = Pack.ts m in
+        let idx = base + reg in
+        if ts > copies_ts.(idx) then begin
+          copies_ts.(idx) <- ts;
+          copies_val.(idx) <- Pack.value m
+        end;
+        send ~dst:from (Pack.write_ack ~reg ~op:(Pack.op m))
+      end
+      else if tag = Pack.t_read_req then begin
+        let reg = Pack.reg m in
+        let idx = base + reg in
+        send ~dst:from
+          (Pack.read_reply ~reg ~ts:copies_ts.(idx) ~value:copies_val.(idx)
+             ~op:(Pack.op m))
+      end
+      else if tag = Pack.t_write_ack then begin
+        let op = Pack.op m in
+        let ph = phase.(me) in
+        if (ph = ph_writing || ph = ph_writing_back) && ph_op.(me) = op then begin
+          let acks = ph_cnt.(me) + 1 in
+          if acks >= quorum then begin
+            phase.(me) <- ph_idle;
+            done_kind.(me) <- (if ph = ph_writing then 1 else 2);
+            done_val.(me) <- ph_val.(me)
+          end
+          else ph_cnt.(me) <- acks
+        end;
+        complete_and_continue ()
+      end
+      else begin
+        (* Read_reply *)
+        let reg = Pack.reg m in
+        let op = Pack.op m in
+        if phase.(me) = ph_collecting && ph_op.(me) = op && ph_reg.(me) = reg
+        then begin
+          let ts = Pack.ts m in
+          let cnt = ph_cnt.(me) + 1 in
+          if cnt = 1 || ts >= ph_ts.(me) then begin
+            ph_ts.(me) <- ts;
+            ph_val.(me) <- Pack.value m
+          end;
+          if cnt >= quorum then begin
+            (* Write back before completing: atomicity. *)
+            let best_ts = ph_ts.(me) and best = ph_val.(me) in
+            phase.(me) <- ph_writing_back;
+            ph_cnt.(me) <- 0;
+            let idx = base + reg in
+            if best_ts > copies_ts.(idx) then begin
+              copies_ts.(idx) <- best_ts;
+              copies_val.(idx) <- best
+            end;
+            let m = Pack.write_req ~reg ~ts:best_ts ~value:best ~op in
+            for j = 0 to n - 1 do
+              send ~dst:j m
+            done
+          end
+          else ph_cnt.(me) <- cnt
+        end
+      end
+    in
+    { Net.p_start = start_next; p_message; p_leave = ignore }
+  in
+  let net = Net.create_push ~n ~nodes () in
+  let ft = Faults.wrap net in
+  let reset () =
+    Array.fill copies_ts 0 nn 0;
+    Array.fill copies_val 0 nn 0;
+    Array.fill my_ts 0 nn 0;
+    Array.fill next_op 0 n 0;
+    Array.fill phase 0 n ph_idle;
+    Array.fill ph_op 0 n 0;
+    Array.fill ph_reg 0 n 0;
+    Array.fill ph_cnt 0 n 0;
+    Array.fill ph_ts 0 n 0;
+    Array.fill ph_val 0 n 0;
+    Array.fill done_kind 0 n 0;
+    Array.fill done_val 0 n 0;
+    writes_started := 0;
+    init_reads ();
+    Array.fill pend_inv 0 n (-1);
+    Array.fill pend_kind 0 n (-1);
+    stamp := 0;
+    h.h_len <- 0;
+    Faults.reset ft;
+    Net.reset net
+  in
+  let finalize () =
+    let tail = ref [] in
+    for me = n - 1 downto 0 do
+      let inv = pend_inv.(me) in
+      if inv >= 0 then begin
+        let kind = pend_kind.(me) in
+        let op = if kind >= 1 then L.Write kind else L.Read 0 in
+        tail := { L.proc = me; reg = 0; op; inv; res = None } :: !tail
+      end
+    done;
+    let rec go i acc =
+      if i < 0 then acc
+      else
+        let op =
+          if h.h_wr.(i) = 1 then L.Write h.h_val.(i) else L.Read h.h_val.(i)
+        in
+        go (i - 1)
+          ({ L.proc = h.h_proc.(i); reg = 0; op; inv = h.h_inv.(i);
+             res = Some h.h_res.(i) }
+          :: acc)
+    in
+    go (h.h_len - 1) !tail
+  in
+  { q_ft = ft; q_reset = reset; q_finalize = finalize }
+
+(* One pooled instance per (domain, config): parallel campaign workers
+   each grow their own pool in domain-local storage, so no packed state
+   is ever shared across domains. *)
+let pool : (config, packed) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let packable config =
+  config.membership = None
+  && config.n >= 1 && config.n <= 61 && config.writes >= 0
+  && config.readers >= 0 && config.reads >= 0
+  && Pack.fits_static ~registers:config.n ~writes:config.writes
+       ~max_ops:(max config.writes config.reads)
+
+let packed_acquire config =
+  let tbl = Domain.DLS.get pool in
+  let p =
+    match Hashtbl.find_opt tbl config with
+    | Some p -> p
+    | None ->
+        let p = packed_create config in
+        Hashtbl.add tbl config p;
+        p
+  in
+  p.q_reset ();
+  p
+
+(* Every driver below funnels through [prepare]: the pooled packed fleet
+   when the static configuration fits the packed message layout, the
+   boxed per-run build otherwise (dynamic membership, or out-of-layout
+   parameters). *)
+type prepared = Prepared : 'm Faults.t * (unit -> int L.event list) -> prepared
+
+let prepare config =
+  if packable config then
+    let p = packed_acquire config in
+    Prepared (p.q_ft, p.q_finalize)
+  else
+    let (Built (net, finalize)) = build config in
+    Prepared (Faults.wrap net, finalize)
+
 let outcome_of ?rng_point ft finalize =
   let history = finalize () in
-  let plan = Faults.plan ft in
+  let plan = Faults.compiled_plan ft in
   {
     verdict =
       L.check ~pp:Format.pp_print_int ~init:(fun _ -> 0) ~equal:Int.equal
@@ -396,7 +726,7 @@ let outcome_of ?rng_point ft finalize =
     history;
     plan;
     events = Faults.events ft;
-    deliveries = Faults.deliveries plan;
+    deliveries = Faults.compiled_deliveries plan;
     completed =
       List.fold_left
         (fun k (e : int L.event) -> if e.res <> None then k + 1 else k)
@@ -444,8 +774,7 @@ let run_at point config =
       leave_at = config.profile.leave_at @ point.churn.Membership.leave_at;
     }
   in
-  let (Built (net, finalize)) = build config in
-  let ft = Faults.wrap net in
+  let (Prepared (ft, finalize)) = prepare config in
   Faults.run_random ~rng ~profile ~max_events:config.max_events ft;
   outcome_of ~rng_point:point ft finalize
 
@@ -455,11 +784,17 @@ let run_random ~seed config =
   let churn = random_churn rng config in
   run_at { rng_state = Bits.Rng.state rng; crash_at; churn } config
 
-let run_plan config plan =
-  let (Built (net, finalize)) = build config in
-  let ft = Faults.wrap net in
-  Faults.replay ft plan;
+let run_compiled config compiled =
+  let (Prepared (ft, finalize)) = prepare config in
+  Faults.replay_compiled ft compiled;
   outcome_of ft finalize
+
+let run_plan config plan =
+  (* Compiling first both validates the (possibly hand-edited) plan's
+     operands against the universe size and turns the replay into a
+     dense int-array walk — the form every shrink probe and corpus
+     mutant re-execution takes. *)
+  run_compiled config (Faults.compile ~n:config.n plan)
 
 let shrink config plan =
   let test p = failed (run_plan config p) in
@@ -594,7 +929,7 @@ let campaign ?deadline ?(jobs = 1) ~seed ~runs config =
     let first =
       match (c.first, failed o) with
       | None, true ->
-          let shrunk, shrink_tests = shrink config o.plan in
+          let shrunk, shrink_tests = shrink config (Faults.decompile o.plan) in
           let found =
             {
               seed = s;
@@ -721,7 +1056,7 @@ let pp_campaign ppf c =
         "@ first at seed %d: plan %d events -> shrunk %d (%d deliveries, %d \
          replays); replayed verdict: %a"
         f.seed
-        (List.length f.original.plan)
+        (Faults.compiled_length f.original.plan)
         (List.length f.shrunk)
         (Faults.deliveries f.shrunk)
         f.shrink_tests

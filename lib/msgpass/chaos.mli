@@ -103,7 +103,10 @@ type rng_point = {
 type outcome = {
   verdict : int Check.Linearize.verdict;
   history : int Check.Linearize.event list;
-  plan : Faults.plan;  (** the replayable record of the run *)
+  plan : Faults.compiled;
+      (** the replayable record of the run, in packed opcode form —
+          {!Faults.decompile} recovers the action list when one is
+          needed (shrinking, corpus persistence) *)
   events : int;  (** fault-layer actions executed *)
   deliveries : int;
   completed : int;  (** operations that got a response *)
@@ -132,7 +135,13 @@ val run_at : rng_point -> config -> outcome
 
 val run_plan : config -> Faults.plan -> outcome
 (** Deterministic replay of a plan against a fresh network — bit-for-bit:
-    [run_plan c (run_random ~seed c).plan] reproduces the run. *)
+    [run_plan c (Faults.decompile (run_random ~seed c).plan)] reproduces
+    the run. The plan is {!Faults.compile}d first, so out-of-range
+    operands raise [Invalid_argument] before anything executes. *)
+
+val run_compiled : config -> Faults.compiled -> outcome
+(** {!run_plan} over an already-compiled plan — what the fleet executes
+    for mutants, whose plans it compiles once for content addressing. *)
 
 val shrink : config -> Faults.plan -> Faults.plan * int
 (** ddmin a failing plan down to a 1-minimal failing plan, and the number

@@ -120,6 +120,90 @@ let plan_of_json j =
         (0, Ok []) items
       |> snd |> Result.map List.rev
 
+(* {2 Opcode coding}
+
+   Internally an action is one immediate int — [kind:3 | a:8 | b:8] —
+   so the run record is a growable [int array] rather than a consed
+   list, a compiled plan is a dense walkable array, and the random
+   driver never constructs a variant on its hot path. Eight bits per
+   operand is comfortably above [Net]'s 61-slot cap. *)
+
+let k_deliver = 0
+let k_drop = 1
+let k_duplicate = 2
+let k_defer = 3
+let k_crash = 4
+let k_enter = 5
+let k_leave = 6
+let encode k a b = k lor (a lsl 3) lor (b lsl 11)
+let code_kind c = c land 7
+let code_a c = (c lsr 3) land 0xff
+let code_b c = (c lsr 11) land 0xff
+
+let code_of_action = function
+  | Deliver { src; dst } -> encode k_deliver src dst
+  | Drop { src; dst } -> encode k_drop src dst
+  | Duplicate { src; dst } -> encode k_duplicate src dst
+  | Defer { src; dst } -> encode k_defer src dst
+  | Crash pid -> encode k_crash pid 0
+  | Enter pid -> encode k_enter pid 0
+  | Leave pid -> encode k_leave pid 0
+
+let action_of_code c =
+  let k = code_kind c and a = code_a c and b = code_b c in
+  if k = k_deliver then Deliver { src = a; dst = b }
+  else if k = k_drop then Drop { src = a; dst = b }
+  else if k = k_duplicate then Duplicate { src = a; dst = b }
+  else if k = k_defer then Defer { src = a; dst = b }
+  else if k = k_crash then Crash a
+  else if k = k_enter then Enter a
+  else Leave a
+
+type compiled = int array
+
+let compile_array ~n acts =
+  let check_pid pid =
+    if pid < 0 || pid >= n then
+      invalid_arg (Printf.sprintf "Faults.compile: pid %d out of range" pid)
+  in
+  let check_channel { src; dst } =
+    if src < 0 || src >= n || dst < 0 || dst >= n then
+      invalid_arg
+        (Printf.sprintf "Faults.compile: channel %d>%d out of range" src dst)
+  in
+  Array.map
+    (fun a ->
+      (match a with
+      | Deliver ch | Drop ch | Duplicate ch | Defer ch -> check_channel ch
+      | Crash pid | Enter pid | Leave pid -> check_pid pid);
+      code_of_action a)
+    acts
+
+let compile ~n plan = compile_array ~n (Array.of_list plan)
+let compiled_length = Array.length
+let decompile_array compiled = Array.map action_of_code compiled
+let decompile compiled = Array.to_list (decompile_array compiled)
+
+let compiled_deliveries compiled =
+  let k = ref 0 in
+  Array.iter (fun c -> if code_kind c = k_deliver then incr k) compiled;
+  !k
+
+let compiled_hash (c : compiled) =
+  Array.fold_left
+    (fun h code -> Sched.Zobrist.combine h (code + 1))
+    (Array.length c) c
+
+let compiled_equal (a : compiled) (b : compiled) =
+  a == b
+  || Array.length a = Array.length b
+     && begin
+          let n = Array.length a in
+          let i = ref 0 in
+          while !i < n && a.(!i) = b.(!i) do incr i done;
+          !i = n
+        end
+
 type profile = {
   drop : float;
   duplicate : float;
@@ -145,108 +229,186 @@ let reliable =
     leave_at = [];
   }
 
+(* The wrapper's own state is flat: the recording is a growable int
+   array of opcodes (decoded to an action list only when {!plan} is
+   asked for), and the per-channel freeze/drop-budget matrices are
+   single [n * n] arrays. [chans]/[chans2] are the scratch buffers the
+   random driver fills via {!Net.deliverable_into} — the only heap the
+   driver touches after [wrap], which makes a pooled wrapper's steady
+   state allocation-free. *)
 type 'm t = {
   net : 'm Net.t;
-  mutable recorded : action list;  (** newest first *)
+  size : int;
+  mutable rec_buf : int array;  (** opcodes, oldest first; [events] used *)
   mutable events : int;
-  frozen : int array array;  (** channel thaws at this event index *)
-  drops : int array array;  (** drops spent per channel *)
+  frozen : int array;  (** flat [n*n]: channel thaws at this event index *)
+  mutable max_thaw : int;
+      (** latest thaw index issued: when [events >= max_thaw] no channel
+          is frozen and the per-step unfrozen filter is skipped *)
+  drops : int array;  (** flat [n*n]: drops spent per channel *)
+  chans : int array;  (** scratch: deliverable channel codes *)
+  chans2 : int array;  (** scratch: unfrozen subset *)
 }
 
 let wrap net =
   let n = Net.n net in
   {
     net;
-    recorded = [];
+    size = n;
+    rec_buf = Array.make 256 0;
     events = 0;
-    frozen = Array.make_matrix n n 0;
-    drops = Array.make_matrix n n 0;
+    frozen = Array.make (n * n) 0;
+    max_thaw = 0;
+    drops = Array.make (n * n) 0;
+    chans = Array.make (n * n) 0;
+    chans2 = Array.make (n * n) 0;
   }
+
+let reset t =
+  t.events <- 0;
+  t.max_thaw <- 0;
+  Array.fill t.frozen 0 (t.size * t.size) 0;
+  Array.fill t.drops 0 (t.size * t.size) 0
 
 let net t = t.net
 let events t = t.events
-let plan t = List.rev t.recorded
+
+let plan t =
+  List.init t.events (fun i -> action_of_code t.rec_buf.(i))
+
+let compiled_plan t = Array.sub t.rec_buf 0 t.events
+
+let record t code =
+  if t.events = Array.length t.rec_buf then begin
+    let nb = Array.make (2 * Array.length t.rec_buf) 0 in
+    Array.blit t.rec_buf 0 nb 0 t.events;
+    t.rec_buf <- nb
+  end;
+  t.rec_buf.(t.events) <- code;
+  t.events <- t.events + 1
+
+let apply_code t k a b =
+  let effective =
+    if k = k_deliver then Net.deliver t.net ~src:a ~dst:b
+    else if k = k_drop then
+      if Net.drop t.net ~src:a ~dst:b then begin
+        let ch = (a * t.size) + b in
+        t.drops.(ch) <- t.drops.(ch) + 1;
+        true
+      end
+      else false
+    else if k = k_duplicate then Net.duplicate t.net ~src:a ~dst:b
+    else if k = k_defer then Net.defer t.net ~src:a ~dst:b
+    else if k = k_crash then
+      if Net.alive t.net a then begin
+        Net.crash t.net a;
+        true
+      end
+      else false
+    else if k = k_enter then Net.enter t.net a
+    else Net.leave t.net a
+  in
+  if effective then record t (encode k a b);
+  effective
 
 let apply t action =
-  let effective =
-    match action with
-    | Deliver { src; dst } -> Net.deliver t.net ~src ~dst
-    | Drop { src; dst } ->
-        if Net.drop t.net ~src ~dst then begin
-          t.drops.(src).(dst) <- t.drops.(src).(dst) + 1;
-          true
-        end
-        else false
-    | Duplicate { src; dst } -> Net.duplicate t.net ~src ~dst
-    | Defer { src; dst } -> Net.defer t.net ~src ~dst
-    | Crash pid ->
-        if Net.alive t.net pid then begin
-          Net.crash t.net pid;
-          true
-        end
-        else false
-    | Enter pid -> Net.enter t.net pid
-    | Leave pid -> Net.leave t.net pid
-  in
-  if effective then begin
-    t.recorded <- action :: t.recorded;
-    t.events <- t.events + 1
-  end;
-  effective
+  match action with
+  | Deliver { src; dst } -> apply_code t k_deliver src dst
+  | Drop { src; dst } -> apply_code t k_drop src dst
+  | Duplicate { src; dst } -> apply_code t k_duplicate src dst
+  | Defer { src; dst } -> apply_code t k_defer src dst
+  | Crash pid -> apply_code t k_crash pid 0
+  | Enter pid -> apply_code t k_enter pid 0
+  | Leave pid -> apply_code t k_leave pid 0
+
+(* Schedule firing, as top-level recursions rather than closures: the
+   random driver re-checks every entry each step, and a per-step closure
+   allocation is exactly the kind of litter the flat rewrite removes. *)
+let rec fire_enters t = function
+  | [] -> ()
+  | (pid, at) :: rest ->
+      if t.events >= at && not (Net.is_present t.net pid) then
+        ignore (apply_code t k_enter pid 0);
+      fire_enters t rest
+
+let rec fire_leaves t = function
+  | [] -> ()
+  | (pid, at) :: rest ->
+      if t.events >= at && Net.is_present t.net pid then
+        ignore (apply_code t k_leave pid 0);
+      fire_leaves t rest
+
+let rec fire_crashes t = function
+  | [] -> ()
+  | (pid, at) :: rest ->
+      if t.events >= at && Net.alive t.net pid then
+        ignore (apply_code t k_crash pid 0);
+      fire_crashes t rest
 
 let step_random rng profile t =
   (* Due schedule entries fire before the event roll: enters first (a
      joiner must exist before the same step can crash or depart it),
-     then leaves, then crashes. [apply] refuses and records nothing when
-     an entry already fired, so re-checking every step is idempotent. *)
-  List.iter
-    (fun (pid, at) ->
-      if t.events >= at && not (Net.is_present t.net pid) then
-        ignore (apply t (Enter pid)))
-    profile.enter_at;
-  List.iter
-    (fun (pid, at) ->
-      if t.events >= at && Net.is_present t.net pid then
-        ignore (apply t (Leave pid)))
-    profile.leave_at;
-  List.iter
-    (fun (pid, at) ->
-      if t.events >= at && Net.alive t.net pid then
-        ignore (apply t (Crash pid)))
-    profile.crash_at;
-  match Net.deliverable t.net with
-  | [] -> false
-  | all ->
-      let unfrozen =
-        List.filter (fun (s, d) -> t.frozen.(s).(d) <= t.events) all
-      in
-      (* All channels frozen: thaw by decree rather than livelock. *)
-      let candidates = if unfrozen = [] then all else unfrozen in
-      let src, dst = Bits.Rng.pick rng candidates in
-      let ch = { src; dst } in
-      let u = Bits.Rng.float rng in
-      let p_drop =
-        if t.drops.(src).(dst) < profile.max_channel_drops then profile.drop
-        else 0.
-      in
-      if u < p_drop then ignore (apply t (Drop ch))
-      else if u < p_drop +. profile.duplicate then
-        ignore (apply t (Duplicate ch))
-      else if
-        u < p_drop +. profile.duplicate +. profile.defer
-        && Net.pending t.net ~src ~dst >= 2
-      then ignore (apply t (Defer ch))
-      else if Bits.Rng.float rng < profile.delay then begin
-        (* Delay burst: freeze this channel and serve another if any. *)
-        t.frozen.(src).(dst) <- t.events + max 1 profile.delay_span;
-        match List.filter (fun c -> c <> (src, dst)) candidates with
-        | [] -> ignore (apply t (Deliver ch))
-        | rest ->
-            let src, dst = Bits.Rng.pick rng rest in
-            ignore (apply t (Deliver { src; dst }))
+     then leaves, then crashes. [apply_code] refuses and records nothing
+     when an entry already fired, so re-checking every step is
+     idempotent. *)
+  fire_enters t profile.enter_at;
+  fire_leaves t profile.leave_at;
+  fire_crashes t profile.crash_at;
+  let all = Net.deliverable_into t.net t.chans in
+  if all = 0 then false
+  else begin
+    let cand, cnt =
+      if t.events >= t.max_thaw then (t.chans, all)
+      else begin
+        let unfrozen = ref 0 in
+        for i = 0 to all - 1 do
+          if t.frozen.(t.chans.(i)) <= t.events then begin
+            t.chans2.(!unfrozen) <- t.chans.(i);
+            incr unfrozen
+          end
+        done;
+        (* All channels frozen: thaw by decree rather than livelock. *)
+        if !unfrozen = 0 then (t.chans, all) else (t.chans2, !unfrozen)
       end
-      else ignore (apply t (Deliver ch));
-      true
+    in
+    let ci = Bits.Rng.int rng cnt in
+    let ch = cand.(ci) in
+    let src = ch / t.size and dst = ch mod t.size in
+    (* The dice are compared in fixed-point: [Rng.float t < p] is exactly
+       [float_of_int (Rng.bits53 t) < p *. 2^53] (see {!Bits.Rng.bits53}),
+       and the unboxed comparison keeps the hot loop allocation-free
+       while drawing the identical stream the recorded seeds expect. *)
+    let scale = 9007199254740992. (* 2^53 *) in
+    let u = float_of_int (Bits.Rng.bits53 rng) in
+    let p_drop =
+      if t.drops.(ch) < profile.max_channel_drops then profile.drop else 0.
+    in
+    if u < p_drop *. scale then ignore (apply_code t k_drop src dst)
+    else if u < (p_drop +. profile.duplicate) *. scale then
+      ignore (apply_code t k_duplicate src dst)
+    else if
+      u < (p_drop +. profile.duplicate +. profile.defer) *. scale
+      && Net.pending t.net ~src ~dst >= 2
+    then ignore (apply_code t k_defer src dst)
+    else if float_of_int (Bits.Rng.bits53 rng) < profile.delay *. scale
+    then begin
+      (* Delay burst: freeze this channel and serve another if any.
+         Channels are unique in the candidate buffer, so "the candidates
+         minus the chosen one" is index [ci] skipped — the same set, in
+         the same order, as the historical list filter. *)
+      let thaw = t.events + max 1 profile.delay_span in
+      t.frozen.(ch) <- thaw;
+      if thaw > t.max_thaw then t.max_thaw <- thaw;
+      if cnt = 1 then ignore (apply_code t k_deliver src dst)
+      else begin
+        let j = Bits.Rng.int rng (cnt - 1) in
+        let ch' = cand.(if j >= ci then j + 1 else j) in
+        ignore (apply_code t k_deliver (ch' / t.size) (ch' mod t.size))
+      end
+    end
+    else ignore (apply_code t k_deliver src dst);
+    true
+  end
 
 let run_random ~rng ~profile ?(max_events = 100_000) ?(until = fun () -> false)
     t =
@@ -257,3 +419,9 @@ let run_random ~rng ~profile ?(max_events = 100_000) ?(until = fun () -> false)
   loop max_events
 
 let replay t plan = List.iter (fun a -> ignore (apply t a)) plan
+
+let replay_compiled t compiled =
+  for i = 0 to Array.length compiled - 1 do
+    let c = compiled.(i) in
+    ignore (apply_code t (code_kind c) (code_a c) (code_b c))
+  done

@@ -64,6 +64,45 @@ val plan_to_json : plan -> Obs.Json.t
 val plan_of_json : Obs.Json.t -> (plan, string) result
 (** Inverse of {!plan_to_json}. *)
 
+(** {1 Compiled plans}
+
+    A compiled plan is the dense int-opcode form of an action list: one
+    immediate int per action, walked by {!replay_compiled} with no
+    per-action pattern match or allocation. The fleet compiles each
+    corpus plan once and replays the flat array for every mutant and
+    cache probe derived from it. *)
+
+type compiled
+
+val compile : n:int -> plan -> compiled
+(** Validate every operand against universe size [n] and pack.
+    @raise Invalid_argument on an out-of-range channel or pid — a
+    compiled plan can therefore be replayed unchecked. *)
+
+val compile_array : n:int -> action array -> compiled
+(** {!compile} over an action array — the fleet's mutation engine works
+    on arrays, so its mutants pack without a round-trip through lists. *)
+
+val decompile : compiled -> plan
+
+val decompile_array : compiled -> action array
+(** {!decompile} without the final list conversion. *)
+
+val compiled_length : compiled -> int
+
+val compiled_deliveries : compiled -> int
+(** {!deliveries} over the packed form, without decoding. *)
+
+val compiled_hash : compiled -> int
+(** Content address of a compiled plan: a splitmix-seeded order-sensitive
+    fold ({!Sched.Zobrist.combine}) over the opcode array — identical
+    across runs, processes and domains. Non-negative. The fleet's run
+    cache keys scripted jobs on this. *)
+
+val compiled_equal : compiled -> compiled -> bool
+(** Opcode-array equality — the exact-identity check behind a
+    {!compiled_hash} match. *)
+
 type profile = {
   drop : float;  (** per-event probability of losing the chosen head *)
   duplicate : float;
@@ -90,6 +129,10 @@ val events : 'm t -> int
 
 val plan : 'm t -> plan
 (** Every action executed so far, oldest first — the replayable record. *)
+
+val compiled_plan : 'm t -> compiled
+(** The same record in packed form — one array copy, no decoding; what
+    the chaos layer stores in each outcome. *)
 
 val apply : 'm t -> action -> bool
 (** Execute one action. [false] (and no event recorded) when it has no
@@ -118,3 +161,13 @@ val replay : 'm t -> plan -> unit
     a previous run against a freshly built identical network reproduces
     that run exactly: same deliveries, same handler executions, same final
     state. *)
+
+val replay_compiled : 'm t -> compiled -> unit
+(** {!replay} over the packed form: execute opcode by opcode, skipping
+    no-ops, recording effective actions exactly as {!apply} does. *)
+
+val reset : 'm t -> unit
+(** Clear the wrapper back to its post-{!wrap} state — empty recording,
+    no frozen channels, fresh drop budgets — without reallocating. Does
+    not touch the wrapped network; a pooled caller pairs this with
+    {!Net.reset}. *)

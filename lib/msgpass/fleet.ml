@@ -21,6 +21,7 @@ let m_witnesses = Obs.Metrics.counter "fleet.witnesses"
 let m_signals = Obs.Metrics.counter "fleet.new_signals"
 let m_mutant_signals = Obs.Metrics.counter "fleet.mutant_signals"
 let m_generations = Obs.Metrics.counter "fleet.generations"
+let m_cache_hits = Obs.Metrics.counter "fleet.cache_hits"
 let g_corpus = Obs.Metrics.gauge "fleet.corpus_size"
 
 (* ------------------------------------------------------------------ *)
@@ -119,8 +120,8 @@ let rekind rng n = function
    channels are impossible by construction, and every in-range action on
    an empty channel (or dead process) is a recorded no-op the fault layer
    skips silently. *)
-let mutate rng ~n ?(churn = false) plan =
-  let a = ref (Array.of_list plan) in
+let mutate_arr rng ~n ?(churn = false) plan =
+  let a = ref (Array.copy plan) in
   let len () = Array.length !a in
   let remove start k =
     a :=
@@ -188,18 +189,22 @@ let mutate rng ~n ?(churn = false) plan =
         in
         insert (Bits.Rng.int rng (len () + 1)) seg
   done;
-  Array.to_list !a
+  !a
 
-let crossover rng p1 p2 =
-  let a = Array.of_list p1 and b = Array.of_list p2 in
-  if Array.length a = 0 then p2
-  else if Array.length b = 0 then p1
+let mutate rng ~n ?churn plan =
+  Array.to_list (mutate_arr rng ~n ?churn (Array.of_list plan))
+
+let crossover_arr rng a b =
+  if Array.length a = 0 then b
+  else if Array.length b = 0 then a
   else begin
     let i = Bits.Rng.int rng (Array.length a + 1) in
     let j = Bits.Rng.int rng (Array.length b + 1) in
-    Array.to_list
-      (Array.append (Array.sub a 0 i) (Array.sub b j (Array.length b - j)))
+    Array.append (Array.sub a 0 i) (Array.sub b j (Array.length b - j))
   end
+
+let crossover rng p1 p2 =
+  Array.to_list (crossover_arr rng (Array.of_list p1) (Array.of_list p2))
 
 (* The exact identity of a shrunk plan: its action sequence with pids
    renamed by order of first appearance, so two minimal plans that
@@ -260,6 +265,59 @@ let violation_class ~reg ~reason =
     (Sched.Zobrist.value_hash (scrub reason))
 
 (* ------------------------------------------------------------------ *)
+(* Content-addressed run cache                                         *)
+
+(* The identity of one run, by content. A fresh job is its (seed,
+   profile, crash budget) — [Chaos.run_random] is a pure function of
+   those plus the campaign config — and a scripted job is its compiled
+   plan. Config fields beyond the swarm-rolled profile and crash budget
+   are fixed for the life of a campaign, so they stay out of the key. *)
+type cache_key =
+  | K_fresh of { seed : int; profile : Faults.profile; crashes : int; h : int }
+  | K_plan of { c : Faults.compiled; h : int }
+
+(* Key hashes are computed once, at construction. [Hashtbl] re-hashes a
+   key on every probe, so a stored hash turns repeated deep hashing of
+   float-field profiles and opcode arrays into a field read; fresh keys
+   additionally share one profile hash per generation ([phash]) since
+   the swarm roll fixes the profile for the whole batch. *)
+let fresh_key ~phash ~seed ~profile ~crashes =
+  K_fresh
+    {
+      seed;
+      profile;
+      crashes;
+      h =
+        Sched.Zobrist.combine
+          (Sched.Zobrist.combine (Sched.Zobrist.value_hash seed) phash)
+          (Sched.Zobrist.value_hash crashes);
+    }
+
+let plan_cache_key c =
+  K_plan { c; h = Sched.Zobrist.combine 1 (Faults.compiled_hash c) }
+
+module Cache_tbl = Hashtbl.Make (struct
+  type t = cache_key
+
+  let equal a b =
+    match (a, b) with
+    | K_fresh a, K_fresh b ->
+        a.h = b.h && a.seed = b.seed && a.crashes = b.crashes
+        && a.profile = b.profile
+    | K_plan a, K_plan b -> a.h = b.h && Faults.compiled_equal a.c b.c
+    | K_fresh _, K_plan _ | K_plan _, K_fresh _ -> false
+
+  let hash = function K_fresh { h; _ } -> h | K_plan { h; _ } -> h
+end)
+
+(* Cached entries are whole outcomes: a hit folds into coverage, triage
+   and the corpus exactly as the execution it stands in for would have,
+   so memoization cannot change a report — only skip re-simulation.
+   Bounded so a long budget fleet cannot grow the table without limit;
+   once full, new results simply stop being memoized. *)
+let cache_cap = 1 lsl 16
+
+(* ------------------------------------------------------------------ *)
 (* Corpus                                                              *)
 
 type entry = { id : int; origin : string; plan : Faults.plan }
@@ -308,16 +366,26 @@ let load_corpus dir =
 (* Oldest first, newest at [size - 1] — matching the JSONL on disk. A
    growable array, not a list: generation planning picks parents by
    index, and a 60 s fleet grows the corpus to tens of thousands of
-   plans. *)
+   plans. In-memory entries carry the plan as a lazy action array: an
+   entry born from an executed run is only materialized (decompiled from
+   the opcode form) when it is picked as a mutation parent — or eagerly,
+   when a corpus directory needs its JSONL line. Most interesting runs
+   are never picked, so an in-memory fleet skips most decompilations. *)
+type centry = {
+  cid : int;
+  corigin : string;
+  cplan : Faults.action array Lazy.t;
+}
+
 type corpus = {
   dir : string option;
-  mutable arr : entry array;
+  mutable arr : centry array;
   mutable size : int;
   mutable next_id : int;
   mutable added : int;  (** entries appended by this campaign *)
 }
 
-let dummy_entry = { id = -1; origin = ""; plan = [] }
+let dummy_entry = { cid = -1; corigin = ""; cplan = Lazy.from_val [||] }
 
 let corpus_open dir =
   match dir with
@@ -326,18 +394,28 @@ let corpus_open dir =
       if not (Sys.file_exists d) then Sys.mkdir d 0o755;
       Result.map
         (fun loaded ->
-          let arr = Array.of_list loaded in
+          let arr =
+            Array.of_list
+              (List.map
+                 (fun e ->
+                   {
+                     cid = e.id;
+                     corigin = e.origin;
+                     cplan = Lazy.from_val (Array.of_list e.plan);
+                   })
+                 loaded)
+          in
           {
             dir;
             arr;
             size = Array.length arr;
-            next_id = Array.fold_left (fun m e -> max m (e.id + 1)) 0 arr;
+            next_id = Array.fold_left (fun m e -> max m (e.cid + 1)) 0 arr;
             added = 0;
           })
         (load_corpus d)
 
-let corpus_add corpus ~origin plan =
-  let e = { id = corpus.next_id; origin; plan } in
+let corpus_add corpus ~origin cplan =
+  let e = { cid = corpus.next_id; corigin = origin; cplan } in
   corpus.next_id <- corpus.next_id + 1;
   if corpus.size = Array.length corpus.arr then begin
     let grown =
@@ -354,7 +432,14 @@ let corpus_add corpus ~origin plan =
   | None -> ()
   | Some d ->
       let oc = open_out_gen [ Open_append; Open_creat ] 0o644 (corpus_file d) in
-      output_string oc (Obs.Json.to_string (entry_to_json e));
+      output_string oc
+        (Obs.Json.to_string
+           (entry_to_json
+              {
+                id = e.cid;
+                origin;
+                plan = Array.to_list (Lazy.force cplan);
+              }));
       output_char oc '\n';
       close_out oc);
   e
@@ -579,11 +664,20 @@ let replay_file file =
 
 type job =
   | Fresh of { seed : int; profile : Faults.profile; crashes : int }
-  | Mutant of { plan : Faults.plan; origin : string }
+  | Mutant of { plan : Faults.action array; origin : string }
 
 let job_origin = function
   | Fresh { seed; _ } -> Printf.sprintf "seed:%d" seed
   | Mutant { origin; _ } -> origin
+
+(* Keying a mutant compiles its plan once; execution then replays the
+   same compiled form ({!Chaos.run_compiled}), so content addressing
+   costs no extra compilation. Mutants draw every operand in [0, n)
+   by construction, so [compile_array] cannot raise here. *)
+let job_key (chaos : Chaos.config) ~phash = function
+  | Fresh { seed; profile; crashes } -> fresh_key ~phash ~seed ~profile ~crashes
+  | Mutant { plan; _ } ->
+      plan_cache_key (Faults.compile_array ~n:chaos.Chaos.n plan)
 
 (* Swarm diversity: each generation runs under a random feature mix —
    every fault knob of the profile independently toggled and scaled, the
@@ -613,6 +707,8 @@ type report = {
   corpus_added : int;
   signals : int;
   mutant_signals : int;
+  cache_lookups : int;
+  cache_hits : int;
   distinct_terminals : int;
   hop_mask : int;
   verdict_mask : int;
@@ -627,11 +723,14 @@ type report = {
 let gen_rng seed g =
   Bits.Rng.make (Sched.Zobrist.combine (Sched.Zobrist.combine 0 seed) g)
 
-let exec chaos job =
-  match job with
-  | Fresh { seed; profile; crashes } ->
+let exec chaos (job, key) =
+  match (job, key) with
+  | Fresh { seed; profile; crashes }, _ ->
       Chaos.run_random ~seed { chaos with Chaos.profile; crashes }
-  | Mutant { plan; _ } -> Chaos.run_plan chaos plan
+  | Mutant _, K_plan { c; _ } -> Chaos.run_compiled chaos c
+  | Mutant { plan; _ }, K_fresh _ ->
+      (* unreachable: [job_key] pairs mutants with [K_plan] *)
+      Chaos.run_plan chaos (Array.to_list plan)
 
 let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
     ?corpus_dir ~seed chaos =
@@ -647,6 +746,25 @@ let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
     | Error e -> invalid_arg (Printf.sprintf "Fleet.campaign: %s" e)
   in
   Obs.Metrics.set g_corpus corpus.size;
+  (* The campaign's run cache. Probes and fills happen only on the
+     calling domain — before dispatch for batch jobs, inline for triage
+     replays — so its contents, and hence every hit, are identical at
+     any [jobs] width. *)
+  let cache = Cache_tbl.create 1024 in
+  let cache_lookups = ref 0 in
+  let cache_hits = ref 0 in
+  let cached_run key run =
+    incr cache_lookups;
+    match Cache_tbl.find_opt cache key with
+    | Some o ->
+        incr cache_hits;
+        Obs.Metrics.inc m_cache_hits;
+        o
+    | None ->
+        let o = run () in
+        if Cache_tbl.length cache < cache_cap then Cache_tbl.add cache key o;
+        o
+  in
   let cov = coverage_create () in
   let witnesses = Hashtbl.create 8 in
   let witness_order = ref [] in
@@ -657,6 +775,20 @@ let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
   | Some d ->
       List.iter (fun k -> Hashtbl.replace witnesses k None)
         (load_witness_classes d));
+  (* Re-execute the loaded corpus once, on the calling domain: coverage
+     resumes where the previous campaign over this directory left off
+     (instead of re-discovering — and re-appending — its own entries),
+     and the run cache is pre-filled with every corpus plan's outcome,
+     so mutants that reproduce a corpus entry answer without
+     re-simulation. Fresh campaigns load nothing and skip this. *)
+  for i = 0 to corpus.size - 1 do
+    let e = corpus.arr.(i) in
+    let c = Faults.compile_array ~n:chaos.Chaos.n (Lazy.force e.cplan) in
+    let o =
+      cached_run (plan_cache_key c) (fun () -> Chaos.run_compiled chaos c)
+    in
+    ignore (coverage_observe cov (signature_of o) : bool)
+  done;
   Obs.Span.begin_ ~cat:"fleet"
     ~args:
       [
@@ -697,10 +829,39 @@ let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
               (Obs.Json.to_string (witness_to_json ~seed ~config:chaos w));
             output_char oc '\n')
   in
+  (* Violations are pre-classed by the *original* verdict: digit
+     scrubbing makes the class a template of the failure shape, so a
+     duplicate run of an already-witnessed class is recognizable before
+     any ddmin replay. In a violation-dense campaign (the frontier finds
+     the same stale read dozens of times) shrinking every duplicate is
+     the dominant cost of the whole fleet; skipping it is what the
+     throughput gate in scripts/bench_gate.py measures. A duplicate
+     still re-enters the shrinker when its own run is already strictly
+     smaller than the kept witness — ddmin only deletes actions, so only
+     then can re-shrinking improve the published plan. *)
   let triage ~g ~origin (o : Chaos.outcome) =
-    let shrunk, shrink_tests = Chaos.shrink chaos o.Chaos.plan in
-    (* The shrunk replay's verdict names the class. *)
-    let replay = Chaos.run_plan chaos shrunk in
+    let skip_shrink =
+      match o.Chaos.verdict with
+      | L.Linearizable _ -> false
+      | L.Nonlinearizable { reg; reason } -> (
+          match Hashtbl.find_opt witnesses (violation_class ~reg ~reason) with
+          | Some (Some w) when o.Chaos.deliveries >= w.deliveries ->
+              w.duplicates <- w.duplicates + 1;
+              true
+          | Some None -> true
+          | Some (Some _) | None -> false)
+    in
+    if skip_shrink then ()
+    else begin
+    let shrunk, shrink_tests = Chaos.shrink chaos (Faults.decompile o.Chaos.plan) in
+    (* The shrunk replay's verdict names the class. Shrinking itself
+       stays uncached — its replay counts are part of the published
+       reports — but duplicate violating runs ddmin onto the same
+       1-minimal plan, and the confirmation replay hits. *)
+    let replay =
+      let c = Faults.compile ~n:chaos.Chaos.n shrunk in
+      cached_run (plan_cache_key c) (fun () -> Chaos.run_compiled chaos c)
+    in
     let reg, reason =
       match replay.Chaos.verdict with
       | L.Nonlinearizable { reg; reason } -> (reg, reason)
@@ -756,8 +917,10 @@ let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
         (* The shrunk witness joins the corpus: its mutants probe the
            boundary of the violation class. *)
         ignore
-          (corpus_add corpus ~origin:(Printf.sprintf "witness:%016x" key)
-             shrunk)
+          (corpus_add corpus
+             ~origin:(Printf.sprintf "witness:%016x" key)
+             (Lazy.from_val (Array.of_list shrunk)))
+    end
   in
   let run_generation g =
     let rng = gen_rng seed g in
@@ -775,24 +938,71 @@ let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
               let other = corpus_pick rng corpus in
               Mutant
                 {
-                  plan = crossover rng parent.plan other.plan;
-                  origin = Printf.sprintf "xover:%d+%d@g%d" parent.id other.id g;
+                  plan =
+                    crossover_arr rng (Lazy.force parent.cplan)
+                      (Lazy.force other.cplan);
+                  origin =
+                    Printf.sprintf "xover:%d+%d@g%d" parent.cid other.cid g;
                 }
             end
             else
               Mutant
                 {
                   plan =
-                    mutate rng ~n:chaos.Chaos.n
+                    mutate_arr rng ~n:chaos.Chaos.n
                       ~churn:(chaos.Chaos.membership <> None)
-                      parent.plan;
-                  origin = Printf.sprintf "mut:%d@g%d" parent.id g;
+                      (Lazy.force parent.cplan);
+                  origin = Printf.sprintf "mut:%d@g%d" parent.cid g;
                 }
           end)
     in
+    (* Content-addressed dispatch: probe every job's key on the calling
+       domain, collapse within-batch duplicates, and hand the pool only
+       the misses. Results are filled back in batch order, so campaign
+       state after a generation is identical at any [jobs] width. *)
+    let phash = Sched.Zobrist.value_hash profile in
+    let keys = Array.map (job_key chaos ~phash) jobs_arr in
+    let slot = Array.make batch (-1) in
+    let fresh_jobs = ref [] in
+    let fresh_count = ref 0 in
+    let seen = Cache_tbl.create 32 in
+    Array.iteri
+      (fun i k ->
+        incr cache_lookups;
+        if Cache_tbl.mem cache k then begin
+          incr cache_hits;
+          Obs.Metrics.inc m_cache_hits
+        end
+        else
+          match Cache_tbl.find_opt seen k with
+          | Some j ->
+              incr cache_hits;
+              Obs.Metrics.inc m_cache_hits;
+              slot.(i) <- j
+          | None ->
+              Cache_tbl.add seen k !fresh_count;
+              slot.(i) <- !fresh_count;
+              incr fresh_count;
+              fresh_jobs := (jobs_arr.(i), k) :: !fresh_jobs)
+      keys;
+    let units = Array.of_list (List.rev !fresh_jobs) in
+    let fresh =
+      if Array.length units = 0 then [||]
+      else if jobs <= 1 then Array.map (exec chaos) units
+      else Sched.Par.run_units ~jobs ~units (exec chaos)
+    in
+    Array.iteri
+      (fun i k ->
+        if
+          slot.(i) >= 0
+          && (not (Cache_tbl.mem cache k))
+          && Cache_tbl.length cache < cache_cap
+        then Cache_tbl.add cache k fresh.(slot.(i)))
+      keys;
     let outcomes =
-      if jobs <= 1 then Array.map (exec chaos) jobs_arr
-      else Sched.Par.run_units ~jobs ~units:jobs_arr (exec chaos)
+      Array.init batch (fun i ->
+          if slot.(i) >= 0 then fresh.(slot.(i))
+          else Cache_tbl.find cache keys.(i))
     in
     let gen_signals = ref 0 in
     Array.iteri
@@ -828,7 +1038,11 @@ let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
           (* The *executed* plan joins the corpus: for mutants that is
              the effective action sequence (no-ops already dropped), so
              corpus plans stay tight and replayable. *)
-          ignore (corpus_add corpus ~origin:(job_origin jobs_arr.(i)) o.Chaos.plan)
+          let cplan = o.Chaos.plan in
+          ignore
+            (corpus_add corpus
+               ~origin:(job_origin jobs_arr.(i))
+               (lazy (Faults.decompile_array cplan)));
         end;
         if Chaos.failed o then begin
           incr violations;
@@ -924,6 +1138,8 @@ let campaign ?budget ?generations ?(jobs = 1) ?(batch = 16) ?(swarm = true)
     corpus_added = corpus.added;
     signals = !signals;
     mutant_signals = !mutant_signals;
+    cache_lookups = !cache_lookups;
+    cache_hits = !cache_hits;
     distinct_terminals = Hashtbl.length cov.terminals;
     hop_mask = cov.hops;
     verdict_mask = cov.verdicts;
@@ -950,11 +1166,12 @@ let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>fleet seed %d: %d generation(s), %d runs, %d violating run(s)%s@ \
      coverage: %d distinct terminal states, hop-mask %#x, verdict-mask %#x, \
-     depth<=2^%d@ corpus: %d plan(s) (%d added)@ witnesses: %d class(es)"
+     depth<=2^%d@ corpus: %d plan(s) (%d added)@ cache: %d hit(s) over %d \
+     lookup(s)@ witnesses: %d class(es)"
     r.seed r.generations r.runs r.violations
     (if r.degraded then " (budget: stopped early)" else "")
     r.distinct_terminals r.hop_mask r.verdict_mask r.max_depth_bucket
-    r.corpus_size r.corpus_added
+    r.corpus_size r.corpus_added r.cache_hits r.cache_lookups
     (List.length r.witnesses);
   List.iter
     (fun w -> Format.fprintf ppf "@   @[<hov>%a@]" pp_witness w)

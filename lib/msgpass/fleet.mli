@@ -93,9 +93,13 @@ type witness = {
   reg : int;
   file : string option;  (** [witness-<class>.json], when a corpus dir is set *)
   mutable plan : Faults.plan;
-      (** the smallest shrunk plan seen for this class — a same-class find
-          with fewer deliveries replaces the plan (and republishes the
-          witness file), so the witness only ever improves *)
+      (** the smallest shrunk plan seen for this class. Duplicate runs of
+          an already-witnessed class — recognized by classing the
+          original verdict, before any shrinking — skip ddmin entirely
+          unless the run itself has strictly fewer deliveries than this
+          plan; a re-shrunk strictly-smaller find replaces the plan (and
+          republishes the witness file), so the witness only ever
+          improves *)
   mutable plan_key : int;
   mutable deliveries : int;
   mutable events : int;
@@ -135,6 +139,18 @@ type report = {
   corpus_added : int;  (** entries this campaign appended *)
   signals : int;  (** runs that moved some coverage signal *)
   mutant_signals : int;  (** ... of which were mutants or crossovers *)
+  cache_lookups : int;
+      (** run-cache probes: one per batch job, one per corpus entry
+          re-executed when resuming over a directory, and one per
+          triage's shrunk-plan confirmation replay *)
+  cache_hits : int;
+      (** probes answered without re-simulation. The campaign keeps a
+          content-addressed cache — fresh jobs keyed by (seed, rolled
+          profile, crash budget), scripted jobs by
+          {!Faults.compiled_hash} of their compiled plan — so duplicate
+          mutants, recurring shrunk plans and colliding fresh seeds cost
+          O(1). Probes and fills happen on the calling domain only,
+          keeping reports byte-identical at any [jobs] width. *)
   distinct_terminals : int;
   hop_mask : int;  (** union over all runs *)
   verdict_mask : int;

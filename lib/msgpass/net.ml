@@ -31,64 +31,172 @@ type 'm node = {
   on_leave : unit -> (int * 'm) list;
 }
 
-(* Each queued message carries the delivery-clock stamp of its enqueue.
-   Membership is three booleans per slot: [present] (entered and not yet
-   departed), [left] (departed gracefully — unlike a crash, a leave runs
-   the node's [on_leave] farewell first), and [alive] (not crashed). A
-   slot that never entered is simply not yet present; its [on_start]
-   runs at entry instead of at creation. *)
-type 'm t = {
-  size : int;
-  nodes : 'm node array;
-  channels : (int * 'm) Queue.t array array;  (** [channels.(src).(dst)] *)
-  alive : bool array;
-  present : bool array;
-  left : bool array;
-  mutable delivered : int;
-  mutable hop_mask : int;  (** bit [b] set: some delivery hit bucket [b] *)
+type 'm push = {
+  p_start : unit -> unit;
+  p_message : from:int -> 'm -> unit;
+  p_leave : unit -> unit;
 }
 
-let enqueue t ~src sends =
-  if t.alive.(src) && t.present.(src) then
-    List.iter
-      (fun (dst, m) ->
-        if dst < 0 || dst >= t.size then
-          invalid_arg "Net: destination out of range";
-        Obs.Metrics.inc m_sends;
-        Queue.add (t.delivered, m) t.channels.(src).(dst))
-      sends
+(* The arena layout. Channel [src -> dst] is the flat index
+   [src * n + dst] into four parallel arrays: a ring of enqueue stamps
+   (preallocated ints), a ring of payloads (created lazily on the
+   channel's first send, because ['m] has no manufactured default:
+   the first message itself becomes the fill value, and stale slots
+   past [len] are simply never read), and the ring's head index and
+   length. Rings grow by doubling — capacities stay powers of two so
+   wraparound is a mask — and once grown stay grown, which is what the
+   chaos pool banks on: after the first run of a pooled fleet the
+   send/deliver path allocates nothing.
 
-let create ?(present = fun _ -> true) ~n ~nodes () =
+   Membership is three flat bitsets ([n <= 61] so a set is one
+   immediate int): [alive] (not crashed), [present] (entered, not yet
+   departed), [left] (departed gracefully). The per-event deliverable
+   scan is a walk over [q_len] against [alive land present] — no list
+   is ever built; [deliverable_into] writes channel codes into the
+   preallocated [scratch] buffer in lexicographic order, exactly the
+   order the old persistent implementation enumerated. *)
+type 'm t = {
+  size : int;
+  pushes : 'm push array;
+  q_stamp : int array array;  (** per channel: ring of enqueue stamps *)
+  q_msg : 'm array array;  (** per channel: ring of payloads; [] until first send *)
+  q_head : int array;
+  q_len : int array;
+  mutable alive : int;  (** bitset: not crashed *)
+  mutable present : int;  (** bitset: entered and not departed *)
+  mutable left : int;  (** bitset: departed gracefully *)
+  mutable delivered : int;
+  mutable hop_mask : int;  (** bit [b] set: some delivery hit bucket [b] *)
+  scratch : int array;  (** [deliverable_into] buffer, length n*n *)
+}
+
+let initial_cap = 8
+let bit pid = 1 lsl pid
+let has m pid = m land (1 lsl pid) <> 0
+
+let grow t ch =
+  let old_s = t.q_stamp.(ch) in
+  let cap = Array.length old_s in
+  let head = t.q_head.(ch) and len = t.q_len.(ch) in
+  let ns = Array.make (2 * cap) 0 in
+  for i = 0 to len - 1 do
+    ns.(i) <- old_s.((head + i) land (cap - 1))
+  done;
+  t.q_stamp.(ch) <- ns;
+  let old_m = t.q_msg.(ch) in
+  if Array.length old_m > 0 then begin
+    let nm = Array.make (2 * cap) old_m.(0) in
+    for i = 0 to len - 1 do
+      nm.(i) <- old_m.((head + i) land (cap - 1))
+    done;
+    t.q_msg.(ch) <- nm
+  end;
+  t.q_head.(ch) <- 0
+
+let ring_push t ch stamp m =
+  if t.q_len.(ch) = Array.length t.q_stamp.(ch) then grow t ch;
+  let cap = Array.length t.q_stamp.(ch) in
+  if Array.length t.q_msg.(ch) = 0 then t.q_msg.(ch) <- Array.make cap m;
+  let tail = (t.q_head.(ch) + t.q_len.(ch)) land (cap - 1) in
+  t.q_stamp.(ch).(tail) <- stamp;
+  t.q_msg.(ch).(tail) <- m;
+  t.q_len.(ch) <- t.q_len.(ch) + 1
+
+(* A node's own sends, while it is alive and present. Mirrors the old
+   [enqueue]: messages from a crashed or absent source vanish silently,
+   out-of-range destinations raise. *)
+let do_send t src dst m =
+  if has t.alive src && has t.present src then begin
+    if dst < 0 || dst >= t.size then invalid_arg "Net: destination out of range";
+    if !Obs.Metrics.hot then Obs.Metrics.inc m_sends;
+    ring_push t ((src * t.size) + dst) t.delivered m
+  end
+
+let create_push ?(present = fun _ -> true) ~n ~nodes () =
+  if n <= 0 then invalid_arg "Net: n must be positive";
+  if n > 61 then invalid_arg "Net: at most 61 slots (membership bitsets)";
+  let dummy =
+    { p_start = ignore; p_message = (fun ~from:_ _ -> ()); p_leave = ignore }
+  in
+  let present_mask = ref 0 in
+  for pid = 0 to n - 1 do
+    if present pid then present_mask := !present_mask lor bit pid
+  done;
   let t =
     {
       size = n;
-      nodes = Array.init n nodes;
-      channels = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
-      alive = Array.make n true;
-      present = Array.init n present;
-      left = Array.make n false;
+      pushes = Array.make n dummy;
+      q_stamp = Array.init (n * n) (fun _ -> Array.make initial_cap 0);
+      q_msg = Array.make (n * n) [||];
+      q_head = Array.make (n * n) 0;
+      q_len = Array.make (n * n) 0;
+      alive = (1 lsl n) - 1;
+      present = !present_mask;
+      left = 0;
       delivered = 0;
       hop_mask = 0;
+      scratch = Array.make (n * n) 0;
     }
   in
   for pid = 0 to n - 1 do
-    if t.present.(pid) then enqueue t ~src:pid (t.nodes.(pid).on_start ())
+    t.pushes.(pid) <- nodes ~send:(fun ~dst m -> do_send t pid dst m) pid
+  done;
+  for pid = 0 to n - 1 do
+    if has t.present pid then t.pushes.(pid).p_start ()
   done;
   t
 
+let create ?present ~n ~nodes () =
+  create_push ?present ~n
+    ~nodes:(fun ~send me ->
+      let node = nodes me in
+      let out sends = List.iter (fun (dst, m) -> send ~dst m) sends in
+      {
+        p_start = (fun () -> out (node.on_start ()));
+        p_message = (fun ~from m -> out (node.on_message ~from m));
+        p_leave = (fun () -> out (node.on_leave ()));
+      })
+    ()
+
+let reset ?(present = fun _ -> true) t =
+  let n = t.size in
+  Array.fill t.q_head 0 (n * n) 0;
+  Array.fill t.q_len 0 (n * n) 0;
+  t.alive <- (1 lsl n) - 1;
+  t.left <- 0;
+  t.delivered <- 0;
+  t.hop_mask <- 0;
+  let present_mask = ref 0 in
+  for pid = 0 to n - 1 do
+    if present pid then present_mask := !present_mask lor bit pid
+  done;
+  t.present <- !present_mask;
+  for pid = 0 to n - 1 do
+    if has t.present pid then t.pushes.(pid).p_start ()
+  done
+
 let n t = t.size
 
-let deliverable t =
-  let acc = ref [] in
-  for src = t.size - 1 downto 0 do
-    for dst = t.size - 1 downto 0 do
-      if
-        t.alive.(dst) && t.present.(dst)
-        && not (Queue.is_empty t.channels.(src).(dst))
-      then acc := (src, dst) :: !acc
+let deliverable_into t buf =
+  let n = t.size in
+  let live = t.alive land t.present in
+  let k = ref 0 in
+  for src = 0 to n - 1 do
+    let row = src * n in
+    for dst = 0 to n - 1 do
+      if t.q_len.(row + dst) > 0 && has live dst then begin
+        buf.(!k) <- row + dst;
+        incr k
+      end
     done
   done;
-  !acc
+  !k
+
+let deliverable t =
+  let k = deliverable_into t t.scratch in
+  List.init k (fun i ->
+      let ch = t.scratch.(i) in
+      (ch / t.size, ch mod t.size))
 
 let check_channel t ~src ~dst =
   if src < 0 || src >= t.size || dst < 0 || dst >= t.size then
@@ -96,7 +204,7 @@ let check_channel t ~src ~dst =
 
 let pending t ~src ~dst =
   check_channel t ~src ~dst;
-  Queue.length t.channels.(src).(dst)
+  t.q_len.((src * t.size) + dst)
 
 (* Fault instants land on the destination's track; the source rides as
    an argument, mirroring [deliver]. *)
@@ -104,83 +212,102 @@ let channel_args ~src = [ ("src", Obs.Json.Int src) ]
 
 let deliver t ~src ~dst =
   check_channel t ~src ~dst;
-  if
-    (not t.alive.(dst)) || (not t.present.(dst))
-    || Queue.is_empty t.channels.(src).(dst)
+  let ch = (src * t.size) + dst in
+  if (not (has t.alive dst)) || (not (has t.present dst)) || t.q_len.(ch) = 0
   then false
   else begin
-    let stamp, m = Queue.pop t.channels.(src).(dst) in
+    let head = t.q_head.(ch) in
+    let cap = Array.length t.q_stamp.(ch) in
+    let stamp = t.q_stamp.(ch).(head) in
+    let m = t.q_msg.(ch).(head) in
+    t.q_head.(ch) <- (head + 1) land (cap - 1);
+    t.q_len.(ch) <- t.q_len.(ch) - 1;
     let hops = t.delivered - stamp in
     t.delivered <- t.delivered + 1;
     t.hop_mask <- t.hop_mask lor (1 lsl hop_bucket hops);
-    Obs.Metrics.inc m_deliveries;
-    Obs.Metrics.observe h_hop_latency hops;
+    if !Obs.Metrics.hot then begin
+      Obs.Metrics.inc m_deliveries;
+      Obs.Metrics.observe h_hop_latency hops
+    end;
     if Obs.Sink.enabled () then
       Obs.Span.instant ~cat:"net" ~track:dst
         ~args:[ ("src", Obs.Json.Int src); ("hops", Obs.Json.Int hops) ]
         "deliver";
-    enqueue t ~src:dst (t.nodes.(dst).on_message ~from:src m);
+    t.pushes.(dst).p_message ~from:src m;
     true
   end
 
 let deliver_random rng t =
-  match deliverable t with
-  | [] -> false
-  | channels ->
-      let src, dst = Bits.Rng.pick rng channels in
-      deliver t ~src ~dst
+  let k = deliverable_into t t.scratch in
+  if k = 0 then false
+  else begin
+    let ch = t.scratch.(Bits.Rng.int rng k) in
+    deliver t ~src:(ch / t.size) ~dst:(ch mod t.size)
+  end
 
 let drop t ~src ~dst =
   check_channel t ~src ~dst;
-  if Queue.is_empty t.channels.(src).(dst) then false
+  let ch = (src * t.size) + dst in
+  if t.q_len.(ch) = 0 then false
   else begin
-    ignore (Queue.pop t.channels.(src).(dst));
-    Obs.Metrics.inc m_drops;
+    let cap = Array.length t.q_stamp.(ch) in
+    t.q_head.(ch) <- (t.q_head.(ch) + 1) land (cap - 1);
+    t.q_len.(ch) <- t.q_len.(ch) - 1;
+    if !Obs.Metrics.hot then Obs.Metrics.inc m_drops;
     if Obs.Sink.enabled () then
-      Obs.Span.instant ~cat:"net" ~track:dst ~args:(channel_args ~src)
-        "drop";
+      Obs.Span.instant ~cat:"net" ~track:dst ~args:(channel_args ~src) "drop";
     true
   end
 
 let duplicate t ~src ~dst =
   check_channel t ~src ~dst;
-  match Queue.peek_opt t.channels.(src).(dst) with
-  | None -> false
-  | Some stamped ->
-      (* The copy keeps the original's stamp: its eventual delivery
-         reports the age of the data, not of the duplication. *)
-      Queue.add stamped t.channels.(src).(dst);
-      Obs.Metrics.inc m_duplicates;
-      if Obs.Sink.enabled () then
-        Obs.Span.instant ~cat:"net" ~track:dst ~args:(channel_args ~src)
-          "duplicate";
-      true
+  let ch = (src * t.size) + dst in
+  if t.q_len.(ch) = 0 then false
+  else begin
+    (* The copy keeps the original's stamp: its eventual delivery
+       reports the age of the data, not of the duplication. *)
+    let head = t.q_head.(ch) in
+    ring_push t ch t.q_stamp.(ch).(head) t.q_msg.(ch).(head);
+    if !Obs.Metrics.hot then Obs.Metrics.inc m_duplicates;
+    if Obs.Sink.enabled () then
+      Obs.Span.instant ~cat:"net" ~track:dst ~args:(channel_args ~src)
+        "duplicate";
+    true
+  end
 
 let defer t ~src ~dst =
   check_channel t ~src ~dst;
-  let q = t.channels.(src).(dst) in
-  if Queue.length q < 2 then false
+  let ch = (src * t.size) + dst in
+  if t.q_len.(ch) < 2 then false
   else begin
-    Queue.add (Queue.pop q) q;
-    Obs.Metrics.inc m_defers;
+    let head = t.q_head.(ch) in
+    let cap = Array.length t.q_stamp.(ch) in
+    let stamp = t.q_stamp.(ch).(head) in
+    let m = t.q_msg.(ch).(head) in
+    t.q_head.(ch) <- (head + 1) land (cap - 1);
+    t.q_len.(ch) <- t.q_len.(ch) - 1;
+    ring_push t ch stamp m;
+    if !Obs.Metrics.hot then Obs.Metrics.inc m_defers;
     if Obs.Sink.enabled () then
-      Obs.Span.instant ~cat:"net" ~track:dst ~args:(channel_args ~src)
-        "defer";
+      Obs.Span.instant ~cat:"net" ~track:dst ~args:(channel_args ~src) "defer";
     true
   end
 
 let crash t pid =
-  if t.alive.(pid) then begin
-    Obs.Metrics.inc m_crashes;
+  if pid < 0 || pid >= t.size then invalid_arg "Net: pid out of range";
+  if has t.alive pid then begin
+    if !Obs.Metrics.hot then Obs.Metrics.inc m_crashes;
     if Obs.Sink.enabled () then
       Obs.Span.instant ~cat:"net" ~track:pid "node-crash"
   end;
-  t.alive.(pid) <- false
+  t.alive <- t.alive land lnot (bit pid)
 
-let alive t pid = t.alive.(pid)
+let alive t pid =
+  if pid < 0 || pid >= t.size then invalid_arg "Net: pid out of range";
+  has t.alive pid
 
 let crashed t =
-  List.init t.size (fun i -> i) |> List.filter (fun i -> not t.alive.(i))
+  List.init t.size (fun i -> i) |> List.filter (fun i -> not (has t.alive i))
 
 (* {2 Dynamic membership}
 
@@ -191,28 +318,33 @@ let crashed t =
    the slot stops delivering. Both are idempotent no-ops ([false]) when
    ineffective, so fault replay can skip them freely. A departed slot
    never re-enters — fresh arrivals are fresh slots, as in the
-   dynamic-membership model (ACEKW). *)
+   dynamic-membership model (ACEKW).
+
+   The enter/leave counters tick unconditionally (not behind
+   [Metrics.hot]): the fleet's health instants report churn activity as
+   campaign-relative deltas of these counters, and they fire a handful
+   of times per run, not per delivery. *)
 
 let enter t pid =
   if pid < 0 || pid >= t.size then invalid_arg "Net: pid out of range";
-  if t.present.(pid) || t.left.(pid) || not t.alive.(pid) then false
+  if has t.present pid || has t.left pid || not (has t.alive pid) then false
   else begin
-    t.present.(pid) <- true;
+    t.present <- t.present lor bit pid;
     Obs.Metrics.inc m_enters;
     if Obs.Sink.enabled () then
       Obs.Span.instant ~cat:"membership" ~track:pid "node-enter";
-    enqueue t ~src:pid (t.nodes.(pid).on_start ());
+    t.pushes.(pid).p_start ();
     true
   end
 
 let leave t pid =
   if pid < 0 || pid >= t.size then invalid_arg "Net: pid out of range";
-  if (not t.present.(pid)) || not t.alive.(pid) then false
+  if (not (has t.present pid)) || not (has t.alive pid) then false
   else begin
     (* Farewell first: the process may still send while departing. *)
-    enqueue t ~src:pid (t.nodes.(pid).on_leave ());
-    t.present.(pid) <- false;
-    t.left.(pid) <- true;
+    t.pushes.(pid).p_leave ();
+    t.present <- t.present land lnot (bit pid);
+    t.left <- t.left lor bit pid;
     Obs.Metrics.inc m_leaves;
     if Obs.Sink.enabled () then
       Obs.Span.instant ~cat:"membership" ~track:pid "node-leave";
@@ -221,12 +353,12 @@ let leave t pid =
 
 let is_present t pid =
   if pid < 0 || pid >= t.size then invalid_arg "Net: pid out of range";
-  t.present.(pid)
+  has t.present pid
 
 let departed t =
-  List.init t.size (fun i -> i) |> List.filter (fun i -> t.left.(i))
+  List.init t.size (fun i -> i) |> List.filter (fun i -> has t.left i)
 
-let quiescent t = deliverable t = []
+let quiescent t = deliverable_into t t.scratch = 0
 let deliveries t = t.delivered
 let hop_mask t = t.hop_mask
 

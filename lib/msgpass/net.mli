@@ -17,6 +17,17 @@ type 'm node = {
           {!leave}; never called on {!crash} *)
 }
 
+(** Push-mode node: instead of returning a sends list (allocated per
+    handler call), the handler pushes each outgoing message directly into
+    the network through the [send] closure it was built over. The hot
+    protocol implementations (the packed ABD fleet) use this form; list
+    nodes are wrapped into it by {!create}. *)
+type 'm push = {
+  p_start : unit -> unit;
+  p_message : from:int -> 'm -> unit;
+  p_leave : unit -> unit;
+}
+
 type 'm t
 
 val create : ?present:(int -> bool) -> n:int -> nodes:(int -> 'm node) -> unit -> 'm t
@@ -24,6 +35,29 @@ val create : ?present:(int -> bool) -> n:int -> nodes:(int -> 'm node) -> unit -
     where [present pid] holds (default: all). Slots that start absent are
     future joiners: their [on_start] runs when {!enter} brings them in.
     Processes may send to themselves. *)
+
+val create_push :
+  ?present:(int -> bool) ->
+  n:int ->
+  nodes:(send:(dst:int -> 'm -> unit) -> int -> 'm push) ->
+  unit ->
+  'm t
+(** Like {!create} for push-mode nodes. Each node is built over a [send]
+    closure bound to its own pid; sends from a crashed or departed source
+    vanish silently (matching the list-node semantics), and out-of-range
+    destinations raise [Invalid_argument].
+    @raise Invalid_argument if [n] is not in [1..61] (membership is kept
+    in single-word bitsets). *)
+
+val reset : ?present:(int -> bool) -> 'm t -> unit
+(** Return a network to its post-{!create} state without reallocating:
+    clears every channel, revives all slots, resets membership to
+    [present] (default: all), zeroes the delivery counter and hop mask,
+    and re-runs [on_start]/[p_start] for present slots in pid order. The
+    node callbacks themselves are retained — callers pooling a network
+    must reset their protocol state before calling this. Channel rings
+    keep their grown capacity, which is the point: a pooled network stops
+    allocating once its rings have seen their high-water mark. *)
 
 val n : 'm t -> int
 
@@ -43,6 +77,15 @@ val deliver : 'm t -> src:int -> dst:int -> bool
 val deliverable : 'm t -> (int * int) list
 (** Channels [(src, dst)] with queued messages and a live destination,
     lexicographic. *)
+
+val deliverable_into : 'm t -> int array -> int
+(** Allocation-free {!deliverable}: writes the flat channel codes
+    [src * n + dst] of deliverable channels into the buffer in
+    lexicographic order and returns how many were written. The buffer
+    must have length at least [n * n]. Picking index [Rng.int rng count]
+    of the filled prefix draws the same channel the historical
+    [Rng.pick rng (deliverable t)] drew, with the same single RNG step —
+    the fault layer's replay streams depend on this. *)
 
 val pending : 'm t -> src:int -> dst:int -> int
 (** Messages queued on channel [src → dst].

@@ -1,0 +1,41 @@
+(** The persistent reference network — the pre-arena [Net] implementation
+    (Queue-backed channels, bool-array membership), retained as a
+    differential oracle for the arena rebuild. Untelemetered: it ticks no
+    metric counters and emits no trace instants, so driving it alongside
+    the production [Net] in a test perturbs nothing observable.
+
+    The interface mirrors {!Net}'s persistent core exactly; see that
+    module for the semantics of each operation. *)
+
+type 'm node = {
+  on_start : unit -> (int * 'm) list;
+  on_message : from:int -> 'm -> (int * 'm) list;
+  on_leave : unit -> (int * 'm) list;
+}
+
+type 'm t
+
+val create :
+  ?present:(int -> bool) -> n:int -> nodes:(int -> 'm node) -> unit -> 'm t
+
+val n : 'm t -> int
+val deliver_random : Bits.Rng.t -> 'm t -> bool
+val deliver : 'm t -> src:int -> dst:int -> bool
+val deliverable : 'm t -> (int * int) list
+val pending : 'm t -> src:int -> dst:int -> int
+val drop : 'm t -> src:int -> dst:int -> bool
+val duplicate : 'm t -> src:int -> dst:int -> bool
+val defer : 'm t -> src:int -> dst:int -> bool
+val crash : 'm t -> int -> unit
+val alive : 'm t -> int -> bool
+val crashed : 'm t -> int list
+val enter : 'm t -> int -> bool
+val leave : 'm t -> int -> bool
+val is_present : 'm t -> int -> bool
+val departed : 'm t -> int list
+val quiescent : 'm t -> bool
+val deliveries : 'm t -> int
+val hop_mask : 'm t -> int
+
+val run_random :
+  rng:Bits.Rng.t -> ?max_events:int -> ?until:(unit -> bool) -> 'm t -> unit

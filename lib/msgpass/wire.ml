@@ -149,3 +149,7 @@ let envelope_codec m =
             }
         | _ -> invalid_arg "Wire.envelope_codec");
   }
+
+(* The fixed-width companion of the string codecs above: ABD messages
+   bit-packed into immediate ints for the allocation-free fast path. *)
+module Pack = Pack

@@ -132,6 +132,25 @@ let prop_check_vs_naive =
       is_lin (check evs)
       = L.check_naive ~init:(fun _ -> 0) ~equal:Int.equal evs)
 
+(* Differential at scale: the iterative fast path must also agree with the
+   exhaustive oracle on real recorded histories — sound runs with crash
+   injections, frontier runs (many nonlinearizable), and churn runs whose
+   departures and joiner scripts leave operations pending. These exercise
+   the flat-array encoding, the res-sorted minimality index and the trail
+   undo on exactly the event shapes chaos campaigns produce. *)
+let prop_fast_vs_naive_chaos =
+  QCheck.Test.make
+    ~name:"fast checker agrees with naive oracle on chaos histories"
+    ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      List.for_all
+        (fun config ->
+          let o = C.run_random ~seed config in
+          is_lin o.C.verdict
+          = L.check_naive ~init:(fun _ -> 0) ~equal:Int.equal o.C.history)
+        [ C.sound (); C.frontier (); C.churn (); C.churn_frontier () ])
+
 let test_ddmin () =
   let contains x xs = List.mem x xs in
   Alcotest.(check (list int))
@@ -219,7 +238,7 @@ let test_frontier_seed_127 () =
   let config = C.frontier () in
   let o = C.run_random ~seed:127 config in
   Alcotest.(check bool) "seed 127 violates atomicity" true (C.failed o);
-  let shrunk, _replays = C.shrink config o.C.plan in
+  let shrunk, _replays = C.shrink config (Msgpass.Faults.decompile o.C.plan) in
   let deliveries = Msgpass.Faults.deliveries shrunk in
   Alcotest.(check bool)
     (Printf.sprintf "shrunk to <= 20 deliveries (got %d)" deliveries)
@@ -237,7 +256,7 @@ let test_frontier_seed_127 () =
 let test_run_plan_reproduces_run_random () =
   let config = C.sound () in
   let o = C.run_random ~seed:3 config in
-  let replayed = C.run_plan config o.C.plan in
+  let replayed = C.run_plan config (Msgpass.Faults.decompile o.C.plan) in
   Alcotest.(check bool) "same history under plan replay" true
     (replayed.C.history = o.C.history);
   Alcotest.(check int) "same delivery count" o.C.deliveries
@@ -257,6 +276,7 @@ let () =
           Alcotest.test_case "witness legality" `Quick
             test_linearize_witness_legal;
           QCheck_alcotest.to_alcotest prop_check_vs_naive;
+          QCheck_alcotest.to_alcotest prop_fast_vs_naive_chaos;
         ] );
       ( "shrink",
         [

@@ -71,6 +71,61 @@ let prop_wire_roundtrip =
     QCheck.(list_of_size (Gen.int_bound 6) (string_of_size (Gen.int_bound 20)))
     (fun chunks -> Wire.dec (Wire.enc chunks) = chunks)
 
+(* ----- packed ABD messages (Codec.Pack) ----- *)
+
+(* Every field of the bit-packed layout — tag:2 | reg:10 | op:16 | ts:16 |
+   value:18 — must decode to exactly what was encoded, including at the
+   field boundaries (0, 1, max-1, max) where a mask or shift off by one
+   would silently alias neighbouring fields. The boxed Abd.msg roundtrip
+   pins the packed and boxed forms to each other. *)
+let prop_pack_roundtrip_boundary =
+  let module P = Msgpass.Pack in
+  let field max =
+    QCheck.Gen.(
+      oneof [ oneofl [ 0; 1; max - 1; max ]; int_bound max ])
+  in
+  let gen =
+    QCheck.Gen.(
+      int_bound 3 >>= fun tag ->
+      field P.max_reg >>= fun reg ->
+      field P.max_op >>= fun op ->
+      field P.max_ts >>= fun ts ->
+      field P.max_value >>= fun value -> return (tag, reg, op, ts, value))
+  in
+  QCheck.Test.make ~name:"Pack roundtrips every field at boundary widths"
+    ~count:400 (QCheck.make gen)
+    (fun (tag, reg, op, ts, value) ->
+      let module P = Msgpass.Pack in
+      let m =
+        if tag = P.t_write_req then P.write_req ~reg ~ts ~value ~op
+        else if tag = P.t_write_ack then P.write_ack ~reg ~op
+        else if tag = P.t_read_req then P.read_req ~reg ~op
+        else P.read_reply ~reg ~ts ~value ~op
+      in
+      let carries_ts = tag = P.t_write_req || tag = P.t_read_reply in
+      P.tag m = tag && P.reg m = reg && P.op m = op
+      && P.ts m = (if carries_ts then ts else 0)
+      && P.value m = (if carries_ts then value else 0)
+      && P.of_msg (P.to_msg m) = m
+      && m >= 0)
+
+let test_pack_fits_static_boundaries () =
+  let module P = Msgpass.Pack in
+  let fits = P.fits_static in
+  Alcotest.(check bool) "exact bounds fit" true
+    (fits ~registers:(P.max_reg + 1) ~writes:P.max_ts ~max_ops:P.max_op);
+  Alcotest.(check bool) "one register too many" false
+    (fits ~registers:(P.max_reg + 2) ~writes:1 ~max_ops:1);
+  Alcotest.(check bool) "one write too many" false
+    (fits ~registers:1 ~writes:(P.max_ts + 1) ~max_ops:1);
+  Alcotest.(check bool) "one op too many" false
+    (fits ~registers:1 ~writes:1 ~max_ops:(P.max_op + 1));
+  (* The value field is wider than the timestamp field, so the write
+     count binds through max_ts first — a config that fits never
+     overflows either. *)
+  Alcotest.(check bool) "ts is the binding field" true
+    (P.max_value > P.max_ts)
+
 let test_wire_envelope_codec () =
   let codec =
     Wire.envelope_codec
@@ -290,7 +345,7 @@ let test_chaos_deterministic () =
       Alcotest.(check int) (label ^ ": identical event count") a.C.events
         b.C.events;
       (* And the plan really replays to the same verdict. *)
-      let r = C.run_plan config a.C.plan in
+      let r = C.run_plan config (Msgpass.Faults.decompile a.C.plan) in
       Alcotest.(check bool)
         (label ^ ": replay agrees")
         true
@@ -496,7 +551,7 @@ let test_fleet_churn_mutants () =
   let module C = Msgpass.Chaos in
   let module F = Msgpass.Fleet in
   let config = C.churn_frontier () in
-  let base = (C.run_random ~seed:29 config).C.plan in
+  let base = Msgpass.Faults.decompile (C.run_random ~seed:29 config).C.plan in
   let children churn seed =
     let rng = Bits.Rng.make seed in
     List.init 64 (fun _ -> F.mutate rng ~n:config.C.n ~churn base)
@@ -547,6 +602,106 @@ let prop_plan_codec_roundtrip =
       && Msgpass.Faults.plan_of_json (Msgpass.Faults.plan_to_json plan)
          = Ok plan)
 
+(* ----- pooled Net vs the Netref oracle ----- *)
+
+(* The arena-backed Net must stay observationally identical to the
+   retained Queue-backed Netref under any scripted fault sequence, churn
+   included. Both networks run the same bounded gossip protocol and log
+   every handler invocation; after every plan action the two must agree
+   on the action's effect, the delivery log, the deliverable set, the
+   membership view and the counters — and a final lexicographic drain
+   must leave both quiescent with identical logs. Slots 7..9 start
+   absent so random Enter actions are effective. *)
+let prop_net_matches_netref =
+  let module N = Msgpass.Net in
+  let module R = Msgpass.Netref in
+  let module F = Msgpass.Faults in
+  let n = 10 in
+  let fanout = 3 * n in
+  QCheck.Test.make
+    ~name:"pooled Net matches the Netref oracle on random fault plans"
+    ~count:120 fault_plan_arbitrary
+    (fun plan ->
+      let log_n = ref [] and log_r = ref [] in
+      let net_nodes pid : int N.node =
+        {
+          N.on_start = (fun () -> [ ((pid + 1) mod n, pid) ]);
+          on_message =
+            (fun ~from m ->
+              log_n := (pid, from, m) :: !log_n;
+              if m < fanout then [ ((pid + 1) mod n, m + n) ] else []);
+          on_leave = (fun () -> [ ((pid + 2) mod n, 1000 + pid) ]);
+        }
+      in
+      let ref_nodes pid : int R.node =
+        {
+          R.on_start = (fun () -> [ ((pid + 1) mod n, pid) ]);
+          on_message =
+            (fun ~from m ->
+              log_r := (pid, from, m) :: !log_r;
+              if m < fanout then [ ((pid + 1) mod n, m + n) ] else []);
+          on_leave = (fun () -> [ ((pid + 2) mod n, 1000 + pid) ]);
+        }
+      in
+      let present pid = pid < 7 in
+      let net = N.create ~present ~n ~nodes:net_nodes () in
+      let oracle = R.create ~present ~n ~nodes:ref_nodes () in
+      let pids = List.init n Fun.id in
+      let same_state () =
+        !log_n = !log_r
+        && N.deliverable net = R.deliverable oracle
+        && N.deliveries net = R.deliveries oracle
+        && N.hop_mask net = R.hop_mask oracle
+        && N.crashed net = R.crashed oracle
+        && N.departed net = R.departed oracle
+        && N.quiescent net = R.quiescent oracle
+        && List.for_all
+             (fun pid ->
+               N.alive net pid = R.alive oracle pid
+               && N.is_present net pid = R.is_present oracle pid)
+             pids
+        && List.for_all
+             (fun src ->
+               List.for_all
+                 (fun dst ->
+                   N.pending net ~src ~dst = R.pending oracle ~src ~dst)
+                 pids)
+             pids
+      in
+      let apply = function
+        | F.Deliver { F.src; dst } ->
+            N.deliver net ~src ~dst = R.deliver oracle ~src ~dst
+        | F.Drop { F.src; dst } ->
+            N.drop net ~src ~dst = R.drop oracle ~src ~dst
+        | F.Duplicate { F.src; dst } ->
+            N.duplicate net ~src ~dst = R.duplicate oracle ~src ~dst
+        | F.Defer { F.src; dst } ->
+            N.defer net ~src ~dst = R.defer oracle ~src ~dst
+        | F.Crash pid ->
+            N.crash net pid;
+            R.crash oracle pid;
+            true
+        | F.Enter pid -> N.enter net pid = R.enter oracle pid
+        | F.Leave pid -> N.leave net pid = R.leave oracle pid
+      in
+      let scripted = List.for_all (fun a -> apply a && same_state ()) plan in
+      let drained =
+        let budget = ref 10_000 in
+        let ok = ref true in
+        let continue = ref true in
+        while !continue && !ok && !budget > 0 do
+          match R.deliverable oracle with
+          | [] -> continue := false
+          | (src, dst) :: _ ->
+              decr budget;
+              ok :=
+                N.deliver net ~src ~dst = R.deliver oracle ~src ~dst
+                && same_state ()
+        done;
+        !ok && !budget > 0 && N.quiescent net && R.quiescent oracle
+      in
+      scripted && drained)
+
 let test_plan_codec_rejects_garbage () =
   List.iter
     (fun text ->
@@ -590,7 +745,7 @@ let test_fleet_mutator_deterministic () =
   let module C = Msgpass.Chaos in
   let module F = Msgpass.Fleet in
   let config = C.frontier () in
-  let base = (C.run_random ~seed:11 config).C.plan in
+  let base = Msgpass.Faults.decompile (C.run_random ~seed:11 config).C.plan in
   let children seed =
     let rng = Bits.Rng.make seed in
     List.init 32 (fun _ -> F.mutate rng ~n:config.C.n base)
@@ -601,7 +756,7 @@ let test_fleet_mutator_deterministic () =
     (children 5 <> children 6);
   let cross seed =
     let rng = Bits.Rng.make seed in
-    let other = (C.run_random ~seed:12 config).C.plan in
+    let other = Msgpass.Faults.decompile (C.run_random ~seed:12 config).C.plan in
     List.init 32 (fun _ -> F.crossover rng base other)
   in
   Alcotest.(check bool) "crossover deterministic too" true (cross 5 = cross 5)
@@ -617,7 +772,7 @@ let prop_fleet_mutants_replay =
     QCheck.(int_range 0 100_000)
     (fun seed ->
       let rng = Bits.Rng.make seed in
-      let base = (C.run_random ~seed:(seed land 31) config).C.plan in
+      let base = Msgpass.Faults.decompile (C.run_random ~seed:(seed land 31) config).C.plan in
       let m = F.mutate rng ~n:config.C.n base in
       let x = F.crossover rng m base in
       ignore (C.run_plan config m);
@@ -909,6 +1064,9 @@ let () =
           QCheck_alcotest.to_alcotest prop_framing_stream;
           Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;
           QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+          QCheck_alcotest.to_alcotest prop_pack_roundtrip_boundary;
+          Alcotest.test_case "pack fits_static boundaries" `Quick
+            test_pack_fits_static_boundaries;
           Alcotest.test_case "envelope codec" `Quick test_wire_envelope_codec;
           Alcotest.test_case "alternating-bit channel" `Quick
             test_alt_bit_channel;
@@ -930,6 +1088,7 @@ let () =
           Alcotest.test_case "rng_point replays a mid-campaign run" `Quick
             test_chaos_rng_point_replay;
           QCheck_alcotest.to_alcotest prop_plan_codec_roundtrip;
+          QCheck_alcotest.to_alcotest prop_net_matches_netref;
           Alcotest.test_case "plan parser rejects garbage" `Quick
             test_plan_codec_rejects_garbage;
           Alcotest.test_case "plan parse errors are positional" `Quick
